@@ -1,0 +1,288 @@
+package fupermod_test
+
+// The benchmark harness: one testing.B benchmark per paper figure and
+// supplementary experiment (regenerating the full artefact per iteration),
+// plus micro-benchmarks of the framework's hot paths — model construction,
+// the three partitioning algorithms, the matrix arrangement and the
+// virtual-time collectives. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure regeneration (same generators as cmd/fupermod-figs):
+//
+//	BenchmarkFig2aPiecewiseFPM      paper Fig. 2(a)
+//	BenchmarkFig2bAkimaFPM          paper Fig. 2(b)
+//	BenchmarkFig3DynamicPartitioning paper Fig. 3
+//	BenchmarkFig4JacobiBalancing    paper Fig. 4
+//	BenchmarkE1MatmulPartitioners   experiment E1
+//	BenchmarkE2ImbalanceVsModel     experiment E2
+//	BenchmarkE3DynamicCost          experiment E3
+//	BenchmarkE4ContentionMeasurement experiment E4
+
+import (
+	"fmt"
+	"testing"
+
+	"fupermod"
+	"fupermod/internal/apps"
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/experiments"
+	"fupermod/internal/kernels"
+	"fupermod/internal/matpart"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+)
+
+func benchExperiment(b *testing.B, gen func() (interface{ NumRows() int }, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func wrap(g experiments.Generator) func() (interface{ NumRows() int }, error) {
+	return func() (interface{ NumRows() int }, error) { return g() }
+}
+
+func BenchmarkFig2aPiecewiseFPM(b *testing.B)       { benchExperiment(b, wrap(experiments.Fig2a)) }
+func BenchmarkFig2bAkimaFPM(b *testing.B)           { benchExperiment(b, wrap(experiments.Fig2b)) }
+func BenchmarkFig3DynamicPartitioning(b *testing.B) { benchExperiment(b, wrap(experiments.Fig3)) }
+func BenchmarkFig4JacobiBalancing(b *testing.B)     { benchExperiment(b, wrap(experiments.Fig4)) }
+func BenchmarkE1MatmulPartitioners(b *testing.B)    { benchExperiment(b, wrap(experiments.E1)) }
+func BenchmarkE2ImbalanceVsModel(b *testing.B)      { benchExperiment(b, wrap(experiments.E2)) }
+func BenchmarkE3DynamicCost(b *testing.B)           { benchExperiment(b, wrap(experiments.E3)) }
+func BenchmarkE4ContentionMeasurement(b *testing.B) { benchExperiment(b, wrap(experiments.E4)) }
+
+// buildModels constructs noiseless FPMs for n synthetic devices spanning a
+// 10x speed range.
+func buildModels(b *testing.B, kind string, n, points int) []fupermod.Model {
+	b.Helper()
+	models := make([]fupermod.Model, n)
+	for i := 0; i < n; i++ {
+		dev := platform.FastCore(fmt.Sprintf("c%d", i)).Scale(fmt.Sprintf("c%d", i), 0.1+float64(i)/float64(n))
+		m, err := fupermod.NewModel(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range core.LogSizes(16, 60000, points) {
+			if err := m.Update(core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	return models
+}
+
+func benchPartitioner(b *testing.B, p fupermod.Partitioner, kind string, n int) {
+	models := buildModels(b, kind, n, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(models, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionConstant8(b *testing.B) {
+	benchPartitioner(b, fupermod.ConstantPartitioner(), fupermod.ModelConstant, 8)
+}
+
+func BenchmarkPartitionGeometric8(b *testing.B) {
+	benchPartitioner(b, fupermod.GeometricPartitioner(), fupermod.ModelPiecewise, 8)
+}
+
+func BenchmarkPartitionGeometric64(b *testing.B) {
+	benchPartitioner(b, fupermod.GeometricPartitioner(), fupermod.ModelPiecewise, 64)
+}
+
+func BenchmarkPartitionNumerical8(b *testing.B) {
+	benchPartitioner(b, fupermod.NumericalPartitioner(), fupermod.ModelAkima, 8)
+}
+
+func BenchmarkPartitionNumerical32(b *testing.B) {
+	benchPartitioner(b, fupermod.NumericalPartitioner(), fupermod.ModelAkima, 32)
+}
+
+func BenchmarkModelUpdatePiecewise(b *testing.B) {
+	dev := platform.NetlibBLASCore()
+	pts := make([]core.Point, 0, 40)
+	for _, d := range core.LogSizes(16, 5000, 40) {
+		pts = append(pts, core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := model.NewPiecewise()
+		for _, p := range pts {
+			if err := m.Update(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkModelUpdateAkima(b *testing.B) {
+	dev := platform.NetlibBLASCore()
+	pts := make([]core.Point, 0, 40)
+	for _, d := range core.LogSizes(16, 5000, 40) {
+		pts = append(pts, core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := model.NewAkima()
+		for _, p := range pts {
+			if err := m.Update(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkMatpartGrid(b *testing.B) {
+	areas := make([]float64, 32)
+	for i := range areas {
+		areas[i] = 1 + float64(i%7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matpart.PartitionGrid(areas, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommBcast16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := comm.Run(16, comm.GigabitEthernet, func(c *comm.Comm) error {
+			for k := 0; k < 10; k++ {
+				if _, err := c.Bcast(0, 1<<20, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVirtualBenchmarkLoop(b *testing.B) {
+	dev := platform.FastCore("f")
+	meter := platform.NewMeter(dev, platform.DefaultNoise, 1)
+	prec := core.Precision{MinReps: 5, MaxReps: 30, Confidence: 0.95, RelErr: 0.025}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := mustVirtual(b, meter)
+		if _, err := core.Benchmark(k, 5000, prec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustVirtual(b *testing.B, meter *platform.Meter) core.Kernel {
+	b.Helper()
+	k, err := kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func BenchmarkA1CoarseningAblation(b *testing.B) { benchExperiment(b, wrap(experiments.A1)) }
+func BenchmarkA2SolverAblation(b *testing.B)     { benchExperiment(b, wrap(experiments.A2)) }
+func BenchmarkA3AllgatherAblation(b *testing.B)  { benchExperiment(b, wrap(experiments.A3)) }
+
+func BenchmarkRealMatmul4Procs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := apps.RunRealMatmul(apps.RealMatmulConfig{
+			NBlocks: 6, B: 8, Areas: []float64{4, 2, 1, 1},
+			Net: comm.SharedMemory, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxError > 1e-9 {
+			b.Fatalf("wrong result: %g", res.MaxError)
+		}
+	}
+}
+
+func BenchmarkRingAllgather8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := comm.Run(8, comm.GigabitEthernet, func(c *comm.Comm) error {
+			_, err := c.RingAllgather(1<<16, c.Rank())
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5BandsVsMovement(b *testing.B)      { benchExperiment(b, wrap(experiments.E5)) }
+func BenchmarkV1PredictionValidation(b *testing.B) { benchExperiment(b, wrap(experiments.V1)) }
+
+func BenchmarkE6GPUCrossover(b *testing.B) { benchExperiment(b, wrap(experiments.E6)) }
+
+func BenchmarkPartitionBandsCertified(b *testing.B) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	for i := 0; i < b.N; i++ {
+		ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fupermod.PartitionBandsCertified(ks, 20000, fupermod.DynamicConfig{
+			Algorithm: fupermod.GeometricPartitioner(),
+			NewModel: func() fupermod.Model {
+				m, _ := fupermod.NewModel(fupermod.ModelPiecewise)
+				return m
+			},
+			Precision: fupermod.DefaultPrecision,
+			Eps:       0.05,
+			MaxIters:  40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Certified {
+			b.Fatal("not certified")
+		}
+	}
+}
+
+func BenchmarkRealJacobi4Procs(b *testing.B) {
+	devs := platform.JacobiCluster()[2:6]
+	for i := 0; i < b.N; i++ {
+		res, err := apps.RunRealJacobi(apps.RealJacobiConfig{
+			N: 150, MaxIterations: 200, Tol: 1e-10,
+			Devices: devs, Net: comm.GigabitEthernet,
+			Balance: fupermod.DynamicConfig{
+				Algorithm: fupermod.GeometricPartitioner(),
+				NewModel: func() fupermod.Model {
+					m, _ := fupermod.NewModel(fupermod.ModelPiecewise)
+					return m
+				},
+			},
+			Noise: platform.Quiet, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Residual > 1e-8 {
+			b.Fatalf("residual %g", res.Residual)
+		}
+	}
+}
+
+func BenchmarkE7DriftRecovery(b *testing.B) { benchExperiment(b, wrap(experiments.E7)) }
+func BenchmarkA4TopoBroadcast(b *testing.B) { benchExperiment(b, wrap(experiments.A4)) }
+
+func BenchmarkE8AdaptiveBuild(b *testing.B) { benchExperiment(b, wrap(experiments.E8)) }

@@ -1,0 +1,224 @@
+// Command fupermod-bench measures a computation kernel over a grid of
+// problem sizes and writes the resulting points file — the first step of
+// the FuPerMod tool chain (benchmark → model → partition).
+//
+// Two kernel families are available: the real pure-Go GEMM kernel
+// (-kernel gemm, executed on this machine's CPU) and virtual kernels backed
+// by the synthetic device presets (-kernel virtual -device <preset>), which
+// reproduce the paper's heterogeneous hardware deterministically.
+//
+// With -machine, every device of a machine file is benchmarked instead:
+// devices sharing a node run under the synchronized group benchmark (so
+// socket cores observe their contention), and one points file per device
+// is written into -outdir.
+//
+// Usage:
+//
+//	fupermod-bench -kernel virtual -device netlib-blas -lo 16 -hi 5000 -n 40 -o netlib.points
+//	fupermod-bench -kernel gemm -b 32 -lo 4 -hi 256 -n 10 -o local-gemm.points
+//	fupermod-bench -machine examples/machines/two-node.machine -outdir points/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fupermod/internal/bench"
+	"fupermod/internal/comm"
+	"fupermod/internal/config"
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fupermod-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kernelKind = flag.String("kernel", "virtual", "kernel family: virtual | gemm | jacobi")
+		device     = flag.String("device", "netlib-blas", "device preset for virtual kernels (see -help-devices)")
+		blockB     = flag.Int("b", 32, "blocking factor of the real gemm kernel")
+		jacobiN    = flag.Int("jacobi-n", 2048, "system size of the real jacobi kernel")
+		lo         = flag.Int("lo", 16, "smallest problem size in computation units")
+		hi         = flag.Int("hi", 5000, "largest problem size in computation units")
+		n          = flag.Int("n", 30, "number of sizes (geometric grid)")
+		seed       = flag.Int64("seed", 1, "noise seed for virtual kernels")
+		noise      = flag.Float64("noise", 0.02, "relative measurement noise of virtual kernels (0 disables)")
+		out        = flag.String("o", "", "output points file (default stdout)")
+		minReps    = flag.Int("min-reps", 3, "minimum repetitions per point")
+		maxReps    = flag.Int("max-reps", 15, "maximum repetitions per point")
+		relErr     = flag.Float64("rel-err", 0.03, "target relative confidence-interval half-width")
+		helpDev    = flag.Bool("help-devices", false, "list device presets and exit")
+		machine    = flag.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
+		outDir     = flag.String("outdir", "points", "output directory for -machine mode")
+	)
+	flag.Parse()
+	if *helpDev {
+		for _, name := range platform.PresetNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	prec0 := core.Precision{
+		MinReps:    *minReps,
+		MaxReps:    *maxReps,
+		Confidence: 0.95,
+		RelErr:     *relErr,
+		MaxSeconds: 300,
+	}
+	if *machine != "" {
+		return benchMachine(*machine, *outDir, *lo, *hi, *n, *seed, *noise, prec0)
+	}
+
+	var (
+		k       core.Kernel
+		devName string
+		err     error
+	)
+	switch *kernelKind {
+	case "virtual":
+		dev, perr := platform.Preset(*device)
+		if perr != nil {
+			return perr
+		}
+		cfg := platform.Quiet
+		if *noise > 0 {
+			cfg = platform.NoiseConfig{Rel: *noise, OutlierP: 0.02, OutlierScale: 0.5}
+		}
+		meter := platform.NewMeter(dev, cfg, *seed)
+		k, err = kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+		devName = dev.Name()
+	case "gemm":
+		k, err = kernels.NewGEMM(*blockB)
+		devName = "local-cpu"
+	case "jacobi":
+		k, err = kernels.NewJacobi(*jacobiN)
+		devName = "local-cpu"
+	default:
+		return fmt.Errorf("unknown kernel family %q", *kernelKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	prec := prec0
+	sizes := core.LogSizes(*lo, *hi, *n)
+	if len(sizes) == 0 {
+		return fmt.Errorf("invalid size grid lo=%d hi=%d n=%d", *lo, *hi, *n)
+	}
+	pts, err := core.Sweep(k, sizes, prec)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := model.WritePoints(w, model.PointFile{
+		Kernel: k.Name(),
+		Device: devName,
+		Points: pts,
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "measured %d points (%.3gs of kernel time)\n",
+		len(pts), core.BenchmarkCost(pts))
+	return nil
+}
+
+// benchMachine benchmarks every device of a machine file, node by node
+// with the synchronized group benchmark, and writes one points file per
+// device into outDir.
+func benchMachine(path, outDir string, lo, hi, n int, seed int64, noise float64, prec core.Precision) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	m, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	devs := m.Devices()
+	platform.ActivateShared(devs)
+	cfg := platform.Quiet
+	if noise > 0 {
+		cfg = platform.NoiseConfig{Rel: noise, OutlierP: 0.02, OutlierScale: 0.5}
+	}
+	ks, err := kernels.VirtualSet(devs, cfg, 2*128*128*128, seed)
+	if err != nil {
+		return err
+	}
+	sizes := core.LogSizes(lo, hi, n)
+	if len(sizes) == 0 {
+		return fmt.Errorf("invalid size grid lo=%d hi=%d n=%d", lo, hi, n)
+	}
+	nodeOf := m.NodeOf()
+	points := make([][]core.Point, len(devs))
+	for _, d := range sizes {
+		for node := range m.Nodes {
+			var nodeKernels []core.Kernel
+			var nodeRanks []int
+			for r := range devs {
+				if nodeOf[r] == node {
+					nodeKernels = append(nodeKernels, ks[r])
+					nodeRanks = append(nodeRanks, r)
+				}
+			}
+			if len(nodeKernels) == 0 {
+				continue
+			}
+			ds := make([]int, len(nodeKernels))
+			for i := range ds {
+				ds[i] = d
+			}
+			pts, err := bench.Group(nodeKernels, ds, prec, comm.SharedMemory)
+			if err != nil {
+				return fmt.Errorf("node %s at d=%d: %w", m.Nodes[node].Name, d, err)
+			}
+			for i, pt := range pts {
+				points[nodeRanks[i]] = append(points[nodeRanks[i]], pt)
+			}
+		}
+	}
+	for r, dev := range devs {
+		name := strings.ReplaceAll(dev.Name(), "/", "-")
+		out := filepath.Join(outDir, name+".points")
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		err = model.WritePoints(g, model.PointFile{
+			Kernel: "gemm-b128",
+			Device: dev.Name(),
+			Points: points[r],
+		})
+		if cerr := g.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d points -> %s\n", dev.Name(), len(points[r]), out)
+	}
+	return nil
+}

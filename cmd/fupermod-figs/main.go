@@ -1,0 +1,89 @@
+// Command fupermod-figs regenerates the evaluation artefacts of the
+// FuPerMod paper: the series behind Figures 2–4 plus the supplementary
+// experiments E1–E4 described in DESIGN.md. With no arguments it runs
+// everything in order; otherwise each argument is an experiment id.
+//
+// Usage:
+//
+//	fupermod-figs [-list] [id ...]
+//
+// Examples:
+//
+//	fupermod-figs              # all experiments
+//	fupermod-figs fig2a fig4   # just those two
+//	fupermod-figs -list        # show the available ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fupermod/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiment ids and exit")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	outDir := flag.String("outdir", "", "write one CSV file per experiment into this directory instead of stdout")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s  %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	var entries []experiments.Entry
+	if flag.NArg() == 0 {
+		entries = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, err := experiments.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fupermod-figs:", err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fupermod-figs:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range entries {
+		tb, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fupermod-figs: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".csv")
+			f, err := os.Create(path)
+			if err == nil {
+				err = tb.WriteCSV(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fupermod-figs: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s -> %s\n", e.ID, path)
+			continue
+		}
+		fmt.Printf("# %s — %s\n", e.ID, e.Paper)
+		if *asCSV {
+			err = tb.WriteCSV(os.Stdout)
+		} else {
+			_, err = tb.WriteTo(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fupermod-figs: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command fupermod-machine inspects a machine file: it lists the nodes
+// and devices with their modelled speeds at a few probe sizes, so a user
+// can sanity-check a platform description before benchmarking it.
+//
+// Usage:
+//
+//	fupermod-machine examples/machines/two-node.machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fupermod/internal/config"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fupermod-machine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	probesFlag := flag.String("probes", "1000,10000,50000", "comma-separated probe sizes (units)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("want exactly one machine file, got %d args", flag.NArg())
+	}
+	var probes []int
+	for _, s := range splitComma(*probesFlag) {
+		var v int
+		if _, err := fmt.Sscanf(s, "%d", &v); err != nil || v <= 0 {
+			return fmt.Errorf("bad probe size %q", s)
+		}
+		probes = append(probes, v)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := config.Parse(f)
+	if err != nil {
+		return err
+	}
+	cols := []string{"rank", "node", "device", "kind"}
+	for _, p := range probes {
+		cols = append(cols, fmt.Sprintf("u/s @%d", p))
+	}
+	t := trace.NewTable(fmt.Sprintf("%s: %d nodes, %d devices", flag.Arg(0), len(m.Nodes), m.Size()), cols...)
+	rank := 0
+	totalAt := make([]float64, len(probes))
+	for ni, node := range m.Nodes {
+		for _, dev := range node.Devices {
+			row := []any{rank, fmt.Sprintf("%d:%s", ni, node.Name), dev.Name(), kindOf(dev)}
+			for pi, p := range probes {
+				s := platform.Speed(dev, float64(p))
+				totalAt[pi] += s
+				row = append(row, s)
+			}
+			t.AddRow(row...)
+			rank++
+		}
+	}
+	row := []any{"", "", "TOTAL", ""}
+	for _, s := range totalAt {
+		row = append(row, s)
+	}
+	t.AddRow(row...)
+	_, err = t.WriteTo(os.Stdout)
+	return err
+}
+
+func kindOf(dev platform.Device) string {
+	switch dev.(type) {
+	case *platform.CPUCore:
+		return "cpu"
+	case *platform.GPU:
+		return "gpu"
+	case *platform.SocketCore:
+		return "socket-core"
+	default:
+		return "device"
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

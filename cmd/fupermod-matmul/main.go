@@ -1,0 +1,146 @@
+// Command fupermod-matmul runs the heterogeneous parallel matrix
+// multiplication (paper §4.1/4.3) on a simulated cluster, comparing the
+// partitioning algorithms' makespans for one matrix size. It performs the
+// whole pipeline in-process: benchmark every device, build the chosen
+// models, partition, arrange the submatrices column-based, and execute on
+// the virtual-time runtime.
+//
+// Usage:
+//
+//	fupermod-matmul -cluster hcl -grid 128 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fupermod/internal/apps"
+	"fupermod/internal/config"
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/matpart"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fupermod-matmul:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cluster = flag.String("cluster", "hcl", "cluster preset: hcl | jacobi")
+		machine = flag.String("machine", "", "machine file describing the platform (overrides -cluster, hierarchical network)")
+		grid    = flag.Int("grid", 128, "matrix size in 128x128 blocks (D = grid^2 units)")
+		seed    = flag.Int64("seed", 7, "noise seed")
+		points  = flag.Int("points", 25, "benchmark points per device for the full models")
+		layout  = flag.Bool("layout", false, "print the FPM-geometric block arrangement as an ASCII grid")
+	)
+	flag.Parse()
+	devs, net, err := config.LoadPlatform(*machine, *cluster)
+	if err != nil {
+		return err
+	}
+	D := *grid * *grid
+	if D <= 0 {
+		return fmt.Errorf("invalid grid %d", *grid)
+	}
+	prec := core.Precision{MinReps: 3, MaxReps: 15, Confidence: 0.95, RelErr: 0.03, MaxSeconds: 300}
+
+	// Build full piecewise and Akima models per device.
+	pw := make([]core.Model, len(devs))
+	ak := make([]core.Model, len(devs))
+	for i, dev := range devs {
+		meter := platform.NewMeter(dev, platform.DefaultNoise, *seed+int64(i))
+		k, err := kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+		if err != nil {
+			return err
+		}
+		pts, err := core.Sweep(k, core.LogSizes(16, D+D/4, *points), prec)
+		if err != nil {
+			return err
+		}
+		pw[i] = model.NewPiecewise()
+		ak[i] = model.NewAkima()
+		if err := core.UpdateAll(pw[i], pts); err != nil {
+			return err
+		}
+		if err := core.UpdateAll(ak[i], pts); err != nil {
+			return err
+		}
+	}
+
+	platName := *cluster
+	if *machine != "" {
+		platName = *machine
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("matmul on %q: grid %dx%d blocks (D=%d units)", platName, *grid, *grid, D),
+		"partitioning", "makespan s", "vs even")
+	runWith := func(name string, areas []float64) (float64, error) {
+		res, err := apps.RunMatmul(apps.MatmulConfig{
+			NBlocks:    *grid,
+			BlockBytes: 8 * 128 * 128,
+			Devices:    devs,
+			Net:        net,
+			Areas:      areas,
+			Noise:      platform.Quiet,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		return res.Makespan, nil
+	}
+	evenAreas := make([]float64, len(devs))
+	for i := range evenAreas {
+		evenAreas[i] = 1
+	}
+	evenT, err := runWith("even", evenAreas)
+	if err != nil {
+		return err
+	}
+	t.AddRow("even", evenT, 1.0)
+	if *layout {
+		dist, err := partition.Geometric().Partition(pw, D)
+		if err != nil {
+			return err
+		}
+		rects, err := matpart.PartitionGrid(apps.AreasFromDist(dist), *grid)
+		if err != nil {
+			return err
+		}
+		pic, err := matpart.Render(rects, *grid, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fpm-geometric arrangement (one letter per process):\n%s\n", pic)
+	}
+	for _, c := range []struct {
+		name   string
+		algo   core.Partitioner
+		models []core.Model
+	}{
+		{"cpm", partition.Constant(), pw},
+		{"fpm-geometric", partition.Geometric(), pw},
+		{"fpm-numerical", partition.Numerical(), ak},
+	} {
+		dist, err := c.algo.Partition(c.models, D)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		mk, err := runWith(c.name, apps.AreasFromDist(dist))
+		if err != nil {
+			return err
+		}
+		t.AddRow(c.name, mk, evenT/mk)
+	}
+	_, err = t.WriteTo(os.Stdout)
+	return err
+}

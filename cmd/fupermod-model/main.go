@@ -1,0 +1,79 @@
+// Command fupermod-model builds a computation performance model from a
+// points file written by fupermod-bench and tabulates its time and speed
+// functions over an evaluation grid — the data behind speed-function plots
+// like the paper's Figure 2.
+//
+// Usage:
+//
+//	fupermod-model -model fpm-akima -lo 16 -hi 5000 -n 40 netlib.points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fupermod-model:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind = flag.String("model", model.KindAkima, "model kind: "+strings.Join(model.Kinds(), " | "))
+		lo   = flag.Int("lo", 0, "evaluation grid start (default: first measured size)")
+		hi   = flag.Int("hi", 0, "evaluation grid end (default: last measured size)")
+		n    = flag.Int("n", 30, "number of evaluation sizes")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("want exactly one points file, got %d args", flag.NArg())
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pf, err := model.ReadPoints(f)
+	if err != nil {
+		return err
+	}
+	if len(pf.Points) == 0 {
+		return fmt.Errorf("points file %s is empty", flag.Arg(0))
+	}
+	m, err := pf.BuildFrom(*kind)
+	if err != nil {
+		return err
+	}
+	gridLo, gridHi := *lo, *hi
+	if gridLo <= 0 {
+		gridLo = pf.Points[0].D
+	}
+	if gridHi <= 0 {
+		gridHi = pf.Points[len(pf.Points)-1].D
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("%s model of %s on %s (%d points)", *kind, pf.Kernel, pf.Device, len(pf.Points)),
+		"size", "time s", "speed u/s")
+	for _, d := range core.LogSizes(gridLo, gridHi, *n) {
+		tm, err := m.Time(float64(d))
+		if err != nil {
+			return err
+		}
+		sp, err := core.ModelSpeed(m, float64(d))
+		if err != nil {
+			return err
+		}
+		t.AddRow(d, tm, sp)
+	}
+	_, err = t.WriteTo(os.Stdout)
+	return err
+}

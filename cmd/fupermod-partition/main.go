@@ -1,0 +1,99 @@
+// Command fupermod-partition computes an optimal data distribution from
+// per-process points files — the static-partitioning end of the FuPerMod
+// tool chain. Each argument is one process's points file (written by
+// fupermod-bench); the chosen models are built from them and the chosen
+// algorithm splits -D computation units.
+//
+// Usage:
+//
+//	fupermod-partition -algorithm geometric -model fpm-piecewise -D 20000 p0.points p1.points ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fupermod-partition:", err)
+		os.Exit(1)
+	}
+}
+
+func partitionerByName(name string) (core.Partitioner, error) {
+	switch name {
+	case "even":
+		return partition.Even(), nil
+	case "constant":
+		return partition.Constant(), nil
+	case "geometric":
+		return partition.Geometric(), nil
+	case "numerical":
+		return partition.Numerical(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want even | constant | geometric | numerical)", name)
+	}
+}
+
+func run() error {
+	var (
+		algo = flag.String("algorithm", "geometric", "partitioning algorithm: even | constant | geometric | numerical")
+		kind = flag.String("model", model.KindPiecewise, "model kind: "+strings.Join(model.Kinds(), " | "))
+		D    = flag.Int("D", 0, "total problem size in computation units (required)")
+	)
+	flag.Parse()
+	if *D <= 0 {
+		return fmt.Errorf("need a positive -D, got %d", *D)
+	}
+	if flag.NArg() == 0 {
+		return fmt.Errorf("need at least one points file")
+	}
+	p, err := partitionerByName(*algo)
+	if err != nil {
+		return err
+	}
+	models := make([]core.Model, flag.NArg())
+	names := make([]string, flag.NArg())
+	for i, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		pf, err := model.ReadPoints(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		m, err := pf.BuildFrom(*kind)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		models[i] = m
+		names[i] = pf.Device
+		if names[i] == "" {
+			names[i] = path
+		}
+	}
+	dist, err := p.Partition(models, *D)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("distribution of %d units by %s over %s models", *D, p.Name(), *kind),
+		"rank", "device", "units", "share %", "predicted s")
+	for i, part := range dist.Parts {
+		t.AddRow(i, names[i], part.D, 100*float64(part.D)/float64(*D), part.Time)
+	}
+	t.Note = fmt.Sprintf("predicted makespan %.4gs, predicted imbalance %.4g",
+		dist.MaxTime(), dist.Imbalance())
+	_, err = t.WriteTo(os.Stdout)
+	return err
+}

@@ -1,0 +1,85 @@
+package fupermod_test
+
+import (
+	"fmt"
+	"log"
+
+	"fupermod"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+)
+
+// ExampleBenchmark measures a virtual kernel backed by a noiseless
+// synthetic device — the measurement step of the FuPerMod workflow.
+func ExampleBenchmark() {
+	dev := platform.FastCore("node0")
+	meter := platform.NewMeter(dev, platform.Quiet, 1)
+	kernel, err := kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := fupermod.Benchmark(kernel, 1000, fupermod.DefaultPrecision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("d=%d reps=%d speed=%.0f units/s\n", p.D, p.Reps, p.Speed())
+	// Output:
+	// d=1000 reps=5 speed=4190 units/s
+}
+
+// ExampleGeometricPartitioner balances a problem over two devices of
+// different speed using full functional performance models.
+func ExampleGeometricPartitioner() {
+	devices := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	models := make([]fupermod.Model, len(devices))
+	for i, dev := range devices {
+		m, err := fupermod.NewModel(fupermod.ModelPiecewise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range fupermod.LogSizes(16, 10000, 15) {
+			if err := m.Update(fupermod.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	dist, err := fupermod.GeometricPartitioner().Partition(models, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fast=%d slow=%d (sum %d)\n", dist.Parts[0].D, dist.Parts[1].D, dist.D)
+	// Output:
+	// fast=8370 slow=1630 (sum 10000)
+}
+
+// ExamplePartitionDynamic distributes work over devices the framework has
+// never measured, estimating partial models at run time.
+func ExamplePartitionDynamic() {
+	devices := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	ks, err := kernels.VirtualSet(devices, platform.Quiet, 2*128*128*128, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fupermod.PartitionDynamic(ks, 10000, fupermod.DynamicConfig{
+		Algorithm: fupermod.GeometricPartitioner(),
+		NewModel: func() fupermod.Model {
+			m, _ := fupermod.NewModel(fupermod.ModelPiecewise)
+			return m
+		},
+		Precision: fupermod.DefaultPrecision,
+		Eps:       0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v steps=%d shares=%v\n", res.Converged, len(res.Steps), res.Dist.Sizes())
+	// Output:
+	// converged=true steps=4 shares=[8384 1616]
+}

@@ -1,0 +1,93 @@
+// Heterogeneous parallel matrix multiplication (paper §4.1, §4.3): the
+// static-partitioning use case. Full functional performance models are
+// built for every device of a simulated GPU-accelerated cluster ("build
+// the models once, reuse them for every run"); the geometric algorithm
+// computes the balanced shares; the Beaumont column-based arrangement
+// turns shares into near-square submatrices; and the application is
+// executed on the virtual-time MPI-like runtime, comparing against the
+// homogeneous (even) distribution.
+//
+// Run with:
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fupermod"
+	"fupermod/internal/apps"
+	"fupermod/internal/comm"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+)
+
+func main() {
+	devs := platform.HCLCluster() // 2 fast cores, 4 socket cores, 1 GPU, 1 slow core
+	const (
+		grid       = 128           // matrix of 128x128 blocks of 128x128 elements
+		D          = grid * grid   // 16384 computation units
+		blockBytes = 8 * 128 * 128 // one block on the wire
+		flops      = 2 * 128 * 128 * 128
+	)
+
+	// Benchmark every device and build its piecewise FPM.
+	ks, err := kernels.VirtualSet(devs, platform.DefaultNoise, flops, 2013)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := make([]fupermod.Model, len(devs))
+	for i, k := range ks {
+		m, err := fupermod.NewModel(fupermod.ModelPiecewise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := fupermod.Sweep(k, fupermod.LogSizes(16, D, 20), fupermod.DefaultPrecision)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := m.Update(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+
+	// Partition with the geometric algorithm.
+	dist, err := fupermod.GeometricPartitioner().Partition(models, D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model-based shares:")
+	for i, part := range dist.Parts {
+		fmt.Printf("  %-14s %6d units (%.1f%%)  predicted %.4gs\n",
+			devs[i].Name(), part.D, 100*float64(part.D)/float64(D), part.Time)
+	}
+
+	run := func(label string, areas []float64) float64 {
+		res, err := apps.RunMatmul(apps.MatmulConfig{
+			NBlocks:    grid,
+			BlockBytes: blockBytes,
+			Devices:    devs,
+			Net:        comm.GigabitEthernet,
+			Areas:      areas,
+			Noise:      platform.DefaultNoise,
+			Seed:       99,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s makespan %.4gs\n", label, res.Makespan)
+		return res.Makespan
+	}
+	fmt.Println("\nexecuting on the virtual cluster:")
+	even := make([]float64, len(devs))
+	for i := range even {
+		even[i] = 1
+	}
+	tEven := run("even distribution:", even)
+	tFPM := run("FPM distribution:", apps.AreasFromDist(dist))
+	fmt.Printf("\nspeedup from model-based partitioning: %.2fx\n", tEven/tFPM)
+}

@@ -1,0 +1,159 @@
+// Package fupermod is a Go reproduction of FuPerMod (Clarke, Zhong,
+// Rychkov, Lastovetsky — PaCT 2013): a framework for optimal data
+// partitioning of data-parallel scientific applications on dedicated
+// heterogeneous HPC platforms.
+//
+// The framework automates the three steps of model-based data
+// partitioning:
+//
+//  1. Measurement — wrap the application's core computation as a Kernel
+//     and Benchmark it with statistically controlled repetition.
+//  2. Modelling — feed the measured Points into a computation performance
+//     Model: a constant model (CPM), a piecewise-linear functional model
+//     with shape coarsening, an Akima-spline functional model, or a linear
+//     time model.
+//  3. Partitioning — hand the models to a Partitioner (constant,
+//     geometric, or numerical) to split a problem of D computation units
+//     into a Dist that balances the predicted execution times; or skip
+//     the a-priori models entirely and use PartitionDynamic / Balancer,
+//     which estimate partial models at run time.
+//
+// This package is a thin facade over the implementation packages under
+// internal/: core (the interfaces), model, partition, dynamic, plus the
+// substrates the original system relied on externally — a simulated
+// heterogeneous platform (internal/platform), an MPI-like virtual-time
+// runtime (internal/comm), dense linear algebra (internal/linalg), the
+// Beaumont matrix arrangement (internal/matpart), and the paper's two
+// demo applications (internal/apps).
+package fupermod
+
+import (
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+)
+
+// Core measurement and modelling types, re-exported from internal/core.
+type (
+	// Kernel is a serial computation kernel with its computation unit.
+	Kernel = core.Kernel
+	// Instance is a ready-to-run kernel context.
+	Instance = core.Instance
+	// Point is one benchmark measurement.
+	Point = core.Point
+	// Precision is the statistical stopping rule of Benchmark.
+	Precision = core.Precision
+	// Model is a computation performance model.
+	Model = core.Model
+	// Dist is a distribution of computation units over processes.
+	Dist = core.Dist
+	// Part is one process's share in a Dist.
+	Part = core.Part
+	// Partitioner is a model-based data partitioning algorithm.
+	Partitioner = core.Partitioner
+	// DynamicConfig parametrises the dynamic algorithms.
+	DynamicConfig = dynamic.Config
+	// DynamicResult is the outcome of PartitionDynamic.
+	DynamicResult = dynamic.Result
+	// Balancer performs dynamic load balancing of iterative applications.
+	Balancer = dynamic.Balancer
+)
+
+// DefaultPrecision is the measurement precision FuPerMod ships with: 95%
+// confidence, 2.5% relative error, 5–30 repetitions.
+var DefaultPrecision = core.DefaultPrecision
+
+// Model kinds accepted by NewModel.
+const (
+	ModelConstant  = model.KindConstant
+	ModelAdaptive  = model.KindAdaptive
+	ModelPiecewise = model.KindPiecewise
+	ModelAkima     = model.KindAkima
+	ModelHermite   = model.KindHermite
+	ModelLinear    = model.KindLinear
+)
+
+// Benchmark measures d computation units of the kernel (the paper's
+// fupermod_benchmark).
+func Benchmark(k Kernel, d int, prec Precision) (Point, error) {
+	return core.Benchmark(k, d, prec)
+}
+
+// Sweep benchmarks the kernel at each size in order.
+func Sweep(k Kernel, sizes []int, prec Precision) ([]Point, error) {
+	return core.Sweep(k, sizes, prec)
+}
+
+// LogSizes returns n sizes spread geometrically over [lo, hi] — the usual
+// sampling grid for building full functional models.
+func LogSizes(lo, hi, n int) []int { return core.LogSizes(lo, hi, n) }
+
+// NewModel constructs an empty performance model of the given kind
+// (ModelConstant, ModelPiecewise, ModelAkima or ModelLinear).
+func NewModel(kind string) (Model, error) { return model.New(kind) }
+
+// ModelSpeed evaluates a model's speed at size x, in units/second.
+func ModelSpeed(m Model, x float64) (float64, error) { return core.ModelSpeed(m, x) }
+
+// EvenPartitioner returns the homogeneous baseline (equal shares).
+func EvenPartitioner() Partitioner { return partition.Even() }
+
+// ConstantPartitioner returns the basic algorithm on constant models.
+func ConstantPartitioner() Partitioner { return partition.Constant() }
+
+// GeometricPartitioner returns the Lastovetsky–Reddy geometric algorithm
+// for piecewise-linear functional models.
+func GeometricPartitioner() Partitioner { return partition.Geometric() }
+
+// NumericalPartitioner returns the multidimensional-solver algorithm for
+// Akima-spline functional models.
+func NumericalPartitioner() Partitioner { return partition.Numerical() }
+
+// PartitionDynamic distributes D units over the kernels' processes with no
+// prior models, iterating benchmark → partial model update → re-partition
+// until the distribution stabilises.
+func PartitionDynamic(kernels []Kernel, D int, cfg DynamicConfig) (*DynamicResult, error) {
+	return dynamic.PartitionDynamic(kernels, D, cfg)
+}
+
+// NewBalancer creates a dynamic load balancer over n processes for a
+// problem of D units, starting from the even distribution.
+func NewBalancer(cfg DynamicConfig, D, n int, minGain float64) (*Balancer, error) {
+	return dynamic.NewBalancer(cfg, D, n, minGain)
+}
+
+// NewEvenDist distributes D units evenly over n processes.
+func NewEvenDist(D, n int) (*Dist, error) { return core.NewEvenDist(D, n) }
+
+// BandsResult is the outcome of PartitionBandsCertified.
+type BandsResult = dynamic.BandsResult
+
+// PartitionBandsCertified is the band-based dynamic partitioning of
+// Lastovetsky–Reddy (reference [11] of the paper): like PartitionDynamic
+// it needs no prior models, but it terminates with a monotonicity
+// certificate bounding the distance to the exact balance point.
+func PartitionBandsCertified(kernels []Kernel, D int, cfg DynamicConfig) (*BandsResult, error) {
+	return dynamic.PartitionBands(kernels, D, cfg)
+}
+
+// WithOverhead wraps models so predicted times include a per-process
+// overhead of the assigned size (typically communication), making every
+// partitioning algorithm balance compute-plus-overhead totals.
+func WithOverhead(models []Model, overheads []func(d float64) float64) ([]Model, error) {
+	return partition.WithOverhead(models, overheads)
+}
+
+// BuildConfig and BuildResult parametrise and report BuildAdaptiveModel.
+type (
+	BuildConfig = core.BuildConfig
+	BuildResult = core.BuildResult
+)
+
+// BuildAdaptiveModel constructs a model of the kernel's time function to a
+// requested accuracy at measured cost: endpoints first, then bisection of
+// whichever interval the model currently mispredicts worst (§1: models
+// "to a given accuracy and cost-effectiveness").
+func BuildAdaptiveModel(k Kernel, m Model, cfg BuildConfig) (*BuildResult, error) {
+	return core.BuildAdaptive(k, m, cfg)
+}

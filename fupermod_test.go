@@ -1,0 +1,165 @@
+package fupermod_test
+
+import (
+	"math"
+	"testing"
+
+	"fupermod"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+)
+
+// TestFacadeEndToEnd walks the full public workflow of the README: wrap
+// kernels, benchmark, build models, partition statically, then partition
+// dynamically — all through the facade package.
+func TestFacadeEndToEnd(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 2*128*128*128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const D = 20000
+
+	// Static: full models + geometric partitioner.
+	models := make([]fupermod.Model, len(ks))
+	for i, k := range ks {
+		m, err := fupermod.NewModel(fupermod.ModelPiecewise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := fupermod.Sweep(k, fupermod.LogSizes(16, D, 20), fupermod.DefaultPrecision)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := m.Update(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	dist, err := fupermod.GeometricPartitioner().Partition(models, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if imb := dist.Imbalance(); imb > 1.05 {
+		t.Errorf("static imbalance %g", imb)
+	}
+
+	// Model speed queries work through the facade.
+	s, err := fupermod.ModelSpeed(models[0], 1000)
+	if err != nil || s <= 0 {
+		t.Errorf("ModelSpeed = %g, %v", s, err)
+	}
+
+	// Dynamic: no prior models.
+	res, err := fupermod.PartitionDynamic(ks, D, fupermod.DynamicConfig{
+		Algorithm: fupermod.GeometricPartitioner(),
+		NewModel: func() fupermod.Model {
+			m, _ := fupermod.NewModel(fupermod.ModelPiecewise)
+			return m
+		},
+		Precision: fupermod.DefaultPrecision,
+		Eps:       0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("dynamic partitioning should converge")
+	}
+	// Static and dynamic should agree on who gets more.
+	if (dist.Parts[0].D > dist.Parts[1].D) != (res.Dist.Parts[0].D > res.Dist.Parts[1].D) {
+		t.Errorf("static %v and dynamic %v disagree", dist.Sizes(), res.Dist.Sizes())
+	}
+
+	// Balancer through the facade.
+	bal, err := fupermod.NewBalancer(fupermod.DynamicConfig{
+		Algorithm: fupermod.GeometricPartitioner(),
+		NewModel: func() fupermod.Model {
+			m, _ := fupermod.NewModel(fupermod.ModelPiecewise)
+			return m
+		},
+	}, D, len(devs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d := bal.Dist()
+		times := make([]float64, len(devs))
+		for r, p := range d.Parts {
+			times[r] = devs[r].BaseTime(float64(p.D))
+		}
+		if _, err := bal.Observe(times); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := bal.Dist()
+	t0 := devs[0].BaseTime(float64(final.Parts[0].D))
+	t1 := devs[1].BaseTime(float64(final.Parts[1].D))
+	if r := math.Max(t0, t1) / math.Min(t0, t1); r > 1.1 {
+		t.Errorf("balancer end state imbalance %g", r)
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	for _, kind := range []string{
+		fupermod.ModelConstant, fupermod.ModelPiecewise, fupermod.ModelAkima, fupermod.ModelLinear,
+	} {
+		if _, err := fupermod.NewModel(kind); err != nil {
+			t.Errorf("NewModel(%q): %v", kind, err)
+		}
+	}
+	for _, p := range []fupermod.Partitioner{
+		fupermod.EvenPartitioner(), fupermod.ConstantPartitioner(),
+		fupermod.GeometricPartitioner(), fupermod.NumericalPartitioner(),
+	} {
+		if p.Name() == "" {
+			t.Error("partitioner without a name")
+		}
+	}
+	d, err := fupermod.NewEvenDist(7, 2)
+	if err != nil || d.Parts[0].D != 4 {
+		t.Errorf("NewEvenDist: %v, %v", d, err)
+	}
+}
+
+func TestFacadeAdaptiveBuild(t *testing.T) {
+	dev := platform.NetlibBLASCore()
+	meter := platform.NewMeter(dev, platform.Quiet, 1)
+	k, err := kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fupermod.NewModel(fupermod.ModelAkima)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fupermod.BuildAdaptiveModel(k, m, fupermod.BuildConfig{
+		Lo: 16, Hi: 5000, RelTol: 0.05, MaxPoints: 40,
+		Precision: fupermod.Precision{MinReps: 1, MaxReps: 3, Confidence: 0.95, RelErr: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("should converge on a noiseless device: worst %g", res.WorstRelErr)
+	}
+	// The built model predicts the device within tolerance at unseen sizes.
+	for _, x := range []float64{300, 1234, 4200} {
+		got, err := m.Time(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := dev.BaseTime(x)
+		if math.Abs(got-truth) > 0.10*truth {
+			t.Errorf("Time(%g) = %g, truth %g", x, got, truth)
+		}
+	}
+}

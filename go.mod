@@ -1,0 +1,3 @@
+module fupermod
+
+go 1.22

@@ -1,0 +1,333 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/matpart"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+func balanceCfg() dynamic.Config {
+	return dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+	}
+}
+
+func TestMatmulValidation(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("f")}
+	base := MatmulConfig{NBlocks: 4, BlockBytes: 8, Devices: devs, Areas: []float64{1}}
+	bad := base
+	bad.Devices = nil
+	bad.Areas = nil
+	if _, err := RunMatmul(bad); err == nil {
+		t.Error("no devices should error")
+	}
+	bad = base
+	bad.Areas = []float64{1, 2}
+	if _, err := RunMatmul(bad); err == nil {
+		t.Error("area/device mismatch should error")
+	}
+	bad = base
+	bad.NBlocks = 0
+	if _, err := RunMatmul(bad); err == nil {
+		t.Error("zero grid should error")
+	}
+	bad = base
+	bad.BlockBytes = 0
+	if _, err := RunMatmul(bad); err == nil {
+		t.Error("zero block bytes should error")
+	}
+}
+
+func TestMatmulSingleDevice(t *testing.T) {
+	dev := platform.FastCore("f")
+	res, err := RunMatmul(MatmulConfig{
+		NBlocks:    8,
+		BlockBytes: 8 * 128 * 128,
+		Devices:    []platform.Device{dev},
+		Net:        comm.GigabitEthernet,
+		Areas:      []float64{1},
+		Noise:      platform.Quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One device owns the whole 8x8=64-block grid; per iteration it pays
+	// its BaseTime(64); no inter-rank hops.
+	wantCompute := 8 * dev.BaseTime(64)
+	if math.Abs(res.ComputeSeconds[0]-wantCompute) > 1e-9 {
+		t.Errorf("compute = %g, want %g", res.ComputeSeconds[0], wantCompute)
+	}
+	if res.Makespan < wantCompute {
+		t.Errorf("makespan %g below compute %g", res.Makespan, wantCompute)
+	}
+	if err := matpart.CheckTiling(res.Rects, 8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatmulBalancedBeatsEven(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	nBlocks := 40
+	D := nBlocks * nBlocks
+	// FPM-based shares.
+	models := make([]core.Model, len(devs))
+	for i, dev := range devs {
+		m := model.NewPiecewise()
+		for _, d := range core.LogSizes(16, D, 25) {
+			if err := m.Update(core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	dist, err := partition.Geometric().Partition(models, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MatmulConfig{
+		NBlocks:    nBlocks,
+		BlockBytes: 8 * 128 * 128,
+		Devices:    devs,
+		Net:        comm.GigabitEthernet,
+		Noise:      platform.Quiet,
+	}
+	cfg.Areas = AreasFromDist(dist)
+	balanced, err := RunMatmul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Areas = []float64{1, 1}
+	even, err := RunMatmul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.Makespan >= even.Makespan {
+		t.Errorf("balanced makespan %g should beat even %g", balanced.Makespan, even.Makespan)
+	}
+	// The speedup should be substantial given a ~5x speed gap.
+	if even.Makespan/balanced.Makespan < 1.5 {
+		t.Errorf("speedup = %g, expected > 1.5", even.Makespan/balanced.Makespan)
+	}
+}
+
+func TestMatmulRectsTileAndRespectAreas(t *testing.T) {
+	devs := platform.HCLCluster()
+	areas := []float64{1, 1, 0.5, 0.5, 0.5, 0.5, 6, 0.3}
+	res, err := RunMatmul(MatmulConfig{
+		NBlocks:    32,
+		BlockBytes: 1024,
+		Devices:    devs,
+		Net:        comm.SharedMemory,
+		Areas:      areas,
+		Noise:      platform.Quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matpart.CheckTiling(res.Rects, 32); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 6 (the biggest area) must own the most blocks.
+	maxBlocks, maxRank := 0, -1
+	for r, rect := range res.Rects {
+		if rect.Blocks() > maxBlocks {
+			maxBlocks = rect.Blocks()
+			maxRank = r
+		}
+	}
+	if maxRank != 6 {
+		t.Errorf("largest share should be rank 6, got %d", maxRank)
+	}
+}
+
+func TestMatmulDeterministic(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	cfg := MatmulConfig{
+		NBlocks: 16, BlockBytes: 512, Devices: devs,
+		Net: comm.GigabitEthernet, Areas: []float64{3, 1},
+		Noise: platform.DefaultNoise, Seed: 11,
+	}
+	r1, err := RunMatmul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunMatmul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Errorf("same seed, different makespans: %g vs %g", r1.Makespan, r2.Makespan)
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	devs := platform.JacobiCluster()
+	base := JacobiConfig{
+		N: 1000, Iterations: 3, Devices: devs, Net: comm.GigabitEthernet,
+		Balance: balanceCfg(), RowBytes: 8000,
+	}
+	bad := base
+	bad.Devices = nil
+	if _, err := RunJacobi(bad); err == nil {
+		t.Error("no devices should error")
+	}
+	bad = base
+	bad.N = 2
+	if _, err := RunJacobi(bad); err == nil {
+		t.Error("N < ranks should error")
+	}
+	bad = base
+	bad.Iterations = 0
+	if _, err := RunJacobi(bad); err == nil {
+		t.Error("zero iterations should error")
+	}
+	bad = base
+	bad.RowBytes = 0
+	if _, err := RunJacobi(bad); err == nil {
+		t.Error("zero row bytes should error")
+	}
+	bad = base
+	bad.Balance.Algorithm = nil
+	if _, err := RunJacobi(bad); err == nil {
+		t.Error("bad balancer config should error")
+	}
+}
+
+func TestJacobiBalancesLikeFig4(t *testing.T) {
+	devs := platform.JacobiCluster()
+	res, err := RunJacobi(JacobiConfig{
+		N:          20000,
+		Iterations: 9, // the paper's Fig. 4 shows 9 iterations
+		Devices:    devs,
+		Net:        comm.GigabitEthernet,
+		Balance:    balanceCfg(),
+		RowBytes:   8 * 1024,
+		Noise:      platform.Quiet,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 9 {
+		t.Fatalf("recorded %d iterations", len(res.IterTimes))
+	}
+	spread := func(times []float64) float64 {
+		lo, hi := math.Inf(1), 0.0
+		for _, v := range times {
+			if v <= 0 {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi / lo
+	}
+	first := spread(res.IterTimes[0])
+	last := spread(res.IterTimes[len(res.IterTimes)-1])
+	if first < 2 {
+		t.Fatalf("initial imbalance %g too small for the test to be meaningful", first)
+	}
+	if last > 1.2 {
+		t.Errorf("final imbalance %g, want near 1 (first %g)", last, first)
+	}
+	if res.Redistributions == 0 {
+		t.Error("balancer never redistributed")
+	}
+	// Max iteration time must drop substantially.
+	max0, maxN := 0.0, 0.0
+	for _, v := range res.IterTimes[0] {
+		max0 = math.Max(max0, v)
+	}
+	for _, v := range res.IterTimes[len(res.IterTimes)-1] {
+		maxN = math.Max(maxN, v)
+	}
+	if maxN > 0.6*max0 {
+		t.Errorf("per-iteration makespan %g → %g: expected a big drop", max0, maxN)
+	}
+}
+
+func TestJacobiDeterministicWithNoise(t *testing.T) {
+	devs := platform.JacobiCluster()[:4]
+	cfg := JacobiConfig{
+		N: 8000, Iterations: 5, Devices: devs, Net: comm.GigabitEthernet,
+		Balance: balanceCfg(), RowBytes: 4096, Noise: platform.DefaultNoise, Seed: 3,
+	}
+	r1, err := RunJacobi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunJacobi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Redistributions != r2.Redistributions {
+		t.Errorf("non-deterministic: %g/%d vs %g/%d",
+			r1.Makespan, r1.Redistributions, r2.Makespan, r2.Redistributions)
+	}
+}
+
+func TestJacobiDistsValid(t *testing.T) {
+	devs := platform.JacobiCluster()[:3]
+	res, err := RunJacobi(JacobiConfig{
+		N: 5000, Iterations: 6, Devices: devs, Net: comm.SharedMemory,
+		Balance: balanceCfg(), RowBytes: 1024, Noise: platform.Quiet, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, d := range res.Dists {
+		if err := d.Validate(); err != nil {
+			t.Errorf("iteration %d: %v", k, err)
+		}
+		if d.D != 5000 {
+			t.Errorf("iteration %d: D=%d", k, d.D)
+		}
+	}
+}
+
+func TestMatmulWithSuppliedRects(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	rects := []matpart.BlockRect{
+		{Proc: 0, Col: 0, Row: 0, Cols: 6, Rows: 8},
+		{Proc: 1, Col: 6, Row: 0, Cols: 2, Rows: 8},
+	}
+	res, err := RunMatmul(MatmulConfig{
+		NBlocks: 8, BlockBytes: 512, Devices: devs,
+		Net: comm.GigabitEthernet, Rects: rects, Noise: platform.Quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rects[0].Blocks() != 48 || res.Rects[1].Blocks() != 16 {
+		t.Errorf("supplied rects not honoured: %+v", res.Rects)
+	}
+	// Bad arrangements rejected.
+	bad := []matpart.BlockRect{{Proc: 0, Col: 0, Row: 0, Cols: 8, Rows: 8}} // wrong count
+	if _, err := RunMatmul(MatmulConfig{
+		NBlocks: 8, BlockBytes: 512, Devices: devs,
+		Net: comm.GigabitEthernet, Rects: bad, Noise: platform.Quiet,
+	}); err == nil {
+		t.Error("rect/device count mismatch should error")
+	}
+	overlap := []matpart.BlockRect{
+		{Proc: 0, Col: 0, Row: 0, Cols: 8, Rows: 8},
+		{Proc: 1, Col: 0, Row: 0, Cols: 1, Rows: 1},
+	}
+	if _, err := RunMatmul(MatmulConfig{
+		NBlocks: 8, BlockBytes: 512, Devices: devs,
+		Net: comm.GigabitEthernet, Rects: overlap, Noise: platform.Quiet,
+	}); err == nil {
+		t.Error("overlapping rects should error")
+	}
+}

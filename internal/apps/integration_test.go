@@ -1,0 +1,190 @@
+package apps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fupermod/internal/bench"
+	"fupermod/internal/comm"
+	"fupermod/internal/config"
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+// TestFullPipelineOnMachineFile exercises the complete FuPerMod workflow
+// on a two-node platform parsed from a machine file:
+//
+//  1. parse the machine file and build the hierarchical network;
+//  2. split the world by node and run the synchronized group benchmark
+//     inside each node (socket cores see their contention);
+//  3. build piecewise FPMs from the benchmark points;
+//  4. partition statically with the geometric algorithm;
+//  5. run the matmul application on the hierarchical network and check
+//     the model-based distribution beats the even one.
+func TestFullPipelineOnMachineFile(t *testing.T) {
+	m, err := config.Parse(strings.NewReader(config.ExampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := m.Devices()
+	p := len(devs)
+	net, err := comm.NewHierarchical(m.NodeOf(), comm.SharedMemory, comm.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform.ActivateShared(devs)
+	ks, err := kernels.VirtualSet(devs, platform.DefaultNoise, 2*128*128*128, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2+3: per-node synchronized sweeps feeding the models. The
+	// split scopes barriers to each node, like benchmarking node by node.
+	const D = 40000
+	models := make([]core.Model, p)
+	for i := range models {
+		models[i] = model.NewPiecewise()
+	}
+	prec := core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05, MaxSeconds: 600}
+	sizes := core.LogSizes(64, D, 10)
+	nodeOf := m.NodeOf()
+	for _, d := range sizes {
+		// Group-benchmark all ranks of each node at size d; with virtual
+		// kernels the two nodes can be driven sequentially.
+		for node := 0; node < len(m.Nodes); node++ {
+			var nodeKernels []core.Kernel
+			var nodeRanks []int
+			for r := 0; r < p; r++ {
+				if nodeOf[r] == node {
+					nodeKernels = append(nodeKernels, ks[r])
+					nodeRanks = append(nodeRanks, r)
+				}
+			}
+			ds := make([]int, len(nodeKernels))
+			for i := range ds {
+				ds[i] = d
+			}
+			pts, err := bench.Group(nodeKernels, ds, prec, comm.SharedMemory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, pt := range pts {
+				if err := models[nodeRanks[i]].Update(pt); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Step 4: static partitioning.
+	dist, err := partition.Geometric().Partition(models, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// GPU should dominate, slow core should get the least.
+	gpuRank, slowRank := -1, -1
+	for i, dev := range devs {
+		switch dev.Name() {
+		case "gpu0":
+			gpuRank = i
+		case "opteron0":
+			slowRank = i
+		}
+	}
+	if gpuRank < 0 || slowRank < 0 {
+		t.Fatalf("expected gpu0 and opteron0 in %v", m.NodeOf())
+	}
+	if dist.Parts[gpuRank].D <= dist.Parts[slowRank].D {
+		t.Errorf("gpu %d units vs slow %d units", dist.Parts[gpuRank].D, dist.Parts[slowRank].D)
+	}
+
+	// Step 5: run the application on the hierarchical network.
+	grid := int(math.Sqrt(float64(D)))
+	cfg := MatmulConfig{
+		NBlocks:    grid,
+		BlockBytes: 8 * 128 * 128,
+		Devices:    devs,
+		Net:        net,
+		Noise:      platform.Quiet,
+		Seed:       77,
+	}
+	cfg.Areas = AreasFromDist(dist)
+	balanced, err := RunMatmul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even := make([]float64, p)
+	for i := range even {
+		even[i] = 1
+	}
+	cfg.Areas = even
+	evenRes, err := RunMatmul(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.Makespan >= evenRes.Makespan {
+		t.Errorf("model-based %g should beat even %g on the machine-file platform",
+			balanced.Makespan, evenRes.Makespan)
+	}
+	if evenRes.Makespan/balanced.Makespan < 1.3 {
+		t.Errorf("speedup %g lower than expected", evenRes.Makespan/balanced.Makespan)
+	}
+}
+
+// TestSplitGroupBenchmarkInsideWorld runs the group benchmark *inside* a
+// comm world split by node — the exact shape of fupermod_benchmark's
+// comm_sync usage — and checks the socket cores observe full contention.
+func TestSplitGroupBenchmarkInsideWorld(t *testing.T) {
+	sock := platform.DefaultSocket("s")
+	var devs []platform.Device
+	devs = append(devs, platform.FastCore("f0"), platform.FastCore("f1"))
+	for _, c := range sock.Cores() {
+		devs = append(devs, c)
+	}
+	platform.ActivateShared(devs)
+	meters := make([]*platform.Meter, len(devs))
+	for i, d := range devs {
+		meters[i] = platform.NewMeter(d, platform.Quiet, int64(i))
+	}
+	nodeOf := []int{0, 0, 1, 1, 1, 1}
+	h, err := comm.NewHierarchical(nodeOf, comm.SharedMemory, comm.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, len(devs))
+	_, err = comm.Run(len(devs), h, func(c *comm.Comm) error {
+		child, err := c.Split(nodeOf[c.Rank()], c.Rank())
+		if err != nil {
+			return err
+		}
+		// Synchronized repetitions within the node.
+		const d = 5000
+		for rep := 0; rep < 3; rep++ {
+			child.Barrier()
+			tObs := meters[c.Rank()].Measure(d)
+			if err := child.Advance(tObs); err != nil {
+				return err
+			}
+			times[c.Rank()] = tObs
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Socket cores (ranks 2..5) ran with Active=4: 1.75x the solo time.
+	sock.SetActive(1)
+	solo := sock.Cores()[0].BaseTime(5000)
+	for r := 2; r < 6; r++ {
+		if want := solo * 1.75; math.Abs(times[r]-want) > 1e-9*want {
+			t.Errorf("rank %d time %g, want contended %g", r, times[r], want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/platform"
+)
+
+// JacobiConfig describes a run of the Jacobi method with dynamic load
+// balancing (paper §4.4 and Fig. 4): N matrix rows distributed over the
+// devices, rebalanced after every iteration from the observed iteration
+// times.
+type JacobiConfig struct {
+	// N is the system size (rows to distribute).
+	N int
+	// Iterations is the number of Jacobi iterations to simulate.
+	Iterations int
+	// Devices are the per-rank computing devices.
+	Devices []platform.Device
+	// Net is the interconnect model (uniform or hierarchical).
+	Net comm.Network
+	// Balance configures the load balancer (algorithm + model kind). The
+	// Precision and Eps fields are unused here.
+	Balance dynamic.Config
+	// MinGain is the balancer's redistribution threshold.
+	MinGain float64
+	// RowBytes is the wire size of one row's state (8·N for the solution
+	// vector element exchange is 8 bytes per row; moving a row of the
+	// system matrix costs 8·N). Used for the allgather and the
+	// redistribution cost.
+	RowBytes int
+	// Noise perturbs the compute times; Seed makes runs reproducible.
+	Noise platform.NoiseConfig
+	Seed  int64
+}
+
+// JacobiResult traces a run.
+type JacobiResult struct {
+	// IterTimes[k][r] is rank r's compute time in iteration k — the
+	// series the paper plots in Fig. 4.
+	IterTimes [][]float64
+	// Dists[k] is the distribution used by iteration k.
+	Dists []*core.Dist
+	// Redistributions counts how many iterations changed the
+	// distribution.
+	Redistributions int
+	// Makespan is the total virtual run time (max over ranks).
+	Makespan float64
+}
+
+// RunJacobi simulates the dynamically balanced Jacobi method on the comm
+// runtime. Each iteration: every rank relaxes its rows (device time),
+// allgathers its slice of the solution vector, and rank 0 feeds the
+// observed times to the balancer and broadcasts the next distribution;
+// ranks then pay the cost of moving the rows the redistribution shifted.
+func RunJacobi(cfg JacobiConfig) (*JacobiResult, error) {
+	p := len(cfg.Devices)
+	switch {
+	case p == 0:
+		return nil, errors.New("apps: jacobi needs at least one device")
+	case cfg.N < p:
+		return nil, fmt.Errorf("apps: jacobi needs N >= ranks, got N=%d p=%d", cfg.N, p)
+	case cfg.Iterations <= 0:
+		return nil, fmt.Errorf("apps: jacobi needs positive iterations, got %d", cfg.Iterations)
+	case cfg.RowBytes <= 0:
+		return nil, fmt.Errorf("apps: jacobi needs positive row bytes, got %d", cfg.RowBytes)
+	}
+	bal, err := dynamic.NewBalancer(cfg.Balance, cfg.N, p, cfg.MinGain)
+	if err != nil {
+		return nil, err
+	}
+	meters := make([]*platform.Meter, p)
+	for i, dev := range cfg.Devices {
+		meters[i] = platform.NewMeter(dev, cfg.Noise, cfg.Seed+int64(i))
+	}
+	res := &JacobiResult{}
+	clocks, err := comm.Run(p, cfg.Net, func(c *comm.Comm) error {
+		rank := c.Rank()
+		dist := bal.Dist() // identical on every rank: balancer is shared, read-only here
+		for it := 0; it < cfg.Iterations; it++ {
+			myRows := dist.Parts[rank].D
+			// Compute: one relaxation of this rank's rows.
+			var t float64
+			if myRows > 0 {
+				t = meters[rank].Measure(float64(myRows))
+				if err := c.Advance(t); err != nil {
+					return err
+				}
+			}
+			// Allgather the updated solution slices (8 bytes per owned
+			// row on the wire) together with the observed times.
+			vals, err := c.Allgather(8*myRows+8, iterObs{rows: myRows, t: t})
+			if err != nil {
+				return err
+			}
+			times := make([]float64, p)
+			for r, v := range vals {
+				obs, ok := v.(iterObs)
+				if !ok {
+					return fmt.Errorf("apps: jacobi: rank %d sent %T", r, v)
+				}
+				times[r] = obs.t
+			}
+			// Rank 0 records the trace and drives the balancer; the new
+			// distribution is broadcast (it is deterministic, but the
+			// broadcast charges the synchronisation the real code pays).
+			var next *core.Dist
+			if rank == 0 {
+				res.IterTimes = append(res.IterTimes, times)
+				res.Dists = append(res.Dists, dist.Copy())
+				changed, err := bal.Observe(times)
+				if err != nil {
+					return err
+				}
+				if changed {
+					res.Redistributions++
+				}
+				next = bal.Dist()
+			}
+			got, err := c.Bcast(0, 16*p, next)
+			if err != nil {
+				return err
+			}
+			next, ok := got.(*core.Dist)
+			if !ok {
+				return fmt.Errorf("apps: jacobi: bad dist broadcast %T", got)
+			}
+			// Pay for moving rows this rank gained or lost.
+			moved := next.Parts[rank].D - dist.Parts[rank].D
+			if moved < 0 {
+				moved = -moved
+			}
+			if moved > 0 {
+				peer := (rank + 1) % p
+				if p == 1 {
+					peer = rank
+				}
+				if err := c.Advance(cfg.Net.Cost(rank, peer, moved*cfg.RowBytes)); err != nil {
+					return err
+				}
+			}
+			dist = next
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cl := range clocks {
+		if cl > res.Makespan {
+			res.Makespan = cl
+		}
+	}
+	return res, nil
+}
+
+// iterObs is the per-iteration payload each rank contributes to the
+// allgather: its row count and compute time.
+type iterObs struct {
+	rows int
+	t    float64
+}

@@ -1,0 +1,163 @@
+// Package apps contains the two data-parallel applications the FuPerMod
+// paper optimises (§4): the heterogeneous parallel matrix multiplication
+// with 2D column-based partitioning, and the Jacobi method with dynamic
+// load balancing. Both run as SPMD programs on the comm runtime over
+// synthetic platform devices, so their makespans — compute plus
+// communication — are measured in deterministic virtual time.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/matpart"
+	"fupermod/internal/platform"
+)
+
+// MatmulConfig describes one run of the heterogeneous parallel matrix
+// multiplication C += A·B (paper Fig. 1).
+type MatmulConfig struct {
+	// NBlocks is the matrix size in b×b blocks: the block grid is
+	// NBlocks×NBlocks and the main loop runs NBlocks iterations.
+	NBlocks int
+	// BlockBytes is the wire size of one b×b block (8·b² for float64).
+	BlockBytes int
+	// Devices are the per-rank computing devices.
+	Devices []platform.Device
+	// Net is the interconnect model (uniform or hierarchical).
+	Net comm.Network
+	// Areas are the relative computation shares per rank, normally the
+	// part sizes produced by a data partitioning algorithm. Ignored when
+	// Rects is set.
+	Areas []float64
+	// Rects, if non-nil, is a precomputed block arrangement (e.g. from
+	// matpart.FPMGrid's refinement); it must tile the NBlocks grid with
+	// one rectangle per device.
+	Rects []matpart.BlockRect
+	// Noise perturbs per-iteration compute times; Seed makes it
+	// reproducible.
+	Noise platform.NoiseConfig
+	Seed  int64
+}
+
+// MatmulResult reports a run.
+type MatmulResult struct {
+	// Makespan is the maximum finish time over ranks, in virtual seconds.
+	Makespan float64
+	// ComputeSeconds and CommSeconds decompose each rank's busy time.
+	ComputeSeconds []float64
+	CommSeconds    []float64
+	// Rects is the block-grid arrangement used.
+	Rects []matpart.BlockRect
+}
+
+// RunMatmul executes the simulated application: the relative areas are
+// arranged into near-square rectangles on the block grid (Beaumont et al.),
+// and each of the NBlocks iterations broadcasts the pivot column of A and
+// pivot row of B — a rank owning a w×h rectangle receives (w+h)·BlockBytes
+// bytes with binomial-tree cost — and then updates its w·h blocks of C at
+// the speed of its device.
+func RunMatmul(cfg MatmulConfig) (*MatmulResult, error) {
+	p := len(cfg.Devices)
+	switch {
+	case p == 0:
+		return nil, errors.New("apps: matmul needs at least one device")
+	case cfg.Rects == nil && len(cfg.Areas) != p:
+		return nil, fmt.Errorf("apps: %d areas for %d devices", len(cfg.Areas), p)
+	case cfg.NBlocks <= 0:
+		return nil, fmt.Errorf("apps: matmul needs a positive block grid, got %d", cfg.NBlocks)
+	case cfg.BlockBytes <= 0:
+		return nil, fmt.Errorf("apps: matmul needs positive block bytes, got %d", cfg.BlockBytes)
+	}
+	rects := cfg.Rects
+	if rects == nil {
+		var err error
+		rects, err = matpart.PartitionGrid(cfg.Areas, cfg.NBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("apps: matmul arrangement: %w", err)
+		}
+	} else {
+		if len(rects) != p {
+			return nil, fmt.Errorf("apps: %d rects for %d devices", len(rects), p)
+		}
+		if err := matpart.CheckTiling(rects, cfg.NBlocks); err != nil {
+			return nil, fmt.Errorf("apps: supplied arrangement: %w", err)
+		}
+	}
+	meters := make([]*platform.Meter, p)
+	for i, dev := range cfg.Devices {
+		meters[i] = platform.NewMeter(dev, cfg.Noise, cfg.Seed+int64(i))
+	}
+	compute := make([]float64, p)
+	commT := make([]float64, p)
+	hops := math.Ceil(math.Log2(float64(p)))
+	if p == 1 {
+		hops = 0
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("apps: matmul needs a network model")
+	}
+	clocks, err := comm.Run(p, cfg.Net, func(c *comm.Comm) error {
+		r := rects[c.Rank()]
+		units := float64(r.Blocks())
+		meter := meters[c.Rank()]
+		for it := 0; it < cfg.NBlocks; it++ {
+			// Broadcast of the pivot column and row: this rank receives
+			// r.Rows blocks of A and r.Cols blocks of B down a binomial
+			// tree. The barrier couples the iteration like the collective
+			// call in the MPI application does.
+			c.Barrier()
+			bytes := (r.Rows + r.Cols) * cfg.BlockBytes
+			dt := cfg.Net.Cost(0, c.Rank(), bytes)
+			if hops > 1 {
+				dt += (hops - 1) * cfg.Net.MaxLatency()
+			}
+			if c.Rank() == 0 {
+				dt = hops * cfg.Net.MaxLatency() // the root only pays tree latency
+			}
+			if err := c.Advance(dt); err != nil {
+				return err
+			}
+			commT[c.Rank()] += dt
+			// Local update of all owned blocks once: exactly the work the
+			// computation kernel measures for units block updates, so the
+			// device's speed function applies at argument units.
+			if units > 0 {
+				t := meter.Measure(units)
+				if err := c.Advance(t); err != nil {
+					return err
+				}
+				compute[c.Rank()] += t
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	makespan := 0.0
+	for _, cl := range clocks {
+		if cl > makespan {
+			makespan = cl
+		}
+	}
+	return &MatmulResult{
+		Makespan:       makespan,
+		ComputeSeconds: compute,
+		CommSeconds:    commT,
+		Rects:          rects,
+	}, nil
+}
+
+// AreasFromDist converts a data distribution into the relative areas the
+// matrix arrangement expects.
+func AreasFromDist(d *core.Dist) []float64 {
+	out := make([]float64, len(d.Parts))
+	for i, p := range d.Parts {
+		out[i] = float64(p.D)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/linalg"
+	"fupermod/internal/platform"
+)
+
+// RealJacobiConfig describes a data-carrying run of the dynamically
+// balanced Jacobi method: unlike RunJacobi (timing only), this variant
+// solves a real diagonally dominant system distributed by rows, so the
+// numerics of uneven row ownership, the allgather of the solution vector
+// and the redistribution are all exercised and verified.
+type RealJacobiConfig struct {
+	// N is the system size. Keep it modest (hundreds): the dense system
+	// is O(N²) and every rank holds its row block.
+	N int
+	// MaxIterations caps the solve.
+	MaxIterations int
+	// Tol is the convergence threshold on the max-norm update.
+	Tol float64
+	// Devices are the per-rank devices (virtual timing).
+	Devices []platform.Device
+	// Net is the interconnect model.
+	Net comm.Network
+	// Balance configures the load balancer.
+	Balance dynamic.Config
+	// Noise perturbs the virtual compute times; Seed drives it and the
+	// system generation.
+	Noise platform.NoiseConfig
+	Seed  int64
+}
+
+// RealJacobiResult reports a run.
+type RealJacobiResult struct {
+	// X is the converged solution.
+	X []float64
+	// Residual is the max-norm of A·x − b at the end.
+	Residual float64
+	// Iterations actually performed.
+	Iterations int
+	// Redistributions counts distribution changes.
+	Redistributions int
+	// Makespan is the total virtual time.
+	Makespan float64
+}
+
+// rowBlock carries a rank's slice of the solution vector plus its
+// observed compute time for the balancer.
+type rowBlock struct {
+	lo, hi int
+	vals   []float64
+	t      float64
+	diff   float64
+}
+
+// RunRealJacobi executes the distributed Jacobi iteration with dynamic
+// load balancing and verifies convergence via the final residual. Row
+// ownership is contiguous in rank order and follows the balancer's
+// distribution, so redistributions move real row boundaries between
+// iterations.
+func RunRealJacobi(cfg RealJacobiConfig) (*RealJacobiResult, error) {
+	p := len(cfg.Devices)
+	switch {
+	case p == 0:
+		return nil, errors.New("apps: real jacobi needs at least one device")
+	case cfg.N < p:
+		return nil, fmt.Errorf("apps: real jacobi needs N >= ranks, got N=%d p=%d", cfg.N, p)
+	case cfg.MaxIterations <= 0:
+		return nil, fmt.Errorf("apps: real jacobi needs positive iteration cap")
+	case cfg.Tol <= 0:
+		return nil, fmt.Errorf("apps: real jacobi needs positive tolerance")
+	}
+	bal, err := dynamic.NewBalancer(cfg.Balance, cfg.N, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys, err := linalg.NewJacobiSystem(cfg.N, 1.0, rng)
+	if err != nil {
+		return nil, err
+	}
+	meters := make([]*platform.Meter, p)
+	for i, dev := range cfg.Devices {
+		meters[i] = platform.NewMeter(dev, cfg.Noise, cfg.Seed+int64(i))
+	}
+	res := &RealJacobiResult{}
+	x := make([]float64, cfg.N)
+	clocks, err := comm.Run(p, cfg.Net, func(c *comm.Comm) error {
+		rank := c.Rank()
+		dist := bal.Dist()
+		xOld := make([]float64, cfg.N)
+		xNew := make([]float64, cfg.N)
+		for it := 0; it < cfg.MaxIterations; it++ {
+			lo := 0
+			for r := 0; r < rank; r++ {
+				lo += dist.Parts[r].D
+			}
+			hi := lo + dist.Parts[rank].D
+			// Real sweep of the owned rows.
+			diff := 0.0
+			if hi > lo {
+				var err error
+				diff, err = linalg.JacobiSweepRows(sys, lo, hi, xOld, xNew)
+				if err != nil {
+					return err
+				}
+			}
+			// Virtual compute cost: one unit per row.
+			var t float64
+			if hi > lo {
+				t = meters[rank].Measure(float64(hi - lo))
+				if err := c.Advance(t); err != nil {
+					return err
+				}
+			}
+			// Allgather the updated slices + observations.
+			vals, err := c.Allgather(8*(hi-lo)+24, rowBlock{
+				lo: lo, hi: hi, vals: append([]float64(nil), xNew[lo:hi]...), t: t, diff: diff,
+			})
+			if err != nil {
+				return err
+			}
+			times := make([]float64, p)
+			worstDiff := 0.0
+			for r, v := range vals {
+				blk, ok := v.(rowBlock)
+				if !ok {
+					return fmt.Errorf("apps: real jacobi: rank %d sent %T", r, v)
+				}
+				copy(xNew[blk.lo:blk.hi], blk.vals)
+				times[r] = blk.t
+				if blk.diff > worstDiff {
+					worstDiff = blk.diff
+				}
+			}
+			copy(xOld, xNew)
+			// Rank 0 drives the balancer; the next distribution is
+			// broadcast like in the timing-only app.
+			var next *core.Dist
+			if rank == 0 {
+				res.Iterations = it + 1
+				changed, err := bal.Observe(times)
+				if err != nil {
+					return err
+				}
+				if changed {
+					res.Redistributions++
+				}
+				next = bal.Dist()
+			}
+			got, err := c.Bcast(0, 16*p, next)
+			if err != nil {
+				return err
+			}
+			nd, ok := got.(*core.Dist)
+			if !ok {
+				return fmt.Errorf("apps: real jacobi: bad dist %T", got)
+			}
+			dist = nd
+			if worstDiff < cfg.Tol {
+				break
+			}
+		}
+		if rank == 0 {
+			copy(x, xOld)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cl := range clocks {
+		if cl > res.Makespan {
+			res.Makespan = cl
+		}
+	}
+	res.X = x
+	if res.Residual, err = sys.Residual(x); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

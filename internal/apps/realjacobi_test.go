@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"testing"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+func realJacobiBalance() dynamic.Config {
+	return dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+	}
+}
+
+func TestRealJacobiValidation(t *testing.T) {
+	devs := platform.JacobiCluster()[:2]
+	base := RealJacobiConfig{
+		N: 100, MaxIterations: 50, Tol: 1e-9, Devices: devs,
+		Net: comm.SharedMemory, Balance: realJacobiBalance(),
+	}
+	bad := base
+	bad.Devices = nil
+	if _, err := RunRealJacobi(bad); err == nil {
+		t.Error("no devices should error")
+	}
+	bad = base
+	bad.N = 1
+	if _, err := RunRealJacobi(bad); err == nil {
+		t.Error("N < p should error")
+	}
+	bad = base
+	bad.MaxIterations = 0
+	if _, err := RunRealJacobi(bad); err == nil {
+		t.Error("no iterations should error")
+	}
+	bad = base
+	bad.Tol = 0
+	if _, err := RunRealJacobi(bad); err == nil {
+		t.Error("zero tolerance should error")
+	}
+}
+
+func TestRealJacobiSolvesSystem(t *testing.T) {
+	devs := platform.JacobiCluster()[2:6] // 2 fast + 2 mid: heterogeneous
+	res, err := RunRealJacobi(RealJacobiConfig{
+		N: 200, MaxIterations: 300, Tol: 1e-11,
+		Devices: devs, Net: comm.GigabitEthernet,
+		Balance: realJacobiBalance(), Noise: platform.Quiet, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-8 {
+		t.Errorf("residual %g, system not solved", res.Residual)
+	}
+	if res.Iterations == 0 || res.Iterations >= 300 {
+		t.Errorf("iterations = %d, expected convergence before the cap", res.Iterations)
+	}
+	if res.Redistributions == 0 {
+		t.Error("heterogeneous devices should trigger redistribution")
+	}
+	if res.Makespan <= 0 {
+		t.Error("makespan must be positive")
+	}
+}
+
+func TestRealJacobiSingleRank(t *testing.T) {
+	res, err := RunRealJacobi(RealJacobiConfig{
+		N: 80, MaxIterations: 300, Tol: 1e-11,
+		Devices: []platform.Device{platform.FastCore("a")},
+		Net:     comm.SharedMemory, Balance: realJacobiBalance(),
+		Noise: platform.Quiet, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-8 {
+		t.Errorf("residual %g", res.Residual)
+	}
+}
+
+func TestRealJacobiDeterministic(t *testing.T) {
+	devs := platform.JacobiCluster()[:3]
+	cfg := RealJacobiConfig{
+		N: 120, MaxIterations: 200, Tol: 1e-10,
+		Devices: devs, Net: comm.GigabitEthernet,
+		Balance: realJacobiBalance(), Noise: platform.DefaultNoise, Seed: 9,
+	}
+	r1, err := RunRealJacobi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Balance = realJacobiBalance() // fresh models for the second run
+	r2, err := RunRealJacobi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Iterations != r2.Iterations || r1.Makespan != r2.Makespan {
+		t.Errorf("non-deterministic: %d/%g vs %d/%g",
+			r1.Iterations, r1.Makespan, r2.Iterations, r2.Makespan)
+	}
+}

@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"fupermod/internal/comm"
+)
+
+func TestRealMatmulValidation(t *testing.T) {
+	if _, err := RunRealMatmul(RealMatmulConfig{NBlocks: 2, B: 4, Net: comm.SharedMemory}); err == nil {
+		t.Error("no areas should error")
+	}
+	if _, err := RunRealMatmul(RealMatmulConfig{NBlocks: 0, B: 4, Areas: []float64{1}, Net: comm.SharedMemory}); err == nil {
+		t.Error("zero blocks should error")
+	}
+	if _, err := RunRealMatmul(RealMatmulConfig{NBlocks: 2, B: 0, Areas: []float64{1}, Net: comm.SharedMemory}); err == nil {
+		t.Error("zero block factor should error")
+	}
+}
+
+func TestRealMatmulSingleProcessCorrect(t *testing.T) {
+	res, err := RunRealMatmul(RealMatmulConfig{
+		NBlocks: 3, B: 5, Areas: []float64{1}, Net: comm.SharedMemory, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError > 1e-9 {
+		t.Errorf("single-process result wrong by %g", res.MaxError)
+	}
+}
+
+func TestRealMatmulHeterogeneousCorrect(t *testing.T) {
+	cases := []struct {
+		name    string
+		nBlocks int
+		b       int
+		areas   []float64
+	}{
+		{"two-procs", 4, 4, []float64{3, 1}},
+		{"four-procs", 6, 3, []float64{4, 2, 1, 1}},
+		{"uneven-seven", 8, 2, []float64{5, 3, 2, 2, 1, 1, 0.5}},
+		{"more-procs-than-columns", 3, 2, []float64{1, 1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := RunRealMatmul(RealMatmulConfig{
+				NBlocks: c.nBlocks, B: c.b, Areas: c.areas,
+				Net: comm.SharedMemory, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MaxError > 1e-9 {
+				t.Errorf("distributed result wrong by %g", res.MaxError)
+			}
+			if res.C == nil || res.C.Rows != c.nBlocks*c.b {
+				t.Error("result matrix missing or misshapen")
+			}
+			if res.Makespan <= 0 {
+				t.Error("makespan should be positive (comm at minimum)")
+			}
+		})
+	}
+}
+
+func TestRealMatmulRandomAreasProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		p := 1 + rng.Intn(6)
+		areas := make([]float64, p)
+		for i := range areas {
+			areas[i] = rng.Float64() + 0.1
+		}
+		res, err := RunRealMatmul(RealMatmulConfig{
+			NBlocks: 2 + rng.Intn(5),
+			B:       1 + rng.Intn(6),
+			Areas:   areas,
+			Net:     comm.SharedMemory,
+			Seed:    int64(trial),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.MaxError > 1e-9 {
+			t.Fatalf("trial %d: error %g (areas %v)", trial, res.MaxError, areas)
+		}
+	}
+}
+
+func TestRealMatmulOnHierarchicalNetwork(t *testing.T) {
+	h, err := comm.NewHierarchical([]int{0, 0, 1, 1},
+		comm.SharedMemory, comm.GigabitEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRealMatmul(RealMatmulConfig{
+		NBlocks: 4, B: 3, Areas: []float64{2, 2, 1, 1}, Net: h, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError > 1e-9 {
+		t.Errorf("hierarchical-net result wrong by %g", res.MaxError)
+	}
+}

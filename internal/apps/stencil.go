@@ -1,0 +1,212 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/platform"
+)
+
+// StencilConfig describes a run of the explicit 1D heat-diffusion stencil —
+// the third application class of the paper's introduction ("computer
+// simulations, such as computational fluid dynamics"): an iterative
+// nearest-neighbour computation whose workload is directly proportional to
+// the number of cells a process owns. Unlike matmul (broadcasts) and
+// Jacobi (allgathers), its communication is pure halo exchange, exercising
+// Sendrecv on the runtime.
+//
+// One computation unit = one cell update per iteration.
+type StencilConfig struct {
+	// N is the total number of cells.
+	N int
+	// Iterations is the number of time steps.
+	Iterations int
+	// Alpha is the diffusion coefficient (stability requires ≤ 0.5).
+	Alpha float64
+	// Devices are the per-rank computing devices.
+	Devices []platform.Device
+	// Net is the interconnect model.
+	Net comm.Network
+	// Dist assigns cells to ranks (contiguous ranges in rank order);
+	// nil means the even distribution. Every rank must own at least one
+	// cell.
+	Dist *core.Dist
+	// Noise perturbs the virtual compute times; Seed drives it and the
+	// initial temperature field.
+	Noise platform.NoiseConfig
+	Seed  int64
+}
+
+// StencilResult reports a run.
+type StencilResult struct {
+	// U is the final temperature field (assembled at completion).
+	U []float64
+	// MaxError is the max-norm difference against a serial reference run.
+	MaxError float64
+	// Makespan is the maximum virtual finish time over ranks.
+	Makespan float64
+	// ComputeSeconds and CommSeconds decompose each rank's virtual time.
+	ComputeSeconds []float64
+	CommSeconds    []float64
+}
+
+// halo carries one boundary cell value.
+type halo struct{ v float64 }
+
+// RunStencil executes the distributed stencil with real data movement and
+// verifies against a serial reference. Boundary conditions are fixed at
+// zero.
+func RunStencil(cfg StencilConfig) (*StencilResult, error) {
+	p := len(cfg.Devices)
+	switch {
+	case p == 0:
+		return nil, errors.New("apps: stencil needs at least one device")
+	case cfg.N < p:
+		return nil, fmt.Errorf("apps: stencil needs N >= ranks, got N=%d p=%d", cfg.N, p)
+	case cfg.Iterations <= 0:
+		return nil, fmt.Errorf("apps: stencil needs positive iterations, got %d", cfg.Iterations)
+	case cfg.Alpha <= 0 || cfg.Alpha > 0.5:
+		return nil, fmt.Errorf("apps: stencil alpha %g outside (0, 0.5]", cfg.Alpha)
+	}
+	dist := cfg.Dist
+	if dist == nil {
+		var err error
+		if dist, err = core.NewEvenDist(cfg.N, p); err != nil {
+			return nil, err
+		}
+	}
+	if len(dist.Parts) != p || dist.D != cfg.N {
+		return nil, fmt.Errorf("apps: stencil distribution shape %d/%d does not match N=%d p=%d",
+			dist.D, len(dist.Parts), cfg.N, p)
+	}
+	offsets := make([]int, p+1)
+	for i, part := range dist.Parts {
+		if part.D < 1 {
+			return nil, fmt.Errorf("apps: stencil rank %d owns %d cells; every rank needs at least one", i, part.D)
+		}
+		offsets[i+1] = offsets[i] + part.D
+	}
+
+	// Initial field and serial reference.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	u0 := make([]float64, cfg.N)
+	for i := range u0 {
+		u0[i] = rng.Float64()*100 - 50
+	}
+	ref := stencilSerial(u0, cfg.Alpha, cfg.Iterations)
+
+	meters := make([]*platform.Meter, p)
+	for i, dev := range cfg.Devices {
+		meters[i] = platform.NewMeter(dev, cfg.Noise, cfg.Seed+int64(i))
+	}
+	res := &StencilResult{
+		ComputeSeconds: make([]float64, p),
+		CommSeconds:    make([]float64, p),
+	}
+	final := make([]float64, cfg.N)
+	clocks, err := comm.Run(p, cfg.Net, func(c *comm.Comm) error {
+		rank := c.Rank()
+		lo, hi := offsets[rank], offsets[rank+1]
+		mine := append([]float64(nil), u0[lo:hi]...)
+		next := make([]float64, len(mine))
+		for it := 0; it < cfg.Iterations; it++ {
+			// Halo exchange: left and right boundary cells. Edge ranks
+			// use the fixed boundary value 0.
+			leftGhost, rightGhost := 0.0, 0.0
+			commStart := c.Clock()
+			if rank > 0 {
+				got, err := c.Sendrecv(rank-1, 8, halo{mine[0]}, rank-1)
+				if err != nil {
+					return err
+				}
+				h, ok := got.(halo)
+				if !ok {
+					return fmt.Errorf("apps: stencil: bad halo %T", got)
+				}
+				leftGhost = h.v
+			}
+			if rank < p-1 {
+				got, err := c.Sendrecv(rank+1, 8, halo{mine[len(mine)-1]}, rank+1)
+				if err != nil {
+					return err
+				}
+				h, ok := got.(halo)
+				if !ok {
+					return fmt.Errorf("apps: stencil: bad halo %T", got)
+				}
+				rightGhost = h.v
+			}
+			res.CommSeconds[rank] += c.Clock() - commStart
+			// Real numeric update of the owned cells.
+			for i := range mine {
+				l := leftGhost
+				if i > 0 {
+					l = mine[i-1]
+				}
+				r := rightGhost
+				if i < len(mine)-1 {
+					r = mine[i+1]
+				}
+				next[i] = mine[i] + cfg.Alpha*(l-2*mine[i]+r)
+			}
+			mine, next = next, mine
+			// Virtual compute cost: d cell updates on this rank's device.
+			t := meters[rank].Measure(float64(len(mine)))
+			if err := c.Advance(t); err != nil {
+				return err
+			}
+			res.ComputeSeconds[rank] += t
+		}
+		copy(final[lo:hi], mine)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cl := range clocks {
+		if cl > res.Makespan {
+			res.Makespan = cl
+		}
+	}
+	res.U = final
+	res.MaxError = maxAbsDiff(final, ref)
+	return res, nil
+}
+
+// stencilSerial is the reference implementation.
+func stencilSerial(u0 []float64, alpha float64, iters int) []float64 {
+	u := append([]float64(nil), u0...)
+	next := make([]float64, len(u))
+	for it := 0; it < iters; it++ {
+		for i := range u {
+			l := 0.0
+			if i > 0 {
+				l = u[i-1]
+			}
+			r := 0.0
+			if i < len(u)-1 {
+				r = u[i+1]
+			}
+			next[i] = u[i] + alpha*(l-2*u[i]+r)
+		}
+		u, next = next, u
+	}
+	return u
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

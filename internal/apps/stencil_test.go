@@ -1,0 +1,171 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+func TestStencilValidation(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	base := StencilConfig{
+		N: 100, Iterations: 5, Alpha: 0.25, Devices: devs, Net: comm.GigabitEthernet,
+	}
+	bad := base
+	bad.Devices = nil
+	if _, err := RunStencil(bad); err == nil {
+		t.Error("no devices should error")
+	}
+	bad = base
+	bad.N = 1
+	if _, err := RunStencil(bad); err == nil {
+		t.Error("N < p should error")
+	}
+	bad = base
+	bad.Iterations = 0
+	if _, err := RunStencil(bad); err == nil {
+		t.Error("zero iterations should error")
+	}
+	bad = base
+	bad.Alpha = 0.7
+	if _, err := RunStencil(bad); err == nil {
+		t.Error("unstable alpha should error")
+	}
+	bad = base
+	d, _ := core.NewEvenDist(100, 3) // wrong process count
+	bad.Dist = d
+	if _, err := RunStencil(bad); err == nil {
+		t.Error("mismatched distribution should error")
+	}
+	bad = base
+	bad.Dist = &core.Dist{D: 100, Parts: []core.Part{{D: 100}, {D: 0}}}
+	if _, err := RunStencil(bad); err == nil {
+		t.Error("starved rank should error")
+	}
+}
+
+func TestStencilMatchesSerialEvenSplit(t *testing.T) {
+	devs := platform.JacobiCluster()[:4]
+	res, err := RunStencil(StencilConfig{
+		N: 500, Iterations: 40, Alpha: 0.25,
+		Devices: devs, Net: comm.GigabitEthernet,
+		Noise: platform.Quiet, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError > 1e-12 {
+		t.Errorf("distributed stencil diverges from serial by %g", res.MaxError)
+	}
+	if res.Makespan <= 0 {
+		t.Error("makespan should be positive")
+	}
+	if len(res.U) != 500 {
+		t.Errorf("field length %d", len(res.U))
+	}
+}
+
+func TestStencilWithFPMDistributionBeatsEven(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	const N = 20000
+	models := make([]core.Model, len(devs))
+	for i, dev := range devs {
+		m := model.NewPiecewise()
+		for _, d := range core.LogSizes(16, N, 20) {
+			if err := m.Update(core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	dist, err := partition.Geometric().Partition(models, N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(d *core.Dist) float64 {
+		res, err := RunStencil(StencilConfig{
+			N: N, Iterations: 10, Alpha: 0.25,
+			Devices: devs, Net: comm.GigabitEthernet,
+			Dist: d, Noise: platform.Quiet, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxError > 1e-12 {
+			t.Fatalf("numeric divergence %g", res.MaxError)
+		}
+		return res.Makespan
+	}
+	even := run(nil)
+	fpm := run(dist)
+	if fpm >= even {
+		t.Errorf("FPM stencil %g should beat even %g", fpm, even)
+	}
+	if even/fpm < 1.5 {
+		t.Errorf("speedup %g, expected > 1.5 on a ~5x heterogeneous pair", even/fpm)
+	}
+}
+
+func TestStencilUnevenDistributionsStayCorrect(t *testing.T) {
+	devs := platform.JacobiCluster()[:3]
+	for _, parts := range [][]int{{1, 1, 98}, {50, 25, 25}, {98, 1, 1}} {
+		d := &core.Dist{D: 100, Parts: []core.Part{{D: parts[0]}, {D: parts[1]}, {D: parts[2]}}}
+		res, err := RunStencil(StencilConfig{
+			N: 100, Iterations: 25, Alpha: 0.4,
+			Devices: devs, Net: comm.SharedMemory,
+			Dist: d, Noise: platform.Quiet, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("parts %v: %v", parts, err)
+		}
+		if res.MaxError > 1e-12 {
+			t.Errorf("parts %v: divergence %g", parts, res.MaxError)
+		}
+	}
+}
+
+func TestStencilSingleRank(t *testing.T) {
+	res, err := RunStencil(StencilConfig{
+		N: 64, Iterations: 10, Alpha: 0.25,
+		Devices: []platform.Device{platform.FastCore("a")},
+		Net:     comm.SharedMemory, Noise: platform.Quiet, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxError != 0 {
+		t.Errorf("single rank should match serial exactly, got %g", res.MaxError)
+	}
+	if res.CommSeconds[0] != 0 {
+		t.Errorf("single rank has no halo cost, got %g", res.CommSeconds[0])
+	}
+}
+
+func TestStencilDiffusionPhysics(t *testing.T) {
+	// Long enough diffusion with zero boundaries should shrink the field
+	// toward zero: energy leaves through the edges.
+	devs := platform.JacobiCluster()[:2]
+	res, err := RunStencil(StencilConfig{
+		N: 50, Iterations: 2000, Alpha: 0.25,
+		Devices: devs, Net: comm.SharedMemory,
+		Noise: platform.Quiet, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, v := range res.U {
+		worst = math.Max(worst, math.Abs(v))
+	}
+	if worst > 1 { // initial field is in [-50, 50]
+		t.Errorf("field should have decayed, max |u| = %g", worst)
+	}
+}

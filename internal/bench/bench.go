@@ -1,0 +1,129 @@
+// Package bench implements FuPerMod's synchronized group benchmarking
+// (paper §4.1): when processes share resources — cores of a socket, a GPU
+// and its host core — their speeds cannot be measured independently, so
+// the kernel is executed on all of them *simultaneously*, with barriers
+// aligning every repetition. The measurement then reflects the true
+// contention ("synchronisation also ensures that the resources will be
+// shared between the maximum number of processes, generating the highest
+// memory traffic"), and the repetition loop is collective: everyone keeps
+// repeating until every process has met the precision target, so the
+// resources stay busy for the full measurement.
+//
+// It is the counterpart of fupermod_benchmark's MPI_Comm comm_sync
+// argument; the sequential core.Benchmark covers the uncontended case.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/stats"
+)
+
+// Group benchmarks kernel i at sizes[i] on rank i, with all ranks running
+// in lock step over the given network. It returns one Point per rank.
+//
+// The stopping rule is collective: after each synchronized repetition a
+// rank is satisfied once it has MinReps repetitions and its confidence
+// interval meets prec.RelErr (or it hits MaxReps / the time budget); the
+// group stops when every rank is satisfied. Reps therefore reports the
+// same value on every rank — the number of synchronized rounds.
+//
+// Callers measuring socket cores should declare co-scheduling first (see
+// platform.ActivateShared); the kernels' devices then price the contention
+// into every observation.
+func Group(kernelSet []core.Kernel, sizes []int, prec core.Precision, net comm.Network) ([]core.Point, error) {
+	n := len(kernelSet)
+	if n == 0 {
+		return nil, errors.New("bench: no kernels")
+	}
+	if len(sizes) != n {
+		return nil, fmt.Errorf("bench: %d sizes for %d kernels", len(sizes), n)
+	}
+	if err := prec.Validate(); err != nil {
+		return nil, err
+	}
+	for i, d := range sizes {
+		if d <= 0 {
+			return nil, fmt.Errorf("bench: rank %d size %d must be positive", i, d)
+		}
+	}
+	points := make([]core.Point, n)
+	_, err := comm.Run(n, net, func(c *comm.Comm) error {
+		rank := c.Rank()
+		inst, err := kernelSet[rank].Setup(sizes[rank])
+		if err != nil {
+			return fmt.Errorf("bench: setup of %q at d=%d: %w", kernelSet[rank].Name(), sizes[rank], err)
+		}
+		defer inst.Close()
+		var sum stats.Summary
+		total := 0.0
+		for {
+			// Align the start of the repetition across the group.
+			c.Barrier()
+			t, err := inst.Run()
+			if err != nil {
+				return fmt.Errorf("bench: run of %q at d=%d (rep %d): %w",
+					kernelSet[rank].Name(), sizes[rank], sum.N()+1, err)
+			}
+			if t < 0 {
+				return fmt.Errorf("bench: run of %q returned negative time %g", kernelSet[rank].Name(), t)
+			}
+			sum.Add(t)
+			total += t
+			if err := c.Advance(t); err != nil {
+				return err
+			}
+			// Collective stopping decision.
+			needMore := 0.0
+			if !satisfied(&sum, total, prec) {
+				needMore = 1
+			}
+			pending, err := c.AllreduceMax(needMore)
+			if err != nil {
+				return err
+			}
+			if pending == 0 {
+				break
+			}
+			if sum.N() >= prec.MaxReps {
+				// This rank is done but others may continue; keep
+				// running so the contention stays realistic — FuPerMod
+				// keeps all processes busy until the group finishes.
+				continue
+			}
+		}
+		ci := 0.0
+		if sum.N() >= 2 {
+			if ci, err = sum.CI(prec.Confidence); err != nil {
+				return err
+			}
+		}
+		points[rank] = core.Point{D: sizes[rank], Time: sum.Mean(), Reps: sum.N(), CI: ci}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// satisfied reports whether one rank's measurement meets the precision.
+func satisfied(sum *stats.Summary, total float64, prec core.Precision) bool {
+	if sum.N() < prec.MinReps {
+		return false
+	}
+	if sum.N() >= prec.MaxReps {
+		return true
+	}
+	if prec.MaxSeconds > 0 && total >= prec.MaxSeconds {
+		return true
+	}
+	rel, err := sum.RelCI(prec.Confidence)
+	if err != nil {
+		return false
+	}
+	return rel <= prec.RelErr
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+)
+
+func groupPrec() core.Precision {
+	return core.Precision{MinReps: 3, MaxReps: 12, Confidence: 0.95, RelErr: 0.05}
+}
+
+func TestGroupValidation(t *testing.T) {
+	ks, err := kernels.VirtualSet(platform.HCLCluster()[:2], platform.Quiet, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Group(nil, nil, groupPrec(), comm.SharedMemory); err == nil {
+		t.Error("no kernels should error")
+	}
+	if _, err := Group(ks, []int{10}, groupPrec(), comm.SharedMemory); err == nil {
+		t.Error("size mismatch should error")
+	}
+	if _, err := Group(ks, []int{10, 0}, groupPrec(), comm.SharedMemory); err == nil {
+		t.Error("non-positive size should error")
+	}
+	if _, err := Group(ks, []int{10, 10}, core.Precision{}, comm.SharedMemory); err == nil {
+		t.Error("invalid precision should error")
+	}
+}
+
+func TestGroupMeasuresContention(t *testing.T) {
+	// Four socket cores measured as a group must report the fully
+	// contended speed (1.75x slower than solo for the default socket).
+	sock := platform.DefaultSocket("s")
+	devs := make([]platform.Device, 0, 4)
+	for _, c := range sock.Cores() {
+		devs = append(devs, c)
+	}
+	platform.ActivateShared(devs)
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Group(ks, []int{5000, 5000, 5000, 5000}, groupPrec(), comm.SharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SetActive(1)
+	solo := sock.Cores()[0].BaseTime(5000)
+	for r, p := range pts {
+		want := solo * 1.75
+		if math.Abs(p.Time-want) > 1e-9*want {
+			t.Errorf("rank %d time %g, want contended %g", r, p.Time, want)
+		}
+	}
+}
+
+func TestGroupSynchronisedReps(t *testing.T) {
+	// A noisy rank forces extra rounds; the quiet rank must keep running
+	// with it, so both report the same rep count.
+	devs := []platform.Device{platform.FastCore("quiet"), platform.SlowCore("noisy")}
+	quiet := platform.NewMeter(devs[0], platform.Quiet, 1)
+	noisy := platform.NewMeter(devs[1], platform.NoiseConfig{Rel: 0.4}, 2)
+	k0, err := kernels.NewVirtual("k0", quiet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := kernels.NewVirtual("k1", noisy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Group([]core.Kernel{k0, k1}, []int{1000, 1000}, groupPrec(), comm.SharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Reps != pts[1].Reps {
+		t.Errorf("group reps must match: %d vs %d", pts[0].Reps, pts[1].Reps)
+	}
+	if pts[0].Reps <= groupPrec().MinReps {
+		t.Errorf("noisy partner should force extra rounds, got %d", pts[0].Reps)
+	}
+}
+
+func TestGroupQuietStopsAtMinReps(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Group(ks, []int{100, 100}, groupPrec(), comm.SharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, p := range pts {
+		if p.Reps != groupPrec().MinReps {
+			t.Errorf("rank %d reps = %d, want %d", r, p.Reps, groupPrec().MinReps)
+		}
+		if p.D != 100 {
+			t.Errorf("rank %d D = %d", r, p.D)
+		}
+	}
+}
+
+func TestGroupKernelFailurePropagates(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	ks[1] = failKernel{err: boom}
+	if _, err := Group(ks, []int{10, 10}, groupPrec(), comm.SharedMemory); !errors.Is(err, boom) {
+		t.Errorf("kernel failure should propagate, got %v", err)
+	}
+}
+
+type failKernel struct{ err error }
+
+func (f failKernel) Name() string                       { return "fail" }
+func (f failKernel) Complexity(d int) float64           { return 1 }
+func (f failKernel) Setup(d int) (core.Instance, error) { return nil, f.err }
+
+func TestGroupMatchesSequentialWhenIndependent(t *testing.T) {
+	// Independent devices (no shared resources): group measurement and
+	// sequential core.Benchmark agree on noiseless kernels.
+	devs := []platform.Device{platform.FastCore("a"), platform.NetlibBLASCore()}
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := Group(ks, []int{2000, 2000}, groupPrec(), comm.SharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range ks {
+		seq, err := core.Benchmark(k, 2000, groupPrec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(seq.Time-group[i].Time) > 1e-12 {
+			t.Errorf("rank %d: sequential %g vs group %g", i, seq.Time, group[i].Time)
+		}
+	}
+}
+
+func TestActivateShared(t *testing.T) {
+	sock := platform.DefaultSocket("s")
+	sock.SetActive(1)
+	devs := []platform.Device{
+		platform.FastCore("x"), // non-socket devices are ignored
+		sock.Cores()[0],
+		sock.Cores()[1],
+	}
+	platform.ActivateShared(devs)
+	if got := sock.Active(); got != 2 {
+		t.Errorf("Active = %d, want 2", got)
+	}
+}
+
+func TestGroupDifferentSizesPerRank(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Group(ks, []int{8000, 1000}, groupPrec(), comm.SharedMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].D != 8000 || pts[1].D != 1000 {
+		t.Errorf("per-rank sizes lost: %+v", pts)
+	}
+	if pts[0].Time != devs[0].BaseTime(8000) || pts[1].Time != devs[1].BaseTime(1000) {
+		t.Errorf("times wrong: %+v", pts)
+	}
+}

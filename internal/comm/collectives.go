@@ -1,0 +1,213 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// barrier is a reusable clock-synchronising barrier. Ranks that exit the
+// world abandon it so survivors blocked in Barrier fail over instead of
+// deadlocking.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	expected int     // live ranks
+	count    int     // arrivals in the current generation
+	gen      int     // generation counter
+	maxClock float64 // max arrival clock of the current generation
+	released float64 // release clock of the previous generation
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{expected: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until every live rank has arrived and returns the common
+// release clock: the maximum arrival clock plus cost.
+func (b *barrier) wait(clock, cost float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.count++
+	gen := b.gen
+	if b.count >= b.expected {
+		b.released = b.maxClock + cost
+		b.count = 0
+		b.maxClock = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.released
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.released
+}
+
+// abandon removes one rank from the barrier (the rank has exited) and
+// releases the current generation if the remaining ranks are all present.
+func (b *barrier) abandon(clock float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.expected--
+	if b.expected > 0 && b.count >= b.expected {
+		b.released = b.maxClock
+		b.count = 0
+		b.maxClock = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}
+
+// Barrier blocks until every rank has entered it, then sets all clocks to
+// the common release time: the latest arrival plus a dissemination cost of
+// α·⌈log₂ p⌉.
+func (c *Comm) Barrier() {
+	cost := c.w.net.MaxLatency() * math.Ceil(math.Log2(float64(c.w.size)))
+	if c.w.size == 1 {
+		cost = 0
+	}
+	c.clock = c.w.bar.wait(c.clock, cost)
+}
+
+// Bcast broadcasts payload (nbytes on the wire) from root to all ranks
+// along a binomial tree (the MPICH algorithm), so the modelled cost is
+// ⌈log₂ p⌉·(α + n·β) on the critical path. Every rank returns the payload;
+// non-roots ignore their payload argument.
+func (c *Comm) Bcast(root int, nbytes int, payload any) (any, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("comm: bcast root %d out of range [0,%d)", root, size)
+	}
+	if size == 1 {
+		return payload, nil
+	}
+	relRank := (c.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if relRank&mask != 0 {
+			src := c.rank - mask
+			if src < 0 {
+				src += size
+			}
+			got, err := c.Recv(src)
+			if err != nil {
+				return nil, fmt.Errorf("comm: bcast: %w", err)
+			}
+			payload = got
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relRank+mask < size {
+			dst := c.rank + mask
+			if dst >= size {
+				dst -= size
+			}
+			if err := c.Send(dst, nbytes, payload); err != nil {
+				return nil, fmt.Errorf("comm: bcast: %w", err)
+			}
+		}
+		mask >>= 1
+	}
+	return payload, nil
+}
+
+// Gather collects every rank's payload at root, in rank order. nbytes is
+// the wire size of one rank's payload. Root performs the p−1 receives
+// serially (a flat gather), so the modelled cost is linear in p. Non-root
+// ranks return nil.
+func (c *Comm) Gather(root int, nbytes int, payload any) ([]any, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("comm: gather root %d out of range [0,%d)", root, size)
+	}
+	if c.rank != root {
+		if err := c.Send(root, nbytes, payload); err != nil {
+			return nil, fmt.Errorf("comm: gather: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([]any, size)
+	out[root] = payload
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		got, err := c.Recv(r)
+		if err != nil {
+			return nil, fmt.Errorf("comm: gather: %w", err)
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Allgather makes every rank's payload available on all ranks (gather to
+// rank 0, broadcast of the gathered slice). nbytes is the wire size of one
+// rank's payload.
+func (c *Comm) Allgather(nbytes int, payload any) ([]any, error) {
+	gathered, err := c.Gather(0, nbytes, payload)
+	if err != nil {
+		return nil, err
+	}
+	got, err := c.Bcast(0, nbytes*c.w.size, gathered)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := got.([]any)
+	if !ok {
+		return nil, fmt.Errorf("comm: allgather: unexpected payload %T", got)
+	}
+	return out, nil
+}
+
+// AllreduceMax returns the maximum of x over all ranks, on all ranks.
+func (c *Comm) AllreduceMax(x float64) (float64, error) {
+	return c.allreduce(x, func(a, b float64) float64 { return math.Max(a, b) })
+}
+
+// AllreduceSum returns the sum of x over all ranks, on all ranks.
+func (c *Comm) AllreduceSum(x float64) (float64, error) {
+	return c.allreduce(x, func(a, b float64) float64 { return a + b })
+}
+
+func (c *Comm) allreduce(x float64, op func(a, b float64) float64) (float64, error) {
+	vals, err := c.Gather(0, 8, x)
+	if err != nil {
+		return 0, err
+	}
+	var acc float64
+	if c.rank == 0 {
+		acc = x
+		for r, v := range vals {
+			if r == 0 {
+				continue
+			}
+			f, ok := v.(float64)
+			if !ok {
+				return 0, fmt.Errorf("comm: allreduce: rank %d sent %T", r, v)
+			}
+			acc = op(acc, f)
+		}
+	}
+	got, err := c.Bcast(0, 8, acc)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := got.(float64)
+	if !ok {
+		return 0, fmt.Errorf("comm: allreduce: unexpected payload %T", got)
+	}
+	return f, nil
+}

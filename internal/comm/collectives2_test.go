@@ -1,0 +1,278 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestScatterv(t *testing.T) {
+	_, err := runOrTimeout(t, 5, GigabitEthernet, func(c *Comm) error {
+		var (
+			payloads []any
+			sizes    []int
+		)
+		if c.Rank() == 2 {
+			for r := 0; r < 5; r++ {
+				payloads = append(payloads, r*100)
+				sizes = append(sizes, 8)
+			}
+		}
+		got, err := c.Scatterv(2, sizes, payloads)
+		if err != nil {
+			return err
+		}
+		if got.(int) != c.Rank()*100 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScattervValidation(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatterv(7, nil, nil); err == nil {
+				return errors.New("bad root accepted")
+			}
+			// Wrong payload count at root.
+			if _, err := c.Scatterv(0, []int{1}, []any{1}); err == nil {
+				return errors.New("short payloads accepted")
+			}
+			// Unblock rank 1, which is waiting for a real scatter.
+			_, err := c.Scatterv(0, []int{8, 8}, []any{"a", "b"})
+			return err
+		}
+		got, err := c.Scatterv(0, nil, nil)
+		if err != nil {
+			return err
+		}
+		if got.(string) != "b" {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 8} {
+		_, err := runOrTimeout(t, p, GigabitEthernet, func(c *Comm) error {
+			vals, err := c.RingAllgather(64, fmt.Sprintf("blk-%d", c.Rank()))
+			if err != nil {
+				return err
+			}
+			if len(vals) != p {
+				return fmt.Errorf("len = %d", len(vals))
+			}
+			for r, v := range vals {
+				if v.(string) != fmt.Sprintf("blk-%d", r) {
+					return fmt.Errorf("vals[%d] = %v", r, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestRingBeatsFlatAllgatherForLargePayloads(t *testing.T) {
+	// Bandwidth-dominated regime: the ring moves each block over each
+	// link once; gather+bcast funnels everything through rank 0.
+	const p = 8
+	const big = 1 << 22
+	net := NetModel{Latency: 1e-6, ByteTime: 1e-9}
+	ringClocks, err := runOrTimeout(t, p, net, func(c *Comm) error {
+		_, err := c.RingAllgather(big, c.Rank())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatClocks, err := runOrTimeout(t, p, net, func(c *Comm) error {
+		_, err := c.Allgather(big, c.Rank())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			m = math.Max(m, x)
+		}
+		return m
+	}
+	ring, flat := maxOf(ringClocks), maxOf(flatClocks)
+	if ring >= flat {
+		t.Errorf("ring %g should beat flat %g for large payloads", ring, flat)
+	}
+	// And the flat algorithm should win the latency-bound regime.
+	tiny := 1
+	ringClocks, err = runOrTimeout(t, p, NetModel{Latency: 1e-3}, func(c *Comm) error {
+		_, err := c.RingAllgather(tiny, c.Rank())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatClocks, err = runOrTimeout(t, p, NetModel{Latency: 1e-3}, func(c *Comm) error {
+		_, err := c.Allgather(tiny, c.Rank())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxOf(ringClocks) <= maxOf(flatClocks) {
+		t.Errorf("flat %g should beat ring %g for tiny payloads",
+			maxOf(flatClocks), maxOf(ringClocks))
+	}
+}
+
+func TestSendrecvShiftPattern(t *testing.T) {
+	// Every rank simultaneously exchanges with both neighbours — the halo
+	// pattern that deadlocks naive blocking MPI programs.
+	const p = 6
+	_, err := runOrTimeout(t, p, GigabitEthernet, func(c *Comm) error {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		got, err := c.Sendrecv(right, 8, c.Rank(), left)
+		if err != nil {
+			return err
+		}
+		if got.(int) != left {
+			return fmt.Errorf("rank %d expected %d, got %v", c.Rank(), left, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceVecSum(t *testing.T) {
+	const p = 4
+	_, err := runOrTimeout(t, p, GigabitEthernet, func(c *Comm) error {
+		vec := []float64{float64(c.Rank()), 1, float64(c.Rank() * c.Rank())}
+		sum, err := c.AllreduceVecSum(vec)
+		if err != nil {
+			return err
+		}
+		want := []float64{0 + 1 + 2 + 3, 4, 0 + 1 + 4 + 9}
+		for i := range want {
+			if sum[i] != want[i] {
+				return fmt.Errorf("sum[%d] = %g, want %g", i, sum[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceVecSumLengthMismatch(t *testing.T) {
+	err := func() error {
+		_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+			vec := make([]float64, 2+c.Rank()) // deliberately unequal
+			_, err := c.AllreduceVecSum(vec)
+			return err
+		})
+		return err
+	}()
+	if err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestHierarchicalNetwork(t *testing.T) {
+	intra := NetModel{Latency: 1e-6, ByteTime: 1e-9}
+	inter := NetModel{Latency: 1e-4, ByteTime: 1e-8}
+	h, err := NewHierarchical([]int{0, 0, 1, 1}, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Cost(0, 1, 1000); got != intra.PtP(1000) {
+		t.Errorf("same-node cost = %g", got)
+	}
+	if got := h.Cost(1, 2, 1000); got != inter.PtP(1000) {
+		t.Errorf("cross-node cost = %g", got)
+	}
+	if h.MaxLatency() != 1e-4 {
+		t.Errorf("MaxLatency = %g", h.MaxLatency())
+	}
+	// Out-of-range ranks are priced as inter-node rather than panicking.
+	if got := h.Cost(-1, 9, 10); got != inter.PtP(10) {
+		t.Errorf("oob cost = %g", got)
+	}
+}
+
+func TestNewHierarchicalValidation(t *testing.T) {
+	fast := NetModel{Latency: 1e-6}
+	slow := NetModel{Latency: 1e-3}
+	if _, err := NewHierarchical(nil, fast, slow); err == nil {
+		t.Error("empty mapping should error")
+	}
+	if _, err := NewHierarchical([]int{0, -1}, fast, slow); err == nil {
+		t.Error("negative node id should error")
+	}
+	if _, err := NewHierarchical([]int{0, 1}, slow, fast); err == nil {
+		t.Error("intra slower than inter should be rejected")
+	}
+}
+
+func TestRunOnHierarchicalNetwork(t *testing.T) {
+	intra := NetModel{Latency: 1e-6, ByteTime: 0}
+	inter := NetModel{Latency: 1e-3, ByteTime: 0}
+	h, err := NewHierarchical([]int{0, 0, 1, 1}, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks, err := runOrTimeout(t, 4, h, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(1, 100, "intra") // same node: cheap
+		case 2:
+			return c.Send(3, 100, "intra2")
+		case 1:
+			_, err := c.Recv(0)
+			return err
+		default:
+			_, err := c.Recv(2)
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, cl := range clocks {
+		if math.Abs(cl-1e-6) > 1e-12 {
+			t.Errorf("rank %d clock = %g, want intra latency", r, cl)
+		}
+	}
+	// Cross-node pair pays the inter latency.
+	clocks, err = runOrTimeout(t, 4, h, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(2, 100, "inter")
+		}
+		if c.Rank() == 2 {
+			_, err := c.Recv(0)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clocks[2]-1e-3) > 1e-12 {
+		t.Errorf("cross-node clock = %g, want 1e-3", clocks[2])
+	}
+}

@@ -1,0 +1,199 @@
+// Package comm is the message-passing substrate FuPerMod's applications run
+// on — the stand-in for MPI on the paper's clusters. It provides an SPMD
+// runtime: Run launches one goroutine per rank, and ranks communicate
+// through typed point-to-point messages and MPI-style collectives
+// (broadcast, gather, allgather, allreduce, barrier).
+//
+// Synchronisation is real (goroutines and channels), but time is virtual:
+// every rank owns a clock in seconds; computing advances it explicitly
+// (Advance), and communication advances it according to an α–β (Hockney)
+// cost model — latency plus bytes over bandwidth. A receive completes at
+// the later of the receiver's clock and the message's arrival time, and
+// collectives inherit realistic log-p/linear-p costs from the trees they
+// are built on. Experiments on the simulated platform therefore measure
+// makespans that include communication, deterministically.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// NetModel is the α–β point-to-point communication cost model: sending n
+// bytes costs Latency + n·ByteTime seconds.
+type NetModel struct {
+	// Latency is the per-message cost α in seconds.
+	Latency float64
+	// ByteTime is the per-byte cost β in seconds (1/bandwidth).
+	ByteTime float64
+}
+
+// PtP returns the modelled point-to-point time for a message of n bytes.
+func (m NetModel) PtP(bytes int) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return m.Latency + float64(bytes)*m.ByteTime
+}
+
+// GigabitEthernet is a typical commodity-cluster interconnect: 50 µs
+// latency, ~118 MB/s effective bandwidth.
+var GigabitEthernet = NetModel{Latency: 50e-6, ByteTime: 1 / 118e6}
+
+// SharedMemory approximates intra-node transfers: 1 µs latency, 5 GB/s.
+var SharedMemory = NetModel{Latency: 1e-6, ByteTime: 1 / 5e9}
+
+// message is one point-to-point transfer.
+type message struct {
+	arrival float64 // virtual time at which the payload is fully received
+	payload any
+}
+
+// world is the shared state of one Run.
+type world struct {
+	size  int
+	net   Network
+	chans [][]chan message // chans[from][to]
+	bar   *barrier
+
+	mu     sync.Mutex
+	closed []bool // closed[from]: rank exited; its outgoing channels are closed
+
+	// splitSt coordinates Split; nil on child communicators.
+	splitSt *splitState
+}
+
+// Comm is one rank's handle onto the communicator, analogous to an MPI
+// communicator bound to a process. It is confined to its rank's goroutine.
+type Comm struct {
+	rank  int
+	w     *world
+	clock float64
+}
+
+// ErrTerminated is wrapped by Recv errors caused by the peer exiting
+// (normally or with an error) before sending.
+var ErrTerminated = errors.New("comm: peer terminated")
+
+// Run executes body on size ranks over the given network (a uniform
+// NetModel or a Hierarchical topology) and returns
+// each rank's final virtual clock. If any rank returns an error, Run
+// reports the first one by rank order (joined with others); ranks blocked
+// on a terminated peer fail with ErrTerminated rather than deadlocking.
+func Run(size int, net Network, body func(*Comm) error) ([]float64, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("comm: world size must be positive, got %d", size)
+	}
+	w := &world{
+		size:   size,
+		net:    net,
+		chans:  make([][]chan message, size),
+		bar:    newBarrier(size),
+		closed: make([]bool, size),
+	}
+	w.splitSt = &splitState{}
+	w.splitSt.cond = sync.NewCond(&w.splitSt.mu)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, size)
+		for j := range w.chans[i] {
+			// Generous buffering keeps sends eager (non-blocking), which
+			// both matches the timing model and avoids send-side
+			// deadlocks.
+			w.chans[i][j] = make(chan message, 1024)
+		}
+	}
+	clocks := make([]float64, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{rank: rank, w: w}
+			err := body(c)
+			// Mark the rank dead and close its outgoing channels so
+			// blocked receivers learn about it.
+			w.mu.Lock()
+			w.closed[rank] = true
+			for to := 0; to < size; to++ {
+				close(w.chans[rank][to])
+			}
+			w.mu.Unlock()
+			w.bar.abandon(c.clock)
+			clocks[rank] = c.clock
+			errs[rank] = err
+		}(r)
+	}
+	wg.Wait()
+	var joined error
+	for r, err := range errs {
+		if err != nil {
+			joined = errors.Join(joined, fmt.Errorf("rank %d: %w", r, err))
+		}
+	}
+	return clocks, joined
+}
+
+// Rank returns this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Advance models local computation: it moves the rank's clock forward by
+// dt seconds. Negative dt is an error.
+func (c *Comm) Advance(dt float64) error {
+	if dt < 0 || math.IsNaN(dt) {
+		return fmt.Errorf("comm: rank %d: cannot advance clock by %g", c.rank, dt)
+	}
+	c.clock += dt
+	return nil
+}
+
+// Send transfers payload (nbytes long on the wire) to rank to. The sender
+// is occupied for the full α–β transfer time; the message arrives at the
+// sender's post-send clock.
+func (c *Comm) Send(to int, nbytes int, payload any) error {
+	if err := c.checkPeer(to); err != nil {
+		return err
+	}
+	c.clock += c.w.net.Cost(c.rank, to, nbytes)
+	msg := message{arrival: c.clock, payload: payload}
+	// The channel is buffered; if a test floods a pair beyond the buffer
+	// this blocks until the receiver drains, which is semantically a
+	// rendezvous send and still correct.
+	c.w.chans[c.rank][to] <- msg
+	return nil
+}
+
+// Recv receives the next message from rank from, blocking until it
+// arrives. The receiver's clock advances to at least the message's arrival
+// time. Receiving from a terminated rank returns ErrTerminated.
+func (c *Comm) Recv(from int) (any, error) {
+	if err := c.checkPeer(from); err != nil {
+		return nil, err
+	}
+	msg, ok := <-c.w.chans[from][c.rank]
+	if !ok {
+		return nil, fmt.Errorf("comm: rank %d receiving from %d: %w", c.rank, from, ErrTerminated)
+	}
+	if msg.arrival > c.clock {
+		c.clock = msg.arrival
+	}
+	return msg.payload, nil
+}
+
+func (c *Comm) checkPeer(peer int) error {
+	if peer < 0 || peer >= c.w.size {
+		return fmt.Errorf("comm: rank %d: peer %d out of range [0,%d)", c.rank, peer, c.w.size)
+	}
+	if peer == c.rank {
+		return fmt.Errorf("comm: rank %d: self messaging is not supported", c.rank)
+	}
+	return nil
+}

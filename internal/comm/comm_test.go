@@ -1,0 +1,414 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runOrTimeout guards against deadlocks in the runtime under test.
+func runOrTimeout(t *testing.T, size int, net Network, body func(*Comm) error) ([]float64, error) {
+	t.Helper()
+	type result struct {
+		clocks []float64
+		err    error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		clocks, err := Run(size, net, body)
+		ch <- result{clocks, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.clocks, r.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("comm.Run deadlocked")
+		return nil, nil
+	}
+}
+
+func TestNetModelPtP(t *testing.T) {
+	n := NetModel{Latency: 1e-3, ByteTime: 1e-6}
+	if got := n.PtP(1000); math.Abs(got-2e-3) > 1e-15 {
+		t.Errorf("PtP(1000) = %g, want 0.002", got)
+	}
+	if got := n.PtP(-5); got != 1e-3 {
+		t.Errorf("negative bytes should cost latency only, got %g", got)
+	}
+}
+
+func TestRunSizeValidation(t *testing.T) {
+	if _, err := Run(0, GigabitEthernet, func(c *Comm) error { return nil }); err == nil {
+		t.Error("size 0 should error")
+	}
+}
+
+func TestSendRecvClocks(t *testing.T) {
+	net := NetModel{Latency: 0.001, ByteTime: 1e-8}
+	clocks, err := runOrTimeout(t, 2, net, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Advance(0.5); err != nil {
+				return err
+			}
+			return c.Send(1, 1000, "hello")
+		default:
+			got, err := c.Recv(0)
+			if err != nil {
+				return err
+			}
+			if got.(string) != "hello" {
+				return fmt.Errorf("payload = %v", got)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender: 0.5 + ptp; receiver idle until arrival → same clock.
+	want := 0.5 + net.PtP(1000)
+	for r, cl := range clocks {
+		if math.Abs(cl-want) > 1e-12 {
+			t.Errorf("rank %d clock = %g, want %g", r, cl, want)
+		}
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	net := NetModel{Latency: 0.001}
+	clocks, err := runOrTimeout(t, 2, net, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, 1)
+		}
+		if err := c.Advance(5); err != nil { // receiver is already far ahead
+			return err
+		}
+		_, err := c.Recv(0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[1] != 5 {
+		t.Errorf("receiver clock = %g, want 5 (no rewind)", clocks[1])
+	}
+}
+
+func TestAdvanceErrors(t *testing.T) {
+	_, err := runOrTimeout(t, 1, GigabitEthernet, func(c *Comm) error {
+		return c.Advance(-1)
+	})
+	if err == nil {
+		t.Error("negative advance should error")
+	}
+}
+
+func TestPeerValidation(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(0, 1, "self"); err == nil {
+				return errors.New("self-send should fail")
+			}
+			if err := c.Send(7, 1, "oob"); err == nil {
+				return errors.New("out-of-bounds send should fail")
+			}
+			if _, err := c.Recv(-1); err == nil {
+				return errors.New("out-of-bounds recv should fail")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvFromTerminatedRank(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil // exits immediately without sending
+		}
+		_, err := c.Recv(0)
+		if !errors.Is(err, ErrTerminated) {
+			return fmt.Errorf("want ErrTerminated, got %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := runOrTimeout(t, 3, GigabitEthernet, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("want boom, got %v", err)
+	}
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	net := NetModel{Latency: 0.001}
+	const p = 5
+	clocks, err := runOrTimeout(t, p, net, func(c *Comm) error {
+		if err := c.Advance(float64(c.Rank())); err != nil {
+			return err
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 + net.Latency*math.Ceil(math.Log2(p))
+	for r, cl := range clocks {
+		if math.Abs(cl-want) > 1e-12 {
+			t.Errorf("rank %d clock = %g, want %g", r, cl, want)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	var hits atomic.Int64
+	_, err := runOrTimeout(t, 4, NetModel{}, func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			c.Barrier()
+			hits.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 40 {
+		t.Errorf("hits = %d, want 40", hits.Load())
+	}
+}
+
+func TestBarrierSingleRankNoCost(t *testing.T) {
+	clocks, err := runOrTimeout(t, 1, GigabitEthernet, func(c *Comm) error {
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[0] != 0 {
+		t.Errorf("single-rank barrier should cost nothing, clock = %g", clocks[0])
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, root := range []int{0, 2, 6} {
+		_, err := runOrTimeout(t, 7, GigabitEthernet, func(c *Comm) error {
+			payload := any(nil)
+			if c.Rank() == root {
+				payload = fmt.Sprintf("from-%d", root)
+			}
+			got, err := c.Bcast(root, 64, payload)
+			if err != nil {
+				return err
+			}
+			if got.(string) != fmt.Sprintf("from-%d", root) {
+				return fmt.Errorf("rank %d got %v", c.Rank(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestBcastCostLogP(t *testing.T) {
+	net := NetModel{Latency: 0.001}
+	const p = 8
+	clocks, err := runOrTimeout(t, p, net, func(c *Comm) error {
+		_, err := c.Bcast(0, 0, "x")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxClock := 0.0
+	for _, cl := range clocks {
+		if cl > maxClock {
+			maxClock = cl
+		}
+	}
+	// Binomial tree critical path for p=8 is 3 hops.
+	if want := 3 * net.Latency; math.Abs(maxClock-want) > 1e-12 {
+		t.Errorf("bcast critical path = %g, want %g", maxClock, want)
+	}
+}
+
+func TestBcastRootValidation(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		_, err := c.Bcast(5, 1, "x")
+		if err == nil {
+			return errors.New("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastSingleRank(t *testing.T) {
+	_, err := runOrTimeout(t, 1, GigabitEthernet, func(c *Comm) error {
+		got, err := c.Bcast(0, 10, 42)
+		if err != nil || got.(int) != 42 {
+			return fmt.Errorf("got %v, %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherOrder(t *testing.T) {
+	_, err := runOrTimeout(t, 5, GigabitEthernet, func(c *Comm) error {
+		vals, err := c.Gather(2, 8, c.Rank()*10)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if vals != nil {
+				return errors.New("non-root should get nil")
+			}
+			return nil
+		}
+		for r, v := range vals {
+			if v.(int) != r*10 {
+				return fmt.Errorf("vals[%d] = %v", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	_, err := runOrTimeout(t, 4, GigabitEthernet, func(c *Comm) error {
+		vals, err := c.Allgather(8, fmt.Sprintf("r%d", c.Rank()))
+		if err != nil {
+			return err
+		}
+		if len(vals) != 4 {
+			return fmt.Errorf("len = %d", len(vals))
+		}
+		for r, v := range vals {
+			if v.(string) != fmt.Sprintf("r%d", r) {
+				return fmt.Errorf("vals[%d] = %v", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	_, err := runOrTimeout(t, 6, GigabitEthernet, func(c *Comm) error {
+		mx, err := c.AllreduceMax(float64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if mx != 5 {
+			return fmt.Errorf("max = %g", mx)
+		}
+		sum, err := c.AllreduceSum(1)
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			return fmt.Errorf("sum = %g", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotoneThroughCollectives(t *testing.T) {
+	_, err := runOrTimeout(t, 5, GigabitEthernet, func(c *Comm) error {
+		prev := c.Clock()
+		steps := []func() error{
+			func() error { _, e := c.Bcast(0, 100, "x"); return e },
+			func() error { _, e := c.Allgather(50, c.Rank()); return e },
+			func() error { c.Barrier(); return nil },
+			func() error { _, e := c.AllreduceMax(1.0); return e },
+		}
+		for i, s := range steps {
+			if err := s(); err != nil {
+				return err
+			}
+			if c.Clock() < prev {
+				return fmt.Errorf("clock went backwards at step %d: %g < %g", i, c.Clock(), prev)
+			}
+			prev = c.Clock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyMessagesStress(t *testing.T) {
+	// Exceeds the channel buffer to exercise the rendezvous path.
+	_, err := runOrTimeout(t, 2, NetModel{}, func(c *Comm) error {
+		const n = 5000
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 8, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			got, err := c.Recv(0)
+			if err != nil {
+				return err
+			}
+			if got.(int) != i {
+				return fmt.Errorf("out of order: got %v want %d", got, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbandonedBarrierDoesNotDeadlock(t *testing.T) {
+	// Rank 0 exits without entering the barrier; ranks 1..3 must still be
+	// released by the abandon path.
+	_, err := runOrTimeout(t, 4, NetModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package comm
+
+import "fmt"
+
+// Network generalises the point-to-point cost model. The paper's target
+// platforms are hierarchical — cores sharing a node communicate orders of
+// magnitude faster than nodes across the interconnect — and data
+// partitioning interacts with that hierarchy (it is why the matrix
+// arrangement minimises inter-process communication volume at all).
+// NetModel implements Network as the uniform special case.
+type Network interface {
+	// Cost returns the seconds rank from needs to move nbytes to rank to.
+	Cost(from, to, nbytes int) float64
+	// MaxLatency returns the largest per-message latency in the network,
+	// used to price barrier dissemination.
+	MaxLatency() float64
+}
+
+// Cost implements Network for the uniform model.
+func (m NetModel) Cost(from, to, nbytes int) float64 { return m.PtP(nbytes) }
+
+// MaxLatency implements Network for the uniform model.
+func (m NetModel) MaxLatency() float64 { return m.Latency }
+
+// Hierarchical is a two-level network: ranks are grouped onto nodes;
+// pairs on the same node use the Intra model, pairs on different nodes
+// the Inter model.
+type Hierarchical struct {
+	// NodeOf maps each rank to its node id.
+	NodeOf []int
+	// Intra prices same-node transfers, Inter cross-node transfers.
+	Intra, Inter NetModel
+}
+
+// NewHierarchical validates and builds a two-level network for
+// len(nodeOf) ranks.
+func NewHierarchical(nodeOf []int, intra, inter NetModel) (*Hierarchical, error) {
+	if len(nodeOf) == 0 {
+		return nil, fmt.Errorf("comm: hierarchical network needs at least one rank")
+	}
+	for r, n := range nodeOf {
+		if n < 0 {
+			return nil, fmt.Errorf("comm: rank %d has negative node id %d", r, n)
+		}
+	}
+	if intra.Latency > inter.Latency || intra.ByteTime > inter.ByteTime {
+		// Not an error — wireless-on-node platforms exist in theory — but
+		// almost certainly a misconfiguration worth rejecting here.
+		return nil, fmt.Errorf("comm: intra-node link slower than inter-node link")
+	}
+	return &Hierarchical{NodeOf: append([]int(nil), nodeOf...), Intra: intra, Inter: inter}, nil
+}
+
+// Cost implements Network.
+func (h *Hierarchical) Cost(from, to, nbytes int) float64 {
+	if from >= 0 && to >= 0 && from < len(h.NodeOf) && to < len(h.NodeOf) &&
+		h.NodeOf[from] == h.NodeOf[to] {
+		return h.Intra.PtP(nbytes)
+	}
+	return h.Inter.PtP(nbytes)
+}
+
+// MaxLatency implements Network.
+func (h *Hierarchical) MaxLatency() float64 {
+	if h.Inter.Latency > h.Intra.Latency {
+		return h.Inter.Latency
+	}
+	return h.Intra.Latency
+}

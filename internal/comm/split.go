@@ -1,0 +1,156 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// splitState coordinates one collective Split call across the parent
+// communicator's ranks. A generation proceeds in two phases: gathering
+// (ranks deposit their color/key) and draining (ranks read their child);
+// ranks racing into the next Split wait until the previous generation has
+// fully drained.
+type splitState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries map[int]splitEntry // parent rank → (color, key)
+	arrived int
+	readers int  // ranks that still have to read the current result
+	busy    bool // true while the current generation drains
+	gen     int
+	result  map[int]*world // color → child world (built by the last arriver)
+	ranks   map[int][]int  // color → parent ranks in child-rank order
+}
+
+type splitEntry struct {
+	color, key int
+}
+
+// Split partitions the communicator into disjoint sub-communicators, one
+// per color, like MPI_Comm_split: every rank calls Split collectively;
+// ranks passing the same color end up in the same child communicator,
+// ordered by key (ties broken by parent rank). The child shares the
+// parent's network model, translating costs through the parent ranks, and
+// starts with the caller's current clock.
+//
+// A negative color opts the rank out (MPI_UNDEFINED); it receives nil.
+// Subsequent collective operations on the child involve only its members,
+// which is how FuPerMod scopes synchronized benchmarks to the processes
+// of one node or socket (the comm_sync argument of fupermod_benchmark).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	st := c.w.splitSt
+	if st == nil {
+		return nil, fmt.Errorf("comm: rank %d: split unsupported on child communicators", c.rank)
+	}
+	st.mu.Lock()
+	// Wait out a previous generation that is still draining.
+	for st.busy {
+		st.cond.Wait()
+	}
+	if st.entries == nil {
+		st.entries = make(map[int]splitEntry, c.w.size)
+	}
+	if _, dup := st.entries[c.rank]; dup {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("comm: rank %d: concurrent Split calls", c.rank)
+	}
+	st.entries[c.rank] = splitEntry{color, key}
+	st.arrived++
+	gen := st.gen
+	if st.arrived == c.w.size {
+		st.buildChildren(c.w)
+		st.busy = true
+		st.readers = c.w.size
+		st.gen++
+		st.cond.Broadcast()
+	} else {
+		for gen == st.gen {
+			st.cond.Wait()
+		}
+	}
+	// Locate this rank's child communicator.
+	var child *Comm
+	if color >= 0 {
+		w := st.result[color]
+		for childRank, parentRank := range st.ranks[color] {
+			if parentRank == c.rank {
+				child = &Comm{rank: childRank, w: w, clock: c.clock}
+				break
+			}
+		}
+	}
+	// Last reader of this generation resets the state for reuse.
+	st.readers--
+	if st.readers == 0 {
+		st.entries = nil
+		st.result = nil
+		st.ranks = nil
+		st.arrived = 0
+		st.busy = false
+		st.cond.Broadcast()
+	}
+	st.mu.Unlock()
+	return child, nil
+}
+
+// buildChildren constructs one child world per color. Caller holds st.mu.
+func (st *splitState) buildChildren(parent *world) {
+	byColor := map[int][]int{}
+	for rank, e := range st.entries {
+		if e.color < 0 {
+			continue
+		}
+		byColor[e.color] = append(byColor[e.color], rank)
+	}
+	st.result = make(map[int]*world, len(byColor))
+	st.ranks = make(map[int][]int, len(byColor))
+	for color, ranks := range byColor {
+		entries := st.entries
+		sort.Slice(ranks, func(i, j int) bool {
+			a, b := entries[ranks[i]], entries[ranks[j]]
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return ranks[i] < ranks[j]
+		})
+		n := len(ranks)
+		w := &world{
+			size:   n,
+			net:    &translatedNet{parent: parent.net, ranks: ranks},
+			chans:  make([][]chan message, n),
+			bar:    newBarrier(n),
+			closed: make([]bool, n),
+			// splitSt nil: nested splits are not supported.
+		}
+		for i := range w.chans {
+			w.chans[i] = make([]chan message, n)
+			for j := range w.chans[i] {
+				w.chans[i][j] = make(chan message, 1024)
+			}
+		}
+		st.result[color] = w
+		st.ranks[color] = ranks
+	}
+}
+
+// translatedNet prices child-communicator traffic through the parent
+// ranks, so intra-node children keep their cheap links on hierarchical
+// networks.
+type translatedNet struct {
+	parent Network
+	ranks  []int // child rank → parent rank
+}
+
+func (t *translatedNet) Cost(from, to, nbytes int) float64 {
+	pf, pt := from, to
+	if from >= 0 && from < len(t.ranks) {
+		pf = t.ranks[from]
+	}
+	if to >= 0 && to < len(t.ranks) {
+		pt = t.ranks[to]
+	}
+	return t.parent.Cost(pf, pt, nbytes)
+}
+
+func (t *translatedNet) MaxLatency() float64 { return t.parent.MaxLatency() }

@@ -1,0 +1,185 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestSplitByParity(t *testing.T) {
+	const p = 6
+	_, err := runOrTimeout(t, p, GigabitEthernet, func(c *Comm) error {
+		child, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if child == nil {
+			return errors.New("child missing")
+		}
+		if child.Size() != 3 {
+			return fmt.Errorf("child size %d, want 3", child.Size())
+		}
+		// Child ranks follow key order: parent ranks 0,2,4 → 0,1,2.
+		wantRank := c.Rank() / 2
+		if child.Rank() != wantRank {
+			return fmt.Errorf("parent %d: child rank %d, want %d", c.Rank(), child.Rank(), wantRank)
+		}
+		// Collective inside the child works and stays inside it.
+		sum, err := child.AllreduceSum(float64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		want := 0.0 + 2 + 4
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum != want {
+			return fmt.Errorf("parent %d: child sum %g, want %g", c.Rank(), sum, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	const p = 4
+	_, err := runOrTimeout(t, p, GigabitEthernet, func(c *Comm) error {
+		// Reverse keys: parent rank 3 becomes child rank 0.
+		child, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		if want := p - 1 - c.Rank(); child.Rank() != want {
+			return fmt.Errorf("parent %d: child rank %d, want %d", c.Rank(), child.Rank(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	_, err := runOrTimeout(t, 3, GigabitEthernet, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 2 {
+			color = -1 // opts out
+		}
+		child, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if child != nil {
+				return errors.New("opted-out rank should get nil")
+			}
+			return nil
+		}
+		if child == nil || child.Size() != 2 {
+			return fmt.Errorf("child wrong: %v", child)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitInheritsClockAndNetwork(t *testing.T) {
+	intra := NetModel{Latency: 1e-6}
+	inter := NetModel{Latency: 1e-3}
+	h, err := NewHierarchical([]int{0, 0, 1, 1}, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks, err := runOrTimeout(t, 4, h, func(c *Comm) error {
+		if err := c.Advance(float64(c.Rank())); err != nil {
+			return err
+		}
+		// Split by node: children keep intra-node pricing.
+		child, err := c.Split(c.Rank()/2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if child.Clock() != float64(c.Rank()) {
+			return fmt.Errorf("child clock %g, want %g", child.Clock(), float64(c.Rank()))
+		}
+		if child.Rank() == 0 {
+			return child.Send(1, 0, "x")
+		}
+		_, err = child.Recv(0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 received from rank 0 (clock 0) at intra-node latency; its own
+	// clock was 1 already, so it stays 1 (no rewind); ranks 2,3 similar.
+	if math.Abs(clocks[1]-1) > 1e-9 || math.Abs(clocks[3]-3) > 1e-9 {
+		t.Errorf("clocks = %v", clocks)
+	}
+	// Verify the translated pricing directly: child of ranks {0,1} should
+	// charge intra latency for its 0→1 link.
+	_, err = runOrTimeout(t, 4, h, func(c *Comm) error {
+		child, err := c.Split(c.Rank()/2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if child.Rank() == 0 {
+			if err := child.Send(1, 0, "y"); err != nil {
+				return err
+			}
+			if got := child.Clock(); math.Abs(got-intra.Latency) > 1e-12 {
+				return fmt.Errorf("intra-node child send cost %g, want %g", got, intra.Latency)
+			}
+		} else {
+			if _, err := child.Recv(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitReusable(t *testing.T) {
+	// Two successive splits in one run must both work (state resets).
+	_, err := runOrTimeout(t, 4, GigabitEthernet, func(c *Comm) error {
+		a, err := c.Split(c.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		b, err := c.Split(c.Rank()/2, 0)
+		if err != nil {
+			return err
+		}
+		if a == nil || b == nil || a.Size() != 2 || b.Size() != 2 {
+			return fmt.Errorf("split results wrong: %v %v", a, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOnChildRejected(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		child, err := c.Split(0, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := child.Split(0, 0); err == nil {
+			return errors.New("nested split should be rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BcastTopo is a topology-aware broadcast for two-level platforms: the
+// payload travels once over the slow inter-node links — a binomial tree
+// over node *leaders* — and is then re-broadcast inside each node over the
+// fast intra-node links. On a Hierarchical network its critical path is
+// ⌈log₂ nodes⌉ inter-node hops plus ⌈log₂ nodeSize⌉ intra-node hops,
+// whereas the rank-order binomial Bcast can cross node boundaries at
+// almost every hop. nodeOf maps every rank to its node id and must be
+// identical on all ranks; ablation A4 quantifies the gain.
+func (c *Comm) BcastTopo(root int, nbytes int, payload any, nodeOf []int) (any, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("comm: bcast-topo root %d out of range [0,%d)", root, size)
+	}
+	if len(nodeOf) != size {
+		return nil, fmt.Errorf("comm: bcast-topo nodeOf has %d entries for %d ranks", len(nodeOf), size)
+	}
+	if size == 1 {
+		return payload, nil
+	}
+	// Build the deterministic schedule every rank agrees on.
+	members := map[int][]int{}
+	var nodeIDs []int
+	for r, n := range nodeOf {
+		if n < 0 {
+			return nil, fmt.Errorf("comm: bcast-topo rank %d has negative node %d", r, n)
+		}
+		if _, ok := members[n]; !ok {
+			nodeIDs = append(nodeIDs, n)
+		}
+		members[n] = append(members[n], r)
+	}
+	sort.Ints(nodeIDs)
+	// The leader of the root's node is the root itself; other nodes are
+	// led by their lowest rank.
+	leaderOf := map[int]int{}
+	for _, n := range nodeIDs {
+		leaderOf[n] = members[n][0]
+	}
+	rootNode := nodeOf[root]
+	leaderOf[rootNode] = root
+	// Leader list with the root first (binomial trees root at index 0).
+	leaders := make([]int, 0, len(nodeIDs))
+	leaders = append(leaders, root)
+	for _, n := range nodeIDs {
+		if n != rootNode {
+			leaders = append(leaders, leaderOf[n])
+		}
+	}
+	myNode := nodeOf[c.rank]
+	iAmLeader := leaderOf[myNode] == c.rank
+
+	// Phase 1: binomial over leaders.
+	if iAmLeader {
+		got, err := binomialOnGroup(c, leaders, nbytes, payload)
+		if err != nil {
+			return nil, fmt.Errorf("comm: bcast-topo inter-node: %w", err)
+		}
+		payload = got
+	}
+	// Phase 2: binomial inside each node, rooted at its leader.
+	local := append([]int(nil), members[myNode]...)
+	// Put the leader first, keep the rest in rank order.
+	for i, r := range local {
+		if r == leaderOf[myNode] {
+			local[0], local[i] = local[i], local[0]
+			break
+		}
+	}
+	got, err := binomialOnGroup(c, local, nbytes, payload)
+	if err != nil {
+		return nil, fmt.Errorf("comm: bcast-topo intra-node: %w", err)
+	}
+	return got, nil
+}
+
+// binomialOnGroup runs a binomial-tree broadcast over the given ranks
+// (group[0] is the root). The caller's rank must be in the group; ranks
+// outside simply do not call it.
+func binomialOnGroup(c *Comm, group []int, nbytes int, payload any) (any, error) {
+	n := len(group)
+	if n <= 1 {
+		return payload, nil
+	}
+	me := -1
+	for i, r := range group {
+		if r == c.rank {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		return nil, fmt.Errorf("comm: rank %d not in broadcast group %v", c.rank, group)
+	}
+	mask := 1
+	for mask < n {
+		if me&mask != 0 {
+			src := me - mask
+			got, err := c.Recv(group[src])
+			if err != nil {
+				return nil, err
+			}
+			payload = got
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if me+mask < n {
+			if err := c.Send(group[me+mask], nbytes, payload); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return payload, nil
+}

@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestBcastTopoDelivers(t *testing.T) {
+	cases := []struct {
+		name   string
+		nodeOf []int
+		root   int
+	}{
+		{"two nodes", []int{0, 0, 1, 1}, 0},
+		{"root not a leader", []int{0, 0, 1, 1}, 1},
+		{"root on second node", []int{0, 0, 1, 1, 1}, 3},
+		{"uneven nodes", []int{0, 1, 1, 1, 2, 2, 0}, 5},
+		{"single node", []int{0, 0, 0}, 1},
+		{"one rank per node", []int{0, 1, 2, 3}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := runOrTimeout(t, len(c.nodeOf), GigabitEthernet, func(cm *Comm) error {
+				payload := any(nil)
+				if cm.Rank() == c.root {
+					payload = "msg"
+				}
+				got, err := cm.BcastTopo(c.root, 64, payload, c.nodeOf)
+				if err != nil {
+					return err
+				}
+				if got.(string) != "msg" {
+					return fmt.Errorf("rank %d got %v", cm.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastTopoValidation(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		if _, err := c.BcastTopo(5, 1, "x", []int{0, 0}); err == nil {
+			return errors.New("bad root accepted")
+		}
+		if _, err := c.BcastTopo(0, 1, "x", []int{0}); err == nil {
+			return errors.New("short nodeOf accepted")
+		}
+		if _, err := c.BcastTopo(0, 1, "x", []int{0, -1}); err == nil {
+			return errors.New("negative node accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastTopoBeatsPlainOnHierarchicalNet(t *testing.T) {
+	// 4 nodes × 4 ranks with a node-interleaved (Latin-square) rank
+	// mapping, the layout MPI round-robin placement produces: almost every
+	// edge of the rank-order binomial tree crosses nodes. In the
+	// latency-dominated regime the topology-aware broadcast pays the
+	// expensive inter-node latency only ⌈log₂ nodes⌉ times on its critical
+	// path. (In the bandwidth-dominated regime both algorithms bottleneck
+	// on the root pushing ⌈log₂ nodes⌉ copies over the slow links, so the
+	// payload here is small.)
+	nodeOf := []int{
+		0, 1, 2, 3,
+		1, 0, 3, 2,
+		2, 3, 0, 1,
+		3, 2, 1, 0,
+	}
+	intra := NetModel{Latency: 1e-6, ByteTime: 1 / 5e9}
+	inter := NetModel{Latency: 1e-4, ByteTime: 1 / 1e8}
+	h, err := NewHierarchical(nodeOf, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payload = 64
+	worst := func(topo bool) float64 {
+		clocks, err := runOrTimeout(t, 16, h, func(c *Comm) error {
+			var err error
+			if topo {
+				_, err = c.BcastTopo(0, payload, "x", nodeOf)
+			} else {
+				_, err = c.Bcast(0, payload, "x")
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 0.0
+		for _, cl := range clocks {
+			m = math.Max(m, cl)
+		}
+		return m
+	}
+	plain := worst(false)
+	topo := worst(true)
+	if topo >= plain {
+		t.Errorf("topology-aware bcast %g should beat plain %g on a hierarchical net", topo, plain)
+	}
+	if plain/topo < 1.5 {
+		t.Errorf("expected a clear win, got %.2fx", plain/topo)
+	}
+}
+
+func TestBcastTopoSingleRank(t *testing.T) {
+	_, err := runOrTimeout(t, 1, GigabitEthernet, func(c *Comm) error {
+		got, err := c.BcastTopo(0, 8, 42, []int{0})
+		if err != nil || got.(int) != 42 {
+			return fmt.Errorf("got %v, %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package config reads and writes *machine files* — text descriptions of
+// a heterogeneous platform: its nodes, and the devices (CPU cores, GPUs,
+// multicore sockets) on each node. The original FuPerMod drives its tools
+// from similar platform configuration; here a machine file yields both the
+// device list the benchmark/model layer needs and the rank→node mapping
+// the hierarchical network model needs.
+//
+// Format (line-oriented; '#' starts a comment):
+//
+//	node <name>
+//	  cpu <name> peak=<u/s> [overhead=<s>] [cliff=<at>:<width>:<drop>]... [paging=<at>:<severity>]
+//	  gpu <name> peak=<u/s> transfer=<u/s> [overhead=<s>] [ramp=<units>] [mem=<units>] [ooc=<f>]
+//	  socket <name> cores=<n> contention=<f> peak=<u/s> [overhead=<s>] [cliff=...]... [paging=...]
+//
+// Devices belong to the most recent node line. A socket contributes one
+// device per core. Ranks are assigned in file order.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fupermod/internal/platform"
+)
+
+// Machine is a parsed platform description.
+type Machine struct {
+	// Nodes in file order.
+	Nodes []Node
+}
+
+// Node is one machine of the platform.
+type Node struct {
+	// Name identifies the node.
+	Name string
+	// Devices are the node's devices in file order (sockets expanded to
+	// their cores).
+	Devices []platform.Device
+}
+
+// Devices returns all devices of the machine in rank order.
+func (m *Machine) Devices() []platform.Device {
+	var out []platform.Device
+	for _, n := range m.Nodes {
+		out = append(out, n.Devices...)
+	}
+	return out
+}
+
+// NodeOf returns the node index of each rank, the mapping
+// comm.NewHierarchical expects.
+func (m *Machine) NodeOf() []int {
+	var out []int
+	for i, n := range m.Nodes {
+		for range n.Devices {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Size returns the total number of devices (ranks).
+func (m *Machine) Size() int {
+	s := 0
+	for _, n := range m.Nodes {
+		s += len(n.Devices)
+	}
+	return s
+}
+
+// Parse reads a machine file.
+func Parse(r io.Reader) (*Machine, error) {
+	m := &Machine{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		kind, rest := fields[0], fields[1:]
+		switch kind {
+		case "node":
+			if len(rest) != 1 {
+				return nil, fmt.Errorf("config: line %d: node takes exactly one name", lineNo)
+			}
+			m.Nodes = append(m.Nodes, Node{Name: rest[0]})
+		case "cpu", "gpu", "socket":
+			if len(m.Nodes) == 0 {
+				return nil, fmt.Errorf("config: line %d: device before any node", lineNo)
+			}
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("config: line %d: %s needs a name", lineNo, kind)
+			}
+			devs, err := parseDevice(kind, rest[0], rest[1:])
+			if err != nil {
+				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+			}
+			node := &m.Nodes[len(m.Nodes)-1]
+			node.Devices = append(node.Devices, devs...)
+		default:
+			return nil, fmt.Errorf("config: line %d: unknown directive %q", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if m.Size() == 0 {
+		return nil, fmt.Errorf("config: machine file defines no devices")
+	}
+	return m, nil
+}
+
+// kv splits "key=value" arguments into a map, preserving repeated cliff
+// entries separately.
+type args struct {
+	vals   map[string]string
+	cliffs []string
+}
+
+func parseArgs(tokens []string) (*args, error) {
+	a := &args{vals: map[string]string{}}
+	for _, tok := range tokens {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("bad argument %q (want key=value)", tok)
+		}
+		if k == "cliff" {
+			a.cliffs = append(a.cliffs, v)
+			continue
+		}
+		if _, dup := a.vals[k]; dup {
+			return nil, fmt.Errorf("duplicate argument %q", k)
+		}
+		a.vals[k] = v
+	}
+	return a, nil
+}
+
+func (a *args) float(key string, required bool, def float64) (float64, error) {
+	s, ok := a.vals[key]
+	if !ok {
+		if required {
+			return 0, fmt.Errorf("missing required argument %s", key)
+		}
+		return def, nil
+	}
+	delete(a.vals, key)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("argument %s: %w", key, err)
+	}
+	return v, nil
+}
+
+func (a *args) int(key string, required bool, def int) (int, error) {
+	s, ok := a.vals[key]
+	if !ok {
+		if required {
+			return 0, fmt.Errorf("missing required argument %s", key)
+		}
+		return def, nil
+	}
+	delete(a.vals, key)
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("argument %s: %w", key, err)
+	}
+	return v, nil
+}
+
+func (a *args) leftover() error {
+	for k := range a.vals {
+		return fmt.Errorf("unknown argument %q", k)
+	}
+	return nil
+}
+
+func (a *args) parseCliffs() ([]platform.Cliff, error) {
+	var out []platform.Cliff
+	for _, spec := range a.cliffs {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("cliff %q: want at:width:drop", spec)
+		}
+		var c platform.Cliff
+		var err error
+		if c.At, err = strconv.ParseFloat(parts[0], 64); err != nil {
+			return nil, fmt.Errorf("cliff %q: %w", spec, err)
+		}
+		if c.Width, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return nil, fmt.Errorf("cliff %q: %w", spec, err)
+		}
+		if c.Drop, err = strconv.ParseFloat(parts[2], 64); err != nil {
+			return nil, fmt.Errorf("cliff %q: %w", spec, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func (a *args) parsePaging() (*platform.Paging, error) {
+	s, ok := a.vals["paging"]
+	if !ok {
+		return nil, nil
+	}
+	delete(a.vals, "paging")
+	at, sev, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("paging %q: want at:severity", s)
+	}
+	var pg platform.Paging
+	var err error
+	if pg.At, err = strconv.ParseFloat(at, 64); err != nil {
+		return nil, fmt.Errorf("paging %q: %w", s, err)
+	}
+	if pg.Severity, err = strconv.ParseFloat(sev, 64); err != nil {
+		return nil, fmt.Errorf("paging %q: %w", s, err)
+	}
+	return &pg, nil
+}
+
+func parseDevice(kind, name string, tokens []string) ([]platform.Device, error) {
+	a, err := parseArgs(tokens)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "cpu":
+		core, err := parseCPU(name, a)
+		if err != nil {
+			return nil, err
+		}
+		return []platform.Device{core}, nil
+	case "gpu":
+		g := &platform.GPU{DevName: name}
+		if g.Peak, err = a.float("peak", true, 0); err != nil {
+			return nil, err
+		}
+		if g.TransferBW, err = a.float("transfer", true, 0); err != nil {
+			return nil, err
+		}
+		if g.HostOverhead, err = a.float("overhead", false, 0); err != nil {
+			return nil, err
+		}
+		if g.RampD, err = a.float("ramp", false, 0); err != nil {
+			return nil, err
+		}
+		if g.MemCapacity, err = a.float("mem", false, 0); err != nil {
+			return nil, err
+		}
+		if g.OOCFactor, err = a.float("ooc", false, 0); err != nil {
+			return nil, err
+		}
+		if err := a.leftover(); err != nil {
+			return nil, err
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return []platform.Device{g}, nil
+	case "socket":
+		cores, err := a.int("cores", true, 0)
+		if err != nil {
+			return nil, err
+		}
+		cont, err := a.float("contention", true, 0)
+		if err != nil {
+			return nil, err
+		}
+		proto, err := parseCPU(name, a)
+		if err != nil {
+			return nil, err
+		}
+		sock, err := platform.NewSocket(name, cores, proto, cont)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]platform.Device, 0, cores)
+		for _, c := range sock.Cores() {
+			out = append(out, c)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown device kind %q", kind)
+}
+
+func parseCPU(name string, a *args) (*platform.CPUCore, error) {
+	c := &platform.CPUCore{DevName: name}
+	var err error
+	if c.Peak, err = a.float("peak", true, 0); err != nil {
+		return nil, err
+	}
+	if c.Overhead, err = a.float("overhead", false, 0); err != nil {
+		return nil, err
+	}
+	if c.Cliffs, err = a.parseCliffs(); err != nil {
+		return nil, err
+	}
+	if c.Pg, err = a.parsePaging(); err != nil {
+		return nil, err
+	}
+	if err := a.leftover(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

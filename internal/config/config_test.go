@@ -1,0 +1,177 @@
+package config
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/platform"
+)
+
+func TestParseExample(t *testing.T) {
+	m, err := Parse(strings.NewReader(ExampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(m.Nodes))
+	}
+	if m.Nodes[0].Name != "node0" || m.Nodes[1].Name != "node1" {
+		t.Errorf("node names = %q, %q", m.Nodes[0].Name, m.Nodes[1].Name)
+	}
+	// node0: 2 cpus + gpu; node1: 4 socket cores + 1 cpu.
+	if len(m.Nodes[0].Devices) != 3 || len(m.Nodes[1].Devices) != 5 {
+		t.Fatalf("device counts = %d, %d", len(m.Nodes[0].Devices), len(m.Nodes[1].Devices))
+	}
+	if m.Size() != 8 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	nodeOf := m.NodeOf()
+	want := []int{0, 0, 0, 1, 1, 1, 1, 1}
+	for i, n := range want {
+		if nodeOf[i] != n {
+			t.Errorf("NodeOf[%d] = %d, want %d", i, nodeOf[i], n)
+		}
+	}
+	// The mapping plugs into the hierarchical network.
+	if _, err := comm.NewHierarchical(nodeOf, comm.SharedMemory, comm.GigabitEthernet); err != nil {
+		t.Errorf("NodeOf not usable: %v", err)
+	}
+	// Devices behave.
+	for _, d := range m.Devices() {
+		if d.BaseTime(100) <= 0 {
+			t.Errorf("%s: non-positive time", d.Name())
+		}
+	}
+	// GPU parsed with its parameters.
+	gpu, ok := m.Nodes[0].Devices[2].(*platform.GPU)
+	if !ok {
+		t.Fatalf("device 2 is %T", m.Nodes[0].Devices[2])
+	}
+	if gpu.Peak != 26000 || gpu.MemCapacity != 20000 {
+		t.Errorf("gpu params: %+v", gpu)
+	}
+	// CPU cliffs parsed.
+	cpu, ok := m.Nodes[0].Devices[0].(*platform.CPUCore)
+	if !ok || len(cpu.Cliffs) != 2 || cpu.Pg == nil {
+		t.Errorf("cpu parse wrong: %+v", m.Nodes[0].Devices[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"device before node", "cpu c peak=1\n"},
+		{"unknown directive", "node n\nfpga f peak=1\n"},
+		{"node without name", "node\n"},
+		{"missing peak", "node n\ncpu c overhead=1\n"},
+		{"bad float", "node n\ncpu c peak=abc\n"},
+		{"bad cliff", "node n\ncpu c peak=1 cliff=1:2\n"},
+		{"bad cliff value", "node n\ncpu c peak=1 cliff=a:2:0.1\n"},
+		{"bad paging", "node n\ncpu c peak=1 paging=5\n"},
+		{"unknown arg", "node n\ncpu c peak=1 turbo=9\n"},
+		{"duplicate arg", "node n\ncpu c peak=1 peak=2\n"},
+		{"bad kv", "node n\ncpu c peak\n"},
+		{"gpu missing transfer", "node n\ngpu g peak=5\n"},
+		{"socket missing cores", "node n\nsocket s contention=0.2 peak=1\n"},
+		{"socket bad cores", "node n\nsocket s cores=x contention=0.2 peak=1\n"},
+		{"invalid device", "node n\ncpu c peak=-5\n"},
+		{"empty", "# nothing\n"},
+		{"device without name", "node n\ncpu\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: should fail", c.name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	text := "\n# leading comment\nnode n # trailing comment\n\n  cpu c peak=100 # another\n"
+	m, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 || m.Nodes[0].Devices[0].Name() != "c" {
+		t.Errorf("parse with comments wrong: %+v", m)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	m1, err := Parse(strings.NewReader(ExampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if m2.Size() != m1.Size() || len(m2.Nodes) != len(m1.Nodes) {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", m2.Size(), len(m2.Nodes), m1.Size(), len(m1.Nodes))
+	}
+	// Behavioural equality: same times on every device at probe sizes.
+	d1, d2 := m1.Devices(), m2.Devices()
+	for i := range d1 {
+		if d1[i].Name() != d2[i].Name() {
+			t.Errorf("device %d name %q vs %q", i, d1[i].Name(), d2[i].Name())
+		}
+		for _, x := range []float64{10, 1000, 30000} {
+			a, b := d1[i].BaseTime(x), d2[i].BaseTime(x)
+			if math.Abs(a-b) > 1e-12*a {
+				t.Errorf("device %s: time differs after round trip: %g vs %g", d1[i].Name(), a, b)
+			}
+		}
+	}
+}
+
+func TestWriteRejectsSplitSocket(t *testing.T) {
+	sock := platform.DefaultSocket("s")
+	m := &Machine{Nodes: []Node{
+		{Name: "a", Devices: []platform.Device{sock.Cores()[0]}},
+		{Name: "b", Devices: []platform.Device{sock.Cores()[1], sock.Cores()[2], sock.Cores()[3]}},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err == nil {
+		t.Error("split socket should not serialise")
+	}
+}
+
+func TestWriteUnknownDeviceType(t *testing.T) {
+	m := &Machine{Nodes: []Node{{Name: "n", Devices: []platform.Device{fakeDevice{}}}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err == nil {
+		t.Error("unknown device type should not serialise")
+	}
+}
+
+type fakeDevice struct{}
+
+func (fakeDevice) Name() string               { return "fake" }
+func (fakeDevice) BaseTime(d float64) float64 { return d }
+
+func TestSocketCoresShareContentionAfterParse(t *testing.T) {
+	m, err := Parse(strings.NewReader(ExampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, ok := m.Nodes[1].Devices[0].(*platform.SocketCore)
+	if !ok {
+		t.Fatalf("expected socket core, got %T", m.Nodes[1].Devices[0])
+	}
+	s := core.Socket()
+	s.SetActive(1)
+	solo := core.BaseTime(1000)
+	s.SetActive(4)
+	shared := core.BaseTime(1000)
+	if want := solo * 1.75; math.Abs(shared-want) > 1e-9*want {
+		t.Errorf("contention lost in parsing: %g vs %g", shared, want)
+	}
+}

@@ -1,0 +1,51 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the machine-file parser never panics and that every
+// accepted machine round-trips through Write into an equivalent machine.
+func FuzzParse(f *testing.F) {
+	f.Add(ExampleText)
+	f.Add("node n\ncpu c peak=100\n")
+	f.Add("node a\nnode b\ngpu g peak=5 transfer=7\n")
+	f.Add("node n\nsocket s cores=2 contention=0.5 peak=10\n")
+	f.Add("# only comments\n")
+	f.Add("node n\ncpu c peak=1 cliff=10:2:0.3 paging=50:2\n")
+	f.Add("cpu early peak=1\n")
+	f.Add("node n\ncpu c peak=1e309\n") // overflow float
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted machines must be coherent…
+		if m.Size() == 0 {
+			t.Fatalf("accepted machine with no devices: %q", text)
+		}
+		if len(m.NodeOf()) != m.Size() {
+			t.Fatalf("NodeOf length mismatch for %q", text)
+		}
+		for _, d := range m.Devices() {
+			bt := d.BaseTime(100)
+			if bt <= 0 || bt != bt { // non-positive or NaN
+				t.Fatalf("device %s has invalid time %g (input %q)", d.Name(), bt, text)
+			}
+		}
+		// …and survive a Write→Parse round trip when serialisable.
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return // e.g. exotic names; Write may refuse
+		}
+		m2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed for %q: %v\nserialised: %q", text, err, buf.String())
+		}
+		if m2.Size() != m.Size() {
+			t.Fatalf("round trip changed size %d → %d for %q", m.Size(), m2.Size(), text)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package config
+
+import (
+	"fmt"
+	"os"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/platform"
+)
+
+// LoadPlatform resolves the -machine/-cluster flags of the command-line
+// tools: when machinePath is non-empty the machine file is parsed and the
+// devices come with a two-level network (shared memory inside a node,
+// gigabit Ethernet between nodes); otherwise the named cluster preset is
+// used with a uniform gigabit network.
+func LoadPlatform(machinePath, clusterName string) ([]platform.Device, comm.Network, error) {
+	if machinePath != "" {
+		f, err := os.Open(machinePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		m, err := Parse(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", machinePath, err)
+		}
+		net, err := comm.NewHierarchical(m.NodeOf(), comm.SharedMemory, comm.GigabitEthernet)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m.Devices(), net, nil
+	}
+	devs, err := platform.Cluster(clusterName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return devs, comm.GigabitEthernet, nil
+}

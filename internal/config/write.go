@@ -1,0 +1,105 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"fupermod/internal/platform"
+)
+
+// Write serialises the machine in the format Parse reads. Socket cores are
+// grouped back into one socket line; a Machine whose socket cores were
+// split across nodes cannot be serialised and returns an error.
+func Write(w io.Writer, m *Machine) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# fupermod machine file")
+	for _, n := range m.Nodes {
+		fmt.Fprintf(bw, "node %s\n", n.Name)
+		seenSocket := map[*platform.Socket]bool{}
+		for _, d := range n.Devices {
+			switch dev := d.(type) {
+			case *platform.CPUCore:
+				writeCPU(bw, "cpu", dev, "")
+			case *platform.GPU:
+				fmt.Fprintf(bw, "  gpu %s peak=%g transfer=%g", dev.DevName, dev.Peak, dev.TransferBW)
+				if dev.HostOverhead != 0 {
+					fmt.Fprintf(bw, " overhead=%g", dev.HostOverhead)
+				}
+				if dev.RampD != 0 {
+					fmt.Fprintf(bw, " ramp=%g", dev.RampD)
+				}
+				if dev.MemCapacity != 0 {
+					fmt.Fprintf(bw, " mem=%g ooc=%g", dev.MemCapacity, dev.OOCFactor)
+				}
+				fmt.Fprintln(bw)
+			case *platform.SocketCore:
+				s := dev.Socket()
+				if seenSocket[s] {
+					continue
+				}
+				seenSocket[s] = true
+				if err := checkSocketComplete(n, s); err != nil {
+					return err
+				}
+				proto := socketProto(s)
+				writeCPU(bw, "socket", proto,
+					fmt.Sprintf(" cores=%d contention=%g", s.NumCores(), s.Contention))
+			default:
+				return fmt.Errorf("config: cannot serialise device %T (%s)", d, d.Name())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// socketProto recovers a prototype core from the socket's first core by
+// measuring its solo parameters. The socket exposes its cores, not the
+// prototype, so Write reconstructs it from the first core's name prefix
+// and the socket's public fields; the per-core models are identical by
+// construction.
+func socketProto(s *platform.Socket) *platform.CPUCore {
+	return s.Prototype()
+}
+
+func checkSocketComplete(n Node, s *platform.Socket) error {
+	count := 0
+	for _, d := range n.Devices {
+		if sc, ok := d.(*platform.SocketCore); ok && sc.Socket() == s {
+			count++
+		}
+	}
+	if count != s.NumCores() {
+		return fmt.Errorf("config: node %q holds %d of socket %q's %d cores; cannot serialise a split socket",
+			n.Name, count, s.SockName, s.NumCores())
+	}
+	return nil
+}
+
+func writeCPU(w io.Writer, directive string, c *platform.CPUCore, extra string) {
+	fmt.Fprintf(w, "  %s %s%s peak=%g", directive, c.DevName, extra, c.Peak)
+	if c.Overhead != 0 {
+		fmt.Fprintf(w, " overhead=%g", c.Overhead)
+	}
+	for _, cl := range c.Cliffs {
+		fmt.Fprintf(w, " cliff=%g:%g:%g", cl.At, cl.Width, cl.Drop)
+	}
+	if c.Pg != nil {
+		fmt.Fprintf(w, " paging=%g:%g", c.Pg.At, c.Pg.Severity)
+	}
+	fmt.Fprintln(w)
+}
+
+// ExampleText is a ready-to-parse machine file describing a two-node
+// platform: a fast node with a GPU, and a multicore node with a slow core —
+// the shape of the paper's hybrid clusters. The command-line tools accept
+// it via -machine; tests parse it as a golden input.
+const ExampleText = `# fupermod machine file: two heterogeneous nodes
+node node0
+  cpu xeon0 peak=4200 overhead=1e-4 cliff=3000:500:0.10 cliff=12000:1500:0.15 paging=90000:0.7
+  cpu xeon1 peak=4200 overhead=1e-4 cliff=3000:500:0.10 cliff=12000:1500:0.15 paging=90000:0.7
+  gpu gpu0 peak=26000 transfer=60000 overhead=2e-3 ramp=2500 mem=20000 ooc=2.5
+node node1
+  socket sock0 cores=4 contention=0.25 peak=2400 overhead=1.2e-4 cliff=2000:350:0.12 cliff=9000:1200:0.18 paging=60000:0.8
+  cpu opteron0 peak=850 overhead=3e-4 cliff=900:150:0.15 cliff=4000:600:0.22 paging=22000:0.9
+`

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BuildConfig controls BuildAdaptive.
+type BuildConfig struct {
+	// Lo and Hi bound the problem sizes of interest.
+	Lo, Hi int
+	// RelTol is the target interpolation accuracy: an interval is refined
+	// while the model's prediction at its midpoint differs from a fresh
+	// measurement by more than this relative amount.
+	RelTol float64
+	// BudgetSeconds bounds the total measured kernel time; 0 means no
+	// bound (refine until RelTol holds everywhere or MaxPoints is hit).
+	BudgetSeconds float64
+	// MaxPoints caps the number of measured sizes (default 64).
+	MaxPoints int
+	// Precision is the per-point repetition rule.
+	Precision Precision
+}
+
+func (c BuildConfig) validate() error {
+	switch {
+	case c.Lo <= 0 || c.Hi < c.Lo:
+		return fmt.Errorf("core: adaptive build needs 0 < Lo <= Hi, got [%d, %d]", c.Lo, c.Hi)
+	case c.RelTol <= 0:
+		return fmt.Errorf("core: adaptive build needs a positive RelTol, got %g", c.RelTol)
+	case c.BudgetSeconds < 0:
+		return fmt.Errorf("core: negative budget %g", c.BudgetSeconds)
+	}
+	return c.Precision.Validate()
+}
+
+func (c BuildConfig) maxPoints() int {
+	if c.MaxPoints <= 0 {
+		return 64
+	}
+	return c.MaxPoints
+}
+
+// BuildResult reports an adaptive model construction.
+type BuildResult struct {
+	// Points are the measurements taken, in increasing size order.
+	Points []Point
+	// CostSeconds is the total measured kernel time consumed.
+	CostSeconds float64
+	// WorstRelErr is the largest relative midpoint error observed in the
+	// final refinement round (0 if every interval met RelTol).
+	WorstRelErr float64
+	// Converged reports whether every interval met RelTol before the
+	// budget or the point cap stopped refinement.
+	Converged bool
+}
+
+// BuildAdaptive constructs a model of the kernel's time function to a
+// requested accuracy at minimal benchmarking cost — the paper's framing of
+// model construction "to a given accuracy and cost-effectiveness" (§1).
+//
+// It measures the interval endpoints, then repeatedly bisects the interval
+// whose midpoint the current model predicts worst: the midpoint is
+// measured, compared against the prediction, and added to the model. Flat,
+// well-behaved stretches of the time function are never over-sampled;
+// cliffs and ramps attract points until the model tracks them within
+// RelTol. Refinement stops when every pending interval satisfies RelTol,
+// or the budget/point cap is exhausted (Converged reports which).
+func BuildAdaptive(k Kernel, m Model, cfg BuildConfig) (*BuildResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, errors.New("core: adaptive build needs a model")
+	}
+	res := &BuildResult{}
+	measure := func(d int) (Point, error) {
+		p, err := Benchmark(k, d, cfg.Precision)
+		if err != nil {
+			return Point{}, err
+		}
+		res.CostSeconds += p.Time * float64(p.Reps)
+		res.Points = append(res.Points, p)
+		if err := m.Update(p); err != nil {
+			return Point{}, err
+		}
+		return p, nil
+	}
+	if _, err := measure(cfg.Lo); err != nil {
+		return res, err
+	}
+	if cfg.Hi != cfg.Lo {
+		if _, err := measure(cfg.Hi); err != nil {
+			return res, err
+		}
+	}
+	type interval struct{ lo, hi int }
+	pending := []interval{{cfg.Lo, cfg.Hi}}
+	budgetLeft := func() bool {
+		return cfg.BudgetSeconds == 0 || res.CostSeconds < cfg.BudgetSeconds
+	}
+	for len(pending) > 0 {
+		if len(res.Points) >= cfg.maxPoints() || !budgetLeft() {
+			res.WorstRelErr = math.Max(res.WorstRelErr, cfg.RelTol) // unverified intervals remain
+			sortPoints(res.Points)
+			return res, nil
+		}
+		// Pop the widest pending interval (widest-first keeps coverage
+		// even before errors steer refinement).
+		sort.Slice(pending, func(i, j int) bool {
+			return pending[i].hi-pending[i].lo > pending[j].hi-pending[j].lo
+		})
+		iv := pending[0]
+		pending = pending[1:]
+		mid := iv.lo + (iv.hi-iv.lo)/2
+		if mid == iv.lo || mid == iv.hi {
+			continue // integer grain reached
+		}
+		predicted, err := m.Time(float64(mid))
+		if err != nil {
+			return res, err
+		}
+		p, err := measure(mid)
+		if err != nil {
+			return res, err
+		}
+		rel := math.Abs(predicted-p.Time) / p.Time
+		if rel > res.WorstRelErr {
+			res.WorstRelErr = rel
+		}
+		if rel > cfg.RelTol {
+			// The model was wrong here: both halves need a look.
+			pending = append(pending, interval{iv.lo, mid}, interval{mid, iv.hi})
+		}
+	}
+	res.Converged = true
+	sortPoints(res.Points)
+	return res, nil
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].D < pts[j].D })
+}

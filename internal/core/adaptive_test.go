@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// cliffKernel has a linear time function with a sharp slope change at the
+// cliff size — flat regions need few points, the cliff needs many.
+type cliffKernel struct {
+	cliff int
+}
+
+func (c cliffKernel) Name() string             { return "cliff" }
+func (c cliffKernel) Complexity(d int) float64 { return float64(d) }
+func (c cliffKernel) Setup(d int) (Instance, error) {
+	return cliffInstance{k: c, d: d}, nil
+}
+
+type cliffInstance struct {
+	k cliffKernel
+	d int
+}
+
+func (i cliffInstance) Run() (float64, error) {
+	// A smooth logistic speed cliff: linear (easy) far from the cliff,
+	// strongly curved within a few hundred units of it.
+	d := float64(i.d)
+	c := float64(i.k.cliff)
+	slowdown := 1 + 9/(1+math.Exp(-(d-c)/300))
+	return d * 1e-5 * slowdown, nil
+}
+
+func (i cliffInstance) Close() error { return nil }
+
+// adaptiveModel is a minimal piecewise-linear model for the test (the real
+// ones live in package model, which cannot be imported here).
+type adaptiveModel struct {
+	pts []Point
+}
+
+func (m *adaptiveModel) Name() string { return "test-linear" }
+func (m *adaptiveModel) Update(p Point) error {
+	m.pts = append(m.pts, p)
+	sortPoints(m.pts)
+	return nil
+}
+func (m *adaptiveModel) Points() []Point { return m.pts }
+func (m *adaptiveModel) Time(x float64) (float64, error) {
+	if len(m.pts) == 0 {
+		return 0, ErrEmptyModel
+	}
+	if len(m.pts) == 1 || x <= float64(m.pts[0].D) {
+		return m.pts[0].Time * x / float64(m.pts[0].D), nil
+	}
+	for i := 1; i < len(m.pts); i++ {
+		if x <= float64(m.pts[i].D) {
+			x0, x1 := float64(m.pts[i-1].D), float64(m.pts[i].D)
+			t0, t1 := m.pts[i-1].Time, m.pts[i].Time
+			return t0 + (t1-t0)*(x-x0)/(x1-x0), nil
+		}
+	}
+	last, prev := m.pts[len(m.pts)-1], m.pts[len(m.pts)-2]
+	slope := (last.Time - prev.Time) / float64(last.D-prev.D)
+	return last.Time + slope*(x-float64(last.D)), nil
+}
+
+func adaptivePrec() Precision {
+	return Precision{MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.5}
+}
+
+func TestBuildAdaptiveValidation(t *testing.T) {
+	k := cliffKernel{cliff: 500}
+	m := &adaptiveModel{}
+	bad := []BuildConfig{
+		{Lo: 0, Hi: 10, RelTol: 0.1, Precision: adaptivePrec()},
+		{Lo: 10, Hi: 5, RelTol: 0.1, Precision: adaptivePrec()},
+		{Lo: 1, Hi: 10, RelTol: 0, Precision: adaptivePrec()},
+		{Lo: 1, Hi: 10, RelTol: 0.1, BudgetSeconds: -1, Precision: adaptivePrec()},
+		{Lo: 1, Hi: 10, RelTol: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildAdaptive(k, m, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := BuildAdaptive(k, nil, BuildConfig{Lo: 1, Hi: 10, RelTol: 0.1, Precision: adaptivePrec()}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestBuildAdaptiveConcentratesPointsAtCliff(t *testing.T) {
+	k := cliffKernel{cliff: 5000}
+	m := &adaptiveModel{}
+	res, err := BuildAdaptive(k, m, BuildConfig{
+		Lo: 10, Hi: 10000, RelTol: 0.02, Precision: adaptivePrec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("should converge; worst err %g with %d points", res.WorstRelErr, len(res.Points))
+	}
+	// Points near the cliff should outnumber points in the flat first
+	// half by a clear margin.
+	nearCliff, flat := 0, 0
+	for _, p := range res.Points {
+		if p.D > 4000 && p.D < 6500 {
+			nearCliff++
+		}
+		if p.D < 2500 {
+			flat++
+		}
+	}
+	if nearCliff <= flat {
+		t.Errorf("refinement should concentrate at the cliff: near=%d flat=%d (points %v)",
+			nearCliff, flat, sizesOf(res.Points))
+	}
+	// The final model must track the true time function.
+	for _, x := range []float64{100, 2500, 4900, 5100, 9000} {
+		inst, _ := k.Setup(int(x))
+		truth, _ := inst.Run()
+		got, err := m.Time(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 0.05*truth {
+			t.Errorf("model off at %g: %g vs %g", x, got, truth)
+		}
+	}
+}
+
+func sizesOf(pts []Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.D
+	}
+	return out
+}
+
+func TestBuildAdaptiveCheaperThanUniformForSameAccuracy(t *testing.T) {
+	k := cliffKernel{cliff: 5000}
+	m := &adaptiveModel{}
+	res, err := BuildAdaptive(k, m, BuildConfig{
+		Lo: 10, Hi: 10000, RelTol: 0.02, Precision: adaptivePrec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A uniform grid with the same number of points as the adaptive build
+	// misses the cliff geometry; compare model error at the cliff edge.
+	uniform := &adaptiveModel{}
+	grid := LogSizes(10, 10000, len(res.Points))
+	for _, d := range grid {
+		p, err := Benchmark(k, d, adaptivePrec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := uniform.Update(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := 5200.0
+	inst, _ := k.Setup(int(probe))
+	truth, _ := inst.Run()
+	ta, _ := m.Time(probe)
+	tu, _ := uniform.Time(probe)
+	errA := math.Abs(ta-truth) / truth
+	errU := math.Abs(tu-truth) / truth
+	if errA >= errU {
+		t.Errorf("adaptive (%g) should beat uniform (%g) at the cliff with equal points", errA, errU)
+	}
+}
+
+func TestBuildAdaptiveRespectsBudgetAndCap(t *testing.T) {
+	k := cliffKernel{cliff: 500}
+	m := &adaptiveModel{}
+	res, err := BuildAdaptive(k, m, BuildConfig{
+		Lo: 10, Hi: 100000, RelTol: 1e-9, // unreachable
+		MaxPoints: 9, Precision: adaptivePrec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("unreachable tolerance cannot converge")
+	}
+	if len(res.Points) > 9 {
+		t.Errorf("point cap violated: %d", len(res.Points))
+	}
+	m2 := &adaptiveModel{}
+	res2, err := BuildAdaptive(k, m2, BuildConfig{
+		Lo: 10, Hi: 100000, RelTol: 1e-9,
+		BudgetSeconds: 1e-4, Precision: adaptivePrec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Converged {
+		t.Error("budget-limited build cannot converge at 1e-9 tolerance")
+	}
+	// The two mandatory endpoints alone exceed this tiny budget, so
+	// refinement must stop immediately after them.
+	if len(res2.Points) != 2 {
+		t.Errorf("budget should stop refinement after the endpoints, got %d points", len(res2.Points))
+	}
+}
+
+func TestBuildAdaptiveSingleSize(t *testing.T) {
+	k := cliffKernel{cliff: 500}
+	m := &adaptiveModel{}
+	res, err := BuildAdaptive(k, m, BuildConfig{
+		Lo: 100, Hi: 100, RelTol: 0.1, Precision: adaptivePrec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || !res.Converged {
+		t.Errorf("single-size build: %+v", res)
+	}
+}

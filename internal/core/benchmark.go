@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/stats"
+)
+
+// Benchmark measures the execution time of d computation units of the
+// kernel, repeating the run until the confidence interval of the mean is
+// tight enough (Precision.RelErr at Precision.Confidence), the repetition
+// cap is hit, or the per-point time budget is exhausted. It is the
+// counterpart of fupermod_benchmark.
+//
+// The returned Point records the mean time, the number of repetitions
+// actually taken and the achieved confidence-interval half-width, so
+// callers can tell precise points from budget-truncated ones.
+func Benchmark(k Kernel, d int, prec Precision) (Point, error) {
+	if err := prec.Validate(); err != nil {
+		return Point{}, err
+	}
+	if d <= 0 {
+		return Point{}, fmt.Errorf("core: benchmark of %q needs a positive size, got %d", k.Name(), d)
+	}
+	inst, err := k.Setup(d)
+	if err != nil {
+		return Point{}, fmt.Errorf("core: setup of %q at d=%d: %w", k.Name(), d, err)
+	}
+	defer inst.Close()
+
+	for w := 0; w < prec.Warmup; w++ {
+		if _, err := inst.Run(); err != nil {
+			return Point{}, fmt.Errorf("core: warmup of %q at d=%d: %w", k.Name(), d, err)
+		}
+	}
+	var sum stats.Summary
+	total := 0.0
+	for {
+		t, err := inst.Run()
+		if err != nil {
+			return Point{}, fmt.Errorf("core: run of %q at d=%d (rep %d): %w", k.Name(), d, sum.N()+1, err)
+		}
+		if t < 0 {
+			return Point{}, fmt.Errorf("core: run of %q at d=%d returned negative time %g", k.Name(), d, t)
+		}
+		sum.Add(t)
+		total += t
+		if sum.N() < prec.MinReps {
+			continue
+		}
+		if sum.N() >= prec.MaxReps {
+			break
+		}
+		if prec.MaxSeconds > 0 && total >= prec.MaxSeconds {
+			break
+		}
+		if sum.N() < 2 {
+			// A single observation has no confidence interval; take
+			// another repetition before judging precision.
+			continue
+		}
+		rel, err := sum.RelCI(prec.Confidence)
+		if err != nil {
+			return Point{}, err
+		}
+		if rel <= prec.RelErr {
+			break
+		}
+	}
+	ci := 0.0
+	if sum.N() >= 2 {
+		if ci, err = sum.CI(prec.Confidence); err != nil {
+			return Point{}, err
+		}
+	}
+	return Point{D: d, Time: sum.Mean(), Reps: sum.N(), CI: ci}, nil
+}
+
+// BenchmarkCost reports the total measured kernel time a benchmark of the
+// given points consumed: Σ Time×Reps. Experiment E3 uses it to compare the
+// cost of building full models against dynamic partial estimation.
+func BenchmarkCost(points []Point) float64 {
+	c := 0.0
+	for _, p := range points {
+		c += p.Time * float64(p.Reps)
+	}
+	return c
+}
+
+// Sweep benchmarks the kernel at each of the given sizes and returns the
+// points in the same order. It stops at the first error.
+func Sweep(k Kernel, sizes []int, prec Precision) ([]Point, error) {
+	pts := make([]Point, 0, len(sizes))
+	for _, d := range sizes {
+		p, err := Benchmark(k, d, prec)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// LogSizes returns n problem sizes spread geometrically over [lo, hi],
+// deduplicated and sorted — the usual sampling grid for building a full
+// functional performance model.
+func LogSizes(lo, hi, n int) []int {
+	if n <= 0 || lo <= 0 || hi < lo {
+		return nil
+	}
+	if n == 1 {
+		return []int{lo}
+	}
+	ratio := float64(hi) / float64(lo)
+	out := make([]int, 0, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		f := float64(lo) * math.Pow(ratio, float64(i)/float64(n-1))
+		d := int(f + 0.5)
+		if d <= prev {
+			d = prev + 1
+		}
+		if d > hi && i < n-1 {
+			d = hi
+		}
+		if d != prev {
+			out = append(out, d)
+			prev = d
+		}
+	}
+	return out
+}

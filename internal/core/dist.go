@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Part is one process's share of the workload: d computation units with a
+// predicted computing time; it mirrors fupermod_part.
+type Part struct {
+	// D is the workload assigned to the process, in computation units.
+	D int
+	// Time is the predicted computing time of the workload in seconds
+	// (0 when no model was consulted, e.g. for even distributions).
+	Time float64
+}
+
+// Dist is a distribution of a total problem size over processes; it mirrors
+// fupermod_dist.
+type Dist struct {
+	// D is the total problem size in computation units.
+	D int
+	// Parts holds one entry per process, in process-rank order.
+	Parts []Part
+}
+
+// NewEvenDist distributes D units over n processes as evenly as integers
+// allow (the first D mod n processes receive one extra unit). It is the
+// canonical starting distribution of the dynamic algorithms.
+func NewEvenDist(D, n int) (*Dist, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: distribution needs at least one process, got %d", n)
+	}
+	if D < 0 {
+		return nil, fmt.Errorf("core: negative problem size %d", D)
+	}
+	d := &Dist{D: D, Parts: make([]Part, n)}
+	base, extra := D/n, D%n
+	for i := range d.Parts {
+		d.Parts[i].D = base
+		if i < extra {
+			d.Parts[i].D++
+		}
+	}
+	return d, nil
+}
+
+// Validate checks the structural invariant Σ parts = D with all parts
+// non-negative.
+func (d *Dist) Validate() error {
+	sum := 0
+	for i, p := range d.Parts {
+		if p.D < 0 {
+			return fmt.Errorf("core: part %d negative (%d)", i, p.D)
+		}
+		sum += p.D
+	}
+	if sum != d.D {
+		return fmt.Errorf("core: parts sum to %d, want %d", sum, d.D)
+	}
+	return nil
+}
+
+// Sizes returns the part sizes as a slice.
+func (d *Dist) Sizes() []int {
+	out := make([]int, len(d.Parts))
+	for i, p := range d.Parts {
+		out[i] = p.D
+	}
+	return out
+}
+
+// MaxTime returns the largest predicted part time (the predicted makespan).
+func (d *Dist) MaxTime() float64 {
+	m := 0.0
+	for _, p := range d.Parts {
+		if p.Time > m {
+			m = p.Time
+		}
+	}
+	return m
+}
+
+// Imbalance returns max/min over the predicted non-zero part times; 1 means
+// perfectly balanced. Parts with zero workload are ignored. It returns +Inf
+// if some loaded part has zero predicted time, and 1 if fewer than two
+// parts carry load.
+func (d *Dist) Imbalance() float64 {
+	minT, maxT := math.Inf(1), 0.0
+	loaded := 0
+	for _, p := range d.Parts {
+		if p.D == 0 {
+			continue
+		}
+		loaded++
+		if p.Time < minT {
+			minT = p.Time
+		}
+		if p.Time > maxT {
+			maxT = p.Time
+		}
+	}
+	if loaded < 2 {
+		return 1
+	}
+	if minT == 0 {
+		return math.Inf(1)
+	}
+	return maxT / minT
+}
+
+// Copy returns a deep copy of the distribution (fupermod_dist_copy).
+func (d *Dist) Copy() *Dist {
+	return &Dist{D: d.D, Parts: append([]Part(nil), d.Parts...)}
+}
+
+// MaxRelChange returns the largest relative change of a part size between
+// d and prev, |d_i − prev_i| / max(1, prev_i). The dynamic partitioner uses
+// it as its termination criterion (stop when below eps). The distributions
+// must have the same number of parts.
+func (d *Dist) MaxRelChange(prev *Dist) (float64, error) {
+	if len(d.Parts) != len(prev.Parts) {
+		return 0, fmt.Errorf("core: comparing distributions of %d and %d parts", len(d.Parts), len(prev.Parts))
+	}
+	m := 0.0
+	for i := range d.Parts {
+		den := math.Max(1, float64(prev.Parts[i].D))
+		if r := math.Abs(float64(d.Parts[i].D-prev.Parts[i].D)) / den; r > m {
+			m = r
+		}
+	}
+	return m, nil
+}
+
+// String renders the distribution compactly for traces:
+// "D=1000 [250:0.12s 750:0.13s]".
+func (d *Dist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "D=%d [", d.D)
+	for i, p := range d.Parts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.4gs", p.D, p.Time)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Partitioner is a model-based data partitioning algorithm: it distributes
+// D computation units over the processes described by models. It mirrors
+// the fupermod_partition function type. Implementations must return a Dist
+// that satisfies Validate.
+type Partitioner interface {
+	// Name identifies the algorithm, e.g. "geometric".
+	Name() string
+	// Partition computes the distribution.
+	Partition(models []Model, D int) (*Dist, error)
+}
+
+// PartitionerFunc adapts a function to the Partitioner interface.
+type PartitionerFunc struct {
+	// AlgoName is returned by Name.
+	AlgoName string
+	// Func computes the distribution.
+	Func func(models []Model, D int) (*Dist, error)
+}
+
+// Name implements Partitioner.
+func (p PartitionerFunc) Name() string { return p.AlgoName }
+
+// Partition implements Partitioner.
+func (p PartitionerFunc) Partition(models []Model, D int) (*Dist, error) {
+	return p.Func(models, D)
+}

@@ -1,0 +1,130 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// Balancer implements dynamic load balancing of an iterative application
+// (fupermod_balance_iterate; Clarke–Lastovetsky–Rychkov, PPL 2011). The
+// application times each of its own iterations per process and feeds the
+// observations in; the balancer refines the partial models and proposes a
+// new distribution for the next iteration. It is the engine of the paper's
+// Jacobi demo (Fig. 4 and the source listing in §4.4).
+type Balancer struct {
+	algo   core.Partitioner
+	models []core.Model
+	dist   *core.Dist
+	// minGain suppresses redistribution when the predicted makespan
+	// improvement is below this relative threshold, avoiding data
+	// movement for negligible gains.
+	minGain float64
+}
+
+// NewBalancer creates a load balancer for n processes over a total problem
+// size D, starting from the even distribution. minGain is the relative
+// predicted-makespan improvement required before a redistribution is
+// proposed; 0 redistributes on any improvement.
+func NewBalancer(cfg Config, D, n int, minGain float64) (*Balancer, error) {
+	if err := cfg.validate(false); err != nil {
+		return nil, err
+	}
+	if minGain < 0 {
+		return nil, fmt.Errorf("dynamic: negative minGain %g", minGain)
+	}
+	dist, err := core.NewEvenDist(D, n)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]core.Model, n)
+	for i := range models {
+		models[i] = cfg.NewModel()
+	}
+	return &Balancer{algo: cfg.Algorithm, models: models, dist: dist, minGain: minGain}, nil
+}
+
+// Dist returns the distribution the application should use for its next
+// iteration.
+func (b *Balancer) Dist() *core.Dist { return b.dist.Copy() }
+
+// Models exposes the partial models (for tracing).
+func (b *Balancer) Models() []core.Model { return b.models }
+
+// Observe feeds the measured times of one application iteration, one entry
+// per process, each the time that process spent computing its current
+// share. It updates the partial models, re-runs the partitioner and adopts
+// the new distribution if the predicted makespan improves by at least
+// minGain. It reports whether the distribution changed.
+func (b *Balancer) Observe(times []float64) (bool, error) {
+	n := len(b.models)
+	if len(times) != n {
+		return false, fmt.Errorf("dynamic: observed %d times for %d processes", len(times), n)
+	}
+	for i, t := range times {
+		d := b.dist.Parts[i].D
+		if d <= 0 {
+			continue // starved process measured nothing
+		}
+		if t <= 0 {
+			return false, fmt.Errorf("dynamic: process %d observed non-positive time %g", i, t)
+		}
+		if err := b.models[i].Update(core.Point{D: d, Time: t, Reps: 1}); err != nil {
+			return false, fmt.Errorf("dynamic: updating model %d: %w", i, err)
+		}
+	}
+	next, err := b.algo.Partition(b.models, b.dist.D)
+	if err != nil {
+		return false, fmt.Errorf("dynamic: balancing: %w", err)
+	}
+	if !b.shouldAdopt(next) {
+		return false, nil
+	}
+	changed := false
+	for i := range next.Parts {
+		if next.Parts[i].D != b.dist.Parts[i].D {
+			changed = true
+			break
+		}
+	}
+	b.dist = next
+	return changed, nil
+}
+
+// shouldAdopt compares the predicted makespan of the proposal against the
+// predicted makespan of keeping the current distribution.
+func (b *Balancer) shouldAdopt(next *core.Dist) bool {
+	if b.minGain == 0 {
+		return true
+	}
+	cur, err := b.predictMakespan(b.dist)
+	if err != nil {
+		return true // no usable prediction yet: adopt
+	}
+	prop, err := b.predictMakespan(next)
+	if err != nil {
+		return true
+	}
+	return prop < cur*(1-b.minGain)
+}
+
+func (b *Balancer) predictMakespan(d *core.Dist) (float64, error) {
+	worst := 0.0
+	for i, p := range d.Parts {
+		if p.D == 0 {
+			continue
+		}
+		t, err := b.models[i].Time(float64(p.D))
+		if err != nil {
+			return 0, err
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	if worst == 0 {
+		return 0, errors.New("dynamic: no prediction")
+	}
+	return worst, nil
+}

@@ -1,0 +1,140 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fupermod/internal/core"
+)
+
+// BandsResult is the outcome of PartitionBands.
+type BandsResult struct {
+	// Dist is the final distribution.
+	Dist *core.Dist
+	// Steps is the number of measure–partition rounds taken.
+	Steps int
+	// BenchmarkSeconds is the total measured kernel time consumed.
+	BenchmarkSeconds float64
+	// Uncertainty is the final certified bound: the sum over processes of
+	// the size interval within which each balance point is known to lie,
+	// relative to D. The true optimum's shares differ from Dist by at
+	// most this fraction of D in aggregate.
+	Uncertainty float64
+	// Certified reports whether Uncertainty ≤ cfg.Eps was reached.
+	Certified bool
+}
+
+// PartitionBands is the partial-estimation partitioning of Lastovetsky and
+// Reddy (Euro-Par 2009 — the paper's reference [11]): like
+// PartitionDynamic it measures only at the sizes the evolving partition
+// proposes, but its termination criterion is a *certificate* derived from
+// time-function monotonicity. Between two measured sizes x_k < x_{k+1}
+// the (monotone) time function is bracketed by [t_k, t_{k+1}], so after a
+// candidate partition is computed, the size at which each process's time
+// equals the common balance time is known to lie between the measured
+// sizes bracketing its share. The algorithm stops when the sum of those
+// bracket widths falls below Eps·D — the distribution is then provably
+// within Eps·D units (in aggregate) of the exact balance point — and
+// otherwise benchmarks each process at its proposed share, which splits
+// the widest brackets.
+func PartitionBands(kernelSet []core.Kernel, D int, cfg Config) (*BandsResult, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	n := len(kernelSet)
+	if n == 0 {
+		return nil, errors.New("dynamic: no kernels")
+	}
+	if D < n {
+		return nil, fmt.Errorf("dynamic: problem size %d smaller than process count %d", D, n)
+	}
+	models := make([]core.Model, n)
+	measured := make([][]int, n) // sorted measured sizes per process
+	for i := range models {
+		models[i] = cfg.NewModel()
+	}
+	res := &BandsResult{}
+	dist, err := core.NewEvenDist(D, n)
+	if err != nil {
+		return nil, err
+	}
+	probe := func(i, d int) error {
+		if d < 1 {
+			d = 1
+		}
+		if hasSize(measured[i], d) {
+			return nil // bracket cannot shrink by re-measuring the same size
+		}
+		p, err := core.Benchmark(kernelSet[i], d, cfg.Precision)
+		if err != nil {
+			return err
+		}
+		res.BenchmarkSeconds += p.Time * float64(p.Reps)
+		if err := models[i].Update(p); err != nil {
+			return err
+		}
+		measured[i] = insertSize(measured[i], d)
+		return nil
+	}
+	for step := 0; step < cfg.maxIters(); step++ {
+		res.Steps = step + 1
+		for i := range kernelSet {
+			if err := probe(i, dist.Parts[i].D); err != nil {
+				return res, fmt.Errorf("dynamic: bands step %d: %w", step, err)
+			}
+		}
+		next, err := cfg.Algorithm.Partition(models, D)
+		if err != nil {
+			return res, fmt.Errorf("dynamic: bands step %d: %w", step, err)
+		}
+		dist = next
+		res.Dist = dist
+		// Certificate: bracket width around each share.
+		total := 0.0
+		for i, part := range dist.Parts {
+			total += bracketWidth(measured[i], part.D, D)
+		}
+		res.Uncertainty = total / float64(D)
+		if res.Uncertainty <= cfg.Eps {
+			res.Certified = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// bracketWidth returns the width of the measured-size bracket around d,
+// capped at the problem size (a share can never exceed D).
+func bracketWidth(sizes []int, d, D int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	i := sort.SearchInts(sizes, d)
+	if i < len(sizes) && sizes[i] == d {
+		return 0 // exactly measured
+	}
+	lo := 0
+	if i > 0 {
+		lo = sizes[i-1]
+	}
+	hi := D
+	if i < len(sizes) {
+		hi = sizes[i]
+	}
+	return math.Max(0, float64(hi-lo))
+}
+
+func hasSize(sizes []int, d int) bool {
+	i := sort.SearchInts(sizes, d)
+	return i < len(sizes) && sizes[i] == d
+}
+
+func insertSize(sizes []int, d int) []int {
+	i := sort.SearchInts(sizes, d)
+	sizes = append(sizes, 0)
+	copy(sizes[i+1:], sizes[i:])
+	sizes[i] = d
+	return sizes
+}

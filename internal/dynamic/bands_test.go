@@ -1,0 +1,151 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"fupermod/internal/platform"
+)
+
+func TestPartitionBandsValidation(t *testing.T) {
+	ks := virtualKernels(t, platform.HCLCluster()[:2], platform.Quiet, 1)
+	if _, err := PartitionBands(nil, 1000, defaultCfg()); err == nil {
+		t.Error("no kernels should error")
+	}
+	if _, err := PartitionBands(ks, 1, defaultCfg()); err == nil {
+		t.Error("D < n should error")
+	}
+	bad := defaultCfg()
+	bad.Algorithm = nil
+	if _, err := PartitionBands(ks, 1000, bad); err == nil {
+		t.Error("nil algorithm should error")
+	}
+}
+
+func TestPartitionBandsCertifies(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	ks := virtualKernels(t, devs, platform.Quiet, 1)
+	cfg := defaultCfg()
+	cfg.Eps = 0.05
+	cfg.MaxIters = 40
+	res, err := PartitionBands(ks, 20000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Fatalf("should certify within %d steps; uncertainty %g", res.Steps, res.Uncertainty)
+	}
+	if res.Uncertainty > cfg.Eps {
+		t.Errorf("certified but uncertainty %g > eps %g", res.Uncertainty, cfg.Eps)
+	}
+	if err := res.Dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The certificate must be honest: true balance shares lie within the
+	// claimed aggregate distance of the result. Compute the true optimum
+	// by bisecting the noiseless device times directly.
+	trueShare := trueBalanceShare(devs, 20000)
+	diff := math.Abs(float64(res.Dist.Parts[0].D) - trueShare)
+	if diff > res.Uncertainty*20000+1 {
+		t.Errorf("certificate violated: |%d − %g| = %g > %g",
+			res.Dist.Parts[0].D, trueShare, diff, res.Uncertainty*20000)
+	}
+	// And the distribution should actually balance well.
+	t0 := devs[0].BaseTime(float64(res.Dist.Parts[0].D))
+	t1 := devs[1].BaseTime(float64(res.Dist.Parts[1].D))
+	if r := math.Max(t0, t1) / math.Min(t0, t1); r > 1.2 {
+		t.Errorf("true imbalance %g", r)
+	}
+}
+
+// trueBalanceShare finds device 0's share of D at which both noiseless
+// device times are equal (two devices only).
+func trueBalanceShare(devs []platform.Device, D int) float64 {
+	lo, hi := 0.0, float64(D)
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if devs[0].BaseTime(mid) < devs[1].BaseTime(float64(D)-mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func TestPartitionBandsUncertaintyShrinks(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.NetlibBLASCore(), platform.SlowCore("b")}
+	ks := virtualKernels(t, devs, platform.Quiet, 2)
+	// Loose eps converges in fewer steps with more uncertainty than a
+	// tight one; uncertainty must be monotone in eps.
+	loose := defaultCfg()
+	loose.Eps = 0.2
+	loose.MaxIters = 40
+	tight := defaultCfg()
+	tight.Eps = 0.02
+	tight.MaxIters = 40
+	rl, err := PartitionBands(ks, 30000, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := PartitionBands(ks, 30000, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rl.Certified || !rt.Certified {
+		t.Fatalf("both should certify: loose %v (%g), tight %v (%g)",
+			rl.Certified, rl.Uncertainty, rt.Certified, rt.Uncertainty)
+	}
+	if rt.Uncertainty > rl.Uncertainty {
+		t.Errorf("tight eps should end with lower uncertainty: %g vs %g", rt.Uncertainty, rl.Uncertainty)
+	}
+	if rt.Steps < rl.Steps {
+		t.Errorf("tight eps should need at least as many steps: %d vs %d", rt.Steps, rl.Steps)
+	}
+	if rt.BenchmarkSeconds < rl.BenchmarkSeconds {
+		t.Errorf("tight eps should cost at least as much: %g vs %g", rt.BenchmarkSeconds, rl.BenchmarkSeconds)
+	}
+}
+
+func TestBracketWidth(t *testing.T) {
+	sizes := []int{100, 500, 2000}
+	cases := []struct {
+		d    int
+		want float64
+	}{
+		{100, 0},     // exactly measured
+		{50, 100},    // below first: [0, 100]
+		{300, 400},   // between 100 and 500
+		{5000, 8000}, // above last: [2000, D]
+	}
+	for _, c := range cases {
+		if got := bracketWidth(sizes, c.d, 10000); got != c.want {
+			t.Errorf("bracketWidth(%d) = %g, want %g", c.d, got, c.want)
+		}
+	}
+	if got := bracketWidth(sizes, 0, 10000); got != 0 {
+		t.Errorf("d=0 width = %g, want 0", got)
+	}
+	if got := bracketWidth(nil, 7, 100); got != 100 {
+		t.Errorf("empty sizes width = %g, want D", got)
+	}
+}
+
+func TestInsertAndHasSize(t *testing.T) {
+	s := []int{}
+	for _, d := range []int{5, 1, 9, 3} {
+		s = insertSize(s, d)
+	}
+	want := []int{1, 3, 5, 9}
+	for i, v := range want {
+		if s[i] != v {
+			t.Fatalf("sorted insert wrong: %v", s)
+		}
+	}
+	if !hasSize(s, 5) || hasSize(s, 4) {
+		t.Error("hasSize wrong")
+	}
+}

@@ -1,0 +1,163 @@
+// Package dynamic implements FuPerMod's algorithms that need no a-priori
+// performance models (paper §4.4): dynamic data partitioning, which
+// iteratively benchmarks the kernel at the sizes the current partition
+// proposes and refines *partial* functional performance models until the
+// distribution stabilises; and dynamic load balancing, which drives the
+// same loop with the observed times of the application's real iterations
+// (the Jacobi use case, paper Fig. 4).
+//
+// Both are built on the interfaces of package core: any model kind can be
+// estimated partially and any partitioning algorithm can consume the
+// partial estimates — the paper pairs piecewise-linear partial FPMs with
+// the geometric algorithm (Fig. 3).
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// Config parametrises the dynamic algorithms.
+type Config struct {
+	// Algorithm is the model-based partitioner invoked at every step.
+	Algorithm core.Partitioner
+	// NewModel constructs one empty partial model per process.
+	NewModel func() core.Model
+	// Precision controls the benchmarks of dynamic partitioning
+	// (unused by the load balancer, which times real iterations).
+	Precision core.Precision
+	// Eps is the termination threshold of dynamic partitioning: stop
+	// when no part changes by more than this relative amount.
+	Eps float64
+	// MaxIters caps the iterations of dynamic partitioning (default 20).
+	MaxIters int
+}
+
+func (c Config) validate(needPrecision bool) error {
+	if c.Algorithm == nil {
+		return errors.New("dynamic: config needs a partitioning algorithm")
+	}
+	if c.NewModel == nil {
+		return errors.New("dynamic: config needs a model constructor")
+	}
+	if needPrecision {
+		if err := c.Precision.Validate(); err != nil {
+			return err
+		}
+		if c.Eps <= 0 {
+			return fmt.Errorf("dynamic: eps must be positive, got %g", c.Eps)
+		}
+	}
+	return nil
+}
+
+func (c Config) maxIters() int {
+	if c.MaxIters <= 0 {
+		return 20
+	}
+	return c.MaxIters
+}
+
+// Step records one iteration of a dynamic run: the distribution proposed
+// and, for dynamic partitioning, the benchmark points measured for it.
+type Step struct {
+	// Dist is the distribution after this step.
+	Dist *core.Dist
+	// Points holds the new measurement of each process at this step
+	// (index = rank).
+	Points []core.Point
+	// Change is the max relative part change versus the previous step.
+	Change float64
+	// ModelPoints is the total number of distinct measurement points
+	// across all partial models after this step (repeated measurements
+	// of the same size merge into one point).
+	ModelPoints int
+}
+
+// Result is the outcome of PartitionDynamic.
+type Result struct {
+	// Dist is the final distribution.
+	Dist *core.Dist
+	// Models are the partial models built along the way.
+	Models []core.Model
+	// Steps traces every iteration (paper Fig. 3 is exactly this trace).
+	Steps []Step
+	// Converged reports whether Eps was reached within MaxIters.
+	Converged bool
+	// BenchmarkSeconds is the total measured kernel time consumed — the
+	// cost the dynamic approach is designed to minimise versus building
+	// full models (paper §4.3–4.4, experiment E3).
+	BenchmarkSeconds float64
+}
+
+// PartitionDynamic distributes D computation units over the processes
+// whose kernels are given, with no prior performance information
+// (fupermod_partition_iterate driven to convergence). Starting from the
+// even distribution, each iteration benchmarks every kernel at its current
+// share, adds the point to that process's partial model, and re-partitions;
+// it stops when the distribution moves by less than cfg.Eps or MaxIters is
+// reached.
+func PartitionDynamic(kernelSet []core.Kernel, D int, cfg Config) (*Result, error) {
+	if err := cfg.validate(true); err != nil {
+		return nil, err
+	}
+	n := len(kernelSet)
+	if n == 0 {
+		return nil, errors.New("dynamic: no kernels")
+	}
+	if D < n {
+		return nil, fmt.Errorf("dynamic: problem size %d smaller than process count %d", D, n)
+	}
+	models := make([]core.Model, n)
+	for i := range models {
+		models[i] = cfg.NewModel()
+	}
+	dist, err := core.NewEvenDist(D, n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Models: models}
+	for it := 0; it < cfg.maxIters(); it++ {
+		pts := make([]core.Point, n)
+		for i, k := range kernelSet {
+			d := dist.Parts[i].D
+			if d < 1 {
+				// A process the partitioner starved still needs a model
+				// point; probe the smallest size instead.
+				d = 1
+			}
+			p, err := core.Benchmark(k, d, cfg.Precision)
+			if err != nil {
+				return res, fmt.Errorf("dynamic: iteration %d: %w", it, err)
+			}
+			pts[i] = p
+			res.BenchmarkSeconds += p.Time * float64(p.Reps)
+			if err := models[i].Update(p); err != nil {
+				return res, fmt.Errorf("dynamic: iteration %d: updating model %d: %w", it, i, err)
+			}
+		}
+		next, err := cfg.Algorithm.Partition(models, D)
+		if err != nil {
+			return res, fmt.Errorf("dynamic: iteration %d: %w", it, err)
+		}
+		change, err := next.MaxRelChange(dist)
+		if err != nil {
+			return res, err
+		}
+		dist = next
+		totalPts := 0
+		for _, m := range models {
+			totalPts += len(m.Points())
+		}
+		res.Steps = append(res.Steps, Step{Dist: dist.Copy(), Points: pts, Change: change, ModelPoints: totalPts})
+		res.Dist = dist
+		if change <= cfg.Eps {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	res.Dist = dist
+	return res, nil
+}

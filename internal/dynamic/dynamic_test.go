@@ -1,0 +1,325 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+func virtualKernels(t *testing.T, devs []platform.Device, noise platform.NoiseConfig, seed int64) []core.Kernel {
+	t.Helper()
+	ks, err := kernels.VirtualSet(devs, noise, 4.2e6, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func defaultCfg() Config {
+	return Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+		Precision: core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05},
+		Eps:       0.02,
+		MaxIters:  25,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ks := virtualKernels(t, platform.HCLCluster()[:2], platform.Quiet, 1)
+	bad := defaultCfg()
+	bad.Algorithm = nil
+	if _, err := PartitionDynamic(ks, 1000, bad); err == nil {
+		t.Error("nil algorithm should error")
+	}
+	bad = defaultCfg()
+	bad.NewModel = nil
+	if _, err := PartitionDynamic(ks, 1000, bad); err == nil {
+		t.Error("nil model constructor should error")
+	}
+	bad = defaultCfg()
+	bad.Eps = 0
+	if _, err := PartitionDynamic(ks, 1000, bad); err == nil {
+		t.Error("zero eps should error")
+	}
+	bad = defaultCfg()
+	bad.Precision = core.Precision{}
+	if _, err := PartitionDynamic(ks, 1000, bad); err == nil {
+		t.Error("invalid precision should error")
+	}
+	if _, err := PartitionDynamic(nil, 1000, defaultCfg()); err == nil {
+		t.Error("no kernels should error")
+	}
+	if _, err := PartitionDynamic(ks, 1, defaultCfg()); err == nil {
+		t.Error("D smaller than process count should error")
+	}
+}
+
+func TestPartitionDynamicConvergesNoiseless(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+	}
+	ks := virtualKernels(t, devs, platform.Quiet, 1)
+	res, err := PartitionDynamic(ks, 20000, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("should converge; steps=%d", len(res.Steps))
+	}
+	if err := res.Dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// True balance check: both devices take about the same time.
+	t0 := devs[0].BaseTime(float64(res.Dist.Parts[0].D))
+	t1 := devs[1].BaseTime(float64(res.Dist.Parts[1].D))
+	if r := math.Max(t0, t1) / math.Min(t0, t1); r > 1.10 {
+		t.Errorf("true imbalance after dynamic partitioning = %g (parts %v)", r, res.Dist.Sizes())
+	}
+	// Few steps: the whole point is cost efficiency.
+	if len(res.Steps) > 15 {
+		t.Errorf("took %d steps, expected a few", len(res.Steps))
+	}
+	if res.BenchmarkSeconds <= 0 {
+		t.Error("benchmark cost should be recorded")
+	}
+}
+
+func TestPartitionDynamicWithNoiseAndGPU(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.DefaultGPU("gpu"),
+		platform.SlowCore("slow"),
+	}
+	ks := virtualKernels(t, devs, platform.DefaultNoise, 42)
+	cfg := defaultCfg()
+	cfg.Eps = 0.05
+	res, err := PartitionDynamic(ks, 30000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// GPU must end up with the largest share.
+	if !(res.Dist.Parts[1].D > res.Dist.Parts[0].D && res.Dist.Parts[1].D > res.Dist.Parts[2].D) {
+		t.Errorf("gpu should dominate: %v", res.Dist.Sizes())
+	}
+	// Steps were traced with points.
+	if len(res.Steps) == 0 || len(res.Steps[0].Points) != 3 {
+		t.Error("steps should carry the measured points")
+	}
+}
+
+func TestPartitionDynamicCheaperThanFullModel(t *testing.T) {
+	// E3's claim in miniature: partial estimation must consume much less
+	// benchmark time than building full FPMs over a log grid.
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	ks := virtualKernels(t, devs, platform.Quiet, 3)
+	res, err := PartitionDynamic(ks, 20000, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCost := 0.0
+	prec := defaultCfg().Precision
+	for _, k := range virtualKernels(t, devs, platform.Quiet, 3) {
+		pts, err := core.Sweep(k, core.LogSizes(16, 20000, 25), prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullCost += core.BenchmarkCost(pts)
+	}
+	if res.BenchmarkSeconds >= fullCost {
+		t.Errorf("dynamic cost %g should undercut full-model cost %g", res.BenchmarkSeconds, fullCost)
+	}
+}
+
+func TestPartitionDynamicKernelFailure(t *testing.T) {
+	ks := virtualKernels(t, platform.HCLCluster()[:2], platform.Quiet, 1)
+	ks[1] = failingKernel{}
+	if _, err := PartitionDynamic(ks, 1000, defaultCfg()); err == nil {
+		t.Error("kernel failure should propagate")
+	}
+}
+
+type failingKernel struct{}
+
+func (failingKernel) Name() string                       { return "fail" }
+func (failingKernel) Complexity(d int) float64           { return 1 }
+func (failingKernel) Setup(d int) (core.Instance, error) { return nil, errSetup }
+
+var errSetup = &setupError{}
+
+type setupError struct{}
+
+func (*setupError) Error() string { return "setup failed" }
+
+func TestBalancerConvergesJacobiStyle(t *testing.T) {
+	// Simulate the paper's Fig. 4 loop: 8 heterogeneous processes, even
+	// start, observe real iteration times from the devices, rebalance.
+	devs := platform.JacobiCluster()
+	cfg := defaultCfg()
+	b, err := NewBalancer(cfg, 20000, len(devs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalanceAt := func(d *core.Dist) float64 {
+		lo, hi := math.Inf(1), 0.0
+		for i, p := range d.Parts {
+			if p.D == 0 {
+				continue
+			}
+			tt := devs[i].BaseTime(float64(p.D))
+			lo = math.Min(lo, tt)
+			hi = math.Max(hi, tt)
+		}
+		return hi / lo
+	}
+	first := imbalanceAt(b.Dist())
+	var last float64
+	for it := 0; it < 10; it++ {
+		d := b.Dist()
+		times := make([]float64, len(devs))
+		for i, p := range d.Parts {
+			times[i] = devs[i].BaseTime(float64(p.D))
+		}
+		if _, err := b.Observe(times); err != nil {
+			t.Fatal(err)
+		}
+		last = imbalanceAt(b.Dist())
+	}
+	if first < 2 {
+		t.Fatalf("test platform not heterogeneous enough: initial imbalance %g", first)
+	}
+	if last > 1.15 {
+		t.Errorf("balancer should converge: imbalance %g → %g", first, last)
+	}
+}
+
+func TestBalancerValidation(t *testing.T) {
+	cfg := defaultCfg()
+	if _, err := NewBalancer(cfg, 100, 0, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewBalancer(cfg, 100, 2, -1); err == nil {
+		t.Error("negative minGain should error")
+	}
+	b, err := NewBalancer(cfg, 100, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Observe([]float64{1}); err == nil {
+		t.Error("wrong times length should error")
+	}
+	if _, err := b.Observe([]float64{1, -1}); err == nil {
+		t.Error("negative time should error")
+	}
+	if len(b.Models()) != 2 {
+		t.Error("models accessor wrong")
+	}
+}
+
+func TestBalancerMinGainSuppressesThrash(t *testing.T) {
+	// Two identical processes: after the first observation the even
+	// distribution is already optimal; with a minGain the balancer must
+	// not keep proposing changes.
+	cfg := defaultCfg()
+	b, err := NewBalancer(cfg, 10000, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := platform.FastCore("f")
+	changes := 0
+	for it := 0; it < 5; it++ {
+		d := b.Dist()
+		times := []float64{
+			dev.BaseTime(float64(d.Parts[0].D)),
+			dev.BaseTime(float64(d.Parts[1].D)),
+		}
+		changed, err := b.Observe(times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			changes++
+		}
+	}
+	if changes != 0 {
+		t.Errorf("identical devices should never trigger redistribution, got %d changes", changes)
+	}
+}
+
+func TestBalancerStarvedProcess(t *testing.T) {
+	// A process with zero share reports no time; Observe must cope.
+	cfg := defaultCfg()
+	cfg.Algorithm = core.PartitionerFunc{
+		AlgoName: "starver",
+		Func: func(models []core.Model, D int) (*core.Dist, error) {
+			return &core.Dist{D: D, Parts: []core.Part{{D: D}, {D: 0}}}, nil
+		},
+	}
+	b, err := NewBalancer(cfg, 100, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Observe([]float64{1.0, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Second round: part 1 is starved, its time is ignored even if zero.
+	if _, err := b.Observe([]float64{1.0, 0}); err != nil {
+		t.Fatalf("starved process zero time should be tolerated: %v", err)
+	}
+}
+
+func TestPartitionDynamicHitsIterationCap(t *testing.T) {
+	// Extremely noisy kernels with a microscopic eps cannot converge; the
+	// loop must stop at MaxIters and report Converged=false.
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	ks, err := kernels.VirtualSet(devs, platform.NoiseConfig{Rel: 0.5}, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg()
+	cfg.Eps = 1e-9
+	cfg.MaxIters = 4
+	res, err := PartitionDynamic(ks, 10000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("should not converge under extreme noise and tiny eps")
+	}
+	if len(res.Steps) != 4 {
+		t.Errorf("steps = %d, want MaxIters", len(res.Steps))
+	}
+	if err := res.Dist.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBandsHitsIterationCap(t *testing.T) {
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultCfg()
+	cfg.Eps = 1e-12 // unreachable: brackets cannot shrink below integer grain
+	cfg.MaxIters = 3
+	res, err := PartitionBands(ks, 10000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certified {
+		t.Error("cannot certify an impossible eps")
+	}
+	if res.Steps != 3 {
+		t.Errorf("steps = %d, want 3", res.Steps)
+	}
+}

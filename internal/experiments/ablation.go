@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// Ablations probe the framework's own design choices (DESIGN.md §4):
+//
+//	A1  does coarsening cost partition quality? (piecewise-coarsened vs
+//	    raw-Akima time functions under the same τ-bisection)
+//	A2  how often does Newton converge, and what does the τ-bisection
+//	    fallback cost/gain? (the numerical partitioner's two stages)
+//	A3  flat vs ring allgather: where is the crossover that justified
+//	    keeping both collectives?
+
+// A1 compares the true imbalance achieved by the geometric algorithm on
+// coarsened piecewise models against the same τ-balance computed on raw
+// (uncoarsened) Akima time functions, across noise seeds on a bumpy
+// device pair. Coarsening exists to guarantee the unique-intersection
+// property; A1 measures what it costs in partition quality (expected:
+// little to nothing).
+func A1() (*trace.Table, error) {
+	devs := []platform.Device{
+		platform.NetlibBLASCore(),
+		platform.PagingCore("pager"),
+	}
+	const D = 12000
+	t := trace.NewTable("A1: coarsening ablation — geometric balance quality",
+		"seed", "imb coarsened", "imb raw-akima", "coarsened worse by")
+	t.Note = "netlib-blas + pager, D=12000, 20 noisy points per model; imbalance = max/min true time"
+	for seed := int64(1); seed <= 8; seed++ {
+		pw := make([]core.Model, len(devs))
+		ak := make([]core.Model, len(devs))
+		for i, dev := range devs {
+			pw[i] = model.NewPiecewise()
+			if err := measureModel(dev, pw[i], core.LogSizes(16, 16000, 20), platform.DefaultNoise, seed*100+int64(i)); err != nil {
+				return nil, err
+			}
+			ak[i] = model.NewAkima()
+			if err := measureModel(dev, ak[i], core.LogSizes(16, 16000, 20), platform.DefaultNoise, seed*100+int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		dc, err := partition.Geometric().Partition(pw, D)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d coarsened: %w", seed, err)
+		}
+		dr, err := partition.Geometric().Partition(ak, D)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d raw: %w", seed, err)
+		}
+		ic := trueImbalance(devs, dc.Sizes())
+		ir := trueImbalance(devs, dr.Sizes())
+		t.AddRow(seed, ic, ir, ic/ir-1)
+	}
+	return t, nil
+}
+
+// A2 instruments the numerical partitioner's two stages across platform
+// mixes and problem sizes: whether damped Newton converged, the wall time
+// of each stage, and the agreement of their real-valued solutions. It
+// justifies the Newton-then-fallback design — Newton is faster when it
+// lands, τ-bisection rescues the rest.
+func A2() (*trace.Table, error) {
+	mixes := []struct {
+		name string
+		devs []platform.Device
+	}{
+		{"2cpu", []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}},
+		{"cpu+gpu", []platform.Device{platform.FastCore("a"), platform.DefaultGPU("g")}},
+		{"4mixed", []platform.Device{
+			platform.FastCore("a"), platform.SlowCore("b"),
+			platform.PagingCore("p"), platform.DefaultGPU("g"),
+		}},
+		{"8hcl", platform.HCLCluster()},
+	}
+	t := trace.NewTable("A2: numerical partitioner — Newton vs τ-bisection",
+		"platform", "D", "newton ok", "newton µs", "tau µs", "max share diff")
+	t.Note = "Akima models from 25 noisy points; share diff = max |xs_newton − xs_tau| / D"
+	for _, mix := range mixes {
+		models := make([]core.Model, len(mix.devs))
+		for i, dev := range mix.devs {
+			models[i] = model.NewAkima()
+			if err := measureModel(dev, models[i], core.LogSizes(16, 60000, 25), platform.DefaultNoise, 500+int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		for _, D := range []int{5000, 50000} {
+			start := time.Now()
+			xsN, ok, err := partition.BalanceNewton(models, D)
+			if err != nil {
+				return nil, err
+			}
+			newtonUS := float64(time.Since(start).Microseconds())
+			start = time.Now()
+			xsT, err := partition.BalanceTau(models, D)
+			if err != nil {
+				return nil, err
+			}
+			tauUS := float64(time.Since(start).Microseconds())
+			diff := 0.0
+			if ok {
+				for i := range xsT {
+					diff = math.Max(diff, math.Abs(xsN[i]-xsT[i])/float64(D))
+				}
+			}
+			t.AddRow(mix.name, D, ok, newtonUS, tauUS, diff)
+		}
+	}
+	return t, nil
+}
+
+// A3 sweeps the allgather payload size on a 8-rank gigabit network and
+// reports the flat (gather+bcast) and ring algorithms side by side — the
+// crossover that motivates offering both collectives (Jacobi's per-row
+// exchange is large; the balancer's time exchange is tiny).
+func A3() (*trace.Table, error) {
+	const p = 8
+	t := trace.NewTable("A3: flat vs ring allgather on 8 ranks (GigE)",
+		"bytes/rank", "flat s", "ring s", "winner")
+	t.Note = "flat = gather to rank 0 + binomial bcast; ring = p−1 neighbour shifts"
+	for _, bytes := range []int{64, 1024, 16 * 1024, 256 * 1024, 4 << 20} {
+		flat, err := allgatherMakespan(p, bytes, false)
+		if err != nil {
+			return nil, err
+		}
+		ring, err := allgatherMakespan(p, bytes, true)
+		if err != nil {
+			return nil, err
+		}
+		winner := "flat"
+		if ring < flat {
+			winner = "ring"
+		}
+		t.AddRow(bytes, flat, ring, winner)
+	}
+	return t, nil
+}
+
+func allgatherMakespan(p, bytes int, ring bool) (float64, error) {
+	clocks, err := comm.Run(p, comm.GigabitEthernet, func(c *comm.Comm) error {
+		if ring {
+			_, err := c.RingAllgather(bytes, c.Rank())
+			return err
+		}
+		_, err := c.Allgather(bytes, c.Rank())
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, cl := range clocks {
+		worst = math.Max(worst, cl)
+	}
+	return worst, nil
+}

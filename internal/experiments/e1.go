@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fupermod/internal/apps"
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/matpart"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// e1Devices is the E1 platform: two fast cores and three memory-limited
+// mid-range cores whose speed collapses beyond ~8000 units. At small
+// matrices every partitioning is fine; at large ones the constant model —
+// calibrated by the classic single benchmark at a modest size — keeps
+// overloading the paging cores, while the functional models steer work
+// away from the cliff.
+func e1Devices() []platform.Device {
+	return []platform.Device{
+		platform.FastCore("xeon0"),
+		platform.FastCore("xeon1"),
+		platform.PagingCore("mid0"),
+		platform.PagingCore("mid1"),
+		platform.PagingCore("mid2"),
+	}
+}
+
+// E1 reproduces the paper's §4.3 use case as a measurable comparison: the
+// heterogeneous parallel matrix multiplication executed with four
+// different data partitionings — even, CPM-based, FPM-geometric and
+// FPM-numerical — across a sweep of matrix sizes. The paper's claim holds
+// when the functional models win by a growing factor once per-device
+// shares cross memory-hierarchy boundaries.
+func E1() (*trace.Table, error) {
+	devs := e1Devices()
+	p := len(devs)
+	const (
+		blockBytes = 8 * 128 * 128
+		seed       = 101
+	)
+	// Classic CPMs: one benchmark per device at a fixed modest size.
+	cpms := make([]core.Model, p)
+	for i, dev := range devs {
+		m := model.NewConstant()
+		meter := platform.NewMeter(dev, platform.DefaultNoise, seed+int64(i))
+		k, err := kernels.NewVirtual(dev.Name(), meter, gemmFlopsPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := core.Benchmark(k, 2000, benchPrecision)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Update(pt); err != nil {
+			return nil, err
+		}
+		cpms[i] = m
+	}
+	// Full FPMs over the whole relevant range, built once and reused —
+	// the "build once, run many times" regime of §4.3.
+	pw := make([]core.Model, p)
+	ak := make([]core.Model, p)
+	sizes := core.LogSizes(16, 70000, 30)
+	for i, dev := range devs {
+		pw[i] = model.NewPiecewise()
+		if err := measureModel(dev, pw[i], sizes, platform.DefaultNoise, seed+100+int64(i)); err != nil {
+			return nil, err
+		}
+		ak[i] = model.NewAkima()
+		if err := measureModel(dev, ak[i], sizes, platform.DefaultNoise, seed+200+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	t := trace.NewTable("matmul makespan by partitioning algorithm",
+		"grid", "D units", "even s", "cpm s", "fpm-geo s", "fpm-num s", "fpm-2d s", "cpm/fpm-geo")
+	t.Note = "platform: 2 fast cores + 3 paging cores; GigE; block 128 (131072 B)"
+	for _, grid := range []int{64, 128, 192, 256} {
+		D := grid * grid
+		run := func(areas []float64, rects []matpart.BlockRect) (float64, error) {
+			res, err := apps.RunMatmul(apps.MatmulConfig{
+				NBlocks:    grid,
+				BlockBytes: blockBytes,
+				Devices:    devs,
+				Net:        comm.GigabitEthernet,
+				Areas:      areas,
+				Rects:      rects,
+				Noise:      platform.Quiet, // judge partitionings on noiseless ground truth
+				Seed:       seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+		evenAreas := make([]float64, p)
+		for i := range evenAreas {
+			evenAreas[i] = 1
+		}
+		evenT, err := run(evenAreas, nil)
+		if err != nil {
+			return nil, err
+		}
+		distC, err := partition.Constant().Partition(cpms, D)
+		if err != nil {
+			return nil, err
+		}
+		cpmT, err := run(apps.AreasFromDist(distC), nil)
+		if err != nil {
+			return nil, err
+		}
+		distG, err := partition.Geometric().Partition(pw, D)
+		if err != nil {
+			return nil, err
+		}
+		geoT, err := run(apps.AreasFromDist(distG), nil)
+		if err != nil {
+			return nil, err
+		}
+		distN, err := partition.Numerical().Partition(ak, D)
+		if err != nil {
+			return nil, err
+		}
+		numT, err := run(apps.AreasFromDist(distN), nil)
+		if err != nil {
+			return nil, err
+		}
+		rects2d, _, err := matpart.FPMGrid(pw, grid, partition.Geometric(), 500)
+		if err != nil {
+			return nil, err
+		}
+		twoDT, err := run(nil, rects2d)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(grid, D, evenT, cpmT, geoT, numT, twoDT, cpmT/geoT)
+	}
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E2 quantifies the paper's challenge (i): constant (and linear) models
+// mispartition once shares land in different levels of the memory
+// hierarchy. Two devices — a fast core and a paging core — are partitioned
+// by four model kinds; the table reports the *true* imbalance
+// (max/min noiseless device time) each achieves as the problem grows
+// across the paging cliff at 8000 units.
+func E2() (*trace.Table, error) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.PagingCore("pager"),
+	}
+	const seed = 202
+	// CPM: classic single benchmark at d=2000.
+	cpms := make([]core.Model, len(devs))
+	// Linear: fitted on pre-cliff sizes only (the regime where a linear
+	// model looks plausible), then extrapolated.
+	lins := make([]core.Model, len(devs))
+	// Full FPMs.
+	pws := make([]core.Model, len(devs))
+	aks := make([]core.Model, len(devs))
+	for i, dev := range devs {
+		meter := platform.NewMeter(dev, platform.DefaultNoise, seed+int64(i))
+		k, err := kernels.NewVirtual(dev.Name(), meter, gemmFlopsPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		cpms[i] = model.NewConstant()
+		pt, err := core.Benchmark(k, 2000, benchPrecision)
+		if err != nil {
+			return nil, err
+		}
+		if err := cpms[i].Update(pt); err != nil {
+			return nil, err
+		}
+		lins[i] = model.NewLinear()
+		if err := measureModel(dev, lins[i], core.LogSizes(16, 4000, 8), platform.DefaultNoise, seed+10+int64(i)); err != nil {
+			return nil, err
+		}
+		pws[i] = model.NewPiecewise()
+		if err := measureModel(dev, pws[i], core.LogSizes(16, 40000, 30), platform.DefaultNoise, seed+20+int64(i)); err != nil {
+			return nil, err
+		}
+		aks[i] = model.NewAkima()
+		if err := measureModel(dev, aks[i], core.LogSizes(16, 40000, 30), platform.DefaultNoise, seed+30+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	t := trace.NewTable("true imbalance by model kind across the paging cliff",
+		"D units", "cpm", "linear", "fpm-geo", "fpm-num", "pager share cpm", "pager share fpm-geo")
+	t.Note = "devices: fast core + paging core (cliff at 8000 units); imbalance = max/min true time"
+	for _, D := range []int{8000, 16000, 24000, 32000} {
+		distC, err := partition.Constant().Partition(cpms, D)
+		if err != nil {
+			return nil, err
+		}
+		distL, err := partition.Constant().Partition(lins, D)
+		if err != nil {
+			return nil, err
+		}
+		distG, err := partition.Geometric().Partition(pws, D)
+		if err != nil {
+			return nil, err
+		}
+		distN, err := partition.Numerical().Partition(aks, D)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(D,
+			trueImbalance(devs, distC.Sizes()),
+			trueImbalance(devs, distL.Sizes()),
+			trueImbalance(devs, distG.Sizes()),
+			trueImbalance(devs, distN.Sizes()),
+			distC.Parts[1].D,
+			distG.Parts[1].D,
+		)
+	}
+	return t, nil
+}

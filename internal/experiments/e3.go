@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E3 reproduces the cost argument of §4.3–4.4: building full functional
+// models is only worthwhile for applications run many times on the same
+// platform; a self-adaptable application should instead estimate the
+// models partially at run time. The table compares the two regimes on the
+// same four-device platform and problem size: total benchmarking seconds
+// consumed, number of measurements, and the quality (true makespan and
+// imbalance) of the distribution each regime produces.
+func E3() (*trace.Table, error) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.SlowCore("slow"),
+		platform.NetlibBLASCore(),
+		platform.DefaultGPU("gpu"),
+	}
+	const (
+		D    = 40000
+		seed = 303
+	)
+	// Regime 1: dynamic partial estimation.
+	ks, err := kernels.VirtualSet(devs, platform.DefaultNoise, gemmFlopsPerUnit, seed)
+	if err != nil {
+		return nil, err
+	}
+	dyn, err := dynamic.PartitionDynamic(ks, D, dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+		Precision: benchPrecision,
+		Eps:       0.03,
+		MaxIters:  25,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dynMeasurements := 0
+	for _, m := range dyn.Models {
+		dynMeasurements += len(m.Points())
+	}
+
+	// Regime 2: full models over a 25-point log grid, then one static
+	// geometric partitioning.
+	fullModels := make([]core.Model, len(devs))
+	fullCost := 0.0
+	fullMeasurements := 0
+	for i, dev := range devs {
+		meter := platform.NewMeter(dev, platform.DefaultNoise, seed+50+int64(i))
+		k, err := kernels.NewVirtual(dev.Name(), meter, gemmFlopsPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := core.Sweep(k, core.LogSizes(16, 50000, 25), benchPrecision)
+		if err != nil {
+			return nil, err
+		}
+		fullCost += core.BenchmarkCost(pts)
+		fullMeasurements += len(pts)
+		m := model.NewPiecewise()
+		if err := core.UpdateAll(m, pts); err != nil {
+			return nil, err
+		}
+		fullModels[i] = m
+	}
+	distFull, err := partition.Geometric().Partition(fullModels, D)
+	if err != nil {
+		return nil, err
+	}
+
+	t := trace.NewTable("benchmarking cost: dynamic partial estimation vs full models",
+		"approach", "bench s", "points", "true makespan s", "true imbalance")
+	t.Note = "4 devices (fast, slow, netlib, gpu); D=40000 units; geometric algorithm in both regimes"
+	t.AddRow("dynamic-partial", dyn.BenchmarkSeconds, dynMeasurements,
+		trueMakespan(devs, dyn.Dist.Sizes()), trueImbalance(devs, dyn.Dist.Sizes()))
+	t.AddRow("full-fpm", fullCost, fullMeasurements,
+		trueMakespan(devs, distFull.Sizes()), trueImbalance(devs, distFull.Sizes()))
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fupermod/internal/bench"
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E4 reproduces the paper's measurement methodology for multicores (§4.1):
+// cores of a socket interfere through shared memory, so FuPerMod
+// benchmarks all cores of a group synchronously (bench.Group — the
+// counterpart of fupermod_benchmark's comm_sync) and records the
+// contention-aware speed. The table contrasts the solo speed of one core
+// (the naive serial benchmark) with its speed under the synchronized group
+// benchmark of all four cores, and shows how far the naive 4×solo
+// throughput estimate overshoots the socket's real aggregate.
+func E4() (*trace.Table, error) {
+	sock := platform.DefaultSocket("socket0")
+	const seed = 404
+	t := trace.NewTable("synchronized vs solo multicore measurement",
+		"d units", "solo u/s", "synced u/s", "slowdown", "naive 4x solo u/s", "true aggregate u/s")
+	t.Note = "socket of 4 cores, 25% contention per extra sharer; expected slowdown 1.75"
+	for i, d := range []int{1000, 5000, 20000, 50000} {
+		// Naive serial benchmark: one core alone on the socket.
+		sock.SetActive(1)
+		meter := platform.NewMeter(sock.Cores()[0], platform.DefaultNoise, seed+int64(i))
+		k, err := kernels.NewVirtual(sock.Cores()[0].Name(), meter, gemmFlopsPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		pSolo, err := core.Benchmark(k, d, benchPrecision)
+		if err != nil {
+			return nil, err
+		}
+		solo := pSolo.Speed()
+
+		// Synchronized group benchmark of all four cores together.
+		devs := make([]platform.Device, 0, sock.NumCores())
+		for _, c := range sock.Cores() {
+			devs = append(devs, c)
+		}
+		platform.ActivateShared(devs)
+		ks, err := kernels.VirtualSet(devs, platform.DefaultNoise, gemmFlopsPerUnit, seed+100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		sizes := []int{d, d, d, d}
+		pts, err := bench.Group(ks, sizes, benchPrecision, comm.SharedMemory)
+		if err != nil {
+			return nil, err
+		}
+		synced := pts[0].Speed()
+		aggregate := 0.0
+		for _, p := range pts {
+			aggregate += p.Speed()
+		}
+		t.AddRow(d, solo, synced, solo/synced, 4*solo, aggregate)
+	}
+	// Leave the socket in its default (fully shared) configuration.
+	sock.SetActive(sock.NumCores())
+	return t, nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fupermod/internal/apps"
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E5 compares the two run-time estimation strategies the framework offers:
+// plain dynamic partitioning (stop when the distribution stops moving,
+// reference [6]/[11]-style) versus the band-certified variant (stop when
+// monotonicity brackets *prove* the distribution is within eps·D of the
+// exact balance point). The certificate costs a few extra probes and buys
+// a guarantee the movement heuristic cannot give.
+func E5() (*trace.Table, error) {
+	devs := []platform.Device{
+		platform.FastCore("fast"),
+		platform.NetlibBLASCore(),
+		platform.SlowCore("slow"),
+	}
+	const (
+		D    = 30000
+		seed = 505
+	)
+	cfg := dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+		Precision: benchPrecision,
+		Eps:       0.03,
+		MaxIters:  40,
+	}
+	t := trace.NewTable("run-time estimation: movement heuristic vs certified bands",
+		"approach", "steps", "bench s", "true makespan s", "true imbalance", "certificate")
+	t.Note = "3 devices, D=30000, eps=0.03, geometric algorithm in both"
+
+	ks, err := kernels.VirtualSet(devs, platform.DefaultNoise, gemmFlopsPerUnit, seed)
+	if err != nil {
+		return nil, err
+	}
+	dyn, err := dynamic.PartitionDynamic(ks, D, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("movement (ref [6])", len(dyn.Steps), dyn.BenchmarkSeconds,
+		trueMakespan(devs, dyn.Dist.Sizes()), trueImbalance(devs, dyn.Dist.Sizes()), "none")
+
+	ks2, err := kernels.VirtualSet(devs, platform.DefaultNoise, gemmFlopsPerUnit, seed)
+	if err != nil {
+		return nil, err
+	}
+	bands, err := dynamic.PartitionBands(ks2, D, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cert := "not certified"
+	if bands.Certified {
+		cert = trace.Cell(bands.Uncertainty)
+	}
+	t.AddRow("bands (ref [11])", bands.Steps, bands.BenchmarkSeconds,
+		trueMakespan(devs, bands.Dist.Sizes()), trueImbalance(devs, bands.Dist.Sizes()), cert)
+	return t, nil
+}
+
+// V1 validates the simulation chain itself: the makespan the models
+// *predict* for a distribution must match the makespan the virtual-time
+// application *measures* when running it. Prediction error is the quantity
+// the whole framework stands on — §3: "the use of wrong estimates can
+// fully destroy the resulting performance of the application".
+func V1() (*trace.Table, error) {
+	devs := []platform.Device{
+		platform.FastCore("xeon0"),
+		platform.FastCore("xeon1"),
+		platform.SlowCore("opteron0"),
+		platform.DefaultGPU("gpu0"),
+	}
+	const seed = 606
+	pw := make([]core.Model, len(devs))
+	for i, dev := range devs {
+		pw[i] = model.NewPiecewise()
+		if err := measureModel(dev, pw[i], core.LogSizes(16, 70000, 30), platform.DefaultNoise, seed+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	t := trace.NewTable("V1: model-predicted vs simulated matmul makespan",
+		"grid", "D units", "predicted compute s", "simulated total s", "comm share", "rel err")
+	t.Note = "geometric partitioning on piecewise FPMs; prediction = per-iteration balance time × iterations"
+	for _, grid := range []int{64, 128, 192} {
+		D := grid * grid
+		dist, err := partition.Geometric().Partition(pw, D)
+		if err != nil {
+			return nil, err
+		}
+		// The models predict one iteration's compute time; the app runs
+		// `grid` iterations.
+		predicted := dist.MaxTime() * float64(grid)
+		res, err := apps.RunMatmul(apps.MatmulConfig{
+			NBlocks:    grid,
+			BlockBytes: 8 * 128 * 128,
+			Devices:    devs,
+			Net:        comm.GigabitEthernet,
+			Areas:      apps.AreasFromDist(dist),
+			Noise:      platform.DefaultNoise,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		commShare := 0.0
+		worstComm := 0.0
+		for i := range devs {
+			if res.CommSeconds[i] > worstComm {
+				worstComm = res.CommSeconds[i]
+			}
+			_ = i
+		}
+		commShare = worstComm / res.Makespan
+		rel := (res.Makespan - predicted) / res.Makespan
+		t.AddRow(grid, D, predicted, res.Makespan, commShare, rel)
+	}
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E6 reproduces the hybrid CPU/GPU story of Zhong, Rychkov and Lastovetsky
+// (Cluster 2012 — the paper's reference [19], the basis of its GPU
+// methodology): the combined GPU+host-core device is *slower* than a CPU
+// core at small problem sizes (transfer and launch overheads dominate),
+// an order of magnitude faster at medium sizes, and throttled again once
+// the problem exceeds device memory and out-of-core streaming kicks in
+// (challenge (ii): "processors/devices switch between different codes").
+// A correct partitioner must therefore give the GPU a share that *grows*
+// through the sweet spot and *saturates* past the memory limit.
+func E6() (*trace.Table, error) {
+	cpu := platform.FastCore("cpu")
+	gpu := platform.DefaultGPU("gpu")
+	devs := []platform.Device{cpu, gpu}
+	const seed = 707
+	models := make([]core.Model, 2)
+	for i, dev := range devs {
+		models[i] = model.NewAkima()
+		if err := measureModel(dev, models[i], core.LogSizes(16, 120000, 35), platform.DefaultNoise, seed+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	t := trace.NewTable("CPU/GPU share crossover (combined GPU+host device)",
+		"D units", "cpu speed u/s", "gpu speed u/s", "gpu share %", "true imbalance")
+	t.Note = "gpu: 2ms launch, ramp 2500, device memory 20000 units, out-of-core beyond"
+	for _, D := range []int{200, 1000, 5000, 20000, 60000, 120000} {
+		dist, err := partition.Numerical().Partition(models, D)
+		if err != nil {
+			return nil, err
+		}
+		gpuShare := 100 * float64(dist.Parts[1].D) / float64(D)
+		t.AddRow(D,
+			platform.Speed(cpu, float64(dist.Parts[0].D)),
+			platform.Speed(gpu, float64(dist.Parts[1].D)),
+			gpuShare,
+			trueImbalance(devs, dist.Sizes()),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"math"
+
+	"fupermod/internal/apps"
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E7 probes the paper's *dedicated platform* assumption (§1: "a stable
+// performance in time"): halfway through a dynamically balanced Jacobi
+// run, one device suddenly halves its speed (a competing job lands). The
+// balancer observes the slower iteration times and redistributes; the
+// table shows the imbalance spike at the drift and the recovery within a
+// couple of iterations — the behaviour a *static* FPM distribution cannot
+// deliver, since its models describe the pre-drift machine.
+func E7() (*trace.Table, error) {
+	devs := platform.JacobiCluster()[:4] // 4 fast cores: balanced start
+	drift, err := platform.NewDrift(devs[3], 6, 2.0)
+	if err != nil {
+		return nil, err
+	}
+	devs[3] = drift
+	res, err := apps.RunJacobi(apps.JacobiConfig{
+		N:          20000,
+		Iterations: 12,
+		Devices:    devs,
+		Net:        comm.GigabitEthernet,
+		Balance: dynamic.Config{
+			Algorithm: partition.Geometric(),
+			NewModel:  func() core.Model { return model.NewAdaptive() },
+		},
+		RowBytes: 8 * 1024,
+		Noise:    platform.Quiet,
+		Seed:     808,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := trace.NewTable("load balancing through a mid-run performance drift",
+		"iter", "drifting dev s", "others max s", "imbalance", "drifting dev rows")
+	t.Note = "rank 3 halves its speed after 6 executions; adaptive CPM partial models"
+	for k, times := range res.IterTimes {
+		othersMax := 0.0
+		for i, v := range times {
+			if i == 3 {
+				continue
+			}
+			othersMax = math.Max(othersMax, v)
+		}
+		worst := math.Max(othersMax, times[3])
+		best := math.Min(othersMax, times[3])
+		imb := 1.0
+		if best > 0 {
+			imb = worst / best
+		}
+		t.AddRow(k+1, times[3], othersMax, imb, res.Dists[k].Parts[3].D)
+	}
+	return t, nil
+}
+
+// A4 quantifies the topology-aware broadcast: plain rank-order binomial
+// vs leader-based BcastTopo on a four-node platform with an interleaved
+// rank placement, across payload sizes. The gain concentrates in the
+// latency-bound regime; in the bandwidth-bound regime both algorithms
+// bottleneck on the root pushing ⌈log₂ nodes⌉ copies across the slow
+// links.
+func A4() (*trace.Table, error) {
+	nodeOf := []int{
+		0, 1, 2, 3,
+		1, 0, 3, 2,
+		2, 3, 0, 1,
+		3, 2, 1, 0,
+	}
+	h, err := comm.NewHierarchical(nodeOf, comm.SharedMemory, comm.GigabitEthernet)
+	if err != nil {
+		return nil, err
+	}
+	t := trace.NewTable("A4: plain vs topology-aware broadcast (4 nodes x 4 ranks, interleaved)",
+		"bytes", "plain s", "topo s", "speedup")
+	t.Note = "intra: shared memory; inter: GigE; plain = rank-order binomial"
+	for _, bytes := range []int{8, 1024, 64 * 1024, 1 << 20, 8 << 20} {
+		worst := func(topo bool) (float64, error) {
+			clocks, err := comm.Run(len(nodeOf), h, func(c *comm.Comm) error {
+				var err error
+				if topo {
+					_, err = c.BcastTopo(0, bytes, "x", nodeOf)
+				} else {
+					_, err = c.Bcast(0, bytes, "x")
+				}
+				return err
+			})
+			if err != nil {
+				return 0, err
+			}
+			m := 0.0
+			for _, cl := range clocks {
+				m = math.Max(m, cl)
+			}
+			return m, nil
+		}
+		plain, err := worst(false)
+		if err != nil {
+			return nil, err
+		}
+		topo, err := worst(true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(bytes, plain, topo, plain/topo)
+	}
+	return t, nil
+}

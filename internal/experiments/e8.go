@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// E8 quantifies the paper's §1 promise of building models "to a given
+// accuracy and cost-effectiveness": the adaptive builder (measure the
+// endpoints, bisect wherever the model mispredicts a fresh midpoint)
+// against uniform log-spaced grids of equal cost, on the bumpy
+// Netlib-BLAS core. Accuracy is the mean relative time error over a dense
+// noiseless probe grid the builder never saw.
+func E8() (*trace.Table, error) {
+	dev := platform.NetlibBLASCore()
+	const seed = 909
+	prec := core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05, MaxSeconds: 120}
+	kFor := func(off int64) (core.Kernel, error) {
+		meter := platform.NewMeter(dev, platform.DefaultNoise, seed+off)
+		return kernels.NewVirtual(dev.Name(), meter, gemmFlopsPerUnit)
+	}
+	meanErr := func(m core.Model) (float64, error) {
+		sum, n := 0.0, 0
+		for _, d := range core.LogSizes(16, 5000, 60) {
+			got, err := m.Time(float64(d))
+			if err != nil {
+				return 0, err
+			}
+			truth := dev.BaseTime(float64(d))
+			sum += math.Abs(got-truth) / truth
+			n++
+		}
+		return sum / float64(n), nil
+	}
+
+	t := trace.NewTable("adaptive vs uniform model construction",
+		"builder", "points", "bench s", "mean rel err")
+	t.Note = "netlib-blas core, sizes 16..5000, akima models; error on a dense unseen probe grid"
+
+	k, err := kFor(0)
+	if err != nil {
+		return nil, err
+	}
+	am := model.NewAkima()
+	res, err := core.BuildAdaptive(k, am, core.BuildConfig{
+		Lo: 16, Hi: 5000, RelTol: 0.04, MaxPoints: 40, Precision: prec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e, err := meanErr(am)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("adaptive", len(res.Points), res.CostSeconds, e)
+
+	for _, n := range []int{len(res.Points), 2 * len(res.Points)} {
+		k2, err := kFor(int64(n))
+		if err != nil {
+			return nil, err
+		}
+		um := model.NewAkima()
+		pts, err := core.Sweep(k2, core.LogSizes(16, 5000, n), prec)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.UpdateAll(um, pts); err != nil {
+			return nil, err
+		}
+		e, err := meanErr(um)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(trace.Cell(n)+"-pt uniform", len(pts), core.BenchmarkCost(pts), e)
+	}
+	return t, nil
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every evaluation artefact of the
+// FuPerMod paper, plus four supplementary experiments (E1–E4) that
+// reproduce claims the paper states in prose. Each generator is a pure
+// function from a fixed seed to a trace.Table, so the figures are
+// deterministic; the fupermod-figs command prints them and bench_test.go
+// times them.
+//
+// Paper artefacts:
+//
+//	FIG2a  speed function of the GEMM kernel, piecewise-linear FPM
+//	FIG2b  same with the Akima-spline FPM
+//	FIG3   partial FPM construction by dynamic partitioning (2 devices)
+//	FIG4   dynamic load balancing of the Jacobi method (8 devices)
+//
+// Supplementary:
+//
+//	E1  matmul makespan: even vs CPM vs FPM-geometric vs FPM-numerical
+//	E2  achieved imbalance per model kind across a paging cliff
+//	E3  benchmarking cost: dynamic partial estimation vs full models
+//	E4  synchronized (contention-aware) vs solo multicore measurement
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// gemmFlopsPerUnit is the arithmetic complexity of one computation unit of
+// the b=128 GEMM kernel: 2·b³ operations.
+const gemmFlopsPerUnit = 2 * 128 * 128 * 128
+
+// Generator produces one experiment's table.
+type Generator func() (*trace.Table, error)
+
+// Entry describes one registered experiment.
+type Entry struct {
+	// ID is the key used by the fupermod-figs command (e.g. "fig2a").
+	ID string
+	// Paper says which artefact of the paper the experiment reproduces.
+	Paper string
+	// Run generates the table.
+	Run Generator
+}
+
+// All returns the registered experiments in presentation order.
+func All() []Entry {
+	return []Entry{
+		{"fig2a", "Fig. 2(a): piecewise-linear FPM of the GEMM kernel", Fig2a},
+		{"fig2b", "Fig. 2(b): Akima-spline FPM of the GEMM kernel", Fig2b},
+		{"fig3", "Fig. 3: partial FPMs built by dynamic partitioning", Fig3},
+		{"fig4", "Fig. 4: dynamic load balancing of the Jacobi method", Fig4},
+		{"e1", "E1 (§4.3): matmul makespan by partitioning algorithm", E1},
+		{"e2", "E2 (§3(i)): imbalance by model kind across a paging cliff", E2},
+		{"e3", "E3 (§4.4): cost of dynamic estimation vs full models", E3},
+		{"e4", "E4 (§4.1): synchronized vs solo multicore measurement", E4},
+		{"e5", "E5 (§4.4/[11]): movement heuristic vs certified bands", E5},
+		{"e6", "E6 (§4.1/[19]): CPU/GPU share crossover on a hybrid node", E6},
+		{"e7", "E7 (§1): load balancing through a mid-run performance drift", E7},
+		{"e8", "E8 (§1): adaptive vs uniform model construction cost", E8},
+		{"v1", "V1: model-predicted vs simulated matmul makespan", V1},
+		{"a1", "A1 ablation: coarsening cost on geometric balance quality", A1},
+		{"a2", "A2 ablation: Newton vs τ-bisection inside the numerical algorithm", A2},
+		{"a3", "A3 ablation: flat vs ring allgather crossover", A3},
+		{"a4", "A4 ablation: plain vs topology-aware broadcast", A4},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Entry, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// benchPrecision is the measurement precision every experiment uses.
+var benchPrecision = core.Precision{
+	MinReps:    3,
+	MaxReps:    15,
+	Confidence: 0.95,
+	RelErr:     0.03,
+	MaxSeconds: 120,
+}
+
+// measureModel benchmarks the device (with noise, seeded) over the sizes
+// and feeds the points into the model.
+func measureModel(dev platform.Device, m core.Model, sizes []int, noise platform.NoiseConfig, seed int64) error {
+	meter := platform.NewMeter(dev, noise, seed)
+	k, err := kernels.NewVirtual(dev.Name(), meter, gemmFlopsPerUnit)
+	if err != nil {
+		return err
+	}
+	for _, d := range sizes {
+		p, err := core.Benchmark(k, d, benchPrecision)
+		if err != nil {
+			return err
+		}
+		if err := m.Update(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gflops converts units/second into GFLOPS for the b=128 GEMM unit.
+func gflops(unitsPerSec float64) float64 {
+	return unitsPerSec * gemmFlopsPerUnit / 1e9
+}
+
+// trueMakespan evaluates a distribution against the noiseless device
+// times — the ground truth a partitioning is judged by.
+func trueMakespan(devs []platform.Device, sizes []int) float64 {
+	worst := 0.0
+	for i, d := range sizes {
+		if d == 0 {
+			continue
+		}
+		if t := devs[i].BaseTime(float64(d)); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// trueImbalance is max/min noiseless time over loaded parts.
+func trueImbalance(devs []platform.Device, sizes []int) float64 {
+	lo, hi := 0.0, 0.0
+	first := true
+	for i, d := range sizes {
+		if d == 0 {
+			continue
+		}
+		t := devs[i].BaseTime(float64(d))
+		if first {
+			lo, hi = t, t
+			first = false
+			continue
+		}
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if first || lo == 0 {
+		return 1
+	}
+	return hi / lo
+}

@@ -1,0 +1,532 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a rendered numeric cell.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Paper == "" {
+			t.Errorf("entry %q incomplete", e.ID)
+		}
+		got, err := Lookup(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("Lookup(%q) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestFig2aPiecewiseTracksTrueSpeed(t *testing.T) {
+	tb, err := Fig2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) < 30 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	// The Netlib-like device peaks near 5 GFLOPS and decays below 2 at
+	// the paging end — the figure's range.
+	first := cell(t, rows[0][1])
+	last := cell(t, rows[len(rows)-1][1])
+	if first < 3.5 || first > 6.5 {
+		t.Errorf("small-size true speed = %g GFLOPS, expected ≈ 5", first)
+	}
+	if last >= first/2 {
+		t.Errorf("speed should decay substantially: %g → %g", first, last)
+	}
+	// Model tracks truth within 15% everywhere (coarsening loses some).
+	for _, r := range rows {
+		rel := math.Abs(cell(t, r[3]))
+		if rel > 0.15 {
+			t.Errorf("size %s: piecewise model off by %.0f%%", r[0], rel*100)
+		}
+	}
+}
+
+func TestFig2bAkimaTighterThanPiecewiseOnAverage(t *testing.T) {
+	ta, err := Fig2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbk, err := Fig2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(rows [][]string) float64 {
+		s := 0.0
+		for _, r := range rows {
+			s += math.Abs(cell(t, r[3]))
+		}
+		return s / float64(len(rows))
+	}
+	pw, ak := sum(ta.Rows()), sum(tbk.Rows())
+	// Akima has no coarsening restriction, so on average it should fit at
+	// least as well (allow a small margin for noise).
+	if ak > pw*1.25 {
+		t.Errorf("akima mean rel err %g should not exceed piecewise %g by >25%%", ak, pw)
+	}
+}
+
+func TestFig3ConvergesAndFavoursFastDevice(t *testing.T) {
+	tb, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) < 2 {
+		t.Fatalf("dynamic partitioning should need >= 2 steps, got %d", len(rows))
+	}
+	if len(rows) > 15 {
+		t.Errorf("dynamic partitioning took implausibly many steps: %d", len(rows))
+	}
+	if !strings.Contains(tb.Note, "converged") {
+		t.Errorf("note should record convergence: %q", tb.Note)
+	}
+	last := rows[len(rows)-1]
+	d0, d1 := cell(t, last[1]), cell(t, last[2])
+	if d0+d1 != 10000 {
+		t.Errorf("final shares sum to %g, want 10000", d0+d1)
+	}
+	if d0 <= d1 {
+		t.Errorf("fast device should end with the larger share: %g vs %g", d0, d1)
+	}
+	// Final step times near-equal (that is what balance means).
+	t0, t1 := cell(t, last[3]), cell(t, last[4])
+	if r := math.Max(t0, t1) / math.Min(t0, t1); r > 1.3 {
+		t.Errorf("final step imbalance %g", r)
+	}
+	// Change column decreases below eps.
+	if ch := cell(t, last[5]); ch > 0.02 {
+		t.Errorf("final change %g > eps", ch)
+	}
+}
+
+func TestFig4ImbalanceCollapses(t *testing.T) {
+	tb, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 9 {
+		t.Fatalf("expected 9 iterations, got %d", len(rows))
+	}
+	nCols := len(tb.Columns())
+	imbFirst := cell(t, rows[0][nCols-1])
+	imbLast := cell(t, rows[len(rows)-1][nCols-1])
+	if imbFirst < 2 {
+		t.Errorf("initial imbalance %g too small — platform not heterogeneous?", imbFirst)
+	}
+	if imbLast > 1.3 {
+		t.Errorf("final imbalance %g, want ≈ 1", imbLast)
+	}
+	// Makespan (max column) of the first iteration must dominate the last.
+	maxFirst := cell(t, rows[0][nCols-2])
+	maxLast := cell(t, rows[len(rows)-1][nCols-2])
+	if maxLast > 0.6*maxFirst {
+		t.Errorf("per-iteration makespan %g → %g: expected a large drop", maxFirst, maxLast)
+	}
+}
+
+func TestE1FunctionalModelsWinAtScale(t *testing.T) {
+	tb, err := E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 grid sizes, got %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	evenT := cell(t, last[2])
+	cpmT := cell(t, last[3])
+	geoT := cell(t, last[4])
+	numT := cell(t, last[5])
+	// At the largest size the FPMs must beat both baselines clearly.
+	if !(geoT < cpmT && geoT < evenT) {
+		t.Errorf("fpm-geo %g should beat cpm %g and even %g at the largest grid", geoT, cpmT, evenT)
+	}
+	if numT > geoT*1.3 {
+		t.Errorf("fpm-num %g should be comparable to fpm-geo %g", numT, geoT)
+	}
+	if twoD := cell(t, last[6]); twoD > geoT*1.1 {
+		t.Errorf("refined 2D arrangement %g should not lose to plain fpm-geo %g", twoD, geoT)
+	}
+	// Model-based beats even everywhere.
+	for _, r := range rows {
+		if cell(t, r[4]) >= cell(t, r[2]) {
+			t.Errorf("grid %s: fpm-geo %s should beat even %s", r[0], r[4], r[2])
+		}
+	}
+	// The cpm/fpm ratio must grow with size (the cliff bites harder).
+	r0 := cell(t, rows[0][7])
+	r3 := cell(t, rows[3][7])
+	if r3 <= r0 {
+		t.Errorf("cpm/fpm ratio should grow with size: %g → %g", r0, r3)
+	}
+}
+
+func TestE2ConstantModelDegradesAcrossCliff(t *testing.T) {
+	tb, err := E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 sizes, got %d", len(rows))
+	}
+	for _, r := range rows {
+		cpm := cell(t, r[1])
+		geo := cell(t, r[3])
+		num := cell(t, r[4])
+		if geo > 1.35 {
+			t.Errorf("D=%s: fpm-geo imbalance %g should be near 1", r[0], geo)
+		}
+		if num > 1.35 {
+			t.Errorf("D=%s: fpm-num imbalance %g should be near 1", r[0], num)
+		}
+		_ = cpm
+	}
+	// At the largest size the CPM imbalance must be dramatic and the FPM
+	// must hand the pager far less work than the CPM did.
+	last := rows[len(rows)-1]
+	if cpm := cell(t, last[1]); cpm < 2 {
+		t.Errorf("cpm imbalance at 32000 = %g, expected >> 1", cpm)
+	}
+	if lin := cell(t, last[2]); lin < 1.5 {
+		t.Errorf("linear imbalance at 32000 = %g, expected well above 1", lin)
+	}
+	cpmShare := cell(t, last[5])
+	fpmShare := cell(t, last[6])
+	if fpmShare >= cpmShare {
+		t.Errorf("fpm pager share %g should undercut cpm share %g", fpmShare, cpmShare)
+	}
+}
+
+func TestE3DynamicCheaperSimilarQuality(t *testing.T) {
+	tb, err := E3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 regimes, got %d", len(rows))
+	}
+	dynCost := cell(t, rows[0][1])
+	fullCost := cell(t, rows[1][1])
+	if dynCost >= fullCost/2 {
+		t.Errorf("dynamic cost %g should be well below full-model cost %g", dynCost, fullCost)
+	}
+	dynMk := cell(t, rows[0][3])
+	fullMk := cell(t, rows[1][3])
+	if dynMk > fullMk*1.25 {
+		t.Errorf("dynamic makespan %g should be within 25%% of full-model %g", dynMk, fullMk)
+	}
+	if pts := cell(t, rows[0][2]); pts >= cell(t, rows[1][2]) {
+		t.Errorf("dynamic should need fewer measurements: %g vs %g", pts, cell(t, rows[1][2]))
+	}
+}
+
+func TestE4ContentionVisible(t *testing.T) {
+	tb, err := E4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 sizes, got %d", len(rows))
+	}
+	for _, r := range rows {
+		slowdown := cell(t, r[3])
+		// Modelled contention is 1.75; noise widens the band slightly.
+		if slowdown < 1.5 || slowdown > 2.1 {
+			t.Errorf("d=%s: slowdown %g, expected ≈ 1.75", r[0], slowdown)
+		}
+		naive := cell(t, r[4])
+		actual := cell(t, r[5])
+		if actual >= naive {
+			t.Errorf("d=%s: naive 4x solo %g should overshoot true aggregate %g", r[0], naive, actual)
+		}
+	}
+}
+
+func TestAllExperimentsRenderCleanly(t *testing.T) {
+	for _, e := range All() {
+		tb, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		var sb strings.Builder
+		if _, err := tb.WriteTo(&sb); err != nil {
+			t.Errorf("%s: render: %v", e.ID, err)
+		}
+		if tb.NumRows() == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+	}
+}
+
+func TestA1CoarseningCostSmall(t *testing.T) {
+	tb, err := A1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 seeds, got %d", len(rows))
+	}
+	worse := 0.0
+	for _, r := range rows {
+		ic := cell(t, r[1])
+		if ic > 1.5 {
+			t.Errorf("seed %s: coarsened imbalance %g implausibly large", r[0], ic)
+		}
+		worse += cell(t, r[3])
+	}
+	// Coarsening trades some detail for the convergence guarantee; the
+	// measured cost on this bumpy pair is ≈11% of balance, and it should
+	// stay modest.
+	if avg := worse / float64(len(rows)); avg > 0.20 {
+		t.Errorf("coarsening costs %.1f%% balance on average, expected < 20%%", avg*100)
+	}
+}
+
+func TestA2NewtonMostlyConvergesAndAgrees(t *testing.T) {
+	tb, err := A2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(rows))
+	}
+	okCount := 0
+	for _, r := range rows {
+		if r[2] == "true" {
+			okCount++
+			if diff := cell(t, r[5]); diff > 0.02 {
+				t.Errorf("%s D=%s: newton and tau disagree by %g of D", r[0], r[1], diff)
+			}
+		}
+	}
+	if okCount < len(rows)/2 {
+		t.Errorf("newton converged on only %d/%d cases", okCount, len(rows))
+	}
+}
+
+func TestA3CrossoverExists(t *testing.T) {
+	tb, err := A3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if rows[0][3] != "flat" {
+		t.Errorf("tiny payloads should favour flat, got %s", rows[0][3])
+	}
+	if rows[len(rows)-1][3] != "ring" {
+		t.Errorf("huge payloads should favour ring, got %s", rows[len(rows)-1][3])
+	}
+}
+
+func TestE5BothBalanceBandsCertify(t *testing.T) {
+	tb, err := E5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if imb := cell(t, r[4]); imb > 1.3 {
+			t.Errorf("%s: true imbalance %g too high", r[0], imb)
+		}
+	}
+	if rows[1][5] == "none" || rows[1][5] == "not certified" {
+		t.Errorf("bands run should produce a certificate, got %q", rows[1][5])
+	}
+	if cert := cell(t, rows[1][5]); cert > 0.03 {
+		t.Errorf("certificate %g exceeds eps", cert)
+	}
+}
+
+func TestV1PredictionsMatchSimulation(t *testing.T) {
+	tb, err := V1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 grids, got %d", len(rows))
+	}
+	for _, r := range rows {
+		rel := cell(t, r[5])
+		commShare := cell(t, r[4])
+		// Prediction covers compute only; the residual must be explained
+		// by the communication share plus noise (few percent).
+		if rel < -0.05 {
+			t.Errorf("grid %s: simulation faster than prediction by %g — model inflated", r[0], -rel)
+		}
+		if rel > commShare+0.15 {
+			t.Errorf("grid %s: unexplained gap: rel err %g vs comm share %g", r[0], rel, commShare)
+		}
+	}
+}
+
+func TestE6GPUShareCrossover(t *testing.T) {
+	tb, err := E6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 sizes, got %d", len(rows))
+	}
+	shares := make([]float64, len(rows))
+	for i, r := range rows {
+		shares[i] = cell(t, r[3])
+		// At D=200 the GPU's fixed overhead makes perfect balance
+		// impossible (any integer share is a large fraction of its time);
+		// from D=1000 on the partitions must balance tightly.
+		if imb := cell(t, r[4]); i > 0 && imb > 1.1 {
+			t.Errorf("D=%s: imbalance %g, should be near 1", r[0], imb)
+		}
+	}
+	// At tiny sizes the CPU should get most of the work (GPU overhead
+	// dominates); through the sweet spot the GPU share must rise well
+	// past 50%; past device memory it must fall back.
+	if shares[0] > 50 {
+		t.Errorf("GPU share at D=200 = %.1f%%, expected minority", shares[0])
+	}
+	peak := 0.0
+	for _, s := range shares {
+		if s > peak {
+			peak = s
+		}
+	}
+	if peak < 60 {
+		t.Errorf("GPU share should peak above 60%%, got %.1f%%", peak)
+	}
+	if shares[len(shares)-1] >= peak {
+		t.Errorf("GPU share should decline past device memory: final %.1f%% vs peak %.1f%%",
+			shares[len(shares)-1], peak)
+	}
+}
+
+func TestE7BalancerRecoversFromDrift(t *testing.T) {
+	tb, err := E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 iterations, got %d", len(rows))
+	}
+	// Find the spike (first iteration with imbalance > 1.5) and check the
+	// tail recovers below 1.2.
+	spikeAt := -1
+	for i, r := range rows {
+		if cell(t, r[3]) > 1.5 {
+			spikeAt = i
+			break
+		}
+	}
+	if spikeAt < 0 {
+		t.Fatal("drift should cause a visible imbalance spike")
+	}
+	last := rows[len(rows)-1]
+	if imb := cell(t, last[3]); imb > 1.2 {
+		t.Errorf("balancer should recover after the drift: final imbalance %g", imb)
+	}
+	// The drifting device must end with fewer rows than it had before the
+	// drift (its post-drift speed is halved).
+	preRows := cell(t, rows[spikeAt][4])
+	postRows := cell(t, last[4])
+	if postRows >= preRows {
+		t.Errorf("drifting device should lose rows: %g → %g", preRows, postRows)
+	}
+}
+
+func TestA4TopoBcastWinsLatencyRegime(t *testing.T) {
+	tb, err := A4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 payload sizes, got %d", len(rows))
+	}
+	// Small payloads: a clear win.
+	if sp := cell(t, rows[0][3]); sp < 1.3 {
+		t.Errorf("latency regime speedup %g, expected > 1.3", sp)
+	}
+	// Huge payloads: no loss beyond a small tolerance (both root-bound).
+	if sp := cell(t, rows[len(rows)-1][3]); sp < 0.9 {
+		t.Errorf("bandwidth regime should not regress: speedup %g", sp)
+	}
+}
+
+func TestAllExperimentsRenderCSV(t *testing.T) {
+	for _, e := range All() {
+		tb, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		var sb strings.Builder
+		if err := tb.WriteCSV(&sb); err != nil {
+			t.Errorf("%s: csv render: %v", e.ID, err)
+		}
+		if len(sb.String()) == 0 {
+			t.Errorf("%s: empty csv", e.ID)
+		}
+	}
+}
+
+func TestE8AdaptiveCompetitive(t *testing.T) {
+	tb, err := E8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 builders, got %d", len(rows))
+	}
+	adaptiveErr := cell(t, rows[0][3])
+	uniformSameErr := cell(t, rows[1][3])
+	if adaptiveErr > 0.08 {
+		t.Errorf("adaptive model err %g too high", adaptiveErr)
+	}
+	// With equal point counts the adaptive placement should not lose
+	// badly to uniform (it usually wins on cliffy devices).
+	if adaptiveErr > uniformSameErr*1.5 {
+		t.Errorf("adaptive (%g) should be competitive with uniform (%g) at equal points",
+			adaptiveErr, uniformSameErr)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+	"fupermod/internal/trace"
+)
+
+// fig2Model builds the requested FPM kind of the Netlib-BLAS-like core from
+// noisy benchmarks and tabulates true vs modelled speed (GFLOPS) over a
+// dense grid of problem sizes — the two panels of the paper's Figure 2.
+func fig2Model(kind string) (*trace.Table, error) {
+	dev := platform.NetlibBLASCore()
+	m, err := model.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	sample := core.LogSizes(16, 5000, 60)
+	if err := measureModel(dev, m, sample, platform.DefaultNoise, 20130701); err != nil {
+		return nil, err
+	}
+	t := trace.NewTable("speed function of the GEMM kernel — "+kind,
+		"size", "true GFLOPS", kind+" GFLOPS", "rel err")
+	t.Note = "device: netlib-blas (~5 GFLOPS peak, L2/L3 cliffs, paging at 4200 units)"
+	for _, d := range core.LogSizes(16, 5000, 48) {
+		trueS := gflops(platform.Speed(dev, float64(d)))
+		ms, err := core.ModelSpeed(m, float64(d))
+		if err != nil {
+			return nil, err
+		}
+		modelS := gflops(ms)
+		rel := 0.0
+		if trueS > 0 {
+			rel = (modelS - trueS) / trueS
+		}
+		t.AddRow(d, trueS, modelS, rel)
+	}
+	return t, nil
+}
+
+// Fig2a reproduces the paper's Fig. 2(a): the piecewise-linear FPM, whose
+// coarsening visibly flattens the speed spikes of the noisy measurements.
+func Fig2a() (*trace.Table, error) { return fig2Model(model.KindPiecewise) }
+
+// Fig2b reproduces the paper's Fig. 2(b): the Akima-spline FPM, which
+// follows the measured speed function closely without shape restrictions.
+func Fig2b() (*trace.Table, error) { return fig2Model(model.KindAkima) }

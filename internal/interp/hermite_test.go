@@ -1,0 +1,180 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHermiteExactAtKnots(t *testing.T) {
+	xs := []float64{0, 1, 2.5, 4, 7}
+	ys := []float64{1, 3, 3.2, 8, 9}
+	h, err := NewHermite(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := h.At(xs[i]); math.Abs(got-ys[i]) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestHermiteValidation(t *testing.T) {
+	if _, err := NewHermite([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should be rejected")
+	}
+	if _, err := NewHermite([]float64{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("decreasing xs should be rejected")
+	}
+}
+
+func TestHermiteReproducesLines(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = -2*x + 5
+	}
+	h, _ := NewHermite(xs, ys)
+	for x := -1.0; x < 5; x += 0.21 {
+		if got, want := h.At(x), -2*x+5; math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+		if got := h.Deriv(x); math.Abs(got+2) > 1e-12 {
+			t.Errorf("Deriv(%g) = %g, want -2", x, got)
+		}
+	}
+}
+
+func TestHermitePreservesMonotonicity(t *testing.T) {
+	// Data with an abrupt step — a natural cubic spline would overshoot;
+	// Fritsch–Carlson must stay monotone.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0, 0.01, 0.02, 5, 5.01, 5.02}
+	h, err := NewHermite(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := h.At(0)
+	for x := 0.01; x <= 5; x += 0.01 {
+		cur := h.At(x)
+		if cur < prev-1e-12 {
+			t.Fatalf("interpolant not monotone at x=%g: %g < %g", x, cur, prev)
+		}
+		prev = cur
+	}
+	// And never outside the data range.
+	for x := 0.0; x <= 5; x += 0.01 {
+		if v := h.At(x); v < -1e-12 || v > 5.02+1e-12 {
+			t.Fatalf("overshoot at x=%g: %g", x, v)
+		}
+	}
+}
+
+func TestHermiteFlatSegmentsStayFlat(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{2, 2, 2, 5, 6}
+	h, _ := NewHermite(xs, ys)
+	for x := 0.0; x <= 2; x += 0.05 {
+		if got := h.At(x); math.Abs(got-2) > 1e-12 {
+			t.Errorf("flat region broken: At(%g) = %g", x, got)
+		}
+	}
+}
+
+func TestHermiteC1Continuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 10)
+	ys := make([]float64, 10)
+	x := 0.0
+	for i := range xs {
+		x += 0.3 + rng.Float64()
+		xs[i] = x
+		ys[i] = rng.Float64() * 7
+	}
+	h, err := NewHermite(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-7
+	for i := 1; i < len(xs)-1; i++ {
+		k := xs[i]
+		if dv := math.Abs(h.At(k-eps) - h.At(k+eps)); dv > 1e-5 {
+			t.Errorf("value jump at knot %d: %g", i, dv)
+		}
+		if dd := math.Abs(h.Deriv(k-eps) - h.Deriv(k+eps)); dd > 1e-4 {
+			t.Errorf("derivative jump at knot %d: %g", i, dd)
+		}
+	}
+}
+
+func TestHermiteDerivMatchesFD(t *testing.T) {
+	xs := []float64{0, 1, 2, 4, 6, 7}
+	ys := []float64{0, 1, 1.5, 4, 9, 9.5}
+	h, _ := NewHermite(xs, ys)
+	for x := 0.1; x < 6.9; x += 0.13 {
+		fd := (h.At(x+1e-6) - h.At(x-1e-6)) / 2e-6
+		if got := h.Deriv(x); math.Abs(got-fd) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("Deriv(%g) = %g, fd %g", x, got, fd)
+		}
+	}
+}
+
+func TestHermiteMonotonePropertyRandom(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%15
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x, y := rng.Float64(), rng.Float64()
+		for i := range xs {
+			xs[i] = x
+			ys[i] = y
+			x += 0.1 + rng.Float64()
+			y += rng.Float64() * 3 // nondecreasing data
+		}
+		if !sort.Float64sAreSorted(xs) || !sort.Float64sAreSorted(ys) {
+			return false
+		}
+		h, err := NewHermite(xs, ys)
+		if err != nil {
+			return false
+		}
+		prev := h.At(xs[0])
+		for k := 1; k <= 200; k++ {
+			xx := xs[0] + (xs[n-1]-xs[0])*float64(k)/200
+			cur := h.At(xx)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHermiteLinearExtrapolation(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 1, 4}
+	h, _ := NewHermite(xs, ys)
+	d := h.Deriv(2)
+	for _, x := range []float64{2.5, 4, 10} {
+		want := 4 + d*(x-2)
+		if got := h.At(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+	}
+	lo, hi := h.Domain()
+	if lo != 0 || hi != 2 {
+		t.Errorf("Domain = [%g, %g]", lo, hi)
+	}
+	kx, ky := h.Knots()
+	if len(kx) != 3 || ky[2] != 4 {
+		t.Error("Knots wrong")
+	}
+}

@@ -1,0 +1,189 @@
+package kernels
+
+import (
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/platform"
+)
+
+func TestNewGEMMValidation(t *testing.T) {
+	if _, err := NewGEMM(0); err == nil {
+		t.Error("b=0 should error")
+	}
+	g, err := NewGEMM(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "gemm-b16" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestGEMMGridNearSquare(t *testing.T) {
+	g, _ := NewGEMM(8)
+	cases := []struct{ d, m, n int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {10, 3, 4}, {100, 10, 10}, {101, 10, 11},
+	}
+	for _, c := range cases {
+		m, n := g.grid(c.d)
+		if m != c.m || n != c.n {
+			t.Errorf("grid(%d) = %dx%d, want %dx%d", c.d, m, n, c.m, c.n)
+		}
+		if m*n < c.d {
+			t.Errorf("grid(%d) covers only %d units", c.d, m*n)
+		}
+	}
+}
+
+func TestGEMMComplexity(t *testing.T) {
+	g, _ := NewGEMM(8)
+	// d=4 → 2x2 grid → 2*(16)*(16)*8 = 4096 flops.
+	if got := g.Complexity(4); got != 4096 {
+		t.Errorf("Complexity(4) = %g, want 4096", got)
+	}
+}
+
+func TestGEMMBenchmarkEndToEnd(t *testing.T) {
+	g, _ := NewGEMM(8) // tiny blocks keep the test fast
+	prec := core.Precision{MinReps: 2, MaxReps: 4, Confidence: 0.95, RelErr: 0.5}
+	p, err := core.Benchmark(g, 9, prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time <= 0 {
+		t.Errorf("real kernel must take positive time, got %g", p.Time)
+	}
+	if p.D != 9 {
+		t.Errorf("D = %d", p.D)
+	}
+}
+
+func TestGEMMSetupValidation(t *testing.T) {
+	g, _ := NewGEMM(8)
+	if _, err := g.Setup(0); err == nil {
+		t.Error("d=0 should error")
+	}
+}
+
+func TestGEMMTimeGrowsWithSize(t *testing.T) {
+	g, _ := NewGEMM(16)
+	timeOf := func(d int) float64 {
+		inst, err := g.Setup(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inst.Close()
+		// Warm-up plus best-of-3 to damp scheduler noise.
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			tt, err := inst.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best == 0 || tt < best {
+				best = tt
+			}
+		}
+		return best
+	}
+	small, large := timeOf(4), timeOf(64)
+	if large <= small {
+		t.Errorf("16x work should take longer: %g vs %g", small, large)
+	}
+}
+
+func TestJacobiKernel(t *testing.T) {
+	j, err := NewJacobi(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Name() != "jacobi-n128" {
+		t.Errorf("Name = %q", j.Name())
+	}
+	if got := j.Complexity(10); got != 2*10*128 {
+		t.Errorf("Complexity = %g", got)
+	}
+	if _, err := NewJacobi(0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := j.Setup(0); err == nil {
+		t.Error("d=0 should error")
+	}
+	if _, err := j.Setup(129); err == nil {
+		t.Error("d>N should error")
+	}
+	p, err := core.Benchmark(j, 64, core.Precision{MinReps: 2, MaxReps: 3, Confidence: 0.9, RelErr: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time <= 0 {
+		t.Error("jacobi kernel must take positive time")
+	}
+}
+
+func TestVirtualKernelMatchesDevice(t *testing.T) {
+	dev := platform.FastCore("f")
+	meter := platform.NewMeter(dev, platform.Quiet, 1)
+	v, err := NewVirtual("gemm-b128", meter, 4.2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "gemm-b128" {
+		t.Errorf("Name = %q", v.Name())
+	}
+	p, err := core.Benchmark(v, 1000, core.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dev.BaseTime(1000); p.Time != want {
+		t.Errorf("quiet virtual kernel time = %g, want %g", p.Time, want)
+	}
+	if got := v.Complexity(2); got != 8.4e6 {
+		t.Errorf("Complexity = %g", got)
+	}
+}
+
+func TestVirtualValidation(t *testing.T) {
+	meter := platform.NewMeter(platform.FastCore("f"), platform.Quiet, 1)
+	if _, err := NewVirtual("v", nil, 1); err == nil {
+		t.Error("nil meter should error")
+	}
+	if _, err := NewVirtual("v", meter, 0); err == nil {
+		t.Error("zero flops/unit should error")
+	}
+	v, _ := NewVirtual("v", meter, 1)
+	if _, err := v.Setup(-1); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	devs := platform.HCLCluster()
+	ks, err := VirtualSet(devs, platform.Quiet, 4.2e6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != len(devs) {
+		t.Fatalf("len = %d", len(ks))
+	}
+	for i, k := range ks {
+		if k.Name() != devs[i].Name() {
+			t.Errorf("kernel %d name %q, want %q", i, k.Name(), devs[i].Name())
+		}
+	}
+	// Determinism across two identically seeded sets with noise.
+	k1, _ := VirtualSet(devs, platform.DefaultNoise, 1, 7)
+	k2, _ := VirtualSet(devs, platform.DefaultNoise, 1, 7)
+	p1, err := core.Benchmark(k1[0], 500, core.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.Benchmark(k2[0], 500, core.DefaultPrecision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Time != p2.Time || p1.Reps != p2.Reps {
+		t.Errorf("virtual benchmarks not reproducible: %+v vs %+v", p1, p2)
+	}
+}

@@ -1,0 +1,117 @@
+// Package linalg is the dense linear-algebra substrate for FuPerMod's
+// example applications: row-major matrices, a cache-blocked GEMM (the role
+// BLAS plays in the paper), and the Jacobi relaxation sweep. It is written
+// against the standard library only and is deliberately simple — the
+// framework benchmarks whatever kernel it is given, so the substrate only
+// needs to be correct and to have a realistic memory access pattern.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	// Rows and Cols are the dimensions.
+	Rows, Cols int
+	// Data holds the elements row by row; len(Data) = Rows*Cols.
+	Data []float64
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("linalg: invalid shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// At returns element (i, j). Bounds are the caller's responsibility; the
+// hot loops below index Data directly.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// FillRandom fills the matrix with uniform values in [-1, 1).
+func (m *Matrix) FillRandom(rng *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+}
+
+// gemmBlock is the cache-blocking tile edge used by Gemm.
+const gemmBlock = 64
+
+// Gemm computes C += A·B with i-k-j loop order and square tiling — the
+// textbook cache-blocked matrix multiplication. Shapes must agree:
+// A is m×k, B is k×n, C is m×n.
+func Gemm(a, b, c *Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("linalg: gemm shape mismatch: A %dx%d, B %dx%d, C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for ii := 0; ii < m; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, m)
+		for kk := 0; kk < k; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, k)
+			for jj := 0; jj < n; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, n)
+				for i := ii; i < iMax; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					crow := c.Data[i*n : (i+1)*n]
+					for p := kk; p < kMax; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[p*n : (p+1)*n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MatVec computes y = A·x. A is m×n, x has n elements, y has m.
+func MatVec(a *Matrix, x, y []float64) error {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		return fmt.Errorf("linalg: matvec shape mismatch: A %dx%d, x %d, y %d",
+			a.Rows, a.Cols, len(x), len(y))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxAbsDiff returns the max-norm distance between two equal-length
+// vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveGemm(a, b, c *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, c.At(i, j)+s)
+		}
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(-1, 3); err == nil {
+		t.Error("negative rows should error")
+	}
+	m, err := NewMatrix(0, 0)
+	if err != nil || len(m.Data) != 0 {
+		t.Error("empty matrix should be fine")
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {64, 64, 64}, {65, 63, 130}, {100, 7, 200}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, _ := NewMatrix(m, k)
+		b, _ := NewMatrix(k, n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c1, _ := NewMatrix(m, n)
+		c2, _ := NewMatrix(m, n)
+		c1.FillRandom(rng)
+		copy(c2.Data, c1.Data)
+		if err := Gemm(a, b, c1); err != nil {
+			t.Fatal(err)
+		}
+		naiveGemm(a, b, c2)
+		for i := range c1.Data {
+			if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+				t.Fatalf("dims %v: mismatch at %d: %g vs %g", dims, i, c1.Data[i], c2.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmShapeErrors(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(4, 2) // inner mismatch
+	c, _ := NewMatrix(2, 2)
+	if err := Gemm(a, b, c); err == nil {
+		t.Error("inner mismatch should error")
+	}
+	b2, _ := NewMatrix(3, 2)
+	cBad, _ := NewMatrix(3, 2)
+	if err := Gemm(a, b2, cBad); err == nil {
+		t.Error("output mismatch should error")
+	}
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	a, _ := NewMatrix(2, 2)
+	b, _ := NewMatrix(2, 2)
+	c, _ := NewMatrix(2, 2)
+	for i := range a.Data {
+		a.Data[i] = 1
+		b.Data[i] = 1
+		c.Data[i] = 10
+	}
+	if err := Gemm(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Data {
+		if v != 12 { // 10 + 2
+			t.Fatalf("C = %v, want all 12", c.Data)
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 2)
+	if err := MatVec(a, []float64{1, 1, 1}, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("y = %v", y)
+	}
+	if err := MatVec(a, []float64{1}, y); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 5, 2}); d != 3 {
+		t.Errorf("MaxAbsDiff = %g, want 3", d)
+	}
+	if d := MaxAbsDiff(nil, nil); d != 0 {
+		t.Errorf("empty diff = %g", d)
+	}
+}
+
+func TestJacobiSystemValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewJacobiSystem(0, 1, rng); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewJacobiSystem(5, 0, rng); err == nil {
+		t.Error("dominance=0 should error")
+	}
+}
+
+func TestJacobiConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys, err := NewJacobiSystem(80, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 80
+	xOld := make([]float64, n)
+	xNew := make([]float64, n)
+	var diff float64
+	for it := 0; it < 500; it++ {
+		diff, err = JacobiSweepRows(sys, 0, n, xOld, xNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xOld, xNew = xNew, xOld
+		if diff < 1e-12 {
+			break
+		}
+	}
+	if diff >= 1e-12 {
+		t.Fatalf("Jacobi did not converge: last diff %g", diff)
+	}
+	res, err := sys.Residual(xOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-9 {
+		t.Errorf("residual = %g", res)
+	}
+}
+
+func TestJacobiSweepRowRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys, _ := NewJacobiSystem(10, 1, rng)
+	xOld := make([]float64, 10)
+	xNew := make([]float64, 10)
+	if _, err := JacobiSweepRows(sys, -1, 5, xOld, xNew); err == nil {
+		t.Error("negative rowLo should error")
+	}
+	if _, err := JacobiSweepRows(sys, 5, 11, xOld, xNew); err == nil {
+		t.Error("rowHi beyond n should error")
+	}
+	if _, err := JacobiSweepRows(sys, 7, 3, xOld, xNew); err == nil {
+		t.Error("reversed range should error")
+	}
+	if _, err := JacobiSweepRows(sys, 0, 10, xOld[:5], xNew); err == nil {
+		t.Error("short vector should error")
+	}
+	// Partial sweeps write only their rows.
+	for i := range xNew {
+		xNew[i] = 99
+	}
+	if _, err := JacobiSweepRows(sys, 2, 4, xOld, xNew); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range xNew {
+		if (i == 2 || i == 3) == (v == 99) {
+			t.Errorf("row %d: unexpected value %g", i, v)
+		}
+	}
+}
+
+func TestJacobiPartialSweepsEqualFull(t *testing.T) {
+	// Splitting the rows over "processes" must give the same xNew as one
+	// full sweep — the invariant the distributed application depends on.
+	rng := rand.New(rand.NewSource(9))
+	sys, _ := NewJacobiSystem(50, 1, rng)
+	xOld := make([]float64, 50)
+	for i := range xOld {
+		xOld[i] = rng.Float64()
+	}
+	full := make([]float64, 50)
+	if _, err := JacobiSweepRows(sys, 0, 50, xOld, full); err != nil {
+		t.Fatal(err)
+	}
+	split := make([]float64, 50)
+	for _, r := range [][2]int{{0, 13}, {13, 31}, {31, 50}} {
+		if _, err := JacobiSweepRows(sys, r[0], r[1], xOld, split); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := MaxAbsDiff(full, split); d != 0 {
+		t.Errorf("split sweep differs from full sweep by %g", d)
+	}
+}
+
+func TestGemmRandomShapesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		a, _ := NewMatrix(m, k)
+		b, _ := NewMatrix(k, n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c1, _ := NewMatrix(m, n)
+		c2, _ := NewMatrix(m, n)
+		if Gemm(a, b, c1) != nil {
+			return false
+		}
+		naiveGemm(a, b, c2)
+		for i := range c1.Data {
+			if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package matpart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+)
+
+// FPMGrid computes a two-dimensional block partitioning of an
+// nBlocks×nBlocks matrix balanced by functional performance models — the
+// algorithm of Clarke, Lastovetsky and Rychkov (Euro-Par 2011, the paper's
+// reference [7]), which the matrix-multiplication use case of §4.1 builds
+// on. It proceeds in three steps:
+//
+//  1. the 1D model-based partitioner balances D = nBlocks² computation
+//     units over the processes (each process's per-iteration workload is
+//     the area of its rectangle, so 1D balance in areas is what the 2D
+//     arrangement must realise);
+//  2. the Beaumont column-based arrangement turns the shares into
+//     near-square integer rectangles minimising communication volume;
+//  3. integer rounding disturbs the balance, so a local refinement shifts
+//     row boundaries between vertically adjacent rectangles (whole block
+//     rows of the column, the only moves that keep the column structure)
+//     while the predicted makespan improves.
+//
+// It returns the refined rectangles and the distribution they realise
+// (with predicted times filled from the models).
+func FPMGrid(models []core.Model, nBlocks int, algo core.Partitioner, maxMoves int) ([]BlockRect, *core.Dist, error) {
+	if len(models) == 0 {
+		return nil, nil, errors.New("matpart: no models")
+	}
+	if nBlocks <= 0 {
+		return nil, nil, fmt.Errorf("matpart: grid size must be positive, got %d", nBlocks)
+	}
+	if algo == nil {
+		return nil, nil, errors.New("matpart: no partitioning algorithm")
+	}
+	if maxMoves < 0 {
+		maxMoves = 0
+	}
+	D := nBlocks * nBlocks
+	dist, err := algo.Partition(models, D)
+	if err != nil {
+		return nil, nil, fmt.Errorf("matpart: balancing areas: %w", err)
+	}
+	areas := make([]float64, len(dist.Parts))
+	for i, p := range dist.Parts {
+		areas[i] = float64(p.D)
+	}
+	rects, err := PartitionGrid(areas, nBlocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := refineRows(models, rects, nBlocks, maxMoves); err != nil {
+		return nil, nil, err
+	}
+	out := &core.Dist{D: D, Parts: make([]core.Part, len(models))}
+	for i, r := range rects {
+		out.Parts[i].D = r.Blocks()
+		if r.Blocks() > 0 {
+			if t, err := models[i].Time(float64(r.Blocks())); err == nil {
+				out.Parts[i].Time = t
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("matpart: refined distribution invalid: %w", err)
+	}
+	return rects, out, nil
+}
+
+// column groups the rectangle indices of one grid column, ordered
+// bottom-up.
+type column struct {
+	procs []int // indices into rects
+}
+
+// refineRows greedily moves single block rows between vertically adjacent
+// rectangles while the predicted makespan decreases, up to maxMoves moves.
+func refineRows(models []core.Model, rects []BlockRect, nBlocks, maxMoves int) error {
+	cols := groupColumns(rects)
+	predict := func(i int) (float64, error) {
+		b := rects[i].Blocks()
+		if b == 0 {
+			return 0, nil
+		}
+		return models[i].Time(float64(b))
+	}
+	times := make([]float64, len(rects))
+	for i := range rects {
+		t, err := predict(i)
+		if err != nil {
+			return fmt.Errorf("matpart: refining: model %d: %w", i, err)
+		}
+		times[i] = t
+	}
+	makespan := func() float64 {
+		m := 0.0
+		for _, t := range times {
+			m = math.Max(m, t)
+		}
+		return m
+	}
+	for move := 0; move < maxMoves; move++ {
+		cur := makespan()
+		bestGain := 0.0
+		var bestFrom, bestTo int
+		found := false
+		for _, col := range cols {
+			for k := 0; k+1 < len(col.procs); k++ {
+				lower, upper := col.procs[k], col.procs[k+1]
+				for _, pair := range [][2]int{{lower, upper}, {upper, lower}} {
+					from, to := pair[0], pair[1]
+					if rects[from].Rows <= 1 {
+						continue // never empty a rectangle entirely
+					}
+					w := rects[from].Cols
+					tFrom, err := models[from].Time(float64(rects[from].Blocks() - w))
+					if err != nil {
+						return err
+					}
+					tTo, err := models[to].Time(float64(rects[to].Blocks() + w))
+					if err != nil {
+						return err
+					}
+					// New makespan if this move is applied.
+					worst := math.Max(tFrom, tTo)
+					for i, t := range times {
+						if i == from || i == to {
+							continue
+						}
+						worst = math.Max(worst, t)
+					}
+					if gain := cur - worst; gain > bestGain+1e-15 {
+						bestGain = gain
+						bestFrom, bestTo = from, to
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			return nil
+		}
+		applyRowMove(rects, bestFrom, bestTo)
+		var err error
+		if times[bestFrom], err = predict(bestFrom); err != nil {
+			return err
+		}
+		if times[bestTo], err = predict(bestTo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupColumns recovers the column structure: rectangles sharing Col and
+// Cols, ordered by Row.
+func groupColumns(rects []BlockRect) []column {
+	type key struct{ col, cols int }
+	byKey := map[key][]int{}
+	var order []key
+	for i, r := range rects {
+		if r.Blocks() == 0 {
+			continue
+		}
+		k := key{r.Col, r.Cols}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([]column, 0, len(order))
+	for _, k := range order {
+		procs := byKey[k]
+		// Insertion sort by Row (columns hold a handful of processes).
+		for i := 1; i < len(procs); i++ {
+			for j := i; j > 0 && rects[procs[j]].Row < rects[procs[j-1]].Row; j-- {
+				procs[j], procs[j-1] = procs[j-1], procs[j]
+			}
+		}
+		out = append(out, column{procs: procs})
+	}
+	return out
+}
+
+// applyRowMove transfers one block row from rects[from] to rects[to]; the
+// two must be vertically adjacent in the same column.
+func applyRowMove(rects []BlockRect, from, to int) {
+	if rects[from].Row < rects[to].Row {
+		// from is below to: shrink from at its top, grow to downward.
+		rects[from].Rows--
+		rects[to].Row--
+		rects[to].Rows++
+		return
+	}
+	// from is above to: shrink from at its bottom, grow to upward.
+	rects[from].Row++
+	rects[from].Rows--
+	rects[to].Rows++
+}

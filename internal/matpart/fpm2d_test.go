@@ -1,0 +1,168 @@
+package matpart
+
+import (
+	"math"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+func fpmModels(t *testing.T, devs []platform.Device, hi int) []core.Model {
+	t.Helper()
+	ms := make([]core.Model, len(devs))
+	for i, dev := range devs {
+		m := model.NewPiecewise()
+		for _, d := range core.LogSizes(4, hi, 25) {
+			if err := m.Update(core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+func TestFPMGridValidation(t *testing.T) {
+	ms := fpmModels(t, []platform.Device{platform.FastCore("a")}, 100)
+	if _, _, err := FPMGrid(nil, 8, partition.Geometric(), 10); err == nil {
+		t.Error("no models should error")
+	}
+	if _, _, err := FPMGrid(ms, 0, partition.Geometric(), 10); err == nil {
+		t.Error("zero grid should error")
+	}
+	if _, _, err := FPMGrid(ms, 8, nil, 10); err == nil {
+		t.Error("nil algorithm should error")
+	}
+}
+
+func TestFPMGridTilesAndBalances(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("fast0"),
+		platform.FastCore("fast1"),
+		platform.SlowCore("slow0"),
+		platform.NetlibBLASCore(),
+	}
+	const n = 48
+	ms := fpmModels(t, devs, n*n)
+	rects, dist, err := FPMGrid(ms, n, partition.Geometric(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTiling(rects, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// True imbalance of the realised rectangles.
+	worst, best := 0.0, math.Inf(1)
+	for i, r := range rects {
+		if r.Blocks() == 0 {
+			continue
+		}
+		tt := devs[i].BaseTime(float64(r.Blocks()))
+		worst = math.Max(worst, tt)
+		best = math.Min(best, tt)
+	}
+	if imb := worst / best; imb > 1.25 {
+		t.Errorf("2D partitioning imbalance %g (rects %v)", imb, rects)
+	}
+	// Fast cores must own more blocks than the slow ones.
+	if rects[0].Blocks() <= rects[2].Blocks() {
+		t.Errorf("fast core should own more: %d vs %d", rects[0].Blocks(), rects[2].Blocks())
+	}
+}
+
+func TestFPMGridRefinementNeverWorsens(t *testing.T) {
+	devs := []platform.Device{
+		platform.FastCore("a"),
+		platform.SlowCore("b"),
+		platform.NetlibBLASCore(),
+	}
+	const n = 30
+	ms := fpmModels(t, devs, n*n)
+	predictedMakespan := func(rects []BlockRect) float64 {
+		worst := 0.0
+		for i, r := range rects {
+			if r.Blocks() == 0 {
+				continue
+			}
+			tt, err := ms[i].Time(float64(r.Blocks()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst = math.Max(worst, tt)
+		}
+		return worst
+	}
+	raw, _, err := FPMGrid(ms, n, partition.Geometric(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, _, err := FPMGrid(ms, n, partition.Geometric(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTiling(refined, n); err != nil {
+		t.Fatal(err)
+	}
+	m0, m1 := predictedMakespan(raw), predictedMakespan(refined)
+	if m1 > m0+1e-12 {
+		t.Errorf("refinement worsened predicted makespan: %g → %g", m0, m1)
+	}
+}
+
+func TestFPMGridSingleProcess(t *testing.T) {
+	ms := fpmModels(t, []platform.Device{platform.FastCore("a")}, 64)
+	rects, dist, err := FPMGrid(ms, 8, partition.Geometric(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rects[0].Blocks() != 64 || dist.Parts[0].D != 64 {
+		t.Errorf("single process should own the grid: %+v", rects[0])
+	}
+}
+
+func TestApplyRowMoveGeometry(t *testing.T) {
+	// Two stacked rects in one column: move one row up and down.
+	rects := []BlockRect{
+		{Proc: 0, Col: 0, Row: 0, Cols: 4, Rows: 3},
+		{Proc: 1, Col: 0, Row: 3, Cols: 4, Rows: 5},
+	}
+	applyRowMove(rects, 1, 0) // upper gives a row to lower
+	if rects[0].Rows != 4 || rects[1].Rows != 4 || rects[1].Row != 4 {
+		t.Errorf("after move: %+v", rects)
+	}
+	if err := CheckTiling(rects, 0); err == nil {
+		// CheckTiling(., 0) is meaningless; verify manually instead:
+	}
+	if rects[0].Row != 0 || rects[0].Rows+rects[1].Rows != 8 {
+		t.Errorf("rows lost: %+v", rects)
+	}
+	applyRowMove(rects, 0, 1) // lower gives it back
+	if rects[0].Rows != 3 || rects[1].Rows != 5 || rects[1].Row != 3 {
+		t.Errorf("after reverse move: %+v", rects)
+	}
+}
+
+func TestGroupColumnsOrdering(t *testing.T) {
+	rects := []BlockRect{
+		{Proc: 0, Col: 0, Row: 4, Cols: 2, Rows: 4},
+		{Proc: 1, Col: 0, Row: 0, Cols: 2, Rows: 4},
+		{Proc: 2, Col: 2, Row: 0, Cols: 3, Rows: 8},
+		{Proc: 3}, // empty
+	}
+	cols := groupColumns(rects)
+	if len(cols) != 2 {
+		t.Fatalf("expected 2 columns, got %d", len(cols))
+	}
+	if cols[0].procs[0] != 1 || cols[0].procs[1] != 0 {
+		t.Errorf("column not ordered by row: %v", cols[0].procs)
+	}
+	if len(cols[1].procs) != 1 || cols[1].procs[0] != 2 {
+		t.Errorf("second column wrong: %v", cols[1].procs)
+	}
+}

@@ -1,0 +1,189 @@
+package matpart
+
+import (
+	"fmt"
+	"math"
+)
+
+// BlockRect is a process's rectangle on an n×n block grid (the matrix of
+// b×b blocks of the parallel multiplication): columns [Col, Col+Cols) ×
+// rows [Row, Row+Rows).
+type BlockRect struct {
+	// Proc is the process index.
+	Proc int
+	// Col, Row is the lower-left block coordinate.
+	Col, Row int
+	// Cols, Rows is the extent in blocks.
+	Cols, Rows int
+}
+
+// Blocks returns the number of b×b blocks (computation units) in the
+// rectangle.
+func (r BlockRect) Blocks() int { return r.Cols * r.Rows }
+
+// PartitionGrid discretises the continuous column-based arrangement onto an
+// n×n block grid: every process receives an integer rectangle, the
+// rectangles tile the grid exactly, and block counts approximate the
+// prescribed areas. Column boundaries and per-column row boundaries are
+// placed by cumulative rounding, which keeps every rounding error below
+// one block row/column.
+func PartitionGrid(areas []float64, n int) ([]BlockRect, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("matpart: grid size must be positive, got %d", n)
+	}
+	rects, _, err := Partition(areas)
+	if err != nil {
+		return nil, err
+	}
+	// Group rectangles into columns by X (they share exact X values).
+	type colGroup struct {
+		x     float64
+		width float64
+		rs    []Rect
+	}
+	byX := map[float64]*colGroup{}
+	order := []float64{}
+	for _, r := range rects {
+		if r.W == 0 {
+			continue
+		}
+		g, ok := byX[r.X]
+		if !ok {
+			g = &colGroup{x: r.X, width: r.W}
+			byX[r.X] = g
+			order = append(order, r.X)
+		}
+		g.rs = append(g.rs, r)
+	}
+	sortFloats(order)
+	out := make([]BlockRect, len(areas))
+	for i := range out {
+		out[i].Proc = i
+	}
+	colStart := 0
+	cum := 0.0
+	for _, x := range order {
+		g := byX[x]
+		cum += g.width
+		colEnd := int(math.Round(cum * float64(n)))
+		if colEnd > n {
+			colEnd = n
+		}
+		if colEnd <= colStart { // degenerate thin column: give it one strip if possible
+			if colStart < n {
+				colEnd = colStart + 1
+			} else {
+				colEnd = colStart
+			}
+		}
+		wCols := colEnd - colStart
+		// Stack the column's rectangles bottom-up by cumulative rounding
+		// of their heights.
+		sortRectsByY(g.rs)
+		rowStart := 0
+		cumH := 0.0
+		for k, r := range g.rs {
+			cumH += r.H
+			rowEnd := int(math.Round(cumH * float64(n)))
+			if k == len(g.rs)-1 {
+				rowEnd = n // last rectangle always closes the column
+			}
+			if rowEnd > n {
+				rowEnd = n
+			}
+			if rowEnd < rowStart {
+				rowEnd = rowStart
+			}
+			out[r.Proc] = BlockRect{Proc: r.Proc, Col: colStart, Row: rowStart, Cols: wCols, Rows: rowEnd - rowStart}
+			rowStart = rowEnd
+		}
+		colStart = colEnd
+	}
+	// The cumulative rounding of the final column must close the grid.
+	if colStart != n {
+		return nil, fmt.Errorf("matpart: internal error: columns cover %d of %d", colStart, n)
+	}
+	return out, nil
+}
+
+// CheckTiling verifies that the rectangles tile the n×n grid exactly:
+// every block covered once. It is exported for tests and for validating
+// user-supplied arrangements.
+func CheckTiling(rects []BlockRect, n int) error {
+	covered := make([]int, n*n)
+	for _, r := range rects {
+		if r.Cols == 0 || r.Rows == 0 {
+			continue
+		}
+		if r.Col < 0 || r.Row < 0 || r.Col+r.Cols > n || r.Row+r.Rows > n {
+			return fmt.Errorf("matpart: rectangle %+v outside the %dx%d grid", r, n, n)
+		}
+		for c := r.Col; c < r.Col+r.Cols; c++ {
+			for w := r.Row; w < r.Row+r.Rows; w++ {
+				covered[c*n+w]++
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			return fmt.Errorf("matpart: block (%d,%d) covered %d times", i/n, i%n, c)
+		}
+	}
+	return nil
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortRectsByY(rs []Rect) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Y < rs[j-1].Y; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Render draws the arrangement as an ASCII grid, one character per block
+// (process 0 = 'A', 1 = 'B', …, wrapping after 52), at most maxSide
+// characters per side (larger grids are downsampled by block sampling).
+// It is how fupermod-matmul -layout visualises the Beaumont arrangement
+// of the paper's Fig. 1.
+func Render(rects []BlockRect, n, maxSide int) (string, error) {
+	if err := CheckTiling(rects, n); err != nil {
+		return "", err
+	}
+	if maxSide <= 0 {
+		maxSide = 64
+	}
+	owner := make([]int, n*n)
+	for _, r := range rects {
+		for c := r.Col; c < r.Col+r.Cols; c++ {
+			for w := r.Row; w < r.Row+r.Rows; w++ {
+				owner[w*n+c] = r.Proc
+			}
+		}
+	}
+	letter := func(p int) byte {
+		const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+		return alphabet[p%len(alphabet)]
+	}
+	side := n
+	if side > maxSide {
+		side = maxSide
+	}
+	var b []byte
+	for row := side - 1; row >= 0; row-- { // row 0 at the bottom, as in the unit square
+		gr := row * n / side
+		for col := 0; col < side; col++ {
+			gc := col * n / side
+			b = append(b, letter(owner[gr*n+gc]))
+		}
+		b = append(b, '\n')
+	}
+	return string(b), nil
+}

@@ -1,0 +1,320 @@
+package matpart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionErrors(t *testing.T) {
+	if _, _, err := Partition(nil); err == nil {
+		t.Error("empty areas should error")
+	}
+	if _, _, err := Partition([]float64{0, 0}); err == nil {
+		t.Error("all-zero areas should error")
+	}
+	if _, _, err := Partition([]float64{1, -1}); err == nil {
+		t.Error("negative area should error")
+	}
+	if _, _, err := Partition([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN area should error")
+	}
+}
+
+func TestPartitionSingleProcess(t *testing.T) {
+	rects, perim, err := Partition([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rects[0]
+	if r.W != 1 || r.H != 1 || r.X != 0 || r.Y != 0 {
+		t.Errorf("single process should own the unit square: %+v", r)
+	}
+	if perim != 2 {
+		t.Errorf("perimeter = %g, want 2", perim)
+	}
+}
+
+func TestPartitionAreasProportional(t *testing.T) {
+	areas := []float64{4, 2, 2, 1, 1}
+	rects, _, err := Partition(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, a := range areas {
+		total += a
+	}
+	for i, r := range rects {
+		want := areas[i] / total
+		if math.Abs(r.W*r.H-want) > 1e-12 {
+			t.Errorf("process %d area = %g, want %g", i, r.W*r.H, want)
+		}
+	}
+}
+
+func TestPartitionHomogeneousFourIsTwoByTwo(t *testing.T) {
+	// Four equal processes: the optimal column-based arrangement is the
+	// 2×2 grid with total half-perimeter 4·(1/2+1/2) = 4.
+	rects, perim, err := Partition([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perim-4) > 1e-12 {
+		t.Errorf("perimeter = %g, want 4 (2x2 grid)", perim)
+	}
+	for _, r := range rects {
+		if math.Abs(r.W-0.5) > 1e-12 || math.Abs(r.H-0.5) > 1e-12 {
+			t.Errorf("rect %+v, want 0.5x0.5", r)
+		}
+	}
+}
+
+func TestPartitionBeatsOneD(t *testing.T) {
+	areas := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	_, perim, err := Partition(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := OneDPerimeter(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x3 grid: perimeter 6 versus 1D strips: 10.
+	if perim >= oneD {
+		t.Errorf("column-based %g should beat 1D %g", perim, oneD)
+	}
+	if math.Abs(perim-6) > 1e-12 {
+		t.Errorf("3x3 homogeneous perimeter = %g, want 6", perim)
+	}
+}
+
+func TestPartitionZeroAreaProcess(t *testing.T) {
+	rects, _, err := Partition([]float64{2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rects[1].W != 0 || rects[1].H != 0 {
+		t.Errorf("zero-area process should get empty rect: %+v", rects[1])
+	}
+	if a := rects[0].W * rects[0].H; math.Abs(a-0.4) > 1e-12 {
+		t.Errorf("area 0 = %g, want 0.4", a)
+	}
+}
+
+// bruteForceBest enumerates every split of the sorted areas into
+// contiguous columns and returns the minimal total half-perimeter.
+func bruteForceBest(sorted []float64) float64 {
+	q := len(sorted)
+	best := math.MaxFloat64
+	// Each of the q-1 gaps is either a column boundary or not.
+	for mask := 0; mask < 1<<(q-1); mask++ {
+		cost := 0.0
+		colStart := 0
+		cols := 0
+		for i := 0; i < q; i++ {
+			boundary := i == q-1 || mask&(1<<i) != 0
+			if boundary {
+				w := 0.0
+				for k := colStart; k <= i; k++ {
+					w += sorted[k]
+				}
+				cost += float64(i-colStart+1) * w
+				cols++
+				colStart = i + 1
+			}
+		}
+		cost += float64(cols)
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func TestPartitionOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		q := 2 + rng.Intn(7)
+		areas := make([]float64, q)
+		total := 0.0
+		for i := range areas {
+			areas[i] = rng.Float64() + 0.05
+			total += areas[i]
+		}
+		for i := range areas {
+			areas[i] /= total
+		}
+		_, perim, err := Partition(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := append([]float64(nil), areas...)
+		for i := 1; i < len(sorted); i++ { // insertion sort descending
+			for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		want := bruteForceBest(sorted)
+		if perim > want+1e-9 {
+			t.Errorf("trial %d: perimeter %g, brute force %g (areas %v)", trial, perim, want, areas)
+		}
+	}
+}
+
+func TestPartitionGridExactTiling(t *testing.T) {
+	areas := []float64{5, 3, 2, 2, 1}
+	for _, n := range []int{1, 2, 7, 16, 100} {
+		rects, err := PartitionGrid(areas, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := CheckTiling(rects, n); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPartitionGridAreasApproximate(t *testing.T) {
+	areas := []float64{4, 2, 1, 1}
+	n := 64
+	rects, err := PartitionGrid(areas, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 8.0
+	for i, r := range rects {
+		want := areas[i] / total * float64(n*n)
+		got := float64(r.Blocks())
+		if math.Abs(got-want) > 0.1*want+float64(2*n) {
+			t.Errorf("process %d: %g blocks, want ≈ %g", i, got, want)
+		}
+	}
+}
+
+func TestPartitionGridErrors(t *testing.T) {
+	if _, err := PartitionGrid([]float64{1}, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := PartitionGrid(nil, 4); err == nil {
+		t.Error("empty areas should error")
+	}
+}
+
+func TestPartitionGridTilingProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		p := 1 + int(pRaw)%10
+		areas := make([]float64, p)
+		for i := range areas {
+			areas[i] = rng.Float64() + 0.01
+		}
+		rects, err := PartitionGrid(areas, n)
+		if err != nil {
+			return false
+		}
+		return CheckTiling(rects, n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionGridManyProcsSmallGrid(t *testing.T) {
+	// More processes than grid columns: thin columns must still tile.
+	areas := make([]float64, 12)
+	for i := range areas {
+		areas[i] = 1
+	}
+	rects, err := PartitionGrid(areas, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTiling(rects, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckTilingDetectsErrors(t *testing.T) {
+	// Overlap.
+	bad := []BlockRect{
+		{Proc: 0, Col: 0, Row: 0, Cols: 2, Rows: 2},
+		{Proc: 1, Col: 1, Row: 1, Cols: 1, Rows: 1},
+	}
+	if err := CheckTiling(bad, 2); err == nil {
+		t.Error("overlap should be detected")
+	}
+	// Gap.
+	gap := []BlockRect{{Proc: 0, Col: 0, Row: 0, Cols: 1, Rows: 2}}
+	if err := CheckTiling(gap, 2); err == nil {
+		t.Error("gap should be detected")
+	}
+	// Out of bounds.
+	oob := []BlockRect{{Proc: 0, Col: 0, Row: 0, Cols: 3, Rows: 2}}
+	if err := CheckTiling(oob, 2); err == nil {
+		t.Error("out-of-bounds should be detected")
+	}
+}
+
+func TestOneDPerimeter(t *testing.T) {
+	got, err := OneDPerimeter([]float64{1, 2, 3})
+	if err != nil || got != 4 {
+		t.Errorf("OneDPerimeter = %g, %v; want 4", got, err)
+	}
+	if _, err := OneDPerimeter([]float64{0}); err == nil {
+		t.Error("all-zero should error")
+	}
+	if _, err := OneDPerimeter([]float64{-1}); err == nil {
+		t.Error("negative should error")
+	}
+}
+
+func TestRender(t *testing.T) {
+	rects, err := PartitionGrid([]float64{2, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(rects, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 4 {
+		t.Errorf("expected 4 lines, got %d:\n%s", lines, out)
+	}
+	// Every process letter appears.
+	for _, want := range "ABC" {
+		found := false
+		for _, c := range out {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("letter %c missing:\n%s", want, out)
+		}
+	}
+	// Downsampling keeps the output bounded.
+	big, err := PartitionGrid([]float64{3, 2, 2, 1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := Render(big, 200, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) > 33*32+1 {
+		t.Errorf("render too large: %d bytes", len(out2))
+	}
+	// Broken tilings rejected.
+	if _, err := Render(rects[:2], 4, 8); err == nil {
+		t.Error("incomplete tiling should error")
+	}
+}

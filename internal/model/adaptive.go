@@ -1,0 +1,78 @@
+package model
+
+import (
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// Adaptive is the adaptive constant performance model of Yang et al.
+// (Cluster 2010 — the paper's reference [17]): a CPM whose constant is
+// updated from the history of measurements with exponential forgetting, so
+// the model tracks slow drift (thermal throttling, background load) while
+// staying as cheap as a plain CPM. The paper classifies it with the
+// CPM-based algorithms: cost-efficient, accurate only while the speed does
+// not depend on problem size.
+type Adaptive struct {
+	set pointSet
+	// alpha is the forgetting factor in (0, 1]: 1 keeps only the latest
+	// observation, small values average over a long history.
+	alpha float64
+	speed float64
+	n     int
+}
+
+// DefaultAdaptiveAlpha is the forgetting factor NewAdaptive uses.
+const DefaultAdaptiveAlpha = 0.5
+
+// NewAdaptive returns an empty adaptive CPM with the default forgetting
+// factor.
+func NewAdaptive() *Adaptive { return &Adaptive{alpha: DefaultAdaptiveAlpha} }
+
+// NewAdaptiveAlpha returns an empty adaptive CPM with forgetting factor
+// alpha in (0, 1].
+func NewAdaptiveAlpha(alpha float64) (*Adaptive, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("model: adaptive alpha %g outside (0, 1]", alpha)
+	}
+	return &Adaptive{alpha: alpha}, nil
+}
+
+// Name implements core.Model.
+func (m *Adaptive) Name() string { return KindAdaptive }
+
+// Update implements core.Model: the constant speed moves toward the
+// observed speed by the forgetting factor.
+func (m *Adaptive) Update(p core.Point) error {
+	if err := m.set.add(p); err != nil {
+		return err
+	}
+	obs := p.Speed()
+	if m.n == 0 {
+		m.speed = obs
+	} else {
+		m.speed = m.alpha*obs + (1-m.alpha)*m.speed
+	}
+	m.n++
+	return nil
+}
+
+// Speed returns the current constant speed estimate in units/second.
+func (m *Adaptive) Speed() (float64, error) {
+	if m.n == 0 {
+		return 0, core.ErrEmptyModel
+	}
+	return m.speed, nil
+}
+
+// Time implements core.Model.
+func (m *Adaptive) Time(x float64) (float64, error) {
+	s, err := m.Speed()
+	if err != nil {
+		return 0, err
+	}
+	return x / s, nil
+}
+
+// Points implements core.Model.
+func (m *Adaptive) Points() []core.Point { return m.set.points() }

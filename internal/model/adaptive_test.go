@@ -1,0 +1,163 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/platform"
+)
+
+func TestAdaptiveTracksDrift(t *testing.T) {
+	m := NewAdaptive()
+	if _, err := m.Speed(); !errors.Is(err, core.ErrEmptyModel) {
+		t.Error("empty adaptive should be ErrEmptyModel")
+	}
+	// Device speeds 100 u/s for a while, then drops to 50.
+	for i := 0; i < 5; i++ {
+		if err := m.Update(core.Point{D: 1000, Time: 10, Reps: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := m.Speed()
+	if err != nil || math.Abs(s-100) > 1e-9 {
+		t.Fatalf("steady speed = %g, %v; want 100", s, err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := m.Update(core.Point{D: 1000, Time: 20, Reps: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, _ = m.Speed()
+	if math.Abs(s-50) > 0.1 {
+		t.Errorf("after drift speed = %g, want ≈ 50", s)
+	}
+	tm, err := m.Time(500)
+	if err != nil || math.Abs(tm-500/s) > 1e-9 {
+		t.Errorf("Time = %g, %v", tm, err)
+	}
+}
+
+func TestAdaptiveAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.01} {
+		if _, err := NewAdaptiveAlpha(a); err == nil {
+			t.Errorf("alpha %g should be rejected", a)
+		}
+	}
+	m, err := NewAdaptiveAlpha(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Update(core.Point{D: 10, Time: 1, Reps: 1})
+	m.Update(core.Point{D: 30, Time: 1, Reps: 1})
+	// alpha=1 keeps only the latest observation.
+	if s, _ := m.Speed(); s != 30 {
+		t.Errorf("alpha=1 speed = %g, want 30", s)
+	}
+}
+
+func TestAdaptiveReactsFasterThanPlainCPM(t *testing.T) {
+	// Both models see 10 fast observations then 5 slow ones; the adaptive
+	// estimate must be closer to the new regime.
+	ad := NewAdaptive()
+	cp := NewConstant()
+	feed := func(d int, tm float64) {
+		ad.Update(core.Point{D: d, Time: tm, Reps: 1})
+		cp.Update(core.Point{D: d, Time: tm, Reps: 1})
+	}
+	for i := 0; i < 10; i++ {
+		feed(1000, 1) // 1000 u/s
+	}
+	for i := 0; i < 5; i++ {
+		feed(1000, 10) // 100 u/s
+	}
+	sa, _ := ad.Speed()
+	sc, _ := cp.Speed()
+	if math.Abs(sa-100) >= math.Abs(sc-100) {
+		t.Errorf("adaptive %g should track the drop better than cpm %g", sa, sc)
+	}
+}
+
+func TestAnalyticalCalibration(t *testing.T) {
+	// True time: 3e-4·x + 2e-8·x². Formula knows the shape, not the scale.
+	shape := func(x float64) float64 { return x + 6.6667e-5*x*x }
+	m, err := NewAnalytical("gpu-fft", shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "analytical-gpu-fft" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if _, err := m.Time(10); !errors.Is(err, core.ErrEmptyModel) {
+		t.Error("unfitted analytical model should be empty")
+	}
+	for _, d := range []int{100, 1000, 5000, 20000} {
+		x := float64(d)
+		if err := m.Update(core.Point{D: d, Time: 3e-4 * shape(x), Reps: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc, err := m.Scale()
+	if err != nil || math.Abs(sc-3e-4) > 1e-12 {
+		t.Errorf("scale = %g, %v; want 3e-4", sc, err)
+	}
+	tm, err := m.Time(40000)
+	want := 3e-4 * shape(40000)
+	if err != nil || math.Abs(tm-want) > 1e-9*want {
+		t.Errorf("Time(40000) = %g, want %g", tm, want)
+	}
+}
+
+func TestAnalyticalValidation(t *testing.T) {
+	if _, err := NewAnalytical("x", nil); err == nil {
+		t.Error("nil formula should error")
+	}
+	if _, err := NewAnalytical("", func(x float64) float64 { return x }); err == nil {
+		t.Error("empty name should error")
+	}
+	m, _ := NewAnalytical("neg", func(x float64) float64 { return -1 })
+	if err := m.Update(core.Point{D: 10, Time: 1, Reps: 1}); err == nil {
+		t.Error("non-positive formula at update should error")
+	}
+}
+
+func TestAnalyticalInPartitioner(t *testing.T) {
+	// Analytical models plug into any partitioning algorithm through the
+	// Model interface; check an end-to-end geometric partition.
+	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
+	models := make([]core.Model, 2)
+	for i, dev := range devs {
+		shape := func(x float64) float64 { return x } // linear shape, fitted scale
+		m, err := NewAnalytical(dev.Name(), shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []int{500, 1500, 4000} {
+			if err := m.Update(core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	// Directly exercise the numeric-inversion path via the interface:
+	// faster device must take the bigger share under equal times.
+	t0, _ := models[0].Time(1000)
+	t1, _ := models[1].Time(1000)
+	if t0 >= t1 {
+		t.Fatalf("fast model should predict less time: %g vs %g", t0, t1)
+	}
+}
+
+func TestAdaptiveInFactory(t *testing.T) {
+	m, err := New(KindAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != KindAdaptive {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if len(Kinds()) != 6 {
+		t.Errorf("Kinds = %v", Kinds())
+	}
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// Analytical wraps an application-specific predictive formula as a
+// computation performance model — the hook the paper describes for models
+// like Ogata et al.'s CPU/GPU FFT model (reference [14]): "the
+// fupermod_model data structure can be used to implement other computation
+// performance models, for example, application-specific analytical
+// models". The formula predicts the time of x units up to a multiplicative
+// calibration constant, which Update fits to the measurements by
+// closed-form least squares:
+//
+//	scale = Σ f(xᵢ)·tᵢ / Σ f(xᵢ)²
+//
+// so a handful of measurements anchors the analytical shape to the actual
+// machine.
+type Analytical struct {
+	set pointSet
+	// formula predicts the *shape* of the time function.
+	formula func(x float64) float64
+	// name distinguishes formulas in traces.
+	name string
+	// scale is the fitted calibration constant.
+	scale float64
+	// sums for the closed-form fit.
+	sft, sff float64
+}
+
+// NewAnalytical wraps the formula (which must be positive for x > 0) as a
+// model named "analytical-<name>".
+func NewAnalytical(name string, formula func(x float64) float64) (*Analytical, error) {
+	if formula == nil {
+		return nil, fmt.Errorf("model: analytical model %q needs a formula", name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("model: analytical model needs a name")
+	}
+	return &Analytical{formula: formula, name: name, scale: 1}, nil
+}
+
+// Name implements core.Model.
+func (m *Analytical) Name() string { return "analytical-" + m.name }
+
+// Update implements core.Model, refining the calibration constant.
+func (m *Analytical) Update(p core.Point) error {
+	if err := m.set.add(p); err != nil {
+		return err
+	}
+	f := m.formula(float64(p.D))
+	if f <= 0 {
+		return fmt.Errorf("model: analytical %q formula non-positive (%g) at x=%d", m.name, f, p.D)
+	}
+	m.sft += f * p.Time
+	m.sff += f * f
+	m.scale = m.sft / m.sff
+	return nil
+}
+
+// Scale returns the fitted calibration constant.
+func (m *Analytical) Scale() (float64, error) {
+	if len(m.set.pts) == 0 {
+		return 0, core.ErrEmptyModel
+	}
+	return m.scale, nil
+}
+
+// Time implements core.Model.
+func (m *Analytical) Time(x float64) (float64, error) {
+	if len(m.set.pts) == 0 {
+		return 0, core.ErrEmptyModel
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("model: time undefined at negative size %g", x)
+	}
+	f := m.formula(x)
+	if f < 0 {
+		return 0, fmt.Errorf("model: analytical %q formula negative (%g) at x=%g", m.name, f, x)
+	}
+	t := m.scale * f
+	if t < minModelTime {
+		t = minModelTime
+	}
+	return t, nil
+}
+
+// Points implements core.Model.
+func (m *Analytical) Points() []core.Point { return m.set.points() }

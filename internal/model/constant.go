@@ -1,0 +1,53 @@
+package model
+
+import (
+	"fupermod/internal/core"
+)
+
+// Constant is the constant performance model (CPM): the process computes at
+// a fixed speed regardless of problem size. It is the model behind the
+// traditional single-benchmark weighting of graph partitioners (paper §2)
+// and FuPerMod's "basic algorithm based on CPMs". With several points it
+// behaves like the adaptive CPM of Yang et al. (Cluster 2010): the speed is
+// the time-weighted average over the measurement history.
+type Constant struct {
+	set      pointSet
+	unitsSum float64
+	timeSum  float64
+}
+
+// NewConstant returns an empty CPM.
+func NewConstant() *Constant { return &Constant{} }
+
+// Name implements core.Model.
+func (c *Constant) Name() string { return KindConstant }
+
+// Update implements core.Model.
+func (c *Constant) Update(p core.Point) error {
+	if err := c.set.add(p); err != nil {
+		return err
+	}
+	c.unitsSum += float64(p.D)
+	c.timeSum += p.Time
+	return nil
+}
+
+// Speed returns the constant speed in units/second.
+func (c *Constant) Speed() (float64, error) {
+	if c.timeSum <= 0 {
+		return 0, core.ErrEmptyModel
+	}
+	return c.unitsSum / c.timeSum, nil
+}
+
+// Time implements core.Model: x divided by the constant speed.
+func (c *Constant) Time(x float64) (float64, error) {
+	s, err := c.Speed()
+	if err != nil {
+		return 0, err
+	}
+	return x / s, nil
+}
+
+// Points implements core.Model.
+func (c *Constant) Points() []core.Point { return c.set.points() }

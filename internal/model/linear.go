@@ -1,0 +1,79 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+)
+
+// Linear approximates the time function by a least-squares straight line
+// t(x) = a + b·x. This is the application-specific linear model of Qilin
+// (Luk, Hong, Kim, MICRO-42 — paper §3 reference [12]), included as a
+// baseline between the CPM and the full FPMs: it captures fixed overheads
+// but, as the paper notes, "linear models might not fit the actual
+// performance in the case of resource contention".
+type Linear struct {
+	set pointSet
+	// Accumulated least-squares sums.
+	n, sx, sy, sxx, sxy float64
+	a, b                float64
+}
+
+// NewLinear returns an empty linear model.
+func NewLinear() *Linear { return &Linear{} }
+
+// Name implements core.Model.
+func (m *Linear) Name() string { return KindLinear }
+
+// Update implements core.Model.
+func (m *Linear) Update(p core.Point) error {
+	if err := m.set.add(p); err != nil {
+		return err
+	}
+	x, y := float64(p.D), p.Time
+	m.n++
+	m.sx += x
+	m.sy += y
+	m.sxx += x * x
+	m.sxy += x * y
+	if m.n >= 2 {
+		den := m.n*m.sxx - m.sx*m.sx
+		if den > 0 {
+			m.b = (m.n*m.sxy - m.sx*m.sy) / den
+			m.a = (m.sy - m.b*m.sx) / m.n
+		}
+	}
+	if m.n < 2 || m.b <= 0 {
+		// Degenerate fits (single point, vertical scatter, negative
+		// slope) fall back to the origin line through the mean point:
+		// time proportional to size.
+		m.a = 0
+		m.b = m.sy / m.sx
+	}
+	return nil
+}
+
+// Coefficients returns the fitted intercept and slope of t(x) = a + b·x.
+func (m *Linear) Coefficients() (a, b float64, err error) {
+	if m.n == 0 {
+		return 0, 0, core.ErrEmptyModel
+	}
+	return m.a, m.b, nil
+}
+
+// Time implements core.Model, flooring the prediction at a tiny positive
+// value (a fitted negative intercept would otherwise predict negative times
+// at small sizes).
+func (m *Linear) Time(x float64) (float64, error) {
+	if m.n == 0 {
+		return 0, core.ErrEmptyModel
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("model: time undefined at negative size %g", x)
+	}
+	return math.Max(m.a+m.b*x, minModelTime), nil
+}
+
+// Points implements core.Model.
+func (m *Linear) Points() []core.Point { return m.set.points() }

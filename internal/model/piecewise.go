@@ -1,0 +1,146 @@
+package model
+
+import (
+	"fmt"
+
+	"fupermod/internal/core"
+	"fupermod/internal/interp"
+)
+
+// Piecewise is the functional performance model based on piecewise-linear
+// interpolation of the time function (paper §4.2, Fig. 2(a)). On top of the
+// raw measurements it applies *coarsening*: the time values are clipped
+// upward, left to right, so that the time function is strictly increasing.
+//
+// That restriction is exactly what the geometric partitioning algorithm of
+// Lastovetsky–Reddy needs: a line through the origin of the speed plane,
+// s = k·x, intersects the speed curve where s(x)/x = k, and since
+// s(x)/x = 1/t(x), the intersection is unique for every k > 0 if and only
+// if t is strictly increasing. Where the measured data violates the shape
+// (speed spikes, noise), the model deliberately loses detail — the paper's
+// "coarsens the real performance data".
+type Piecewise struct {
+	set pointSet
+
+	// coarse holds the coarsened (size, time) knots; itp interpolates
+	// them. Both are rebuilt by Update.
+	coarseD []float64
+	coarseT []float64
+	itp     *interp.Linear
+}
+
+// minTimeGrowth is the minimal relative time increase enforced between
+// consecutive coarsened knots, keeping the time function strictly
+// increasing and its inverse well defined.
+const minTimeGrowth = 1e-9
+
+// NewPiecewise returns an empty piecewise FPM.
+func NewPiecewise() *Piecewise { return &Piecewise{} }
+
+// Name implements core.Model.
+func (m *Piecewise) Name() string { return KindPiecewise }
+
+// Update implements core.Model.
+func (m *Piecewise) Update(p core.Point) error {
+	if err := m.set.add(p); err != nil {
+		return err
+	}
+	return m.rebuild()
+}
+
+func (m *Piecewise) rebuild() error {
+	pts := m.set.pts
+	m.coarseD = m.coarseD[:0]
+	m.coarseT = m.coarseT[:0]
+	prev := 0.0
+	for _, p := range pts {
+		t := p.Time
+		if t <= prev {
+			t = prev * (1 + minTimeGrowth)
+		}
+		m.coarseD = append(m.coarseD, float64(p.D))
+		m.coarseT = append(m.coarseT, t)
+		prev = t
+	}
+	m.itp = nil
+	if len(m.coarseD) >= 2 {
+		itp, err := interp.NewLinear(m.coarseD, m.coarseT)
+		if err != nil {
+			return fmt.Errorf("model: piecewise rebuild: %w", err)
+		}
+		m.itp = itp
+	}
+	return nil
+}
+
+// Time implements core.Model. Below the first measured size the time
+// function is the line from the origin through the first point (constant
+// speed); beyond the last it continues with the slope of the final segment.
+func (m *Piecewise) Time(x float64) (float64, error) {
+	n := len(m.coarseD)
+	if n == 0 {
+		return 0, core.ErrEmptyModel
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("model: time undefined at negative size %g", x)
+	}
+	if x <= m.coarseD[0] || n == 1 {
+		return m.coarseT[0] * x / m.coarseD[0], nil
+	}
+	return m.itp.At(x), nil
+}
+
+// InverseTime returns the size x ≥ 0 whose predicted time equals tau. It is
+// the workhorse of the geometric partitioning algorithm (a horizontal cut
+// of the time plane = a line through the origin of the speed plane).
+// Non-positive tau maps to 0.
+func (m *Piecewise) InverseTime(tau float64) (float64, error) {
+	n := len(m.coarseD)
+	if n == 0 {
+		return 0, core.ErrEmptyModel
+	}
+	if tau <= 0 {
+		return 0, nil
+	}
+	if tau <= m.coarseT[0] || n == 1 {
+		return tau * m.coarseD[0] / m.coarseT[0], nil
+	}
+	if tau >= m.coarseT[n-1] {
+		slope := m.lastSlope()
+		return m.coarseD[n-1] + (tau-m.coarseT[n-1])/slope, nil
+	}
+	// Binary search over the strictly increasing coarse times.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if m.coarseT[mid] <= tau {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	dT := m.coarseT[hi] - m.coarseT[lo]
+	frac := (tau - m.coarseT[lo]) / dT
+	return m.coarseD[lo] + frac*(m.coarseD[hi]-m.coarseD[lo]), nil
+}
+
+// lastSlope returns the slope of the final coarsened segment (strictly
+// positive by construction), or the origin-line slope for single-point
+// models.
+func (m *Piecewise) lastSlope() float64 {
+	n := len(m.coarseD)
+	if n == 1 {
+		return m.coarseT[0] / m.coarseD[0]
+	}
+	return (m.coarseT[n-1] - m.coarseT[n-2]) / (m.coarseD[n-1] - m.coarseD[n-2])
+}
+
+// Points implements core.Model, returning the raw (uncoarsened) points.
+func (m *Piecewise) Points() []core.Point { return m.set.points() }
+
+// CoarsenedKnots returns the coarsened (size, time) knots the model
+// interpolates — the data the paper plots as the piecewise approximation in
+// Fig. 2(a).
+func (m *Piecewise) CoarsenedKnots() (sizes, times []float64) {
+	return append([]float64(nil), m.coarseD...), append([]float64(nil), m.coarseT...)
+}

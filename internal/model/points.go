@@ -1,0 +1,111 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fupermod/internal/core"
+)
+
+// PointFile is the on-disk representation of a benchmark result set: the
+// measurements of one kernel on one device. The FuPerMod tool chain writes
+// one such file per process (fupermod-bench) and reads them back to build
+// models for static partitioning (fupermod-partition), decoupling the
+// expensive benchmarking from the many runs of the optimised application
+// (paper §4.3).
+type PointFile struct {
+	// Kernel names the benchmarked computation kernel.
+	Kernel string
+	// Device names the device the kernel ran on.
+	Device string
+	// Points holds the measurements.
+	Points []core.Point
+}
+
+// WritePoints serialises the point file in a line-oriented text format:
+// comment headers followed by "d time reps ci" records.
+func WritePoints(w io.Writer, pf PointFile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# fupermod points v1")
+	fmt.Fprintf(bw, "# kernel: %s\n", pf.Kernel)
+	fmt.Fprintf(bw, "# device: %s\n", pf.Device)
+	fmt.Fprintln(bw, "# columns: d time reps ci")
+	for _, p := range pf.Points {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("model: refusing to write invalid point: %w", err)
+		}
+		fmt.Fprintf(bw, "%d %.12g %d %.12g\n", p.D, p.Time, p.Reps, p.CI)
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses a point file written by WritePoints. Unknown comment
+// lines are ignored, so files remain forward compatible with extra
+// metadata.
+func ReadPoints(r io.Reader) (PointFile, error) {
+	var pf PointFile
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			meta := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			switch {
+			case strings.HasPrefix(meta, "kernel:"):
+				pf.Kernel = strings.TrimSpace(strings.TrimPrefix(meta, "kernel:"))
+			case strings.HasPrefix(meta, "device:"):
+				pf.Device = strings.TrimSpace(strings.TrimPrefix(meta, "device:"))
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return pf, fmt.Errorf("model: line %d: want 4 fields \"d time reps ci\", got %d", line, len(fields))
+		}
+		d, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return pf, fmt.Errorf("model: line %d: bad size: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return pf, fmt.Errorf("model: line %d: bad time: %w", line, err)
+		}
+		reps, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return pf, fmt.Errorf("model: line %d: bad reps: %w", line, err)
+		}
+		ci, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return pf, fmt.Errorf("model: line %d: bad ci: %w", line, err)
+		}
+		p := core.Point{D: d, Time: t, Reps: reps, CI: ci}
+		if err := p.Validate(); err != nil {
+			return pf, fmt.Errorf("model: line %d: %w", line, err)
+		}
+		pf.Points = append(pf.Points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return pf, fmt.Errorf("model: reading points: %w", err)
+	}
+	return pf, nil
+}
+
+// BuildFrom constructs a model of the given kind and feeds it every point
+// of the file.
+func (pf PointFile) BuildFrom(kind string) (core.Model, error) {
+	m, err := New(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.UpdateAll(m, pf.Points); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,140 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+	"fupermod/internal/solver"
+)
+
+// InverseTimer is implemented by models that can invert their time function
+// exactly (the piecewise FPM). Other models are inverted numerically.
+type InverseTimer interface {
+	InverseTime(tau float64) (float64, error)
+}
+
+// invertTime returns the size x ≥ 0 with Time(x) = tau, using the model's
+// exact inverse when available and monotone numeric inversion otherwise.
+func invertTime(m core.Model, tau float64) (float64, error) {
+	if tau <= 0 {
+		return 0, nil
+	}
+	if it, ok := m.(InverseTimer); ok {
+		return it.InverseTime(tau)
+	}
+	f := func(x float64) float64 {
+		t, err := m.Time(x)
+		if err != nil {
+			return math.NaN()
+		}
+		return t - tau
+	}
+	if f(0) >= 0 {
+		return 0, nil
+	}
+	hi, err := solver.BracketUp(f, 0, 80)
+	if err != nil {
+		return 0, fmt.Errorf("partition: inverting %s at tau=%g: %w", m.Name(), tau, err)
+	}
+	return solver.Bisect(f, 0, hi, solver.Options{XTol: 1e-9, FTol: 1e-13})
+}
+
+// Geometric returns the Lastovetsky–Reddy data partitioning algorithm based
+// on piecewise-linear functional performance models (paper §4.3, "iterative
+// bisection of the speed functions with lines passing through the origin").
+//
+// A cutting line of slope k in the speed plane meets every (shape-
+// restricted) speed curve exactly once, at the size x_i where
+// t_i(x_i) = 1/k; the total Σ x_i(1/k) grows monotonically as the line
+// sweeps down. The algorithm therefore bisects on τ = 1/k until the total
+// workload under the line equals D, then rounds to integers.
+func Geometric() core.Partitioner {
+	return core.PartitionerFunc{
+		AlgoName: "geometric",
+		Func: func(models []core.Model, D int) (*core.Dist, error) {
+			if err := validateInput(models, D); err != nil {
+				return nil, err
+			}
+			if D == 0 {
+				return zeroDist(models)
+			}
+			xs, err := balanceByTau(models, D)
+			if err != nil {
+				return nil, fmt.Errorf("partition: geometric: %w", err)
+			}
+			return finalize(models, D, xs)
+		},
+	}
+}
+
+// balanceByTau finds the common time τ* at which Σ invertTime_i(τ*) = D and
+// returns the per-process real-valued shares at τ*.
+func balanceByTau(models []core.Model, D int) ([]float64, error) {
+	n := len(models)
+	xs := make([]float64, n)
+	sumAt := func(tau float64) (float64, error) {
+		total := 0.0
+		for i, m := range models {
+			x, err := invertTime(m, tau)
+			if err != nil {
+				return 0, err
+			}
+			xs[i] = x
+			total += x
+		}
+		return total, nil
+	}
+	// Bracket τ: start from the time the fastest-looking process would
+	// need for an even share, then grow until the line admits ≥ D units.
+	tau := 0.0
+	for i, m := range models {
+		t, err := m.Time(math.Max(float64(D)/float64(n), 1))
+		if err != nil {
+			return nil, fmt.Errorf("model %d: %w", i, err)
+		}
+		if i == 0 || t < tau {
+			tau = t
+		}
+	}
+	if tau <= 0 {
+		tau = 1e-9
+	}
+	lo, hi := 0.0, tau
+	for grow := 0; ; grow++ {
+		total, err := sumAt(hi)
+		if err != nil {
+			return nil, err
+		}
+		if total >= float64(D) {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if grow > 200 {
+			return nil, fmt.Errorf("could not bracket the balance time above τ=%g", hi)
+		}
+	}
+	// Bisect τ until the assigned total is within half a unit of D or the
+	// interval is relatively tiny.
+	for it := 0; it < 200; it++ {
+		mid := lo + (hi-lo)/2
+		total, err := sumAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		if math.Abs(total-float64(D)) <= 0.5 || (hi-lo) <= 1e-14*hi {
+			return xs, nil
+		}
+		if total < float64(D) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Final evaluation at the upper end guarantees Σ ≥ D before rounding.
+	if _, err := sumAt(hi); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}

@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"fmt"
+
+	"fupermod/internal/core"
+	"fupermod/internal/solver"
+)
+
+// Numerical returns the data partitioning algorithm based on
+// multidimensional root-finding over smooth (Akima-spline) functional
+// performance models — the counterpart of FuPerMod's use of GSL multiroot
+// solvers (Rychkov, Clarke, Lastovetsky, PaCT 2011; paper §4.3 "numerical
+// algorithm based on the Akima-spline FPMs").
+//
+// The optimal distribution equalises the computation times, so the solver
+// targets the system of n equations in the real-valued shares x:
+//
+//	F_i(x) = t_i(x_i) − t_n(x_n) = 0   for i = 1..n−1
+//	F_n(x) = Σ x_i − D = 0
+//
+// started from the constant-model proportional point. If Newton fails to
+// converge (time functions built from few points can have flat or kinked
+// stretches), the algorithm falls back to the unconditionally convergent
+// τ-bisection used by the geometric algorithm, which needs no derivative.
+func Numerical() core.Partitioner {
+	return core.PartitionerFunc{
+		AlgoName: "numerical",
+		Func: func(models []core.Model, D int) (*core.Dist, error) {
+			if err := validateInput(models, D); err != nil {
+				return nil, err
+			}
+			if D == 0 {
+				return zeroDist(models)
+			}
+			if len(models) == 1 {
+				return finalize(models, D, []float64{float64(D)})
+			}
+			xs, ok, err := BalanceNewton(models, D)
+			if err == nil && ok {
+				return finalize(models, D, xs)
+			}
+			// Fallback: τ-bisection (derivative-free, always converges on
+			// monotone time functions; Akima models are monotone wherever
+			// the data is).
+			xs, err = BalanceTau(models, D)
+			if err != nil {
+				return nil, fmt.Errorf("partition: numerical fallback: %w", err)
+			}
+			return finalize(models, D, xs)
+		},
+	}
+}
+
+// BalanceNewton solves the real-valued balance system
+// t_i(x_i) = t_n(x_n), Σ x_i = D by damped Newton from the proportional
+// starting point. It reports whether Newton converged to a usable
+// (non-negative) solution; on ok=false the caller should fall back to
+// BalanceTau. Exposed separately so the ablation experiments can compare
+// the two solution strategies the framework combines.
+func BalanceNewton(models []core.Model, D int) (xs []float64, ok bool, err error) {
+	n := len(models)
+	x0, err := proportionalStart(models, D)
+	if err != nil {
+		return nil, false, fmt.Errorf("partition: newton start: %w", err)
+	}
+	sys := func(x, out []float64) {
+		tn, errN := models[n-1].Time(clampPos(x[n-1]))
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += x[i]
+		}
+		for i := 0; i < n-1; i++ {
+			ti, errI := models[i].Time(clampPos(x[i]))
+			if errI != nil || errN != nil {
+				out[i] = 0
+				continue
+			}
+			out[i] = ti - tn
+		}
+		out[n-1] = sum - float64(D)
+	}
+	res, err := solver.NewtonSystem(sys, x0, solver.Options{MaxIter: 100, FTol: 1e-10, XTol: 1e-10})
+	if err != nil || !res.Converged || !allNonNegative(res.X, -1e-6) {
+		return nil, false, nil
+	}
+	xs = make([]float64, n)
+	for i, v := range res.X {
+		xs[i] = clampPos(v)
+	}
+	return xs, true, nil
+}
+
+// BalanceTau solves the same balance system by bisection on the common
+// time τ (the geometric algorithm's engine), which needs no derivative.
+func BalanceTau(models []core.Model, D int) ([]float64, error) {
+	return balanceByTau(models, D)
+}
+
+// proportionalStart computes the constant-speed proportional distribution
+// used as the Newton starting point.
+func proportionalStart(models []core.Model, D int) ([]float64, error) {
+	n := len(models)
+	evalAt := float64(D) / float64(n)
+	if evalAt < 1 {
+		evalAt = 1
+	}
+	speeds := make([]float64, n)
+	total := 0.0
+	for i, m := range models {
+		s, err := core.ModelSpeed(m, evalAt)
+		if err != nil {
+			return nil, err
+		}
+		speeds[i] = s
+		total += s
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(D) * speeds[i] / total
+	}
+	return xs, nil
+}
+
+func clampPos(x float64) float64 {
+	if x < 1e-9 {
+		return 1e-9
+	}
+	return x
+}
+
+func allNonNegative(xs []float64, tol float64) bool {
+	for _, x := range xs {
+		if x < tol {
+			return false
+		}
+	}
+	return true
+}

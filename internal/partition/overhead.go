@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// WithOverhead wraps each model so that its predicted time includes a
+// per-process overhead function of the assigned size — typically the
+// communication cost that process pays per iteration (e.g. α + β·bytes(d)
+// for its halo or pivot traffic). Balancing the wrapped models equalises
+// *total* per-iteration times, compute plus overhead, which matters
+// whenever the overheads differ across processes (remote vs local ranks
+// on a hierarchical network).
+//
+// This extends the paper's computation-only balance in the direction its
+// §2 points at (communication-cost-aware partitioning); the extension
+// stays compatible with every partitioning algorithm because it acts at
+// the Model interface.
+//
+// The overhead functions must be non-negative and non-decreasing in d;
+// otherwise the wrapped time function may lose the monotonicity the
+// partitioners rely on.
+func WithOverhead(models []core.Model, overheads []func(d float64) float64) ([]core.Model, error) {
+	if len(models) != len(overheads) {
+		return nil, fmt.Errorf("partition: %d models, %d overheads", len(models), len(overheads))
+	}
+	out := make([]core.Model, len(models))
+	for i, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("partition: model %d is nil", i)
+		}
+		if overheads[i] == nil {
+			return nil, errors.New("partition: nil overhead function")
+		}
+		out[i] = &overheadModel{inner: m, overhead: overheads[i]}
+	}
+	return out, nil
+}
+
+// overheadModel adds an overhead to an inner model's time. It does not
+// implement InverseTimer — the partitioners fall back to the numeric
+// inversion, which handles the combined function.
+type overheadModel struct {
+	inner    core.Model
+	overhead func(d float64) float64
+}
+
+// Name implements core.Model.
+func (m *overheadModel) Name() string { return m.inner.Name() + "+overhead" }
+
+// Time implements core.Model.
+func (m *overheadModel) Time(x float64) (float64, error) {
+	t, err := m.inner.Time(x)
+	if err != nil {
+		return 0, err
+	}
+	o := m.overhead(x)
+	if o < 0 {
+		return 0, fmt.Errorf("partition: negative overhead %g at d=%g", o, x)
+	}
+	return t + o, nil
+}
+
+// Update implements core.Model, delegating to the inner model.
+func (m *overheadModel) Update(p core.Point) error { return m.inner.Update(p) }
+
+// Points implements core.Model.
+func (m *overheadModel) Points() []core.Point { return m.inner.Points() }

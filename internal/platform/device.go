@@ -1,0 +1,153 @@
+// Package platform provides synthetic models of heterogeneous computing
+// devices — CPU cores with cache and paging cliffs, multicore sockets with
+// memory contention, GPUs with transfer overheads and device-memory limits —
+// together with a seeded measurement-noise model.
+//
+// The original FuPerMod was evaluated on Grid'5000 hardware. That hardware
+// (and its BLAS/CUBLAS stacks) is not available here, so this package
+// reproduces what the framework actually depends on: the *shape* of the
+// time and speed functions of real devices. Every phenomenon the paper
+// names — speed varying with problem size across memory-hierarchy levels
+// (challenge (i)), code switching such as out-of-core GPU execution
+// (challenge (ii)), and resource contention between cores (challenge
+// (iii)) — has an explicit, deterministic counterpart in this package.
+//
+// All devices express work in *computation units* (the paper's terminology:
+// an application-defined unit such as one b×b block update of a matrix) and
+// report noiseless execution times in seconds via BaseTime. Measurement
+// noise is layered on top by Meter, so experiments are reproducible given a
+// seed.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device is a synthetic computing device. Implementations must be safe for
+// concurrent BaseTime calls.
+type Device interface {
+	// Name identifies the device in traces and model files.
+	Name() string
+	// BaseTime returns the noiseless execution time, in seconds, of d
+	// computation units. d may be fractional: partitioning algorithms
+	// evaluate models at real-valued sizes before rounding. BaseTime must
+	// be positive for d > 0 and non-decreasing in d.
+	BaseTime(d float64) float64
+}
+
+// Speed returns the device's noiseless speed at size d, in units per
+// second: d / BaseTime(d). For d <= 0 it returns 0.
+func Speed(dev Device, d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return d / dev.BaseTime(d)
+}
+
+// Cliff is a smooth drop in a core's processing speed at a memory-hierarchy
+// boundary. At size At (in units) the speed has lost half of Drop; the
+// transition is a logistic of width Width. Drop is the total relative speed
+// loss in (0, 1).
+type Cliff struct {
+	At    float64
+	Width float64
+	Drop  float64
+}
+
+// factor returns the multiplicative speed factor of the cliff at size d,
+// in (1−Drop, 1).
+func (c Cliff) factor(d float64) float64 {
+	s := 1 / (1 + math.Exp(-(d-c.At)/c.Width))
+	return 1 - c.Drop*s
+}
+
+// Paging models the superlinear slow-down of a device once the working set
+// exceeds main memory: past At units, time grows by Severity × (d/At − 1)
+// relative to the in-memory time.
+type Paging struct {
+	At       float64
+	Severity float64
+}
+
+// CPUCore is a single CPU core. Its speed function is a peak speed eroded
+// by a product of cache cliffs, with an optional paging penalty; its time
+// function additionally carries a constant per-run overhead. This is the
+// shape published for Netlib/ATLAS GEMM speed functions in the FPM papers:
+// roughly flat, with drops where the working set leaves L2/L3, and a steep
+// decline at the memory limit.
+type CPUCore struct {
+	// DevName identifies the core.
+	DevName string
+	// Peak is the small-size speed in units/second.
+	Peak float64
+	// Overhead is the fixed per-execution cost in seconds.
+	Overhead float64
+	// Cliffs are the cache-boundary speed drops, in increasing At order.
+	Cliffs []Cliff
+	// Pg, if non-nil, adds a paging penalty.
+	Pg *Paging
+}
+
+// Name implements Device.
+func (c *CPUCore) Name() string { return c.DevName }
+
+// BaseTime implements Device.
+func (c *CPUCore) BaseTime(d float64) float64 {
+	if d <= 0 {
+		return c.Overhead
+	}
+	speed := c.Peak
+	for _, cl := range c.Cliffs {
+		speed *= cl.factor(d)
+	}
+	t := c.Overhead + d/speed
+	if c.Pg != nil && d > c.Pg.At {
+		t *= 1 + c.Pg.Severity*(d/c.Pg.At-1)
+	}
+	return t
+}
+
+// Scale returns a copy of the core with the peak speed multiplied by f and
+// the name replaced. It is a convenience for building families of similar
+// cores of different generations.
+func (c *CPUCore) Scale(name string, f float64) *CPUCore {
+	cp := *c
+	cp.DevName = name
+	cp.Peak = c.Peak * f
+	cp.Cliffs = append([]Cliff(nil), c.Cliffs...)
+	if c.Pg != nil {
+		pg := *c.Pg
+		cp.Pg = &pg
+	}
+	return &cp
+}
+
+// Validate reports configuration errors (non-positive peak, cliffs with
+// drops outside (0,1), etc.). Devices constructed by the presets are always
+// valid; Validate exists for user-assembled platforms.
+func (c *CPUCore) Validate() error {
+	if c.Peak <= 0 {
+		return fmt.Errorf("platform: core %q: peak speed must be positive, got %g", c.DevName, c.Peak)
+	}
+	if c.Overhead < 0 {
+		return fmt.Errorf("platform: core %q: negative overhead %g", c.DevName, c.Overhead)
+	}
+	drop := 0.0
+	for i, cl := range c.Cliffs {
+		if cl.Drop <= 0 || cl.Drop >= 1 {
+			return fmt.Errorf("platform: core %q: cliff %d drop %g outside (0,1)", c.DevName, i, cl.Drop)
+		}
+		if cl.Width <= 0 || cl.At <= 0 {
+			return fmt.Errorf("platform: core %q: cliff %d needs positive At and Width", c.DevName, i)
+		}
+		drop += cl.Drop
+	}
+	if drop >= 1 {
+		return fmt.Errorf("platform: core %q: total cliff drop %g >= 1 would stall the core", c.DevName, drop)
+	}
+	if c.Pg != nil && (c.Pg.At <= 0 || c.Pg.Severity <= 0) {
+		return fmt.Errorf("platform: core %q: paging needs positive At and Severity", c.DevName)
+	}
+	return nil
+}

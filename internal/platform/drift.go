@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Drift wraps a device whose performance changes mid-run — the violation
+// of the paper's core assumption that the platform is *dedicated* and has
+// "a stable performance in time" (§1). After the wrapped device has been
+// consulted After times, every subsequent execution is Factor× slower
+// (another job landed on the node); a Factor below 1 models the opposite
+// (a competing job leaving).
+//
+// Static model-based partitioning cannot see the change; the dynamic
+// algorithms re-observe and recover. Experiment E7 quantifies both.
+type Drift struct {
+	// Inner is the underlying device.
+	Inner Device
+	// After is the number of BaseTime consultations before the change.
+	After int
+	// Factor multiplies the time of every consultation past After.
+	Factor float64
+
+	calls atomic.Int64
+}
+
+// NewDrift wraps dev so it slows by factor after the given number of
+// executions.
+func NewDrift(dev Device, after int, factor float64) (*Drift, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("platform: drift needs a device")
+	}
+	if after < 0 {
+		return nil, fmt.Errorf("platform: drift needs non-negative trigger, got %d", after)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("platform: drift factor must be positive, got %g", factor)
+	}
+	return &Drift{Inner: dev, After: after, Factor: factor}, nil
+}
+
+// Name implements Device.
+func (d *Drift) Name() string { return d.Inner.Name() }
+
+// BaseTime implements Device. Each call counts toward the trigger, so the
+// k-th execution of any kernel on this device sees the post-drift speed
+// once k > After.
+func (d *Drift) BaseTime(x float64) float64 {
+	n := d.calls.Add(1)
+	t := d.Inner.BaseTime(x)
+	if int(n) > d.After {
+		return t * d.Factor
+	}
+	return t
+}
+
+// Calls reports how many executions the device has served.
+func (d *Drift) Calls() int { return int(d.calls.Load()) }

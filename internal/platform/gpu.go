@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPU models a hardware accelerator together with its dedicated host CPU
+// core, measured as one combined device — exactly how FuPerMod treats
+// GPU-accelerated nodes (paper §4.1: "we measure the combined performance
+// of the dedicated core and GPU, including the overhead incurred by data
+// transfer between them").
+//
+// The time of d units decomposes into:
+//
+//   - HostOverhead: kernel launches, driver calls, synchronisation — a
+//     constant;
+//   - PCIe transfer: d/TransferBW, paid once while the data fits device
+//     memory;
+//   - kernel execution: GPUs are inefficient at small sizes, so the kernel
+//     speed ramps up as d/(d+RampD)×Peak, giving a kernel time of
+//     (d+RampD)/Peak;
+//   - out-of-core penalty: past MemCapacity units the data must be streamed
+//     through device memory in multiple passes, adding
+//     OOCFactor×(d/MemCapacity−1)×d/TransferBW.
+//
+// The resulting speed function has the characteristic GPU shape: poor at
+// small sizes, far above any CPU at medium sizes, and dropping once the
+// problem no longer fits device memory — the "switch between different
+// codes" of the paper's challenge (ii).
+type GPU struct {
+	// DevName identifies the device.
+	DevName string
+	// HostOverhead is the per-run fixed cost in seconds.
+	HostOverhead float64
+	// TransferBW is the host↔device transfer bandwidth in units/second.
+	TransferBW float64
+	// Peak is the asymptotic kernel speed in units/second.
+	Peak float64
+	// RampD is the size at which the kernel reaches half of Peak.
+	RampD float64
+	// MemCapacity is the number of units that fit in device memory;
+	// 0 means unlimited.
+	MemCapacity float64
+	// OOCFactor scales the out-of-core restreaming penalty.
+	OOCFactor float64
+}
+
+// Name implements Device.
+func (g *GPU) Name() string { return g.DevName }
+
+// BaseTime implements Device.
+func (g *GPU) BaseTime(d float64) float64 {
+	if d <= 0 {
+		return g.HostOverhead
+	}
+	t := g.HostOverhead + d/g.TransferBW + (d+g.RampD)/g.Peak
+	if g.MemCapacity > 0 && d > g.MemCapacity {
+		t += g.OOCFactor * (d/g.MemCapacity - 1) * d / g.TransferBW
+	}
+	return t
+}
+
+// Validate reports configuration errors.
+func (g *GPU) Validate() error {
+	switch {
+	case g.Peak <= 0:
+		return fmt.Errorf("platform: gpu %q: peak speed must be positive", g.DevName)
+	case g.TransferBW <= 0:
+		return fmt.Errorf("platform: gpu %q: transfer bandwidth must be positive", g.DevName)
+	case g.HostOverhead < 0 || g.RampD < 0:
+		return fmt.Errorf("platform: gpu %q: negative overhead or ramp", g.DevName)
+	case g.MemCapacity < 0:
+		return fmt.Errorf("platform: gpu %q: negative memory capacity", g.DevName)
+	case g.MemCapacity > 0 && g.OOCFactor <= 0:
+		return fmt.Errorf("platform: gpu %q: memory-limited device needs a positive OOCFactor", g.DevName)
+	}
+	return nil
+}
+
+// PeakSize returns the size at which the GPU's speed function attains its
+// maximum, located numerically. Useful for tests and for sizing experiment
+// sweeps around the interesting region.
+func (g *GPU) PeakSize() float64 {
+	// Speed is unimodal: golden-section search on [1, hi].
+	hi := g.MemCapacity * 4
+	if hi <= 0 {
+		hi = g.RampD * 1000
+	}
+	lo := 1.0
+	phi := (math.Sqrt(5) - 1) / 2
+	a, b := lo, hi
+	for i := 0; i < 200 && b-a > 1e-6*(1+b); i++ {
+		c := b - phi*(b-a)
+		d := a + phi*(b-a)
+		if Speed(g, c) > Speed(g, d) {
+			b = d
+		} else {
+			a = c
+		}
+	}
+	return (a + b) / 2
+}

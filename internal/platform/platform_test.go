@@ -1,0 +1,297 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPUCoreTimeMonotone(t *testing.T) {
+	for _, dev := range []Device{NetlibBLASCore(), FastCore("f"), SlowCore("s"), PagingCore("p"), DefaultGPU("g")} {
+		prev := dev.BaseTime(1)
+		for d := 2.0; d < 60000; d *= 1.17 {
+			cur := dev.BaseTime(d)
+			if cur < prev {
+				t.Errorf("%s: BaseTime not monotone at d=%g: %g < %g", dev.Name(), d, cur, prev)
+				break
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestCPUCoreCliffReducesSpeed(t *testing.T) {
+	c := NetlibBLASCore()
+	sBefore := Speed(c, 300)   // well before the first cliff
+	sBetween := Speed(c, 1400) // after L2 cliff, before L3
+	sAfter := Speed(c, 3500)   // after both cliffs
+	if !(sBefore > sBetween && sBetween > sAfter) {
+		t.Errorf("speeds should decrease across cliffs: %g, %g, %g", sBefore, sBetween, sAfter)
+	}
+}
+
+func TestPagingSuperlinear(t *testing.T) {
+	c := PagingCore("p")
+	// Doubling d beyond the paging point should more than double time.
+	t1 := c.BaseTime(10000)
+	t2 := c.BaseTime(20000)
+	if t2 <= 2*t1 {
+		t.Errorf("paging should be superlinear: T(2d)=%g <= 2*T(d)=%g", t2, 2*t1)
+	}
+	// Before paging it is roughly linear (within cliff effects).
+	t3 := c.BaseTime(2000)
+	t4 := c.BaseTime(4000)
+	if t4 > 2.5*t3 {
+		t.Errorf("pre-paging region should be near-linear: T(4000)=%g vs T(2000)=%g", t4, t3)
+	}
+}
+
+func TestSpeedZeroAtNonPositive(t *testing.T) {
+	c := FastCore("f")
+	if Speed(c, 0) != 0 || Speed(c, -5) != 0 {
+		t.Error("Speed must be 0 for d <= 0")
+	}
+}
+
+func TestGPUSpeedShape(t *testing.T) {
+	g := DefaultGPU("g")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sSmall := Speed(g, 100)
+	sMid := Speed(g, 15000)
+	sHuge := Speed(g, 80000)
+	if !(sMid > sSmall) {
+		t.Errorf("GPU should ramp up: speed(100)=%g, speed(15000)=%g", sSmall, sMid)
+	}
+	if !(sMid > sHuge) {
+		t.Errorf("GPU should slow past device memory: speed(15000)=%g, speed(80000)=%g", sMid, sHuge)
+	}
+	// GPU beats the fast CPU at medium sizes — the heterogeneity that
+	// makes partitioning worthwhile.
+	if cpu := Speed(FastCore("f"), 15000); sMid < 2*cpu {
+		t.Errorf("GPU at its sweet spot should be well above a CPU core: %g vs %g", sMid, cpu)
+	}
+	peak := g.PeakSize()
+	if peak <= g.RampD || peak > g.MemCapacity*1.5 {
+		t.Errorf("peak size %g not in plausible range (%g, %g]", peak, g.RampD, g.MemCapacity*1.5)
+	}
+}
+
+func TestGPUValidate(t *testing.T) {
+	bad := []*GPU{
+		{DevName: "g", Peak: 0, TransferBW: 1},
+		{DevName: "g", Peak: 1, TransferBW: 0},
+		{DevName: "g", Peak: 1, TransferBW: 1, HostOverhead: -1},
+		{DevName: "g", Peak: 1, TransferBW: 1, MemCapacity: -1},
+		{DevName: "g", Peak: 1, TransferBW: 1, MemCapacity: 10, OOCFactor: 0},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad gpu %d should fail validation", i)
+		}
+	}
+}
+
+func TestCPUValidate(t *testing.T) {
+	bad := []*CPUCore{
+		{DevName: "c", Peak: 0},
+		{DevName: "c", Peak: 1, Overhead: -1},
+		{DevName: "c", Peak: 1, Cliffs: []Cliff{{At: 10, Width: 1, Drop: 1.5}}},
+		{DevName: "c", Peak: 1, Cliffs: []Cliff{{At: 0, Width: 1, Drop: 0.5}}},
+		{DevName: "c", Peak: 1, Cliffs: []Cliff{{At: 10, Width: 1, Drop: 0.6}, {At: 20, Width: 1, Drop: 0.6}}},
+		{DevName: "c", Peak: 1, Pg: &Paging{At: -1, Severity: 1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad core %d should fail validation", i)
+		}
+	}
+	if err := NetlibBLASCore().Validate(); err != nil {
+		t.Errorf("preset should validate: %v", err)
+	}
+}
+
+func TestScaleIndependence(t *testing.T) {
+	base := FastCore("base")
+	half := base.Scale("half", 0.5)
+	if half.Name() != "half" {
+		t.Errorf("scaled name = %q", half.Name())
+	}
+	if got, want := Speed(half, 1000), Speed(base, 1000)/2; math.Abs(got-want) > want*0.01 {
+		t.Errorf("scaled speed = %g, want ≈ %g", got, want)
+	}
+	// Mutating the copy must not affect the original.
+	half.Cliffs[0].Drop = 0.9
+	if base.Cliffs[0].Drop == 0.9 {
+		t.Error("Scale aliases the cliff slice")
+	}
+	half.Pg.Severity = 99
+	if base.Pg.Severity == 99 {
+		t.Error("Scale aliases the paging struct")
+	}
+}
+
+func TestSocketContention(t *testing.T) {
+	s := DefaultSocket("s")
+	if s.NumCores() != 4 {
+		t.Fatalf("NumCores = %d", s.NumCores())
+	}
+	core := s.Cores()[0]
+	s.SetActive(1)
+	solo := core.BaseTime(5000)
+	s.SetActive(4)
+	shared := core.BaseTime(5000)
+	want := solo * (1 + 0.25*3)
+	if math.Abs(shared-want) > 1e-9*want {
+		t.Errorf("shared time = %g, want %g", shared, want)
+	}
+	// Clamping.
+	s.SetActive(0)
+	if s.Active() != 1 {
+		t.Errorf("Active clamped low = %d, want 1", s.Active())
+	}
+	s.SetActive(99)
+	if s.Active() != 4 {
+		t.Errorf("Active clamped high = %d, want 4", s.Active())
+	}
+	if core.Socket() != s {
+		t.Error("core does not point back at socket")
+	}
+}
+
+func TestNewSocketErrors(t *testing.T) {
+	proto := FastCore("p")
+	if _, err := NewSocket("s", 0, proto, 0.1); err == nil {
+		t.Error("zero cores should error")
+	}
+	if _, err := NewSocket("s", 2, proto, -0.1); err == nil {
+		t.Error("negative contention should error")
+	}
+	if _, err := NewSocket("s", 2, &CPUCore{DevName: "bad", Peak: -1}, 0.1); err == nil {
+		t.Error("invalid prototype should error")
+	}
+}
+
+func TestMeterDeterministicAndNoisy(t *testing.T) {
+	dev := FastCore("f")
+	m1 := NewMeter(dev, DefaultNoise, 42)
+	m2 := NewMeter(dev, DefaultNoise, 42)
+	for i := 0; i < 50; i++ {
+		a, b := m1.Measure(1000), m2.Measure(1000)
+		if a != b {
+			t.Fatalf("same seed must give identical observations: %g vs %g", a, b)
+		}
+		if a < dev.BaseTime(1000) {
+			t.Fatalf("noise must not speed the device up: %g < %g", a, dev.BaseTime(1000))
+		}
+	}
+	if m1.Device() != dev {
+		t.Error("Device accessor wrong")
+	}
+}
+
+func TestMeterQuiet(t *testing.T) {
+	dev := SlowCore("s")
+	m := NewMeter(dev, Quiet, 1)
+	for _, d := range []float64{10, 500, 9000} {
+		if got := m.Measure(d); got != dev.BaseTime(d) {
+			t.Errorf("quiet meter should return BaseTime exactly: %g vs %g", got, dev.BaseTime(d))
+		}
+	}
+}
+
+func TestHCLClusterComposition(t *testing.T) {
+	devs := HCLCluster()
+	if len(devs) != 8 {
+		t.Fatalf("HCLCluster has %d devices, want 8", len(devs))
+	}
+	names := map[string]bool{}
+	for _, d := range devs {
+		if names[d.Name()] {
+			t.Errorf("duplicate device name %q", d.Name())
+		}
+		names[d.Name()] = true
+		if d.BaseTime(100) <= 0 {
+			t.Errorf("%s: non-positive time", d.Name())
+		}
+	}
+	if len(JacobiCluster()) != 8 {
+		t.Error("JacobiCluster should have 8 devices")
+	}
+}
+
+func TestBaseTimeMonotoneProperty(t *testing.T) {
+	devs := HCLCluster()
+	f := func(aRaw, bRaw uint16, idx uint8) bool {
+		dev := devs[int(idx)%len(devs)]
+		a := float64(aRaw) * 2
+		b := float64(bRaw) * 2
+		if a > b {
+			a, b = b, a
+		}
+		return dev.BaseTime(a) <= dev.BaseTime(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresetRegistry(t *testing.T) {
+	for _, name := range PresetNames() {
+		dev, err := Preset(name)
+		if err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+			continue
+		}
+		if dev.BaseTime(100) <= 0 {
+			t.Errorf("%s: non-positive time", name)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Error("unknown preset should error")
+	}
+	for _, name := range []string{"hcl", "jacobi"} {
+		devs, err := Cluster(name)
+		if err != nil || len(devs) == 0 {
+			t.Errorf("Cluster(%q): %v", name, err)
+		}
+	}
+	if _, err := Cluster("bogus"); err == nil {
+		t.Error("unknown cluster should error")
+	}
+}
+
+func TestDriftDevice(t *testing.T) {
+	base := FastCore("f")
+	d, err := NewDrift(base, 3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "f" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	want := base.BaseTime(1000)
+	for i := 0; i < 3; i++ {
+		if got := d.BaseTime(1000); got != want {
+			t.Fatalf("call %d: %g, want pre-drift %g", i, got, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := d.BaseTime(1000); got != 2*want {
+			t.Fatalf("post-drift call %d: %g, want %g", i, got, 2*want)
+		}
+	}
+	if d.Calls() != 6 {
+		t.Errorf("Calls = %d", d.Calls())
+	}
+	if _, err := NewDrift(nil, 1, 2); err == nil {
+		t.Error("nil device should error")
+	}
+	if _, err := NewDrift(base, -1, 2); err == nil {
+		t.Error("negative trigger should error")
+	}
+	if _, err := NewDrift(base, 1, 0); err == nil {
+		t.Error("zero factor should error")
+	}
+}

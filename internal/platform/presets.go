@@ -1,0 +1,140 @@
+package platform
+
+// Presets assembling devices that mimic the platforms of the FuPerMod
+// papers. Speeds are expressed in computation units per second, where one
+// unit is one b×b block update of the matrix-multiplication kernel with
+// b = 128 (≈ 4.2 MFlop), so a peak of 1200 units/s corresponds to the
+// ≈ 5 GFLOPS Netlib BLAS core of the paper's Figure 2.
+
+// NetlibBLASCore returns a core whose GEMM speed function reproduces the
+// shape in the paper's Fig. 2: around 5 GFLOPS at cache-resident sizes,
+// with drops as the working set leaves L2 and L3, and a steep paging
+// decline towards size 5000.
+func NetlibBLASCore() *CPUCore {
+	return &CPUCore{
+		DevName:  "netlib-blas",
+		Peak:     1200,
+		Overhead: 2e-4,
+		Cliffs: []Cliff{
+			{At: 600, Width: 120, Drop: 0.18},
+			{At: 2200, Width: 350, Drop: 0.28},
+		},
+		Pg: &Paging{At: 4200, Severity: 3.0},
+	}
+}
+
+// FastCore returns a modern server core: high peak, shallow cache cliffs,
+// paging far out.
+func FastCore(name string) *CPUCore {
+	return &CPUCore{
+		DevName:  name,
+		Peak:     4200,
+		Overhead: 1e-4,
+		Cliffs: []Cliff{
+			{At: 3000, Width: 500, Drop: 0.10},
+			{At: 12000, Width: 1500, Drop: 0.15},
+		},
+		Pg: &Paging{At: 90000, Severity: 0.7},
+	}
+}
+
+// SlowCore returns an older-generation core roughly 5× slower than
+// FastCore, with earlier cliffs and an earlier memory limit.
+func SlowCore(name string) *CPUCore {
+	return &CPUCore{
+		DevName:  name,
+		Peak:     850,
+		Overhead: 3e-4,
+		Cliffs: []Cliff{
+			{At: 900, Width: 150, Drop: 0.15},
+			{At: 4000, Width: 600, Drop: 0.22},
+		},
+		Pg: &Paging{At: 22000, Severity: 0.9},
+	}
+}
+
+// PagingCore returns a mid-speed core with little memory: its speed
+// collapses beyond ~8000 units. Experiment E2 uses it to demonstrate why
+// constant performance models mispartition when some tasks spill out of
+// memory (paper challenge (i)).
+func PagingCore(name string) *CPUCore {
+	return &CPUCore{
+		DevName:  name,
+		Peak:     2600,
+		Overhead: 1.5e-4,
+		Cliffs: []Cliff{
+			{At: 2500, Width: 400, Drop: 0.12},
+		},
+		Pg: &Paging{At: 8000, Severity: 4.0},
+	}
+}
+
+// DefaultGPU returns a GPU (with its dedicated host core) in the spirit of
+// the GTX-class accelerators used in the FuPerMod evaluation: an order of
+// magnitude faster than any core at medium sizes, slow at small sizes, and
+// penalised past its device-memory capacity of 20000 units.
+func DefaultGPU(name string) *GPU {
+	return &GPU{
+		DevName:      name,
+		HostOverhead: 2e-3,
+		TransferBW:   60000,
+		Peak:         26000,
+		RampD:        2500,
+		MemCapacity:  20000,
+		OOCFactor:    2.5,
+	}
+}
+
+// DefaultSocket returns a 4-core socket of mid-range cores with 25%
+// per-sharer memory contention, the configuration used by experiment E4.
+func DefaultSocket(name string) *Socket {
+	proto := &CPUCore{
+		DevName:  name,
+		Peak:     2400,
+		Overhead: 1.2e-4,
+		Cliffs: []Cliff{
+			{At: 2000, Width: 350, Drop: 0.12},
+			{At: 9000, Width: 1200, Drop: 0.18},
+		},
+		Pg: &Paging{At: 60000, Severity: 0.8},
+	}
+	s, err := NewSocket(name, 4, proto, 0.25)
+	if err != nil {
+		panic("platform: DefaultSocket preset invalid: " + err.Error())
+	}
+	return s
+}
+
+// HCLCluster assembles the 8-device heterogeneous platform used by the
+// figure and experiment harness: two fast cores, the four cores of a
+// contended socket, one GPU and one slow core. The mix mirrors the highly
+// heterogeneous single-site clusters of the paper (different CPU
+// generations plus an accelerator).
+func HCLCluster() []Device {
+	sock := DefaultSocket("socket0")
+	devs := []Device{
+		FastCore("xeon0"),
+		FastCore("xeon1"),
+	}
+	for _, c := range sock.Cores() {
+		devs = append(devs, c)
+	}
+	devs = append(devs, DefaultGPU("gpu0"), SlowCore("opteron0"))
+	return devs
+}
+
+// JacobiCluster returns the 8-core platform of the Fig. 4 reproduction:
+// heterogeneous CPU cores only (the Jacobi demo in the paper runs on CPU
+// ranks), with roughly 5:3:1 speed ratios.
+func JacobiCluster() []Device {
+	return []Device{
+		FastCore("fast0"),
+		FastCore("fast1"),
+		FastCore("fast2"),
+		FastCore("fast3"),
+		PagingCore("mid0").Scale("mid0", 0.7),
+		PagingCore("mid1").Scale("mid1", 0.7),
+		SlowCore("slow0"),
+		SlowCore("slow1"),
+	}
+}

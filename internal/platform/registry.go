@@ -1,0 +1,56 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset returns a named device preset. The names are what the command-line
+// tools accept for their -device flags:
+//
+//	netlib-blas   the ~5 GFLOPS core of the paper's Fig. 2
+//	fast          a modern server core
+//	slow          an older core, ~5× slower
+//	paging        a mid-range core with an early memory limit
+//	gpu           an accelerator with its dedicated host core
+//	socket-core   one core of a 4-core socket under full contention
+func Preset(name string) (Device, error) {
+	switch name {
+	case "netlib-blas":
+		return NetlibBLASCore(), nil
+	case "fast":
+		return FastCore("fast"), nil
+	case "slow":
+		return SlowCore("slow"), nil
+	case "paging":
+		return PagingCore("paging"), nil
+	case "gpu":
+		return DefaultGPU("gpu"), nil
+	case "socket-core":
+		return DefaultSocket("socket").Cores()[0], nil
+	default:
+		return nil, fmt.Errorf("platform: unknown device preset %q (have %v)", name, PresetNames())
+	}
+}
+
+// PresetNames lists the accepted preset names in sorted order.
+func PresetNames() []string {
+	names := []string{"netlib-blas", "fast", "slow", "paging", "gpu", "socket-core"}
+	sort.Strings(names)
+	return names
+}
+
+// Cluster returns a named multi-device platform preset:
+//
+//	hcl      the 8-device mixed platform (2 fast, 4 socket cores, gpu, slow)
+//	jacobi   the 8-core CPU platform of the Fig. 4 reproduction
+func Cluster(name string) ([]Device, error) {
+	switch name {
+	case "hcl":
+		return HCLCluster(), nil
+	case "jacobi":
+		return JacobiCluster(), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown cluster preset %q (have [hcl jacobi])", name)
+	}
+}

@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Socket models a multicore processor whose cores share a memory subsystem.
+// Co-scheduled cores slow each other down: with k active cores each core's
+// compute time is multiplied by 1 + Contention×(k−1). This is the resource
+// contention the paper's measurement methodology is built around: the speed
+// of an individual core "cannot be measured independently", so FuPerMod
+// benchmarks all cores of a group in parallel (paper §4.1, citing Zhong et
+// al., Cluster 2011).
+//
+// Time here is virtual, so co-scheduling is declared rather than raced:
+// SetActive records how many of the socket's cores are currently executing,
+// and every core's BaseTime reflects that degree of sharing. The benchmark
+// layer sets it to the synchronized group size; experiment E4 contrasts
+// Active=1 with Active=NumCores.
+type Socket struct {
+	// SockName prefixes the core names.
+	SockName string
+	// Contention is the per-extra-sharer relative slow-down (≥ 0).
+	Contention float64
+
+	cores  []*SocketCore
+	proto  *CPUCore
+	active atomic.Int64
+}
+
+// NewSocket builds a socket of n identical cores modelled on proto (whose
+// DevName is ignored). Cores are named name/core0 … name/core(n−1).
+// Active defaults to n — the pessimistic, fully shared configuration —
+// because that is how FuPerMod benchmarks multicores.
+func NewSocket(name string, n int, proto *CPUCore, contention float64) (*Socket, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("platform: socket %q must have at least one core", name)
+	}
+	if contention < 0 {
+		return nil, fmt.Errorf("platform: socket %q: negative contention %g", name, contention)
+	}
+	if err := proto.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Socket{SockName: name, Contention: contention, proto: proto.Scale(name, 1)}
+	s.active.Store(int64(n))
+	for i := 0; i < n; i++ {
+		core := proto.Scale(fmt.Sprintf("%s/core%d", name, i), 1)
+		s.cores = append(s.cores, &SocketCore{core: core, socket: s})
+	}
+	return s, nil
+}
+
+// Cores returns the socket's cores as devices. The slice is shared; do not
+// modify it.
+func (s *Socket) Cores() []*SocketCore { return s.cores }
+
+// Prototype returns a copy of the core model the socket was built from,
+// named after the socket. Serialisation uses it to write the socket back
+// as one directive.
+func (s *Socket) Prototype() *CPUCore { return s.proto.Scale(s.SockName, 1) }
+
+// NumCores reports the number of cores in the socket.
+func (s *Socket) NumCores() int { return len(s.cores) }
+
+// SetActive declares how many of the socket's cores are executing
+// concurrently, clamped to [1, NumCores]. It affects all subsequent
+// BaseTime calls on the socket's cores.
+func (s *Socket) SetActive(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s.cores) {
+		k = len(s.cores)
+	}
+	s.active.Store(int64(k))
+}
+
+// Active reports the declared number of concurrently executing cores.
+func (s *Socket) Active() int { return int(s.active.Load()) }
+
+// ActivateShared declares that all the given devices execute concurrently:
+// every socket with cores in the set has its Active count set to the
+// number of its cores present. This is how the benchmark layer prepares a
+// platform before a synchronized group measurement — cores benchmarked
+// together must see each other's memory traffic (paper §4.1).
+func ActivateShared(devs []Device) {
+	counts := map[*Socket]int{}
+	for _, d := range devs {
+		if sc, ok := d.(*SocketCore); ok {
+			counts[sc.Socket()]++
+		}
+	}
+	for s, n := range counts {
+		s.SetActive(n)
+	}
+}
+
+// SocketCore is one core of a Socket. It implements Device; its time
+// reflects the socket's current sharing degree.
+type SocketCore struct {
+	core   *CPUCore
+	socket *Socket
+}
+
+// Name implements Device.
+func (c *SocketCore) Name() string { return c.core.DevName }
+
+// BaseTime implements Device.
+func (c *SocketCore) BaseTime(d float64) float64 {
+	k := float64(c.socket.Active())
+	return c.core.BaseTime(d) * (1 + c.socket.Contention*(k-1))
+}
+
+// Socket returns the socket this core belongs to.
+func (c *SocketCore) Socket() *Socket { return c.socket }

@@ -1,0 +1,161 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// VectorFunc is a system of n equations in n unknowns: it writes F(x) into
+// out. Implementations must not retain x or out.
+type VectorFunc func(x, out []float64)
+
+// NewtonResult reports the outcome of a NewtonSystem run.
+type NewtonResult struct {
+	// X is the final iterate.
+	X []float64
+	// Residual is the max-norm of F at X.
+	Residual float64
+	// Iterations is the number of Newton steps taken.
+	Iterations int
+	// Converged reports whether the residual tolerance was met.
+	Converged bool
+}
+
+// NewtonSystem solves F(x) = 0 by Newton's method with a finite-difference
+// Jacobian and backtracking damping: if a full step does not reduce the
+// residual norm, the step is halved (up to ten times) before being accepted
+// anyway. x0 is the starting point; it is not modified.
+//
+// The method mirrors the role of GSL's multiroot solvers in the original
+// FuPerMod: it solves the load-balance system t_i(d_i) = t_n(d_n),
+// Σd_i = D on smooth Akima models. Convergence is declared when the
+// max-norm of F drops below opts.FTol or the step below opts.XTol.
+// When the Jacobian becomes singular the last iterate is returned with
+// Converged=false; callers fall back to τ-bisection.
+func NewtonSystem(f VectorFunc, x0 []float64, opts Options) (NewtonResult, error) {
+	o := opts.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		return NewtonResult{}, fmt.Errorf("solver: empty system")
+	}
+	x := append([]float64(nil), x0...)
+	fx := make([]float64, n)
+	f(x, fx)
+	res := maxAbs(fx)
+
+	jac := make([][]float64, n)
+	for i := range jac {
+		jac[i] = make([]float64, n)
+	}
+	xt := make([]float64, n)
+	ft := make([]float64, n)
+	step := make([]float64, n)
+
+	for it := 0; it < o.MaxIter; it++ {
+		if res < o.FTol {
+			return NewtonResult{X: x, Residual: res, Iterations: it, Converged: true}, nil
+		}
+		// Forward-difference Jacobian: J[i][j] = ∂F_i/∂x_j.
+		for j := 0; j < n; j++ {
+			h := 1e-7 * math.Max(math.Abs(x[j]), 1)
+			copy(xt, x)
+			xt[j] += h
+			f(xt, ft)
+			for i := 0; i < n; i++ {
+				jac[i][j] = (ft[i] - fx[i]) / h
+			}
+		}
+		// Solve J·step = −F.
+		for i := range step {
+			step[i] = -fx[i]
+		}
+		if !gaussSolve(jac, step) {
+			return NewtonResult{X: x, Residual: res, Iterations: it, Converged: false},
+				fmt.Errorf("solver: singular Jacobian at iteration %d: %w", it, ErrNoConverge)
+		}
+		if maxAbs(step) < o.XTol {
+			return NewtonResult{X: x, Residual: res, Iterations: it, Converged: res < math.Sqrt(o.FTol)}, nil
+		}
+		// Backtracking line search on the residual norm.
+		lambda := 1.0
+		accepted := false
+		for k := 0; k < 10; k++ {
+			for i := range xt {
+				xt[i] = x[i] + lambda*step[i]
+			}
+			f(xt, ft)
+			if nr := maxAbs(ft); nr < res {
+				copy(x, xt)
+				copy(fx, ft)
+				res = nr
+				accepted = true
+				break
+			}
+			lambda /= 2
+		}
+		if !accepted {
+			// Take the most damped step anyway to escape flat regions.
+			for i := range x {
+				x[i] += lambda * step[i]
+			}
+			f(x, fx)
+			res = maxAbs(fx)
+		}
+	}
+	if res < math.Sqrt(o.FTol) {
+		return NewtonResult{X: x, Residual: res, Iterations: o.MaxIter, Converged: true}, nil
+	}
+	return NewtonResult{X: x, Residual: res, Iterations: o.MaxIter, Converged: false},
+		fmt.Errorf("solver: residual %g after %d iterations: %w", res, o.MaxIter, ErrNoConverge)
+}
+
+// gaussSolve solves A·x = b in place by Gaussian elimination with partial
+// pivoting; b is overwritten with the solution. It returns false if A is
+// numerically singular. A is destroyed.
+func gaussSolve(a [][]float64, b []float64) bool {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * b[c]
+		}
+		b[r] = sum / a[r][r]
+	}
+	return true
+}
+
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

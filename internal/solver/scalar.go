@@ -1,0 +1,160 @@
+// Package solver provides the root-finding machinery behind FuPerMod's
+// partitioning algorithms: scalar bracketing methods (bisection, Brent) for
+// the geometric algorithm and the τ-bisection fallback, and a damped
+// multidimensional Newton method for the numerical algorithm on Akima-spline
+// models (the paper uses GSL's multiroot hybrid solvers for this role).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors shared by the root finders.
+var (
+	ErrNoBracket   = errors.New("solver: interval does not bracket a root")
+	ErrNoConverge  = errors.New("solver: did not converge")
+	ErrBadInterval = errors.New("solver: invalid interval")
+)
+
+// Options controls iteration counts and tolerances. The zero value selects
+// the defaults below.
+type Options struct {
+	// MaxIter bounds the number of iterations (default 200).
+	MaxIter int
+	// XTol is the absolute tolerance on the root location (default 1e-10).
+	XTol float64
+	// FTol is the absolute tolerance on the residual (default 1e-12).
+	FTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.XTol <= 0 {
+		o.XTol = 1e-10
+	}
+	if o.FTol <= 0 {
+		o.FTol = 1e-12
+	}
+	return o
+}
+
+// Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi) must
+// have opposite signs (or one of them must be zero). Bisection is slow but
+// unconditionally convergent, which is what the geometric partitioning
+// algorithm needs: its objective is monotone but only piecewise smooth.
+func Bisect(f func(float64) float64, lo, hi float64, opts Options) (float64, error) {
+	o := opts.withDefaults()
+	if !(lo < hi) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrBadInterval, lo, hi)
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	for i := 0; i < o.MaxIter; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 || hi-lo < o.XTol || math.Abs(fm) < o.FTol {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil // interval is tiny by now; report the midpoint
+}
+
+// Brent finds a root of f in the bracketing interval [lo, hi] using Brent's
+// method (inverse quadratic interpolation guarded by bisection). It
+// converges superlinearly on smooth functions while retaining bisection's
+// robustness.
+func Brent(f func(float64) float64, lo, hi float64, opts Options) (float64, error) {
+	o := opts.withDefaults()
+	if !(lo < hi) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrBadInterval, lo, hi)
+	}
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < o.MaxIter; i++ {
+		if math.Abs(fb) < o.FTol || math.Abs(b-a) < o.XTol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo34 := (3*a + b) / 4
+		cond1 := (s < math.Min(lo34, b) || s > math.Max(lo34, b))
+		cond2 := mflag && math.Abs(s-b) >= math.Abs(b-c)/2
+		cond3 := !mflag && math.Abs(s-b) >= math.Abs(c-d)/2
+		cond4 := mflag && math.Abs(b-c) < o.XTol
+		cond5 := !mflag && math.Abs(c-d) < o.XTol
+		if cond1 || cond2 || cond3 || cond4 || cond5 {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}
+
+// BracketUp grows hi geometrically from lo until [lo, hi] brackets a root
+// of f or maxGrow doublings have been tried. It returns the bracketing
+// upper bound. This is used by partitioners that know a root exists above
+// lo but not how far.
+func BracketUp(f func(float64) float64, lo float64, maxGrow int) (float64, error) {
+	flo := f(lo)
+	hi := lo
+	step := math.Max(math.Abs(lo), 1)
+	for i := 0; i < maxGrow; i++ {
+		hi += step
+		step *= 2
+		if fhi := f(hi); fhi == 0 || math.Signbit(fhi) != math.Signbit(flo) {
+			return hi, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no sign change above %g", ErrNoBracket, lo)
+}

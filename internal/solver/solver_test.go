@@ -1,0 +1,249 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimpleRoots(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+		tol    float64
+	}{
+		{"linear", func(x float64) float64 { return 2*x - 3 }, 0, 10, 1.5, 1e-9},
+		{"cosine", math.Cos, 0, 3, math.Pi / 2, 1e-9},
+		{"cubic", func(x float64) float64 { return x*x*x - 8 }, 0, 5, 2, 1e-8},
+		{"root at lo", func(x float64) float64 { return x }, 0, 1, 0, 0},
+		{"root at hi", func(x float64) float64 { return x - 1 }, 0, 1, 1, 0},
+	}
+	for _, c := range cases {
+		got, err := Bisect(c.f, c.lo, c.hi, Options{})
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s: root = %.12g, want %.12g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBisectErrors(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, Options{}); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("no bracket should yield ErrNoBracket, got %v", err)
+	}
+	if _, err := Bisect(math.Sin, 2, 1, Options{}); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("reversed interval should yield ErrBadInterval, got %v", err)
+	}
+}
+
+func TestBrentMatchesKnownRoots(t *testing.T) {
+	got, err := Brent(func(x float64) float64 { return x*x - 2 }, 0, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Errorf("sqrt2 = %.12g, want %.12g", got, math.Sqrt2)
+	}
+	// A function that is hard for the secant method: flat then steep.
+	f := func(x float64) float64 { return math.Expm1(10 * (x - 3)) }
+	got, err = Brent(f, 0, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-7 {
+		t.Errorf("root = %.12g, want 3", got)
+	}
+}
+
+func TestBrentErrors(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, Options{}); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+	if _, err := Brent(math.Sin, 5, 5, Options{}); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("want ErrBadInterval, got %v", err)
+	}
+}
+
+func TestBisectBrentAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := rng.Float64()*100 - 50
+		scale := rng.Float64()*5 + 0.1
+		fn := func(x float64) float64 { return scale * (x - root) * (1 + 0.1*math.Sin(x)) }
+		// (1+0.1 sin x) > 0, so fn has exactly one root.
+		lo, hi := root-10-rng.Float64()*10, root+10+rng.Float64()*10
+		b1, err1 := Bisect(fn, lo, hi, Options{})
+		b2, err2 := Brent(fn, lo, hi, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(b1-root) < 1e-6 && math.Abs(b2-root) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBracketUp(t *testing.T) {
+	f := func(x float64) float64 { return x - 1000 }
+	hi, err := BracketUp(f, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(hi) < 0 {
+		t.Errorf("BracketUp returned %g which does not bracket", hi)
+	}
+	if _, err := BracketUp(func(x float64) float64 { return 1 }, 0, 20); err == nil {
+		t.Error("BracketUp with rootless function should error")
+	}
+}
+
+func TestNewtonSystemLinear(t *testing.T) {
+	// 2x + y = 5; x − y = 1 → x=2, y=1.
+	f := func(x, out []float64) {
+		out[0] = 2*x[0] + x[1] - 5
+		out[1] = x[0] - x[1] - 1
+	}
+	r, err := NewtonSystem(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("should converge on a linear system")
+	}
+	if math.Abs(r.X[0]-2) > 1e-8 || math.Abs(r.X[1]-1) > 1e-8 {
+		t.Errorf("X = %v, want [2 1]", r.X)
+	}
+}
+
+func TestNewtonSystemNonlinear(t *testing.T) {
+	// Intersection of circle x²+y²=4 with line y=x → x=y=√2 from a
+	// positive start.
+	f := func(x, out []float64) {
+		out[0] = x[0]*x[0] + x[1]*x[1] - 4
+		out[1] = x[1] - x[0]
+	}
+	r, err := NewtonSystem(f, []float64{1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt2
+	if math.Abs(r.X[0]-want) > 1e-7 || math.Abs(r.X[1]-want) > 1e-7 {
+		t.Errorf("X = %v, want [√2 √2]", r.X)
+	}
+}
+
+func TestNewtonSystemRosenbrockGradient(t *testing.T) {
+	// Stationary point of the Rosenbrock function: a classically stiff
+	// system; the damped Newton should still land on (1, 1).
+	f := func(x, out []float64) {
+		out[0] = -2*(1-x[0]) - 400*x[0]*(x[1]-x[0]*x[0])
+		out[1] = 200 * (x[1] - x[0]*x[0])
+	}
+	r, err := NewtonSystem(f, []float64{-1.2, 1}, Options{MaxIter: 500})
+	if err != nil {
+		t.Fatalf("err=%v residual=%g", err, r.Residual)
+	}
+	if math.Abs(r.X[0]-1) > 1e-5 || math.Abs(r.X[1]-1) > 1e-5 {
+		t.Errorf("X = %v, want [1 1]", r.X)
+	}
+}
+
+func TestNewtonSystemSingular(t *testing.T) {
+	// F has Jacobian identically singular (both rows equal).
+	f := func(x, out []float64) {
+		out[0] = x[0] + x[1]
+		out[1] = x[0] + x[1] - 1
+	}
+	r, err := NewtonSystem(f, []float64{0, 0}, Options{})
+	if err == nil {
+		t.Error("inconsistent singular system should error")
+	}
+	if r.Converged {
+		t.Error("inconsistent system must not report convergence")
+	}
+}
+
+func TestNewtonSystemEmpty(t *testing.T) {
+	if _, err := NewtonSystem(func(x, out []float64) {}, nil, Options{}); err == nil {
+		t.Error("empty system should error")
+	}
+}
+
+func TestNewtonDoesNotModifyStart(t *testing.T) {
+	x0 := []float64{3, 4}
+	f := func(x, out []float64) {
+		out[0] = x[0] - 1
+		out[1] = x[1] - 2
+	}
+	if _, err := NewtonSystem(f, x0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 3 || x0[1] != 4 {
+		t.Errorf("x0 modified: %v", x0)
+	}
+}
+
+func TestGaussSolveKnown(t *testing.T) {
+	a := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	b := []float64{8, -11, -3}
+	if !gaussSolve(a, b) {
+		t.Fatal("system should be solvable")
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestGaussSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if gaussSolve(a, b) {
+		t.Error("singular matrix should be rejected")
+	}
+}
+
+func TestGaussSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 3
+		}
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant → nonsingular
+			for j := range a[i] {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		if !gaussSolve(a, b) {
+			return false
+		}
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package stats provides the statistical machinery used by the FuPerMod
+// benchmarking layer: streaming summary statistics, the Student-t
+// distribution, and confidence intervals for timing measurements.
+//
+// The benchmark loop in package core repeats a kernel until the relative
+// half-width of the confidence interval of the mean execution time falls
+// below a requested threshold; everything it needs for that decision lives
+// here, implemented from scratch on the standard library only.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoData is returned by queries on an empty Summary.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary accumulates a stream of observations and exposes their summary
+// statistics. It uses Welford's algorithm, so it is numerically stable and
+// needs O(1) memory regardless of the number of observations. The zero
+// value is an empty Summary ready for use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll incorporates every observation in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N reports the number of observations added so far.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean of the observations.
+// It returns 0 if no observations have been added.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 if there are none.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if there are none.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (divisor n−1).
+// It returns 0 when fewer than two observations have been added.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean, sd/√n.
+// It returns 0 when fewer than two observations have been added.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String formats the summary for diagnostics.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// CI returns the half-width of the two-sided confidence interval for the
+// mean at the given confidence level (e.g. 0.95), using the Student-t
+// distribution with n−1 degrees of freedom. It returns an error if fewer
+// than two observations are available or the level is outside (0, 1).
+func (s *Summary) CI(level float64) (float64, error) {
+	if s.n < 2 {
+		return 0, ErrNoData
+	}
+	t, err := TQuantile(1-(1-level)/2, s.n-1)
+	if err != nil {
+		return 0, err
+	}
+	return t * s.StdErr(), nil
+}
+
+// RelCI returns the half-width of the confidence interval divided by the
+// mean. A benchmark is considered precise enough when RelCI falls below the
+// caller's threshold. If the mean is zero the relative width is undefined
+// and +Inf is returned.
+func (s *Summary) RelCI(level float64) (float64, error) {
+	ci, err := s.CI(level)
+	if err != nil {
+		return 0, err
+	}
+	if s.mean == 0 {
+		return math.Inf(1), nil
+	}
+	return ci / math.Abs(s.mean), nil
+}
+
+// Mean is a convenience for the arithmetic mean of xs; it returns 0 for an
+// empty slice.
+func Mean(xs []float64) float64 {
+	var s Summary
+	s.AddAll(xs)
+	return s.Mean()
+}
+
+// Variance is a convenience for the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	var s Summary
+	s.AddAll(xs)
+	return s.Variance()
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV renders the table as RFC-4180 CSV: a header row of column
+// names followed by the data rows. Short rows are padded with empty
+// fields; rows wider than the header are an error, mirroring WriteTo.
+// Plotting tools consume this form of the experiment output
+// (fupermod-figs -csv).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.columns); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for i, row := range t.rows {
+		if len(row) > len(t.columns) {
+			return fmt.Errorf("trace: table %q: row %d has %d cells for %d columns",
+				t.Title, i, len(row), len(t.columns))
+		}
+		padded := row
+		if len(row) < len(t.columns) {
+			padded = make([]string, len(t.columns))
+			copy(padded, row)
+		}
+		if err := cw.Write(padded); err != nil {
+			return fmt.Errorf("trace: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

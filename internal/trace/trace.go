@@ -1,0 +1,142 @@
+// Package trace provides the small reporting layer of the experiment
+// harness: aligned text tables for the series behind every figure the
+// repository regenerates. Experiments return Tables; the fupermod-figs
+// command and the benchmark harness print them.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Note is an optional caption line (e.g. the paper artefact the
+	// table reproduces).
+	Note string
+
+	columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, columns: columns}
+}
+
+// AddRow appends a row. Cells are rendered with Cell; a row with more
+// cells than columns is an error surfaced at render time, so AddRow itself
+// never fails in the middle of an experiment.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Columns returns the column headers.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Rows returns the rendered rows (copies).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Cell renders one value: floats compactly with 5 significant digits,
+// everything else via %v.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.5g", x)
+	case float32:
+		return fmt.Sprintf("%.5g", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		if len(row) > len(t.columns) {
+			return 0, fmt.Errorf("trace: table %q: row has %d cells for %d columns", t.Title, len(row), len(t.columns))
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for i, c := range t.columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string, ignoring render errors (they can
+// only be caused by malformed rows, which tests catch via WriteTo).
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("<table %q: %v>", t.Title, err)
+	}
+	return b.String()
+}
+
+// Bar renders value as a text bar of '#' characters scaled so that max
+// fills width runes, with the numeric value appended. It is the building
+// block of the Gantt-style views of per-process times.
+func Bar(value, max float64, width int) string {
+	if width <= 0 || max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + fmt.Sprintf(" %.3g", value)
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "x", "longer-column", "y")
+	tb.Note = "a caption"
+	tb.AddRow(1, 2.5, "abc")
+	tb.AddRow(1000, 3.14159265, "d")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a caption") {
+		t.Error("missing note")
+	}
+	if !strings.Contains(out, "longer-column") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "3.1416") {
+		t.Errorf("float not rendered to 5 significant digits:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, note, header, separator, 2 rows.
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("xxxxxxx", 1)
+	tb.AddRow("y", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All data/header lines should be the same rendered width.
+	w := len(strings.TrimRight(lines[1], " "))
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > w+4 {
+			t.Errorf("misaligned output:\n%s", out)
+		}
+	}
+}
+
+func TestTableRowTooWide(t *testing.T) {
+	tb := NewTable("t", "only")
+	tb.AddRow(1, 2)
+	var sb strings.Builder
+	if _, err := tb.WriteTo(&sb); err == nil {
+		t.Error("row wider than columns should error at render time")
+	}
+	if s := tb.String(); !strings.Contains(s, "<table") {
+		t.Error("String should surface the render error marker")
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	if Cell(float64(1.0/3.0)) != "0.33333" {
+		t.Errorf("Cell float = %q", Cell(1.0/3.0))
+	}
+	if Cell(float32(2)) != "2" {
+		t.Errorf("Cell float32 = %q", Cell(float32(2)))
+	}
+	if Cell(42) != "42" || Cell("s") != "s" {
+		t.Error("Cell default formatting wrong")
+	}
+}
+
+func TestAccessorsReturnCopies(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow(1)
+	cols := tb.Columns()
+	cols[0] = "mutated"
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Columns()[0] != "a" || tb.Rows()[0][0] != "1" {
+		t.Error("accessors must return copies")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, "x,y") // comma needs quoting
+	tb.AddRow(2)        // short row: padded
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "a,b\n1,\"x,y\"\n2,\n"
+	if out != want {
+		t.Errorf("csv = %q, want %q", out, want)
+	}
+	wide := NewTable("w", "only")
+	wide.AddRow(1, 2)
+	if err := wide.WriteCSV(&sb); err == nil {
+		t.Error("over-wide row should error in CSV too")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "##### 5" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "########## 20" {
+		t.Errorf("clamped Bar = %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" || Bar(1, 10, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+}
