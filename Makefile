@@ -1,0 +1,45 @@
+# Build and test entry points. Tier 1 is the repository's verify gate:
+# it must stay green on every change. Tier 2 layers the slower checks on
+# top: vet, the race detector, a fuzz smoke per fuzz target, and the
+# partitioner verification suite.
+
+GO       ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke verify update-golden
+
+all: tier1
+
+## tier1: go build + the full test suite (the repo's verify gate)
+tier1: build test
+
+## tier2: tier1 plus vet, -race, fuzz smokes and the verification suite
+tier2: tier1 vet race fuzz-smoke verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# One invocation per target: -fuzz must match exactly one fuzz function,
+# and -run='^$' skips the unit tests that already ran under tier1.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadPoints$$' -fuzztime=$(FUZZTIME) ./internal/model
+	$(GO) test -run='^$$' -fuzz='^FuzzModelUpdates$$' -fuzztime=$(FUZZTIME) ./internal/model
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/config
+	$(GO) test -run='^$$' -fuzz='^FuzzPartition$$' -fuzztime=$(FUZZTIME) ./internal/partition
+
+## verify: run the partitioner verification suite (oracle + differential)
+verify:
+	$(GO) run ./cmd/fupermod-verify -seed 1
+
+## update-golden: rewrite the golden files under internal/trace/testdata
+update-golden:
+	$(GO) test ./internal/trace -update

@@ -20,8 +20,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,35 +38,42 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "fupermod-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fupermod-bench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		kernelKind = flag.String("kernel", "virtual", "kernel family: virtual | gemm | jacobi")
-		device     = flag.String("device", "netlib-blas", "device preset for virtual kernels (see -help-devices)")
-		blockB     = flag.Int("b", 32, "blocking factor of the real gemm kernel")
-		jacobiN    = flag.Int("jacobi-n", 2048, "system size of the real jacobi kernel")
-		lo         = flag.Int("lo", 16, "smallest problem size in computation units")
-		hi         = flag.Int("hi", 5000, "largest problem size in computation units")
-		n          = flag.Int("n", 30, "number of sizes (geometric grid)")
-		seed       = flag.Int64("seed", 1, "noise seed for virtual kernels")
-		noise      = flag.Float64("noise", 0.02, "relative measurement noise of virtual kernels (0 disables)")
-		out        = flag.String("o", "", "output points file (default stdout)")
-		minReps    = flag.Int("min-reps", 3, "minimum repetitions per point")
-		maxReps    = flag.Int("max-reps", 15, "maximum repetitions per point")
-		relErr     = flag.Float64("rel-err", 0.03, "target relative confidence-interval half-width")
-		helpDev    = flag.Bool("help-devices", false, "list device presets and exit")
-		machine    = flag.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
-		outDir     = flag.String("outdir", "points", "output directory for -machine mode")
+		kernelKind = fs.String("kernel", "virtual", "kernel family: virtual | gemm | jacobi")
+		device     = fs.String("device", "netlib-blas", "device preset for virtual kernels (see -help-devices)")
+		blockB     = fs.Int("b", 32, "blocking factor of the real gemm kernel")
+		jacobiN    = fs.Int("jacobi-n", 2048, "system size of the real jacobi kernel")
+		lo         = fs.Int("lo", 16, "smallest problem size in computation units")
+		hi         = fs.Int("hi", 5000, "largest problem size in computation units")
+		n          = fs.Int("n", 30, "number of sizes (geometric grid)")
+		seed       = fs.Int64("seed", 1, "noise seed for virtual kernels")
+		noise      = fs.Float64("noise", 0.02, "relative measurement noise of virtual kernels (0 disables)")
+		out        = fs.String("o", "", "output points file (default stdout)")
+		minReps    = fs.Int("min-reps", 3, "minimum repetitions per point")
+		maxReps    = fs.Int("max-reps", 15, "maximum repetitions per point")
+		relErr     = fs.Float64("rel-err", 0.03, "target relative confidence-interval half-width")
+		helpDev    = fs.Bool("help-devices", false, "list device presets and exit")
+		machine    = fs.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
+		outDir     = fs.String("outdir", "points", "output directory for -machine mode")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *helpDev {
 		for _, name := range platform.PresetNames() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
 		return nil
 	}
@@ -121,7 +130,7 @@ func run() error {
 		return err
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {

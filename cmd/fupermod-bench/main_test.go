@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fupermod/internal/model"
+)
+
+func TestRunHelp(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag.ErrHelp, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "-kernel") {
+		t.Errorf("usage should list -kernel:\n%s", sb.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Errorf("unknown flag should error, got %v", err)
+	}
+	if err := run([]string{"-kernel", "warp-drive"}, &sb); err == nil {
+		t.Error("unknown kernel family should error")
+	}
+	if err := run([]string{"-device", "no-such-preset"}, &sb); err == nil {
+		t.Error("unknown device preset should error")
+	}
+	if err := run([]string{"-lo", "100", "-hi", "10", "-noise", "0"}, &sb); err == nil {
+		t.Error("inverted size grid should error")
+	}
+}
+
+func TestRunHelpDevices(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-help-devices"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "netlib-blas") {
+		t.Errorf("preset listing should include netlib-blas:\n%s", sb.String())
+	}
+}
+
+func TestRunHappyPathStdout(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-kernel", "virtual", "-device", "netlib-blas",
+		"-lo", "16", "-hi", "64", "-n", "3", "-noise", "0",
+		"-min-reps", "1", "-max-reps", "1"}, &buf)
+	if err != nil {
+		t.Fatalf("happy path failed: %v", err)
+	}
+	pf, err := model.ReadPoints(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("output is not a valid points file: %v\n%s", err, buf.String())
+	}
+	if len(pf.Points) != 3 {
+		t.Errorf("measured %d points, want 3", len(pf.Points))
+	}
+}
+
+func TestRunHappyPathFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dev.points")
+	var sb strings.Builder
+	err := run([]string{"-kernel", "virtual", "-device", "netlib-blas",
+		"-lo", "16", "-hi", "128", "-n", "4", "-noise", "0",
+		"-min-reps", "1", "-max-reps", "1", "-o", out}, &sb)
+	if err != nil {
+		t.Fatalf("happy path failed: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pf, err := model.ReadPoints(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Points) != 4 || pf.Device != "netlib-blas" {
+		t.Errorf("points file: %d points, device %q", len(pf.Points), pf.Device)
+	}
+}

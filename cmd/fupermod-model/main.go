@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,24 +22,31 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "fupermod-model:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fupermod-model", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		kind = flag.String("model", model.KindAkima, "model kind: "+strings.Join(model.Kinds(), " | "))
-		lo   = flag.Int("lo", 0, "evaluation grid start (default: first measured size)")
-		hi   = flag.Int("hi", 0, "evaluation grid end (default: last measured size)")
-		n    = flag.Int("n", 30, "number of evaluation sizes")
+		kind = fs.String("model", model.KindAkima, "model kind: "+strings.Join(model.Kinds(), " | "))
+		lo   = fs.Int("lo", 0, "evaluation grid start (default: first measured size)")
+		hi   = fs.Int("hi", 0, "evaluation grid end (default: last measured size)")
+		n    = fs.Int("n", 30, "number of evaluation sizes")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("want exactly one points file, got %d args", flag.NArg())
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	f, err := os.Open(flag.Arg(0))
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one points file, got %d args", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -47,7 +56,7 @@ func run() error {
 		return err
 	}
 	if len(pf.Points) == 0 {
-		return fmt.Errorf("points file %s is empty", flag.Arg(0))
+		return fmt.Errorf("points file %s is empty", fs.Arg(0))
 	}
 	m, err := pf.BuildFrom(*kind)
 	if err != nil {
@@ -74,6 +83,6 @@ func run() error {
 		}
 		t.AddRow(d, tm, sp)
 	}
-	_, err = t.WriteTo(os.Stdout)
+	_, err = t.WriteTo(stdout)
 	return err
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+)
+
+func writePointsFile(t *testing.T, dir string) string {
+	t.Helper()
+	dev := platform.NetlibBLASCore()
+	pts := make([]core.Point, 0, 10)
+	for _, d := range core.LogSizes(16, 5000, 10) {
+		pts = append(pts, core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1})
+	}
+	path := filepath.Join(dir, "netlib.points")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := model.WritePoints(f, model.PointFile{Kernel: "gemm", Device: "netlib", Points: pts}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunHelp(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag.ErrHelp, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "-model") {
+		t.Errorf("usage should list -model:\n%s", sb.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Errorf("unknown flag should error, got %v", err)
+	}
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing points file argument should error")
+	}
+	if err := run([]string{"a.points", "b.points"}, &sb); err == nil {
+		t.Error("two positional arguments should error")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.points")}, &sb); err == nil {
+		t.Error("missing file should error")
+	}
+	path := writePointsFile(t, t.TempDir())
+	if err := run([]string{"-model", "no-such-kind", path}, &sb); err == nil {
+		t.Error("unknown model kind should error")
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	path := writePointsFile(t, t.TempDir())
+	var sb strings.Builder
+	if err := run([]string{"-model", model.KindAkima, "-n", "12", path}, &sb); err != nil {
+		t.Fatalf("happy path failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{model.KindAkima + " model", "size", "speed u/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 10 {
+		t.Errorf("expected an evaluation table:\n%s", out)
+	}
+}

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,7 +24,10 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "fupermod-partition:", err)
 		os.Exit(1)
 	}
@@ -43,26 +48,30 @@ func partitionerByName(name string) (core.Partitioner, error) {
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fupermod-partition", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		algo = flag.String("algorithm", "geometric", "partitioning algorithm: even | constant | geometric | numerical")
-		kind = flag.String("model", model.KindPiecewise, "model kind: "+strings.Join(model.Kinds(), " | "))
-		D    = flag.Int("D", 0, "total problem size in computation units (required)")
+		algo = fs.String("algorithm", "geometric", "partitioning algorithm: even | constant | geometric | numerical")
+		kind = fs.String("model", model.KindPiecewise, "model kind: "+strings.Join(model.Kinds(), " | "))
+		D    = fs.Int("D", 0, "total problem size in computation units (required)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *D <= 0 {
 		return fmt.Errorf("need a positive -D, got %d", *D)
 	}
-	if flag.NArg() == 0 {
+	if fs.NArg() == 0 {
 		return fmt.Errorf("need at least one points file")
 	}
 	p, err := partitionerByName(*algo)
 	if err != nil {
 		return err
 	}
-	models := make([]core.Model, flag.NArg())
-	names := make([]string, flag.NArg())
-	for i, path := range flag.Args() {
+	models := make([]core.Model, fs.NArg())
+	names := make([]string, fs.NArg())
+	for i, path := range fs.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -94,6 +103,6 @@ func run() error {
 	}
 	t.Note = fmt.Sprintf("predicted makespan %.4gs, predicted imbalance %.4g",
 		dist.MaxTime(), dist.Imbalance())
-	_, err = t.WriteTo(os.Stdout)
+	_, err = t.WriteTo(stdout)
 	return err
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+)
+
+// writePointsFile measures a device noiselessly and writes a points file
+// into dir, returning its path.
+func writePointsFile(t *testing.T, dir, name string, dev platform.Device) string {
+	t.Helper()
+	pts := make([]core.Point, 0, 12)
+	for _, d := range core.LogSizes(16, 5000, 12) {
+		pts = append(pts, core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1})
+	}
+	path := filepath.Join(dir, name+".points")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := model.WritePoints(f, model.PointFile{Kernel: "gemm", Device: name, Points: pts}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunHelp(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag.ErrHelp, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "-algorithm") {
+		t.Errorf("usage should list -algorithm:\n%s", sb.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-no-such-flag"}, &sb); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Errorf("unknown flag should error, got %v", err)
+	}
+	if err := run([]string{"-D", "100"}, &sb); err == nil {
+		t.Error("missing points files should error")
+	}
+	if err := run([]string{"-D", "-5", "x.points"}, &sb); err == nil {
+		t.Error("non-positive -D should error")
+	}
+	if err := run([]string{"-algorithm", "bogus", "-D", "10", "x.points"}, &sb); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if err := run([]string{"-D", "10", filepath.Join(t.TempDir(), "missing.points")}, &sb); err == nil {
+		t.Error("missing points file should error")
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	fast := writePointsFile(t, dir, "fast", platform.FastCore("fast"))
+	slow := writePointsFile(t, dir, "slow", platform.SlowCore("slow"))
+	var sb strings.Builder
+	if err := run([]string{"-algorithm", "geometric", "-model", model.KindPiecewise, "-D", "4000", fast, slow}, &sb); err != nil {
+		t.Fatalf("happy path failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"distribution of 4000 units by geometric", "fast", "slow", "predicted makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-h"}, &sb)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag.ErrHelp, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "-seed") {
+		t.Errorf("usage should list -seed:\n%s", sb.String())
+	}
+}
+
+func TestRunFlagError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-no-such-flag"}, &sb); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("unknown flag should error, got %v", err)
+	}
+	if err := run([]string{"stray-arg"}, &sb); err == nil {
+		t.Fatal("stray positional argument should error")
+	}
+}
+
+func TestRunSeedOne(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-seed", "1", "-rounds", "2"}, &sb); err != nil {
+		t.Fatalf("seed-1 suite should pass: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"partitioner verification suite (seed 1)", "invariants", "oracle", "diff-dynamic", "all"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuickSkipsDynamic(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-seed", "2", "-rounds", "1", "-quick"}, &sb); err != nil {
+		t.Fatalf("quick suite should pass: %v\n%s", err, sb.String())
+	}
+	if strings.Contains(sb.String(), "diff-dynamic") {
+		t.Errorf("-quick should skip the dynamic section:\n%s", sb.String())
+	}
+}

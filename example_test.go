@@ -83,3 +83,66 @@ func ExamplePartitionDynamic() {
 	// Output:
 	// converged=true steps=4 shares=[8384 1616]
 }
+
+// ExampleWithOverhead balances two identical devices where the second one
+// pays a communication overhead per assigned unit: the wrapped models make
+// every partitioning algorithm equalise compute-plus-overhead totals, so
+// the overhead-free process receives the larger share.
+func ExampleWithOverhead() {
+	models := make([]fupermod.Model, 2)
+	for i := range models {
+		m, err := fupermod.NewModel(fupermod.ModelPiecewise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range fupermod.LogSizes(16, 10000, 15) {
+			if err := m.Update(fupermod.Point{D: d, Time: float64(d) / 1000, Reps: 1}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		models[i] = m
+	}
+	noCost := func(d float64) float64 { return 0 }
+	linkCost := func(d float64) float64 { return d / 2000 } // slow link: 0.5 ms per unit
+	wrapped, err := fupermod.WithOverhead(models, []func(d float64) float64{noCost, linkCost})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fupermod.GeometricPartitioner().Partition(wrapped, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local=%d remote=%d (sum %d)\n", dist.Parts[0].D, dist.Parts[1].D, dist.D)
+	// Output:
+	// local=6000 remote=4000 (sum 10000)
+}
+
+// ExampleBuildAdaptiveModel constructs a functional model of a kernel to a
+// requested accuracy, letting the bisection place measurement points where
+// the time function needs them instead of on a fixed grid.
+func ExampleBuildAdaptiveModel() {
+	dev := platform.FastCore("node0")
+	meter := platform.NewMeter(dev, platform.Quiet, 1)
+	kernel, err := kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := fupermod.NewModel(fupermod.ModelPiecewise)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fupermod.BuildAdaptiveModel(kernel, m, fupermod.BuildConfig{
+		Lo:     16,
+		Hi:     5000,
+		RelTol: 0.05,
+		Precision: fupermod.Precision{
+			MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.1,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v points=%d\n", res.Converged, len(res.Points))
+	// Output:
+	// converged=true points=5
+}

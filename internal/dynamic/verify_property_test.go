@@ -1,0 +1,86 @@
+package dynamic_test
+
+import (
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/verify"
+)
+
+// TestDynamicConvergesToModelBasedAnswer drives the full differential:
+// the model-free dynamic algorithms on noiseless virtual kernels must
+// land within tolerance (and within the bands certificate) of the
+// distribution the geometric algorithm computes from the exact time
+// functions.
+func TestDynamicConvergesToModelBasedAnswer(t *testing.T) {
+	for _, seed := range []int64{1, 5, 12} {
+		procs := verify.NewGen(seed).Platform(3, verify.ShapeSmooth)
+		vs, err := verify.DiffDynamic(procs, 12000, 0.02, verify.DiffTol{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range vs {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestDynamicStepsSatisfyStructuralInvariants checks every intermediate
+// distribution of a dynamic run — not just the final one — against the
+// structural contract.
+func TestDynamicStepsSatisfyStructuralInvariants(t *testing.T) {
+	procs := verify.NewGen(3).Platform(4, verify.ShapePlateau)
+	ks := make([]core.Kernel, len(procs))
+	for i, p := range procs {
+		k, err := kernels.NewVirtual(p.Name, platform.NewMeter(p.Device(), platform.Quiet, 1), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks[i] = k
+	}
+	const D = 9000
+	res, err := dynamic.PartitionDynamic(ks, D, dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+		Precision: core.Precision{MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.1},
+		Eps:       0.02,
+		MaxIters:  30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	exact := verify.ExactModels(procs)
+	for i, step := range res.Steps {
+		for _, v := range verify.CheckDist("dynamic", exact, D, step.Dist) {
+			t.Errorf("step %d: %s", i, v)
+		}
+	}
+	if !res.Converged {
+		t.Error("noiseless run should converge")
+	}
+}
+
+// TestBandsCertificateIsHonest cross-checks the PartitionBands
+// uncertainty certificate against the exact balance point: when the run
+// certifies, the final shares must lie within the certified bound (plus
+// grid slack) of the reference distribution.
+func TestBandsCertificateIsHonest(t *testing.T) {
+	for _, shape := range []verify.Shape{verify.ShapeSmooth, verify.ShapeGPUCliff} {
+		procs := verify.NewGen(8).Platform(2, shape)
+		vs, err := verify.DiffDynamic(procs, 8000, 0.05, verify.DiffTol{})
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		for _, v := range vs {
+			t.Errorf("%s: %s", shape, v)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/verify"
+)
+
+// TestFittedModelsTrackGeneratedShapes fits every model kind to every
+// generated monotone shape and checks the prediction error at off-grid
+// sizes: functional models must track the true time function closely;
+// the constant and linear baselines merely have to stay positive and
+// finite (they cannot represent cliffs — that inability is the paper's
+// point, not a bug).
+func TestFittedModelsTrackGeneratedShapes(t *testing.T) {
+	functional := map[string]bool{model.KindPiecewise: true, model.KindAkima: true, model.KindHermite: true}
+	gen := verify.NewGen(2)
+	for _, shape := range verify.MonotoneShapes() {
+		procs := gen.Platform(1, shape)
+		p := procs[0]
+		for _, kind := range model.Kinds() {
+			ms, err := verify.Models(procs, kind, 16, 40000, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range []float64{33, 777, 5120, 20011, 39000} {
+				got, err := ms[0].Time(x)
+				if err != nil {
+					t.Errorf("%s on %s: Time(%g): %v", kind, shape, x, err)
+					continue
+				}
+				if !(got > 0) || math.IsInf(got, 0) || math.IsNaN(got) {
+					t.Errorf("%s on %s: Time(%g) = %g", kind, shape, x, got)
+				}
+				if functional[kind] {
+					want := p.Time(x)
+					if rel := math.Abs(got-want) / want; rel > 0.10 {
+						t.Errorf("%s on %s: Time(%g) = %g, true %g (%.1f%% off)",
+							kind, shape, x, got, want, 100*rel)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPiecewiseInverseMatchesNumericInversion checks the piecewise FPM's
+// exact InverseTime against the generic numeric inversion used for other
+// model kinds: both must recover x from t(x) on generated platforms.
+func TestPiecewiseInverseMatchesNumericInversion(t *testing.T) {
+	gen := verify.NewGen(6)
+	procs := gen.Platform(1, verify.ShapeSmooth)
+	ms, err := verify.Models(procs, model.KindPiecewise, 16, 30000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, ok := ms[0].(partition.InverseTimer)
+	if !ok {
+		t.Fatal("piecewise model must expose InverseTime")
+	}
+	for _, x := range []float64{50, 1000, 12345, 29000} {
+		tm, err := ms[0].Time(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := pw.InverseTime(tm)
+		if err != nil {
+			t.Fatalf("InverseTime(%g): %v", tm, err)
+		}
+		if rel := math.Abs(back-x) / x; rel > 1e-6 {
+			t.Errorf("InverseTime(Time(%g)) = %g (%.2g relative error)", x, back, rel)
+		}
+	}
+}
+
+// TestModelsSurviveAdversarialShapes feeds the non-monotone generated
+// shapes to every model kind: updates must be accepted and predictions
+// stay positive and finite — the models' own shape restrictions
+// (coarsening, monotone fitting) must absorb the violations.
+func TestModelsSurviveAdversarialShapes(t *testing.T) {
+	gen := verify.NewGen(4)
+	for _, shape := range []verify.Shape{verify.ShapeNoisy, verify.ShapeNonMonotonic} {
+		procs := gen.Platform(2, shape)
+		for _, kind := range model.Kinds() {
+			ms, err := verify.Models(procs, kind, 16, 30000, 35)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", kind, shape, err)
+			}
+			for _, m := range ms {
+				for _, x := range []float64{1, 500, 15000, 29000, 60000} {
+					got, err := m.Time(x)
+					if err != nil {
+						t.Errorf("%s on %s: Time(%g): %v", kind, shape, x, err)
+						continue
+					}
+					if !(got > 0) || math.IsInf(got, 0) || math.IsNaN(got) {
+						t.Errorf("%s on %s: Time(%g) = %g", kind, shape, x, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExactModelSpeedsArePositive pins down the FuncModel bridge the
+// verification subsystem rests on: speeds derived from generated exact
+// models are positive and finite wherever partitioners evaluate them.
+func TestExactModelSpeedsArePositive(t *testing.T) {
+	gen := verify.NewGen(9)
+	for _, shape := range verify.Shapes() {
+		for _, m := range verify.ExactModels(gen.Platform(2, shape)) {
+			for _, x := range []float64{1, 100, 10000, 80000} {
+				s, err := core.ModelSpeed(m, x)
+				if err != nil {
+					t.Errorf("%s: speed at %g: %v", m.Name(), x, err)
+					continue
+				}
+				if !(s > 0) || math.IsInf(s, 0) {
+					t.Errorf("%s: speed at %g = %g", m.Name(), x, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package partition_test
+
+import (
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+)
+
+// FuzzPartition feeds every partitioner models of every kind built from
+// pseudo-random (but valid) measurement points, over fuzzer-chosen
+// problem sizes. The property: no panic ever, and any successful result
+// satisfies the structural contract — Σ dᵢ = D exactly with non-negative
+// parts. Errors are acceptable on degenerate model sets (e.g. a fuzzed
+// point set the solver cannot balance); silent contract violations are
+// not.
+func FuzzPartition(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(0), uint8(5), uint16(1000))
+	f.Add(int64(42), uint8(4), uint8(2), uint8(12), uint16(1))
+	f.Add(int64(-7), uint8(1), uint8(5), uint8(1), uint16(65535))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, kindRaw, ptsRaw uint8, dRaw uint16) {
+		n := 1 + int(nRaw)%5
+		kinds := model.Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		nPts := 1 + int(ptsRaw)%16
+		D := int(dRaw) % 20001
+		// LCG-driven valid points, same recipe as FuzzModelUpdates.
+		x := seed
+		next := func(mod int64) int64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := x % mod
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		ms := make([]core.Model, n)
+		for i := range ms {
+			m, err := model.New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < nPts; p++ {
+				pt := core.Point{D: int(next(50000)) + 1, Time: float64(next(1000000)+1) / 1e4, Reps: 1}
+				if err := m.Update(pt); err != nil {
+					t.Fatalf("%s rejected valid point %+v: %v", kind, pt, err)
+				}
+			}
+			ms[i] = m
+		}
+		for _, p := range testPartitioners() {
+			dist, err := p.Partition(ms, D)
+			if err != nil {
+				continue // degenerate inputs may fail; they must not panic
+			}
+			if err := dist.Validate(); err != nil {
+				t.Fatalf("%s on %s models (n=%d, D=%d): %v", p.Name(), kind, n, D, err)
+			}
+			if dist.D != D || len(dist.Parts) != n {
+				t.Fatalf("%s on %s models: got D=%d/%d parts, want D=%d/%d",
+					p.Name(), kind, dist.D, len(dist.Parts), D, n)
+			}
+		}
+	})
+}

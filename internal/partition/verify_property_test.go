@@ -1,0 +1,107 @@
+package partition_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fupermod/internal/core"
+	"fupermod/internal/partition"
+	"fupermod/internal/verify"
+)
+
+func testPartitioners() []core.Partitioner {
+	return []core.Partitioner{partition.Even(), partition.Constant(), partition.Geometric(), partition.Numerical()}
+}
+
+// TestPartitionersHoldStructuralInvariants sweeps every partitioner over
+// seeded synthetic platforms of every shape — including the adversarial
+// noisy and non-monotonic ones — asserting the structural contract
+// (Σ dᵢ = D exactly, dᵢ ≥ 0, one part per model) through the verification
+// subsystem.
+func TestPartitionersHoldStructuralInvariants(t *testing.T) {
+	f := func(seedRaw uint32, dRaw uint16, nRaw uint8) bool {
+		gen := verify.NewGen(int64(seedRaw))
+		n := 1 + int(nRaw)%5
+		D := int(dRaw) % 30000
+		for _, shape := range verify.Shapes() {
+			ms := verify.ExactModels(gen.Platform(n, shape))
+			for _, p := range testPartitioners() {
+				dist, err := p.Partition(ms, D)
+				if err != nil {
+					t.Logf("%s on %s (n=%d, D=%d): %v", p.Name(), shape, n, D, err)
+					return false
+				}
+				if vs := verify.CheckDist(p.Name(), ms, D, dist); len(vs) > 0 {
+					for _, v := range vs {
+						t.Logf("%s on %s: %s", p.Name(), shape, v)
+					}
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionersNearOracleOnSmallProblems compares the model-based
+// optimal algorithms against the brute-force enumeration oracle on small
+// problems over every monotone shape.
+func TestPartitionersNearOracleOnSmallProblems(t *testing.T) {
+	gen := verify.NewGen(17)
+	for _, shape := range verify.MonotoneShapes() {
+		for _, D := range []int{1, 2, 7, 16, 24} {
+			ms := verify.ExactModels(gen.Platform(3, shape))
+			for _, p := range []core.Partitioner{partition.Geometric(), partition.Numerical()} {
+				dist, err := p.Partition(ms, D)
+				if err != nil {
+					t.Errorf("%s on %s at D=%d: %v", p.Name(), shape, D, err)
+					continue
+				}
+				vs, err := verify.CheckOptimal(p.Name(), ms, D, dist, 0.05)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range vs {
+					t.Errorf("on %s: %s", shape, v)
+				}
+			}
+		}
+	}
+}
+
+// TestConstantModelsPartitionIdentically asserts the differential
+// identity on constant models across problem sizes, through the
+// verification subsystem's differential engine.
+func TestConstantModelsPartitionIdentically(t *testing.T) {
+	gen := verify.NewGen(23)
+	for _, D := range []int{10, 999, 12345, 100000} {
+		ms := verify.ExactModels(gen.Platform(4, verify.ShapeConstant))
+		vs, err := verify.DiffConstant(ms, D, verify.DiffTol{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			t.Errorf("D=%d: %s", D, v)
+		}
+	}
+}
+
+// TestGeometricNumericalAgreeOnExactModels asserts the two solution
+// strategies find the same balance point when interpolation error is
+// taken out of the picture.
+func TestGeometricNumericalAgreeOnExactModels(t *testing.T) {
+	gen := verify.NewGen(31)
+	for _, shape := range verify.MonotoneShapes() {
+		procs := gen.Platform(3, shape)
+		vs, err := verify.DiffExact(procs, 20000, verify.DiffTol{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			t.Errorf("on %s: %s", shape, v)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden byte-compares got against testdata/<name>, rewriting the
+// golden file instead when the test binary runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/trace -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// speedTable builds a deterministic experiment-style series: the shape of
+// the tables fupermod-figs emits as CSV for plotting.
+func speedTable() *Table {
+	tb := NewTable("speed function of netlib-blas", "size", "time s", "speed u/s")
+	for _, d := range []int{16, 64, 256, 1024, 4096} {
+		x := float64(d)
+		time := 1e-4 + x/900 // affine synthetic time: overhead + linear term
+		tb.AddRow(d, time, x/time)
+	}
+	return tb
+}
+
+// edgeTable exercises the CSV escaping and padding corners: embedded
+// commas, double quotes, newlines, and a short row.
+func edgeTable() *Table {
+	tb := NewTable("edge cases", "name", "value", "note")
+	tb.AddRow("comma", "x,y", "quoted")
+	tb.AddRow("quote", `say "hi"`, "doubled")
+	tb.AddRow("newline", "a\nb", "multiline field")
+	tb.AddRow("short", 1) // padded with an empty trailing field
+	return tb
+}
+
+func TestCSVGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		table  *Table
+	}{
+		{"speed_series.csv", speedTable()},
+		{"edge_cases.csv", edgeTable()},
+	} {
+		var buf bytes.Buffer
+		if err := tc.table.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.golden, err)
+		}
+		checkGolden(t, tc.golden, buf.Bytes())
+	}
+}
+
+// TestCSVGoldenRoundTrip re-reads the golden CSV output through a
+// conforming RFC-4180 reader and checks it reproduces the table exactly:
+// header, row count, and every cell (short rows padded with empty fields).
+func TestCSVGoldenRoundTrip(t *testing.T) {
+	for _, tb := range []*Table{speedTable(), edgeTable()} {
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		records, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("table %q: written CSV does not re-read: %v", tb.Title, err)
+		}
+		if len(records) != tb.NumRows()+1 {
+			t.Fatalf("table %q: %d records, want %d", tb.Title, len(records), tb.NumRows()+1)
+		}
+		if got, want := strings.Join(records[0], "|"), strings.Join(tb.Columns(), "|"); got != want {
+			t.Errorf("table %q: header %q, want %q", tb.Title, got, want)
+		}
+		cols := len(tb.Columns())
+		for i, row := range tb.Rows() {
+			padded := make([]string, cols)
+			copy(padded, row)
+			if got, want := strings.Join(records[i+1], "|"), strings.Join(padded, "|"); got != want {
+				t.Errorf("table %q row %d: %q, want %q", tb.Title, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTextGolden(t *testing.T) {
+	tb := speedTable()
+	tb.Note = "synthetic affine device, overhead 1e-4 s"
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "speed_series.txt", buf.Bytes())
+}

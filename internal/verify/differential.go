@@ -1,0 +1,280 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+)
+
+// DiffTol holds the differential-check tolerances. The zero value is
+// replaced by defaults: whole-unit slack of max(2, n) per part where
+// algorithms must agree exactly up to rounding, and 3% otherwise.
+type DiffTol struct {
+	// PartUnits is the per-part absolute slack, in computation units,
+	// where theory demands identity up to rounding (0 → max(2, n)).
+	PartUnits int
+	// RelMakespan is the relative slack on predicted makespans (0 → 0.03).
+	RelMakespan float64
+	// ShareFrac is the aggregate share slack, as a fraction of D, for the
+	// smooth-model and dynamic comparisons (0 → 0.03).
+	ShareFrac float64
+}
+
+func (t DiffTol) partUnits(n int) int {
+	if t.PartUnits > 0 {
+		return t.PartUnits
+	}
+	if n > 2 {
+		return n
+	}
+	return 2
+}
+
+func (t DiffTol) relMakespan() float64 {
+	if t.RelMakespan > 0 {
+		return t.RelMakespan
+	}
+	return 0.03
+}
+
+func (t DiffTol) shareFrac() float64 {
+	if t.ShareFrac > 0 {
+		return t.ShareFrac
+	}
+	return 0.03
+}
+
+// DiffConstant asserts that on *constant* performance models the three
+// model-based algorithms — constant, geometric, numerical — compute the
+// same distribution up to integer rounding: the continuous balance point
+// is unique (shares proportional to speeds), so any disagreement beyond
+// rounding slack is a bug in one of the solvers.
+func DiffConstant(models []core.Model, D int, tol DiffTol) ([]Violation, error) {
+	algos := []core.Partitioner{partition.Constant(), partition.Geometric(), partition.Numerical()}
+	dists := make([]*core.Dist, len(algos))
+	var vs []Violation
+	for i, a := range algos {
+		d, err := a.Partition(models, D)
+		if err != nil {
+			return nil, fmt.Errorf("verify: diff-constant: %s: %w", a.Name(), err)
+		}
+		if bad := CheckDist(a.Name(), models, D, d); len(bad) > 0 {
+			return append(vs, bad...), nil
+		}
+		dists[i] = d
+	}
+	slack := tol.partUnits(len(models))
+	for i := 1; i < len(algos); i++ {
+		for p := range dists[0].Parts {
+			diff := dists[i].Parts[p].D - dists[0].Parts[p].D
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > slack {
+				vs = append(vs, Violation{Check: "diff-constant", Algo: algos[i].Name(),
+					Detail: fmt.Sprintf("D=%d: part %d is %d, but %s computed %d (slack %d units)",
+						D, p, dists[i].Parts[p].D, algos[0].Name(), dists[0].Parts[p].D, slack)})
+			}
+		}
+	}
+	return vs, nil
+}
+
+// DiffSmooth asserts that on smooth, monotone platforms the geometric
+// algorithm (on piecewise-linear FPMs) and the numerical algorithm (on
+// Akima FPMs) agree: their predicted makespans under the *exact* time
+// functions must be within RelMakespan of each other, and their shares
+// within ShareFrac·D in aggregate. lo, hi, n parametrise the sampling
+// grid the fitted models are built from.
+func DiffSmooth(procs []Proc, D int, lo, hi, n int, tol DiffTol) ([]Violation, error) {
+	for _, p := range procs {
+		if !p.Shape.Monotone() {
+			return nil, fmt.Errorf("verify: diff-smooth requires monotone shapes, got %s", p.Shape)
+		}
+	}
+	pw, err := Models(procs, model.KindPiecewise, lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	ak, err := Models(procs, model.KindAkima, lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := partition.Geometric().Partition(pw, D)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-smooth: geometric: %w", err)
+	}
+	dn, err := partition.Numerical().Partition(ak, D)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-smooth: numerical: %w", err)
+	}
+	var vs []Violation
+	vs = append(vs, CheckDist("geometric", pw, D, dg)...)
+	vs = append(vs, CheckDist("numerical", ak, D, dn)...)
+	if len(vs) > 0 {
+		return vs, nil
+	}
+	exact := ExactModels(procs)
+	mg, err := Makespan(exact, dg.Sizes())
+	if err != nil {
+		return nil, err
+	}
+	mn, err := Makespan(exact, dn.Sizes())
+	if err != nil {
+		return nil, err
+	}
+	if hiM, loM := math.Max(mg, mn), math.Min(mg, mn); hiM > loM*(1+tol.relMakespan()) {
+		vs = append(vs, Violation{Check: "diff-smooth", Algo: "geometric vs numerical",
+			Detail: fmt.Sprintf("D=%d: exact makespans %.6g vs %.6g differ by %.2f%% (tol %.2f%%)",
+				D, mg, mn, 100*(hiM/loM-1), 100*tol.relMakespan())})
+	}
+	agg := 0
+	for i := range dg.Parts {
+		d := dg.Parts[i].D - dn.Parts[i].D
+		if d < 0 {
+			d = -d
+		}
+		agg += d
+	}
+	if float64(agg) > tol.shareFrac()*float64(D) {
+		vs = append(vs, Violation{Check: "diff-smooth", Algo: "geometric vs numerical",
+			Detail: fmt.Sprintf("D=%d: shares differ by %d units in aggregate (tol %.0f): %v vs %v",
+				D, agg, tol.shareFrac()*float64(D), dg.Sizes(), dn.Sizes())})
+	}
+	return vs, nil
+}
+
+// DiffExact runs the geometric and numerical algorithms on the *same*
+// exact models of monotone processes, where the continuous balance point
+// is unique and both must find it: any aggregate share difference beyond
+// ShareFrac·D is attributable to the solvers alone (no interpolation
+// error is involved).
+func DiffExact(procs []Proc, D int, tol DiffTol) ([]Violation, error) {
+	for _, p := range procs {
+		if !p.Shape.Monotone() {
+			return nil, fmt.Errorf("verify: diff-exact requires monotone shapes, got %s", p.Shape)
+		}
+	}
+	ms := ExactModels(procs)
+	dg, err := partition.Geometric().Partition(ms, D)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-exact: geometric: %w", err)
+	}
+	dn, err := partition.Numerical().Partition(ms, D)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-exact: numerical: %w", err)
+	}
+	var vs []Violation
+	vs = append(vs, CheckDist("geometric", ms, D, dg)...)
+	vs = append(vs, CheckDist("numerical", ms, D, dn)...)
+	if len(vs) > 0 {
+		return vs, nil
+	}
+	agg := 0
+	for i := range dg.Parts {
+		d := dg.Parts[i].D - dn.Parts[i].D
+		if d < 0 {
+			d = -d
+		}
+		agg += d
+	}
+	if float64(agg) > tol.shareFrac()*float64(D) {
+		vs = append(vs, Violation{Check: "diff-exact", Algo: "geometric vs numerical",
+			Detail: fmt.Sprintf("D=%d on exact models: shares differ by %d units in aggregate (tol %.0f): %v vs %v",
+				D, agg, tol.shareFrac()*float64(D), dg.Sizes(), dn.Sizes())})
+	}
+	return vs, nil
+}
+
+// quickPrecision is the single-repetition measurement rule the dynamic
+// differential uses: virtual kernels on noiseless meters are
+// deterministic, so one repetition per point is exact.
+var quickPrecision = core.Precision{MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.1}
+
+// DiffDynamic asserts that the model-free dynamic algorithms land where
+// the model-based answer says they should. The processes (monotone
+// shapes only) are wrapped as noiseless virtual kernels; the reference
+// distribution is the geometric algorithm on the exact time functions.
+//
+//   - PartitionDynamic must converge, and its final shares must be within
+//     ShareFrac·D of the reference in aggregate.
+//   - PartitionBands must certify, and its shares must be within
+//     (Uncertainty + ShareFrac)·D of the reference — the certificate
+//     bound plus grid slack.
+func DiffDynamic(procs []Proc, D int, eps float64, tol DiffTol) ([]Violation, error) {
+	n := len(procs)
+	if n == 0 {
+		return nil, fmt.Errorf("verify: diff-dynamic needs processes")
+	}
+	for _, p := range procs {
+		if !p.Shape.Monotone() {
+			return nil, fmt.Errorf("verify: diff-dynamic requires monotone shapes, got %s", p.Shape)
+		}
+	}
+	ks := make([]core.Kernel, n)
+	for i, p := range procs {
+		meter := platform.NewMeter(p.Device(), platform.Quiet, 1)
+		k, err := kernels.NewVirtual(p.Name, meter, 1)
+		if err != nil {
+			return nil, err
+		}
+		ks[i] = k
+	}
+	ref, err := partition.Geometric().Partition(ExactModels(procs), D)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-dynamic reference: %w", err)
+	}
+	cfg := dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewPiecewise() },
+		Precision: quickPrecision,
+		Eps:       eps,
+		MaxIters:  40,
+	}
+	var vs []Violation
+	aggDiff := func(d *core.Dist) int {
+		agg := 0
+		for i := range d.Parts {
+			x := d.Parts[i].D - ref.Parts[i].D
+			if x < 0 {
+				x = -x
+			}
+			agg += x
+		}
+		return agg
+	}
+	dyn, err := dynamic.PartitionDynamic(ks, D, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-dynamic: %w", err)
+	}
+	vs = append(vs, CheckDist("dynamic", ExactModels(procs), D, dyn.Dist)...)
+	if !dyn.Converged {
+		vs = append(vs, Violation{Check: "diff-dynamic", Algo: "dynamic",
+			Detail: fmt.Sprintf("D=%d: no convergence within %d iterations (eps %g)", D, cfg.MaxIters, eps)})
+	} else if agg := aggDiff(dyn.Dist); float64(agg) > tol.shareFrac()*float64(D) {
+		vs = append(vs, Violation{Check: "diff-dynamic", Algo: "dynamic",
+			Detail: fmt.Sprintf("D=%d: converged shares %v are %d units from model-based %v (tol %.0f)",
+				D, dyn.Dist.Sizes(), agg, ref.Sizes(), tol.shareFrac()*float64(D))})
+	}
+	bands, err := dynamic.PartitionBands(ks, D, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-dynamic bands: %w", err)
+	}
+	vs = append(vs, CheckDist("bands", ExactModels(procs), D, bands.Dist)...)
+	if !bands.Certified {
+		vs = append(vs, Violation{Check: "diff-dynamic", Algo: "bands",
+			Detail: fmt.Sprintf("D=%d: no certificate within %d steps (eps %g, uncertainty %g)",
+				D, cfg.MaxIters, eps, bands.Uncertainty)})
+	} else if agg := aggDiff(bands.Dist); float64(agg) > (bands.Uncertainty+tol.shareFrac())*float64(D) {
+		vs = append(vs, Violation{Check: "diff-dynamic", Algo: "bands",
+			Detail: fmt.Sprintf("D=%d: certified shares %v are %d units from model-based %v, beyond certificate %.0f + slack %.0f",
+				D, bands.Dist.Sizes(), agg, ref.Sizes(), bands.Uncertainty*float64(D), tol.shareFrac()*float64(D))})
+	}
+	return vs, nil
+}

@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+)
+
+// CheckDist asserts the structural contract every partitioner promises:
+// a non-nil distribution with exactly one part per model, every part
+// non-negative, and Σ dᵢ = D *exactly*. The returned slice is empty when
+// the contract holds.
+func CheckDist(algo string, models []core.Model, D int, dist *core.Dist) []Violation {
+	var vs []Violation
+	if dist == nil {
+		return []Violation{{Check: "nil-dist", Algo: algo,
+			Detail: fmt.Sprintf("nil distribution for D=%d over %d models", D, len(models))}}
+	}
+	if dist.D != D {
+		vs = append(vs, Violation{Check: "total", Algo: algo,
+			Detail: fmt.Sprintf("dist.D = %d, want %d", dist.D, D)})
+	}
+	if len(dist.Parts) != len(models) {
+		vs = append(vs, Violation{Check: "arity", Algo: algo,
+			Detail: fmt.Sprintf("%d parts for %d models", len(dist.Parts), len(models))})
+		return vs
+	}
+	sum := 0
+	for i, p := range dist.Parts {
+		if p.D < 0 {
+			vs = append(vs, Violation{Check: "negative", Algo: algo,
+				Detail: fmt.Sprintf("part %d is negative (%d)", i, p.D)})
+		}
+		if p.Time < 0 || math.IsNaN(p.Time) || math.IsInf(p.Time, 0) {
+			vs = append(vs, Violation{Check: "time", Algo: algo,
+				Detail: fmt.Sprintf("part %d has invalid predicted time %g", i, p.Time)})
+		}
+		sum += p.D
+	}
+	if sum != D {
+		vs = append(vs, Violation{Check: "sum", Algo: algo,
+			Detail: fmt.Sprintf("parts sum to %d, want exactly %d", sum, D)})
+	}
+	return vs
+}
+
+// Makespan evaluates the predicted makespan of the given part sizes under
+// the models: max over loaded parts of Timeᵢ(dᵢ). Zero parts contribute
+// nothing.
+func Makespan(models []core.Model, sizes []int) (float64, error) {
+	if len(sizes) != len(models) {
+		return 0, fmt.Errorf("verify: %d sizes for %d models", len(sizes), len(models))
+	}
+	m := 0.0
+	for i, d := range sizes {
+		if d == 0 {
+			continue
+		}
+		t, err := models[i].Time(float64(d))
+		if err != nil {
+			return 0, fmt.Errorf("verify: model %d at d=%d: %w", i, d, err)
+		}
+		if t > m {
+			m = t
+		}
+	}
+	return m, nil
+}
+
+// maxOracleStates bounds the exhaustive enumeration; C(D+n−1, n−1) must
+// stay under it. At the default suite sizes (D ≤ 24, n ≤ 4) the count is
+// a few thousand.
+const maxOracleStates = 5_000_000
+
+// Oracle finds a makespan-optimal integer distribution of D units over
+// the models by exhaustive enumeration of all compositions of D into
+// len(models) non-negative parts, with branch-and-bound pruning on the
+// running makespan. It is exponential by design — the ground truth the
+// fast algorithms are compared against — and refuses inputs whose state
+// count exceeds an internal bound.
+func Oracle(models []core.Model, D int) (best []int, makespan float64, err error) {
+	n := len(models)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("verify: oracle needs models")
+	}
+	if D < 0 {
+		return nil, 0, fmt.Errorf("verify: oracle needs D >= 0, got %d", D)
+	}
+	if states := compositions(D, n); states > maxOracleStates {
+		return nil, 0, fmt.Errorf("verify: oracle space too large (%d states for D=%d, n=%d)", states, D, n)
+	}
+	// Precompute every per-process time once: times[i][d] = Timeᵢ(d).
+	times := make([][]float64, n)
+	for i, m := range models {
+		times[i] = make([]float64, D+1)
+		for d := 1; d <= D; d++ {
+			t, terr := m.Time(float64(d))
+			if terr != nil {
+				return nil, 0, fmt.Errorf("verify: oracle: model %d at d=%d: %w", i, d, terr)
+			}
+			times[i][d] = t
+		}
+	}
+	best = make([]int, n)
+	cur := make([]int, n)
+	makespan = math.Inf(1)
+	var walk func(i, left int, worst float64)
+	walk = func(i, left int, worst float64) {
+		if worst >= makespan {
+			return // cannot improve on the incumbent
+		}
+		if i == n-1 {
+			cur[i] = left
+			w := worst
+			if t := times[i][left]; t > w {
+				w = t
+			}
+			if w < makespan {
+				makespan = w
+				copy(best, cur)
+			}
+			return
+		}
+		for d := 0; d <= left; d++ {
+			cur[i] = d
+			w := worst
+			if t := times[i][d]; t > w {
+				w = t
+			}
+			walk(i+1, left-d, w)
+		}
+	}
+	walk(0, D, 0)
+	return best, makespan, nil
+}
+
+// compositions counts C(D+n−1, n−1), saturating at maxOracleStates+1.
+func compositions(D, n int) int {
+	c := 1.0
+	for i := 1; i < n; i++ {
+		c = c * float64(D+i) / float64(i)
+		if c > maxOracleStates {
+			return maxOracleStates + 1
+		}
+	}
+	return int(c)
+}
+
+// CheckOptimal compares a partitioner's distribution against the
+// brute-force oracle: the distribution's predicted makespan must not
+// exceed the optimum by more than relTol (relative) — the slack covers
+// the integer-rounding step of the fast algorithms. The structural
+// contract is checked first; the oracle only runs if it holds.
+func CheckOptimal(algo string, models []core.Model, D int, dist *core.Dist, relTol float64) ([]Violation, error) {
+	if vs := CheckDist(algo, models, D, dist); len(vs) > 0 {
+		return vs, nil
+	}
+	_, opt, err := Oracle(models, D)
+	if err != nil {
+		return nil, err
+	}
+	got, err := Makespan(models, dist.Sizes())
+	if err != nil {
+		return nil, err
+	}
+	if got > opt*(1+relTol)+1e-15 {
+		return []Violation{{Check: "oracle", Algo: algo,
+			Detail: fmt.Sprintf("D=%d: predicted makespan %.6g exceeds brute-force optimum %.6g by %.2f%% (tol %.2f%%), sizes %v",
+				D, got, opt, 100*(got/opt-1), 100*relTol, dist.Sizes())}}, nil
+	}
+	return nil, nil
+}

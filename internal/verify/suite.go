@@ -1,0 +1,342 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/trace"
+)
+
+// Options parametrises Run. The zero value of every field selects a
+// sensible default; only Seed is usually set explicitly.
+type Options struct {
+	// Seed drives every generator in the suite; equal seeds run equal
+	// suites.
+	Seed int64
+	// Rounds is the number of random platforms per section (0 → 4).
+	Rounds int
+	// OracleD caps the problem size of the brute-force optimality checks
+	// (0 → 24). Enumeration cost grows as C(D+n−1, n−1).
+	OracleD int
+	// OracleRelTol is the relative makespan slack against the oracle
+	// (0 → 0.05), covering the integer-rounding step.
+	OracleRelTol float64
+	// Tol carries the differential tolerances (zero value → defaults).
+	Tol DiffTol
+	// SkipDynamic skips the dynamic differential section (the slowest
+	// one) — used by quick smoke runs.
+	SkipDynamic bool
+}
+
+func (o Options) rounds() int {
+	if o.Rounds <= 0 {
+		return 4
+	}
+	return o.Rounds
+}
+
+func (o Options) oracleD() int {
+	if o.OracleD <= 0 {
+		return 24
+	}
+	return o.OracleD
+}
+
+func (o Options) oracleRelTol() float64 {
+	if o.OracleRelTol <= 0 {
+		return 0.05
+	}
+	return o.OracleRelTol
+}
+
+// Section summarises one suite section.
+type Section struct {
+	// Name identifies the section: "invariants", "oracle",
+	// "diff-constant", "diff-smooth", "diff-dynamic".
+	Name string
+	// Checks is the number of individual assertions made.
+	Checks int
+	// Violations counts the assertions that failed.
+	Violations int
+}
+
+// Report is the outcome of Run.
+type Report struct {
+	// Seed echoes the seed the suite ran with.
+	Seed int64
+	// Sections summarise each suite section in run order.
+	Sections []Section
+	// Violations collects every broken invariant, in detection order.
+	Violations []Violation
+}
+
+// OK reports whether the suite ran clean.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Checks returns the total number of assertions made.
+func (r *Report) Checks() int {
+	n := 0
+	for _, s := range r.Sections {
+		n += s.Checks
+	}
+	return n
+}
+
+// Table renders the per-section summary.
+func (r *Report) Table() *trace.Table {
+	t := trace.NewTable(fmt.Sprintf("partitioner verification suite (seed %d)", r.Seed),
+		"section", "checks", "violations")
+	for _, s := range r.Sections {
+		t.AddRow(s.Name, s.Checks, s.Violations)
+	}
+	if r.OK() {
+		t.Note = fmt.Sprintf("all %d checks passed", r.Checks())
+	} else {
+		t.Note = fmt.Sprintf("%d of %d checks FAILED", len(r.Violations), r.Checks())
+	}
+	return t
+}
+
+// WriteTo renders the summary table followed by every violation detail.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	n, err := r.Table().WriteTo(w)
+	if err != nil {
+		return n, err
+	}
+	for _, v := range r.Violations {
+		m, err := fmt.Fprintln(w, v.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// allPartitioners are the four algorithms under test.
+func allPartitioners() []core.Partitioner {
+	return []core.Partitioner{partition.Even(), partition.Constant(), partition.Geometric(), partition.Numerical()}
+}
+
+// Run executes the full verification suite with the given options and
+// returns the report. An error means the suite itself could not run (a
+// generator or reference computation failed), not that an invariant was
+// violated — violations are reported in the Report.
+func Run(opts Options) (*Report, error) {
+	r := &Report{Seed: opts.Seed}
+	section := func(name string, checks int, vs []Violation) {
+		r.Sections = append(r.Sections, Section{Name: name, Checks: checks, Violations: len(vs)})
+		r.Violations = append(r.Violations, vs...)
+	}
+
+	vs, checks, err := runInvariants(opts)
+	if err != nil {
+		return nil, err
+	}
+	section("invariants", checks, vs)
+
+	vs, checks, err = runOracle(opts)
+	if err != nil {
+		return nil, err
+	}
+	section("oracle", checks, vs)
+
+	vs, checks, err = runDiffConstant(opts)
+	if err != nil {
+		return nil, err
+	}
+	section("diff-constant", checks, vs)
+
+	vs, checks, err = runDiffSmooth(opts)
+	if err != nil {
+		return nil, err
+	}
+	section("diff-smooth", checks, vs)
+
+	if !opts.SkipDynamic {
+		vs, checks, err = runDiffDynamic(opts)
+		if err != nil {
+			return nil, err
+		}
+		section("diff-dynamic", checks, vs)
+	}
+	return r, nil
+}
+
+// runInvariants sweeps every partitioner over random platforms of every
+// shape — including the adversarial non-monotone ones — against both
+// exact and fitted models, asserting the structural contract each time.
+// A partitioner returning an error on a valid model set counts as a
+// violation too: the contract is "valid input → valid distribution".
+func runInvariants(opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	gen := NewGen(opts.Seed + 1)
+	var vs []Violation
+	checks := 0
+	for round := 0; round < opts.rounds(); round++ {
+		for _, shape := range Shapes() {
+			n := 2 + rng.Intn(4)
+			procs := gen.Platform(n, shape)
+			D := n + rng.Intn(50000)
+			fitted, err := Models(procs, model.KindPiecewise, 16, 60000, 25)
+			if err != nil {
+				return nil, checks, err
+			}
+			akima, err := Models(procs, model.KindAkima, 16, 60000, 25)
+			if err != nil {
+				return nil, checks, err
+			}
+			sets := []struct {
+				name   string
+				models []core.Model
+			}{{"exact", ExactModels(procs)}, {"piecewise", fitted}, {"akima", akima}}
+			for _, set := range sets {
+				setName, ms := set.name, set.models
+				for _, p := range allPartitioners() {
+					checks++
+					dist, err := p.Partition(ms, D)
+					if err != nil {
+						vs = append(vs, Violation{Check: "error", Algo: p.Name(),
+							Detail: fmt.Sprintf("%s/%s models, n=%d, D=%d: %v", shape, setName, n, D, err)})
+						continue
+					}
+					for _, v := range CheckDist(p.Name(), ms, D, dist) {
+						v.Detail = fmt.Sprintf("%s/%s models: %s", shape, setName, v.Detail)
+						vs = append(vs, v)
+					}
+				}
+			}
+		}
+	}
+	return vs, checks, nil
+}
+
+// runOracle compares the model-based optimal algorithms against the
+// brute-force oracle on small problems over monotone platforms: the
+// geometric and numerical algorithms everywhere, the constant algorithm
+// only where its model assumption holds (constant shapes).
+func runOracle(opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 2))
+	gen := NewGen(opts.Seed + 3)
+	var vs []Violation
+	checks := 0
+	check := func(algo core.Partitioner, ms []core.Model, D int) error {
+		checks++
+		dist, err := algo.Partition(ms, D)
+		if err != nil {
+			vs = append(vs, Violation{Check: "error", Algo: algo.Name(),
+				Detail: fmt.Sprintf("oracle input n=%d D=%d: %v", len(ms), D, err)})
+			return nil
+		}
+		bad, err := CheckOptimal(algo.Name(), ms, D, dist, opts.oracleRelTol())
+		if err != nil {
+			return err
+		}
+		vs = append(vs, bad...)
+		return nil
+	}
+	for round := 0; round < opts.rounds(); round++ {
+		for _, shape := range MonotoneShapes() {
+			n := 2 + rng.Intn(2) // brute force stays cheap at n ≤ 3
+			procs := gen.Platform(n, shape)
+			ms := ExactModels(procs)
+			D := 1 + rng.Intn(opts.oracleD())
+			if err := check(partition.Geometric(), ms, D); err != nil {
+				return nil, checks, err
+			}
+			if err := check(partition.Numerical(), ms, D); err != nil {
+				return nil, checks, err
+			}
+			if shape == ShapeConstant {
+				if err := check(partition.Constant(), ms, D); err != nil {
+					return nil, checks, err
+				}
+			}
+		}
+	}
+	return vs, checks, nil
+}
+
+// runDiffConstant checks cross-algorithm identity on constant models.
+func runDiffConstant(opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 4))
+	gen := NewGen(opts.Seed + 5)
+	var vs []Violation
+	checks := 0
+	for round := 0; round < opts.rounds(); round++ {
+		n := 2 + rng.Intn(5)
+		procs := gen.Platform(n, ShapeConstant)
+		D := n + rng.Intn(100000)
+		checks++
+		bad, err := DiffConstant(ExactModels(procs), D, opts.Tol)
+		if err != nil {
+			return nil, checks, err
+		}
+		vs = append(vs, bad...)
+	}
+	return vs, checks, nil
+}
+
+// runDiffSmooth checks geometric-vs-numerical agreement where theory
+// promises it: on genuinely smooth FPMs the fitted models carry little
+// interpolation error and both algorithms must land on the same balance
+// point. (Plateaued and cliffed shapes are excluded here by design —
+// around a cliff the shape-restricted piecewise model and the
+// unrestricted Akima spline legitimately disagree; those shapes are
+// covered by the exact-model algorithm differential below and by the
+// oracle section.) Each round also cross-checks the two solution
+// strategies on the *same* exact models for every monotone shape, where
+// any disagreement is attributable to the solvers alone.
+func runDiffSmooth(opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 6))
+	gen := NewGen(opts.Seed + 7)
+	var vs []Violation
+	checks := 0
+	for round := 0; round < opts.rounds(); round++ {
+		n := 2 + rng.Intn(3)
+		procs := gen.Platform(n, ShapeSmooth)
+		D := 5000 + rng.Intn(40000)
+		checks++
+		bad, err := DiffSmooth(procs, D, 16, 60000, 30, opts.Tol)
+		if err != nil {
+			return nil, checks, err
+		}
+		vs = append(vs, bad...)
+		for _, shape := range MonotoneShapes() {
+			exProcs := gen.Platform(2+rng.Intn(3), shape)
+			exD := 5000 + rng.Intn(40000)
+			checks++
+			bad, err := DiffExact(exProcs, exD, opts.Tol)
+			if err != nil {
+				return nil, checks, err
+			}
+			vs = append(vs, bad...)
+		}
+	}
+	return vs, checks, nil
+}
+
+// runDiffDynamic checks the dynamic algorithms against the model-based
+// reference on smooth monotone platforms.
+func runDiffDynamic(opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 8))
+	gen := NewGen(opts.Seed + 9)
+	var vs []Violation
+	checks := 0
+	for round := 0; round < opts.rounds(); round++ {
+		n := 2 + rng.Intn(2)
+		procs := gen.Platform(n, ShapeSmooth)
+		D := 5000 + rng.Intn(15000)
+		checks++
+		bad, err := DiffDynamic(procs, D, 0.02, opts.Tol)
+		if err != nil {
+			return nil, checks, err
+		}
+		vs = append(vs, bad...)
+	}
+	return vs, checks, nil
+}

@@ -1,0 +1,110 @@
+// Package verify is the partitioner verification subsystem: a reusable
+// harness that mechanically checks the balance invariants the FuPerMod
+// partitioning algorithms promise, instead of trusting spot checks.
+//
+// It has three layers:
+//
+//   - Generators (generators.go) produce synthetic heterogeneous platforms
+//     as seeded, deterministic time functions in the shapes that matter in
+//     practice — constant, smooth, noisy, non-monotonic, plateaued, and
+//     GPU-cliff — and turn them into exact or fitted core.Model sets.
+//     The companion work on self-adaptable parallel algorithms
+//     (arXiv:1109.3074) stresses that the algorithms are only trustworthy
+//     under shape restrictions on the speed functions; the generators
+//     probe exactly those preconditions, including adversarial shapes
+//     that violate them.
+//   - Invariant checks (invariants.go) assert, for any core.Partitioner
+//     output, the structural contract (Σ dᵢ = D exactly, dᵢ ≥ 0, one part
+//     per model) and — for small D, against a brute-force oracle that
+//     enumerates every integer distribution — predicted-makespan
+//     optimality.
+//   - Differential checks (differential.go) run Even/Constant/Geometric/
+//     Numerical on the same model sets and assert cross-algorithm
+//     agreement where theory says they must agree (constant models →
+//     identical up to rounding; smooth FPMs → geometric and numerical
+//     makespans within ε), and that the dynamic algorithms
+//     (PartitionDynamic, PartitionBands) converge to within their
+//     certified bound of the model-based answer.
+//
+// Run (suite.go) wires the layers into a seeded suite; the
+// fupermod-verify command runs it from the command line, and property
+// tests in internal/partition, internal/dynamic and internal/model reuse
+// the layers directly.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"fupermod/internal/core"
+)
+
+// Violation reports one broken invariant. A clean run produces none.
+type Violation struct {
+	// Check names the invariant, e.g. "sum", "negative", "oracle",
+	// "diff-constant".
+	Check string
+	// Algo names the partitioning algorithm under test.
+	Algo string
+	// Detail describes the failure with enough context to reproduce it.
+	Detail string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Check, v.Algo, v.Detail)
+}
+
+// FuncModel adapts an exact time function to the core.Model interface —
+// the sharpest possible input for the oracle and differential checks,
+// with no interpolation error between the generator and the partitioner.
+type FuncModel struct {
+	// ModelName identifies the function in violation reports.
+	ModelName string
+	// F is the time function: seconds to compute x units, positive for
+	// x > 0.
+	F func(x float64) float64
+
+	pts []core.Point
+}
+
+// NewFuncModel wraps f as a model named name.
+func NewFuncModel(name string, f func(x float64) float64) *FuncModel {
+	return &FuncModel{ModelName: name, F: f}
+}
+
+// Name implements core.Model.
+func (m *FuncModel) Name() string { return m.ModelName }
+
+// Time implements core.Model. Negative sizes are clamped to zero; the
+// result is floored at a tiny positive time so derived speeds stay finite.
+func (m *FuncModel) Time(x float64) (float64, error) {
+	if x < 0 {
+		x = 0
+	}
+	t := m.F(x)
+	if t < 1e-12 {
+		t = 1e-12
+	}
+	return t, nil
+}
+
+// Update implements core.Model; the exact function needs no refinement,
+// but the points are kept so Points reflects what was fed in.
+func (m *FuncModel) Update(p core.Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	i := sort.Search(len(m.pts), func(i int) bool { return m.pts[i].D >= p.D })
+	if i < len(m.pts) && m.pts[i].D == p.D {
+		m.pts[i] = p
+		return nil
+	}
+	m.pts = append(m.pts, core.Point{})
+	copy(m.pts[i+1:], m.pts[i:])
+	m.pts[i] = p
+	return nil
+}
+
+// Points implements core.Model.
+func (m *FuncModel) Points() []core.Point { return append([]core.Point(nil), m.pts...) }

@@ -1,0 +1,301 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/partition"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGen(7).Platform(6)
+	b := NewGen(7).Platform(6)
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("platform sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Shape != b[i].Shape {
+			t.Errorf("proc %d differs: %s/%s vs %s/%s", i, a[i].Name, a[i].Shape, b[i].Name, b[i].Shape)
+		}
+		for _, x := range []float64{1, 100, 5000, 60000} {
+			if a[i].Time(x) != b[i].Time(x) {
+				t.Errorf("proc %d not deterministic at x=%g", i, x)
+			}
+		}
+	}
+}
+
+func TestGeneratedShapesAreUsable(t *testing.T) {
+	gen := NewGen(3)
+	for _, shape := range Shapes() {
+		p := gen.Proc(shape)
+		if p.Shape != shape {
+			t.Errorf("shape %s mislabelled as %s", shape, p.Shape)
+		}
+		prev := 0.0
+		for _, x := range []float64{1, 10, 100, 1000, 10000, 100000} {
+			tm := p.Time(x)
+			if !(tm > 0) || math.IsInf(tm, 0) || math.IsNaN(tm) {
+				t.Errorf("%s: Time(%g) = %g", p.Name, x, tm)
+			}
+			if shape.Monotone() && tm < prev {
+				t.Errorf("%s: time decreases on decade grid: t(%g)=%g after %g", p.Name, x, tm, prev)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestMonotoneShapesStrictlyIncrease(t *testing.T) {
+	// The monotone guarantee must hold at unit granularity, not just per
+	// decade — the geometric algorithm's inversion depends on it.
+	gen := NewGen(11)
+	for _, shape := range MonotoneShapes() {
+		p := gen.Proc(shape)
+		prev := p.Time(1)
+		for x := 2.0; x <= 50000; x += 97 {
+			tm := p.Time(x)
+			if tm < prev {
+				t.Fatalf("%s: time decreases from %g to %g at x=%g", p.Name, prev, tm, x)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestFuncModel(t *testing.T) {
+	m := NewFuncModel("f", func(x float64) float64 { return x / 100 })
+	if m.Name() != "f" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	tm, err := m.Time(200)
+	if err != nil || tm != 2 {
+		t.Errorf("Time(200) = %g, %v", tm, err)
+	}
+	if tm, _ := m.Time(-5); tm != 1e-12 {
+		t.Errorf("negative size should clamp: %g", tm)
+	}
+	if err := m.Update(core.Point{D: 10, Time: 0.1, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(core.Point{D: 5, Time: 0.05, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(core.Point{D: 10, Time: 0.2, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	pts := m.Points()
+	if len(pts) != 2 || pts[0].D != 5 || pts[1].D != 10 || pts[1].Time != 0.2 {
+		t.Errorf("points = %+v", pts)
+	}
+	if err := m.Update(core.Point{D: -1, Time: 1}); err == nil {
+		t.Error("invalid point should be rejected")
+	}
+}
+
+func TestCheckDistCatchesEveryBreak(t *testing.T) {
+	ms := ExactModels(NewGen(1).Platform(2, ShapeConstant))
+	good := &core.Dist{D: 10, Parts: []core.Part{{D: 6}, {D: 4}}}
+	if vs := CheckDist("x", ms, 10, good); len(vs) != 0 {
+		t.Errorf("clean dist flagged: %v", vs)
+	}
+	cases := []struct {
+		name  string
+		dist  *core.Dist
+		check string
+	}{
+		{"nil", nil, "nil-dist"},
+		{"wrong total", &core.Dist{D: 9, Parts: []core.Part{{D: 6}, {D: 4}}}, "total"},
+		{"arity", &core.Dist{D: 10, Parts: []core.Part{{D: 10}}}, "arity"},
+		{"negative", &core.Dist{D: 10, Parts: []core.Part{{D: 12}, {D: -2}}}, "negative"},
+		{"sum", &core.Dist{D: 10, Parts: []core.Part{{D: 6}, {D: 5}}}, "sum"},
+		{"nan time", &core.Dist{D: 10, Parts: []core.Part{{D: 6, Time: math.NaN()}, {D: 4}}}, "time"},
+	}
+	for _, c := range cases {
+		vs := CheckDist("x", ms, 10, c.dist)
+		found := false
+		for _, v := range vs {
+			if v.Check == c.check {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected a %q violation, got %v", c.name, c.check, vs)
+		}
+	}
+}
+
+func TestOracleExactOnConstantSpeeds(t *testing.T) {
+	// Speeds 300 and 100: the optimum of D=4 is 3+1 with makespan 0.01.
+	ms := []core.Model{
+		NewFuncModel("fast", func(x float64) float64 { return x / 300 }),
+		NewFuncModel("slow", func(x float64) float64 { return x / 100 }),
+	}
+	best, makespan, err := Oracle(ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best[0] != 3 || best[1] != 1 {
+		t.Errorf("oracle sizes = %v, want [3 1]", best)
+	}
+	if math.Abs(makespan-0.01) > 1e-12 {
+		t.Errorf("oracle makespan = %g, want 0.01", makespan)
+	}
+}
+
+func TestOracleRefusesHugeSpaces(t *testing.T) {
+	ms := ExactModels(NewGen(1).Platform(6, ShapeConstant))
+	if _, _, err := Oracle(ms, 1000); err == nil {
+		t.Error("expected a state-space error")
+	}
+	if !strings.Contains(compositionsError(ms, 1000), "too large") {
+		t.Error("error should mention the state space")
+	}
+}
+
+func compositionsError(ms []core.Model, D int) string {
+	_, _, err := Oracle(ms, D)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// brokenPartitioner wraps the geometric algorithm and injects an
+// off-by-one rounding bug: one unit is moved from the first part to the
+// last, preserving Σ dᵢ = D so the structural checks stay quiet and only
+// the optimality oracle can see the defect.
+func brokenPartitioner() core.Partitioner {
+	inner := partition.Geometric()
+	return core.PartitionerFunc{
+		AlgoName: "geometric-broken",
+		Func: func(models []core.Model, D int) (*core.Dist, error) {
+			d, err := inner.Partition(models, D)
+			if err != nil {
+				return nil, err
+			}
+			if n := len(d.Parts); n > 1 && d.Parts[0].D > 0 {
+				d.Parts[0].D--
+				d.Parts[n-1].D++
+				for i := range d.Parts {
+					if t, err := models[i].Time(float64(d.Parts[i].D)); err == nil {
+						d.Parts[i].Time = t
+					}
+				}
+			}
+			return d, nil
+		},
+	}
+}
+
+func TestOracleCatchesBrokenPartitioner(t *testing.T) {
+	// Acceptance check of the subsystem itself: an injected off-by-one
+	// rounding bug must be flagged by the brute-force oracle while the
+	// structural checks (which it deliberately preserves) stay quiet.
+	procs := []Proc{
+		{Name: "fast", Shape: ShapeConstant, Time: func(x float64) float64 { return x / 400 }},
+		{Name: "slow", Shape: ShapeConstant, Time: func(x float64) float64 { return x / 100 }},
+	}
+	ms := ExactModels(procs)
+	const D = 20
+	dist, err := brokenPartitioner().Partition(ms, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckDist("geometric-broken", ms, D, dist); len(vs) != 0 {
+		t.Fatalf("the injected bug must preserve the structural contract, got %v", vs)
+	}
+	vs, err := CheckOptimal("geometric-broken", ms, D, dist, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("oracle failed to catch the off-by-one partitioner")
+	}
+	if vs[0].Check != "oracle" {
+		t.Errorf("violation check = %q, want oracle", vs[0].Check)
+	}
+	// The healthy algorithm on the same input must pass.
+	good, err := partition.Geometric().Partition(ms, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err = CheckOptimal("geometric", ms, D, good, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("healthy geometric flagged: %v", vs)
+	}
+}
+
+func TestDiffConstantAgreement(t *testing.T) {
+	ms := ExactModels(NewGen(5).Platform(3, ShapeConstant))
+	vs, err := DiffConstant(ms, 10000, DiffTol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("constant-model differential: %v", vs)
+	}
+}
+
+func TestDiffSmoothRejectsNonMonotone(t *testing.T) {
+	procs := NewGen(5).Platform(2, ShapeNoisy)
+	if _, err := DiffSmooth(procs, 1000, 16, 10000, 20, DiffTol{}); err == nil {
+		t.Error("non-monotone shapes should be rejected")
+	}
+	if _, err := DiffExact(procs, 1000, DiffTol{}); err == nil {
+		t.Error("diff-exact should reject non-monotone shapes")
+	}
+	if _, err := DiffDynamic(procs, 1000, 0.05, DiffTol{}); err == nil {
+		t.Error("diff-dynamic should reject non-monotone shapes")
+	}
+}
+
+func TestSuiteSeededRunIsClean(t *testing.T) {
+	r, err := Run(Options{Seed: 1, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		for _, v := range r.Violations {
+			t.Error(v)
+		}
+	}
+	if r.Checks() == 0 || len(r.Sections) != 5 {
+		t.Errorf("suite ran %d checks over %d sections", r.Checks(), len(r.Sections))
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "all") || !strings.Contains(sb.String(), "oracle") {
+		t.Errorf("report rendering:\n%s", sb.String())
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	opts := Options{Seed: 9, Rounds: 1, SkipDynamic: true}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checks() != b.Checks() || len(a.Violations) != len(b.Violations) {
+		t.Errorf("same seed, different suite: %d/%d checks, %d/%d violations",
+			a.Checks(), b.Checks(), len(a.Violations), len(b.Violations))
+	}
+}
+
+func TestMakespanArityMismatch(t *testing.T) {
+	ms := ExactModels(NewGen(1).Platform(2, ShapeConstant))
+	if _, err := Makespan(ms, []int{1}); err == nil {
+		t.Error("size/model arity mismatch should error")
+	}
+}
