@@ -187,6 +187,42 @@ func BenchmarkVirtualBenchmarkLoop(b *testing.B) {
 	}
 }
 
+// sweepKernel builds a noiseless virtual kernel for the sweep benchmarks,
+// so serial and parallel runs measure scheduling overhead, not rng noise.
+func sweepKernel(b *testing.B) core.Kernel {
+	b.Helper()
+	meter := platform.NewMeter(platform.FastCore("f"), platform.Quiet, 1)
+	return mustVirtual(b, meter)
+}
+
+var sweepSizes = core.LogSizes(16, 60000, 64)
+
+// BenchmarkSweepSerial / BenchmarkSweepParallel compare the serial sweep
+// loop against the pool-backed SweepParallel on the same virtual kernel
+// and size grid — the speedup here is what the -workers flag of
+// cmd/fupermod-bench buys on embarrassingly parallel sweeps.
+func BenchmarkSweepSerial(b *testing.B) {
+	k := sweepKernel(b)
+	prec := core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Sweep(k, sweepSizes, prec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	k := sweepKernel(b)
+	prec := core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SweepParallel(k, sweepSizes, prec, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func mustVirtual(b *testing.B, meter *platform.Meter) core.Kernel {
 	b.Helper()
 	k, err := kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)

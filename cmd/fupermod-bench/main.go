@@ -64,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 		minReps    = fs.Int("min-reps", 3, "minimum repetitions per point")
 		maxReps    = fs.Int("max-reps", 15, "maximum repetitions per point")
 		relErr     = fs.Float64("rel-err", 0.03, "target relative confidence-interval half-width")
+		workers    = fs.Int("workers", 0, "concurrent size-point measurements (0 = GOMAXPROCS); use 1 for real kernels so measurements do not contend")
 		helpDev    = fs.Bool("help-devices", false, "list device presets and exit")
 		machine    = fs.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
 		outDir     = fs.String("outdir", "points", "output directory for -machine mode")
@@ -125,7 +126,7 @@ func run(args []string, stdout io.Writer) error {
 	if len(sizes) == 0 {
 		return fmt.Errorf("invalid size grid lo=%d hi=%d n=%d", *lo, *hi, *n)
 	}
-	pts, err := core.Sweep(k, sizes, prec)
+	pts, err := core.SweepParallel(k, sizes, prec, *workers)
 	if err != nil {
 		return err
 	}

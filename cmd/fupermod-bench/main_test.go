@@ -87,3 +87,24 @@ func TestRunHappyPathFile(t *testing.T) {
 		t.Errorf("points file: %d points, device %q", len(pf.Points), pf.Device)
 	}
 }
+
+// TestRunWorkersDeterministic pins the -workers flag: a noiseless sweep
+// must produce byte-identical points files at any worker count.
+func TestRunWorkersDeterministic(t *testing.T) {
+	sweep := func(workers string) string {
+		var buf bytes.Buffer
+		err := run([]string{"-kernel", "virtual", "-device", "netlib-blas",
+			"-lo", "16", "-hi", "4096", "-n", "12", "-noise", "0",
+			"-min-reps", "1", "-max-reps", "1", "-workers", workers}, &buf)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		return buf.String()
+	}
+	serial := sweep("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := sweep(w); got != serial {
+			t.Errorf("workers=%s output differs from serial:\n%s\nvs\n%s", w, got, serial)
+		}
+	}
+}

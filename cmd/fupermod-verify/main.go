@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		oracleD = fs.Int("oracle-max-d", 24, "largest problem size of the brute-force optimality checks")
 		relTol  = fs.Float64("oracle-tol", 0.05, "relative makespan slack against the oracle (integer rounding)")
 		quick   = fs.Bool("quick", false, "skip the dynamic differential section (the slowest one)")
+		workers = fs.Int("workers", 0, "concurrent checks (0 = GOMAXPROCS); the report is identical for every worker count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		OracleD:      *oracleD,
 		OracleRelTol: *relTol,
 		SkipDynamic:  *quick,
+		Workers:      *workers,
 	})
 	if err != nil {
 		return err

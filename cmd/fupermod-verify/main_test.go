@@ -50,3 +50,21 @@ func TestRunQuickSkipsDynamic(t *testing.T) {
 		t.Errorf("-quick should skip the dynamic section:\n%s", sb.String())
 	}
 }
+
+// TestRunWorkersDeterministic pins the -workers flag: the verification
+// report must be byte-identical at any worker count.
+func TestRunWorkersDeterministic(t *testing.T) {
+	report := func(workers string) string {
+		var sb strings.Builder
+		if err := run([]string{"-seed", "3", "-rounds", "1", "-quick", "-workers", workers}, &sb); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, sb.String())
+		}
+		return sb.String()
+	}
+	serial := report("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := report(w); got != serial {
+			t.Errorf("workers=%s report differs from serial:\n%s\nvs\n%s", w, got, serial)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fupermod/internal/pool"
 	"fupermod/internal/stats"
 )
 
@@ -98,6 +100,38 @@ func Sweep(k Kernel, sizes []int, prec Precision) ([]Point, error) {
 			return pts, err
 		}
 		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// SweepParallel benchmarks the kernel at each of the given sizes with up
+// to workers concurrent measurements (workers <= 0 selects GOMAXPROCS)
+// and returns the points in size-grid order, exactly as Sweep would. On
+// error it cancels the outstanding measurements and returns the points of
+// the sizes preceding the first failing one, together with that error —
+// the same prefix-and-error contract as Sweep.
+//
+// The kernel's Setup and the instances it returns must be safe for
+// concurrent use (the built-in virtual kernels are; real CPU kernels
+// measured concurrently contend for the machine, which perturbs the very
+// times being measured — use workers = 1 for them, or accept the skew).
+// Virtual kernels with measurement noise draw from their meter in
+// scheduler order, so noisy parallel sweeps are statistically — not
+// bitwise — equivalent to serial ones; noiseless sweeps are identical.
+func SweepParallel(k Kernel, sizes []int, prec Precision, workers int) ([]Point, error) {
+	p := pool.New(workers)
+	pts, err := pool.Map(context.Background(), p, len(sizes), func(_ context.Context, i int) (Point, error) {
+		return Benchmark(k, sizes[i], prec)
+	})
+	if err != nil {
+		// Keep Sweep's contract: return the completed prefix before the
+		// first failing size.
+		for i, pt := range pts {
+			if pt == (Point{}) {
+				return pts[:i], err
+			}
+		}
+		return pts, err
 	}
 	return pts, nil
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// safeKernel is a concurrency-safe deterministic kernel: no mutable
+// state, time = d·perUnit, with an optional injected setup failure at one
+// size. fakeKernel (core_test.go) is deliberately not used here — it
+// counts setups without synchronisation.
+type safeKernel struct {
+	perUnit float64
+	failAt  int
+}
+
+func (k *safeKernel) Name() string             { return "safe" }
+func (k *safeKernel) Complexity(d int) float64 { return float64(d) }
+
+func (k *safeKernel) Setup(d int) (Instance, error) {
+	if k.failAt != 0 && d == k.failAt {
+		return nil, errors.New("injected setup failure")
+	}
+	return safeInstance{t: float64(d) * k.perUnit}, nil
+}
+
+type safeInstance struct{ t float64 }
+
+func (i safeInstance) Run() (float64, error) { return i.t, nil }
+func (i safeInstance) Close() error          { return nil }
+
+var oneShot = Precision{MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.1}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	k := &safeKernel{perUnit: 1e-6}
+	sizes := LogSizes(16, 60000, 40)
+	want, err := Sweep(k, sizes, oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := SweepParallel(k, sizes, oneShot, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel sweep diverges from serial:\n%v\n%v", workers, got, want)
+		}
+	}
+}
+
+func TestSweepParallelErrorPrefix(t *testing.T) {
+	sizes := LogSizes(16, 60000, 20)
+	failIdx := 7
+	k := &safeKernel{perUnit: 1e-6, failAt: sizes[failIdx]}
+	wantPts, wantErr := Sweep(k, sizes, oneShot)
+	if wantErr == nil || len(wantPts) != failIdx {
+		t.Fatalf("serial reference: %d points, err %v", len(wantPts), wantErr)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := SweepParallel(k, sizes, oneShot, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected the injected failure", workers)
+		}
+		if err.Error() != wantErr.Error() {
+			t.Errorf("workers=%d: error %q, serial reported %q", workers, err, wantErr)
+		}
+		if !reflect.DeepEqual(got, wantPts) {
+			t.Errorf("workers=%d: prefix %v, serial produced %v", workers, got, wantPts)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package dynamic_test
+
+import (
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/verify"
+)
+
+// aggDiff returns Σ |aᵢ − bᵢ| over part sizes.
+func aggDiff(a, b *core.Dist) int {
+	agg := 0
+	for i := range a.Parts {
+		d := a.Parts[i].D - b.Parts[i].D
+		if d < 0 {
+			d = -d
+		}
+		agg += d
+	}
+	return agg
+}
+
+// TestBalancerRecoversFromDrift is the runtime-path differential the
+// ROADMAP called for: dynamic.Balancer driving a platform.Drift-wrapped
+// device must converge to the distribution the geometric algorithm
+// computes on the *post-drift* exact speeds — the answer no static
+// pre-drift model can produce. Constant-speed processes with the adaptive
+// CPM (exponential forgetting, the paper's reference [17]) make both
+// references exact.
+func TestBalancerRecoversFromDrift(t *testing.T) {
+	procs := verify.NewGen(51).Platform(3, verify.ShapeConstant)
+	const (
+		D         = 30000
+		driftRank = 2
+		after     = 8 // BaseTime consultations before the slow-down
+		factor    = 3.0
+	)
+	devs := make([]platform.Device, len(procs))
+	for i, p := range procs {
+		devs[i] = p.Device()
+	}
+	drift, err := platform.NewDrift(devs[driftRank], after, factor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs[driftRank] = drift
+
+	// Model-based references on the exact time functions, pre and post
+	// drift (the post-drift model consults the inner device directly so
+	// the reference itself does not advance the drift trigger).
+	preModels := verify.ExactModels(procs)
+	postModels := make([]core.Model, len(procs))
+	for i, p := range procs {
+		p := p
+		if i == driftRank {
+			postModels[i] = verify.NewFuncModel(p.Name, func(x float64) float64 { return factor * p.Time(x) })
+		} else {
+			postModels[i] = verify.NewFuncModel(p.Name, p.Time)
+		}
+	}
+	preRef, err := partition.Geometric().Partition(preModels, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postRef, err := partition.Geometric().Partition(postModels, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drift must actually move the balance point, or the test proves
+	// nothing.
+	if aggDiff(preRef, postRef) < D/20 {
+		t.Fatalf("drift barely moves the reference: pre %v post %v", preRef.Sizes(), postRef.Sizes())
+	}
+
+	cfg := dynamic.Config{
+		Algorithm: partition.Geometric(),
+		NewModel:  func() core.Model { return model.NewAdaptive() },
+	}
+	bal, err := dynamic.NewBalancer(cfg, D, len(devs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterate := func(iters int) *core.Dist {
+		var dist *core.Dist
+		for it := 0; it < iters; it++ {
+			dist = bal.Dist()
+			times := make([]float64, len(devs))
+			for i, dev := range devs {
+				if d := dist.Parts[i].D; d > 0 {
+					times[i] = dev.BaseTime(float64(d))
+				}
+			}
+			if _, err := bal.Observe(times); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return bal.Dist()
+	}
+
+	// Phase 1: before the trigger, the balancer must land on the
+	// pre-drift model-based answer.
+	preDist := iterate(after - 2)
+	if agg := aggDiff(preDist, preRef); float64(agg) > 0.03*D {
+		t.Errorf("pre-drift: balancer %v is %d units from model-based %v", preDist.Sizes(), agg, preRef.Sizes())
+	}
+
+	// Phase 2: keep iterating through and past the drift; the adaptive
+	// models forget the stale speed and the balancer must re-converge on
+	// the post-drift answer.
+	postDist := iterate(30)
+	if drift.Calls() <= after {
+		t.Fatalf("drift never triggered: %d calls, trigger %d", drift.Calls(), after)
+	}
+	if agg := aggDiff(postDist, postRef); float64(agg) > 0.03*D {
+		t.Errorf("post-drift: balancer %v is %d units from model-based %v (pre-drift ref %v)",
+			postDist.Sizes(), agg, postRef.Sizes(), preRef.Sizes())
+	}
+}

@@ -1,0 +1,77 @@
+package matpart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// maxOracleProcs bounds the brute-force arrangement oracle: it enumerates
+// every set partition of the processes into columns, and the Bell numbers
+// grow super-exponentially (B(12) ≈ 4.2M).
+const maxOracleProcs = 10
+
+// OraclePerimeter finds the minimal total half-perimeter over *all*
+// column-based arrangements of the given areas by brute force: it
+// enumerates every set partition of the active processes into columns and
+// evaluates Σ_c (k_c·w_c) + C exactly (k_c processes in column c of
+// width w_c, C columns; the heights of a column always sum to 1). The
+// cost of an arrangement depends only on which processes share a column,
+// so set partitions cover the whole design space — including the
+// non-contiguous, unsorted groupings the DP in Partition never considers.
+// It is the ground truth the 2D differential checks compare Partition
+// against, exponential by design and restricted to small process counts.
+func OraclePerimeter(areas []float64) (float64, error) {
+	total := 0.0
+	for i, a := range areas {
+		if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return 0, fmt.Errorf("matpart: invalid area %g for process %d", a, i)
+		}
+		total += a
+	}
+	if total == 0 {
+		return 0, errors.New("matpart: all areas are zero")
+	}
+	var act []float64
+	for _, a := range areas {
+		if a > 0 {
+			act = append(act, a/total)
+		}
+	}
+	if len(act) > maxOracleProcs {
+		return 0, fmt.Errorf("matpart: oracle limited to %d active processes, got %d", maxOracleProcs, len(act))
+	}
+	// Enumerate set partitions recursively: element i joins an existing
+	// column or opens a new one. Track per-column width (area sum) and
+	// cardinality; cost is evaluated at the leaves.
+	best := math.Inf(1)
+	widths := make([]float64, 0, len(act))
+	counts := make([]int, 0, len(act))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(act) {
+			cost := float64(len(widths)) // Σ heights: 1 per column
+			for c, w := range widths {
+				cost += float64(counts[c]) * w
+			}
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		for c := range widths {
+			widths[c] += act[i]
+			counts[c]++
+			walk(i + 1)
+			widths[c] -= act[i]
+			counts[c]--
+		}
+		widths = append(widths, act[i])
+		counts = append(counts, 1)
+		walk(i + 1)
+		widths = widths[:len(widths)-1]
+		counts = counts[:len(counts)-1]
+	}
+	walk(0)
+	return best, nil
+}

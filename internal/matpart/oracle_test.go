@@ -1,0 +1,135 @@
+package matpart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionMatchesOracle is the 2D counterpart of the 1D optimality
+// checks in internal/verify: on small random instances the DP arrangement
+// must achieve exactly the minimal total half-perimeter that the
+// brute-force oracle finds over every column grouping — Beaumont et al.'s
+// theorem says restricting to contiguous groups of the area-sorted
+// sequence loses nothing, and this test mechanically re-verifies both the
+// theorem's applicability and the DP implementation on every instance.
+func TestPartitionMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		p := 2 + rng.Intn(6)
+		areas := make([]float64, p)
+		for i := range areas {
+			// Heterogeneous shares spanning two orders of magnitude, with
+			// occasional zero-area (idle) processes.
+			if rng.Float64() < 0.1 {
+				continue
+			}
+			areas[i] = math.Exp(rng.Float64() * math.Log(100))
+		}
+		want, err := OraclePerimeter(areas)
+		if err != nil {
+			// All-zero draw: regenerate deterministically by skipping.
+			continue
+		}
+		_, got, err := Partition(areas)
+		if err != nil {
+			t.Fatalf("trial %d areas %v: %v", trial, areas, err)
+		}
+		const tol = 1e-9
+		if got > want*(1+tol) {
+			t.Errorf("trial %d areas %v: DP perimeter %.12g exceeds brute-force optimum %.12g", trial, areas, got, want)
+		}
+		if got < want*(1-tol) {
+			t.Errorf("trial %d areas %v: DP perimeter %.12g beats the oracle %.12g — oracle bug", trial, areas, got, want)
+		}
+	}
+}
+
+// TestOracleCatchesBrokenArrangement is the 2D mutation check: the naive
+// 1D strip arrangement (every process a full-height column) must be
+// flagged as suboptimal by the oracle whenever a better grouping exists.
+func TestOracleCatchesBrokenArrangement(t *testing.T) {
+	// Four equal areas: 1D strips cost 1 + 4 = 5, while the 2×2 square
+	// arrangement costs 4·(0.5 + 0.5) = 4.
+	areas := []float64{1, 1, 1, 1}
+	opt, err := OraclePerimeter(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := OneDPerimeter(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(opt < oneD) {
+		t.Fatalf("oracle optimum %g does not improve on the 1D baseline %g", opt, oneD)
+	}
+	if math.Abs(opt-4) > 1e-12 {
+		t.Errorf("four equal areas: optimum %g, want 4 (2×2 squares)", opt)
+	}
+	_, got, err := Partition(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-opt) > 1e-12 {
+		t.Errorf("DP perimeter %g, oracle %g", got, opt)
+	}
+}
+
+func TestOracleRejectsBadInputs(t *testing.T) {
+	if _, err := OraclePerimeter([]float64{0, 0}); err == nil {
+		t.Error("all-zero areas should error")
+	}
+	if _, err := OraclePerimeter([]float64{1, -1}); err == nil {
+		t.Error("negative area should error")
+	}
+	if _, err := OraclePerimeter([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN area should error")
+	}
+	big := make([]float64, maxOracleProcs+1)
+	for i := range big {
+		big[i] = 1
+	}
+	if _, err := OraclePerimeter(big); err == nil {
+		t.Error("oversized instance should be refused")
+	}
+}
+
+// TestPartitionGridDifferential mirrors the 1D structural invariants on
+// the discretised 2D arrangement: for random heterogeneous areas the
+// block rectangles must tile the grid exactly, and every process's block
+// count must approximate its prescribed share with error bounded by the
+// cumulative-rounding guarantee (within one block row plus one block
+// column of its rectangle).
+func TestPartitionGridDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{8, 16, 32} {
+		for trial := 0; trial < 20; trial++ {
+			p := 2 + rng.Intn(6)
+			areas := make([]float64, p)
+			total := 0.0
+			for i := range areas {
+				areas[i] = 0.5 + rng.Float64()*9.5
+				total += areas[i]
+			}
+			rects, err := PartitionGrid(areas, n)
+			if err != nil {
+				t.Fatalf("n=%d trial %d: %v", n, trial, err)
+			}
+			if err := CheckTiling(rects, n); err != nil {
+				t.Fatalf("n=%d trial %d areas %v: %v", n, trial, areas, err)
+			}
+			for i, r := range rects {
+				want := areas[i] / total * float64(n) * float64(n)
+				got := float64(r.Blocks())
+				// Each boundary is placed by cumulative rounding, so the
+				// block count can deviate by at most one row plus one
+				// column of the rectangle (plus one corner block).
+				slack := float64(r.Cols+r.Rows) + 1
+				if math.Abs(got-want) > slack {
+					t.Errorf("n=%d trial %d: process %d holds %g blocks, share prescribes %.2f (slack %g)",
+						n, trial, i, got, want, slack)
+				}
+			}
+		}
+	}
+}

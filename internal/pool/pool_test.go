@@ -1,0 +1,213 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	p := New(8)
+	n := 100
+	got, err := Map(context.Background(), p, n, func(_ context.Context, i int) (int, error) {
+		// Stagger completion so later tasks often finish first.
+		time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapMatchesSerialReference is the deterministic-ordering property
+// test: for random worker counts and task counts, the parallel Map must
+// produce exactly what the serial reference produces.
+func TestMapMatchesSerialReference(t *testing.T) {
+	f := func(workers uint8, n uint8) bool {
+		fn := func(_ context.Context, i int) (string, error) {
+			return fmt.Sprintf("task-%d", i*3), nil
+		}
+		want, err := MapSeq(context.Background(), int(n), fn)
+		if err != nil {
+			return false
+		}
+		got, err := Map(context.Background(), New(int(workers)), int(n), fn)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), p, 64, func(_ context.Context, i int) (struct{}, error) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Errorf("observed %d concurrent tasks, pool bound is %d", pk, workers)
+	}
+}
+
+func TestMapSharedPoolBoundsUnion(t *testing.T) {
+	// Two concurrent Map calls on the same pool must share one budget.
+	const workers = 2
+	p := New(workers)
+	var cur, peak atomic.Int64
+	task := func(_ context.Context, i int) (struct{}, error) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	}
+	done := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			_, err := Map(context.Background(), p, 20, task)
+			done <- err
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Errorf("two Map calls reached %d concurrent tasks, shared bound is %d", pk, workers)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	p := New(4)
+	// Several tasks fail; the reported error must be the lowest-indexed
+	// one, as a serial loop would have reported.
+	_, err := Map(context.Background(), p, 32, func(_ context.Context, i int) (int, error) {
+		if i%5 == 3 { // fails at 3, 8, 13, ...
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Errorf("err = %v, want the task-3 failure", err)
+	}
+}
+
+func TestMapCancelsRemainingTasks(t *testing.T) {
+	p := New(1) // sequential: tasks after the failure must be skipped
+	var ran atomic.Int64
+	_, err := Map(context.Background(), p, 50, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected the injected error")
+	}
+	if n := ran.Load(); n != 3 {
+		t.Errorf("%d tasks ran after a failure at index 2 on 1 worker, want 3", n)
+	}
+}
+
+func TestMapRespectsCallerContext(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Map(ctx, p, 10, func(ctx context.Context, i int) (int, error) {
+		return i, ctx.Err()
+	})
+	if err == nil {
+		t.Errorf("cancelled context should surface an error, got results %v", res)
+	}
+}
+
+func TestMapLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := New(8)
+	for round := 0; round < 5; round++ {
+		_, _ = Map(context.Background(), p, 40, func(_ context.Context, i int) (int, error) {
+			if i == 17 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		})
+	}
+	// Map waits for its workers before returning, so the count must come
+	// back down; allow brief scheduler lag.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after Map returned", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestMapRejectsBadInputs(t *testing.T) {
+	if _, err := Map(context.Background(), nil, 1, func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Error("nil pool should error")
+	}
+	if _, err := Map(context.Background(), New(1), -1, func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := MapSeq(context.Background(), -1, func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Error("negative n should error in MapSeq")
+	}
+	if res, err := Map(context.Background(), New(1), 0, func(_ context.Context, i int) (int, error) { return i, nil }); err != nil || len(res) != 0 {
+		t.Errorf("empty Map: %v, %v", res, err)
+	}
+}

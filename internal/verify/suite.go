@@ -1,13 +1,16 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"fupermod/internal/core"
 	"fupermod/internal/model"
 	"fupermod/internal/partition"
+	"fupermod/internal/pool"
 	"fupermod/internal/trace"
 )
 
@@ -19,8 +22,11 @@ type Options struct {
 	Seed int64
 	// Rounds is the number of random platforms per section (0 → 4).
 	Rounds int
-	// OracleD caps the problem size of the brute-force optimality checks
-	// (0 → 24). Enumeration cost grows as C(D+n−1, n−1).
+	// OracleD caps the problem size of the small-D optimality checks
+	// (0 → 24), where integer rounding is at its relatively largest. The
+	// DP oracle also runs a large-D check per round (thousands of units
+	// over up to 8 processes), which the old enumerating oracle could not
+	// reach.
 	OracleD int
 	// OracleRelTol is the relative makespan slack against the oracle
 	// (0 → 0.05), covering the integer-rounding step.
@@ -30,6 +36,11 @@ type Options struct {
 	// SkipDynamic skips the dynamic differential section (the slowest
 	// one) — used by quick smoke runs.
 	SkipDynamic bool
+	// Workers bounds the number of checks evaluated concurrently
+	// (0 → GOMAXPROCS). The report is bitwise independent of the worker
+	// count: inputs are generated serially per section and results are
+	// assembled in generation order.
+	Workers int
 }
 
 func (o Options) rounds() int {
@@ -122,47 +133,80 @@ func allPartitioners() []core.Partitioner {
 	return []core.Partitioner{partition.Even(), partition.Constant(), partition.Geometric(), partition.Numerical()}
 }
 
+// check is one unit of suite work: it returns the violations of a single
+// assertion. Every section first generates its checks serially (so the
+// seeded random streams are consumed in a fixed order) and then evaluates
+// them on the worker pool; the violations are concatenated in generation
+// order, which makes the report independent of the worker count.
+type check func() ([]Violation, error)
+
+// runChecks evaluates the checks on the pool and concatenates their
+// violations in input order.
+func runChecks(ctx context.Context, p *pool.Pool, checks []check) ([]Violation, int, error) {
+	results, err := pool.Map(ctx, p, len(checks), func(_ context.Context, i int) ([]Violation, error) {
+		return checks[i]()
+	})
+	if err != nil {
+		return nil, len(checks), err
+	}
+	var vs []Violation
+	for _, r := range results {
+		vs = append(vs, r...)
+	}
+	return vs, len(checks), nil
+}
+
+// sectionFn generates and evaluates one suite section.
+type sectionFn struct {
+	name string
+	run  func(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error)
+}
+
 // Run executes the full verification suite with the given options and
-// returns the report. An error means the suite itself could not run (a
-// generator or reference computation failed), not that an invariant was
-// violated — violations are reported in the Report.
+// returns the report. The sections run concurrently, and each section
+// evaluates its checks on a worker pool shared across sections and
+// bounded by opts.Workers; the report is identical for every worker
+// count. An error means the suite itself could not run (a generator or
+// reference computation failed), not that an invariant was violated —
+// violations are reported in the Report.
 func Run(opts Options) (*Report, error) {
-	r := &Report{Seed: opts.Seed}
-	section := func(name string, checks int, vs []Violation) {
-		r.Sections = append(r.Sections, Section{Name: name, Checks: checks, Violations: len(vs)})
-		r.Violations = append(r.Violations, vs...)
+	sections := []sectionFn{
+		{"invariants", runInvariants},
+		{"oracle", runOracle},
+		{"diff-constant", runDiffConstant},
+		{"diff-smooth", runDiffSmooth},
 	}
-
-	vs, checks, err := runInvariants(opts)
-	if err != nil {
-		return nil, err
-	}
-	section("invariants", checks, vs)
-
-	vs, checks, err = runOracle(opts)
-	if err != nil {
-		return nil, err
-	}
-	section("oracle", checks, vs)
-
-	vs, checks, err = runDiffConstant(opts)
-	if err != nil {
-		return nil, err
-	}
-	section("diff-constant", checks, vs)
-
-	vs, checks, err = runDiffSmooth(opts)
-	if err != nil {
-		return nil, err
-	}
-	section("diff-smooth", checks, vs)
-
 	if !opts.SkipDynamic {
-		vs, checks, err = runDiffDynamic(opts)
-		if err != nil {
-			return nil, err
+		sections = append(sections, sectionFn{"diff-dynamic", runDiffDynamic})
+	}
+
+	p := pool.New(opts.Workers)
+	ctx := context.Background()
+	type secResult struct {
+		vs     []Violation
+		checks int
+		err    error
+	}
+	results := make([]secResult, len(sections))
+	var wg sync.WaitGroup
+	for i, s := range sections {
+		wg.Add(1)
+		go func(i int, s sectionFn) {
+			defer wg.Done()
+			vs, checks, err := s.run(ctx, p, opts)
+			results[i] = secResult{vs, checks, err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	r := &Report{Seed: opts.Seed}
+	for i, s := range sections {
+		res := results[i]
+		if res.err != nil {
+			return nil, fmt.Errorf("verify: section %s: %w", s.name, res.err)
 		}
-		section("diff-dynamic", checks, vs)
+		r.Sections = append(r.Sections, Section{Name: s.name, Checks: res.checks, Violations: len(res.vs)})
+		r.Violations = append(r.Violations, res.vs...)
 	}
 	return r, nil
 }
@@ -172,11 +216,10 @@ func Run(opts Options) (*Report, error) {
 // exact and fitted models, asserting the structural contract each time.
 // A partitioner returning an error on a valid model set counts as a
 // violation too: the contract is "valid input → valid distribution".
-func runInvariants(opts Options) ([]Violation, int, error) {
+func runInvariants(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	gen := NewGen(opts.Seed + 1)
-	var vs []Violation
-	checks := 0
+	var checks []check
 	for round := 0; round < opts.rounds(); round++ {
 		for _, shape := range Shapes() {
 			n := 2 + rng.Intn(4)
@@ -184,11 +227,11 @@ func runInvariants(opts Options) ([]Violation, int, error) {
 			D := n + rng.Intn(50000)
 			fitted, err := Models(procs, model.KindPiecewise, 16, 60000, 25)
 			if err != nil {
-				return nil, checks, err
+				return nil, len(checks), err
 			}
 			akima, err := Models(procs, model.KindAkima, 16, 60000, 25)
 			if err != nil {
-				return nil, checks, err
+				return nil, len(checks), err
 			}
 			sets := []struct {
 				name   string
@@ -196,89 +239,86 @@ func runInvariants(opts Options) ([]Violation, int, error) {
 			}{{"exact", ExactModels(procs)}, {"piecewise", fitted}, {"akima", akima}}
 			for _, set := range sets {
 				setName, ms := set.name, set.models
-				for _, p := range allPartitioners() {
-					checks++
-					dist, err := p.Partition(ms, D)
-					if err != nil {
-						vs = append(vs, Violation{Check: "error", Algo: p.Name(),
-							Detail: fmt.Sprintf("%s/%s models, n=%d, D=%d: %v", shape, setName, n, D, err)})
-						continue
-					}
-					for _, v := range CheckDist(p.Name(), ms, D, dist) {
-						v.Detail = fmt.Sprintf("%s/%s models: %s", shape, setName, v.Detail)
-						vs = append(vs, v)
-					}
+				for _, part := range allPartitioners() {
+					shape, n, D, part := shape, n, D, part
+					checks = append(checks, func() ([]Violation, error) {
+						dist, err := part.Partition(ms, D)
+						if err != nil {
+							return []Violation{{Check: "error", Algo: part.Name(),
+								Detail: fmt.Sprintf("%s/%s models, n=%d, D=%d: %v", shape, setName, n, D, err)}}, nil
+						}
+						vs := CheckDist(part.Name(), ms, D, dist)
+						for i := range vs {
+							vs[i].Detail = fmt.Sprintf("%s/%s models: %s", shape, setName, vs[i].Detail)
+						}
+						return vs, nil
+					})
 				}
 			}
 		}
 	}
-	return vs, checks, nil
+	return runChecks(ctx, p, checks)
 }
 
-// runOracle compares the model-based optimal algorithms against the
-// brute-force oracle on small problems over monotone platforms: the
-// geometric and numerical algorithms everywhere, the constant algorithm
-// only where its model assumption holds (constant shapes).
-func runOracle(opts Options) ([]Violation, int, error) {
+// runOracle compares the model-based optimal algorithms against the DP
+// oracle on monotone platforms: the geometric and numerical algorithms
+// everywhere, the constant algorithm only where its model assumption
+// holds (constant shapes). Each round checks small problems (D ≤ OracleD,
+// where rounding slack is relatively largest) and — now that the DP
+// oracle scales — one large problem per shape at realistic sizes the old
+// enumerator refused.
+func runOracle(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 2))
 	gen := NewGen(opts.Seed + 3)
-	var vs []Violation
-	checks := 0
-	check := func(algo core.Partitioner, ms []core.Model, D int) error {
-		checks++
-		dist, err := algo.Partition(ms, D)
-		if err != nil {
-			vs = append(vs, Violation{Check: "error", Algo: algo.Name(),
-				Detail: fmt.Sprintf("oracle input n=%d D=%d: %v", len(ms), D, err)})
-			return nil
-		}
-		bad, err := CheckOptimal(algo.Name(), ms, D, dist, opts.oracleRelTol())
-		if err != nil {
-			return err
-		}
-		vs = append(vs, bad...)
-		return nil
+	var checks []check
+	add := func(algo core.Partitioner, ms []core.Model, D int) {
+		checks = append(checks, func() ([]Violation, error) {
+			dist, err := algo.Partition(ms, D)
+			if err != nil {
+				return []Violation{{Check: "error", Algo: algo.Name(),
+					Detail: fmt.Sprintf("oracle input n=%d D=%d: %v", len(ms), D, err)}}, nil
+			}
+			return CheckOptimal(algo.Name(), ms, D, dist, opts.oracleRelTol())
+		})
 	}
 	for round := 0; round < opts.rounds(); round++ {
 		for _, shape := range MonotoneShapes() {
-			n := 2 + rng.Intn(2) // brute force stays cheap at n ≤ 3
+			n := 2 + rng.Intn(2)
 			procs := gen.Platform(n, shape)
 			ms := ExactModels(procs)
 			D := 1 + rng.Intn(opts.oracleD())
-			if err := check(partition.Geometric(), ms, D); err != nil {
-				return nil, checks, err
-			}
-			if err := check(partition.Numerical(), ms, D); err != nil {
-				return nil, checks, err
-			}
+			add(partition.Geometric(), ms, D)
+			add(partition.Numerical(), ms, D)
 			if shape == ShapeConstant {
-				if err := check(partition.Constant(), ms, D); err != nil {
-					return nil, checks, err
-				}
+				add(partition.Constant(), ms, D)
 			}
+			// Large-D optimality: realistic problem sizes over more
+			// processes, feasible only for the DP oracle.
+			bigN := 4 + rng.Intn(5)
+			bigProcs := gen.Platform(bigN, shape)
+			bigMs := ExactModels(bigProcs)
+			bigD := 2048 + rng.Intn(8192)
+			add(partition.Geometric(), bigMs, bigD)
+			add(partition.Numerical(), bigMs, bigD)
 		}
 	}
-	return vs, checks, nil
+	return runChecks(ctx, p, checks)
 }
 
 // runDiffConstant checks cross-algorithm identity on constant models.
-func runDiffConstant(opts Options) ([]Violation, int, error) {
+func runDiffConstant(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 4))
 	gen := NewGen(opts.Seed + 5)
-	var vs []Violation
-	checks := 0
+	var checks []check
 	for round := 0; round < opts.rounds(); round++ {
 		n := 2 + rng.Intn(5)
 		procs := gen.Platform(n, ShapeConstant)
 		D := n + rng.Intn(100000)
-		checks++
-		bad, err := DiffConstant(ExactModels(procs), D, opts.Tol)
-		if err != nil {
-			return nil, checks, err
-		}
-		vs = append(vs, bad...)
+		checks = append(checks, func() ([]Violation, error) {
+			return DiffConstant(ExactModels(procs), D, opts.Tol)
+		})
 	}
-	return vs, checks, nil
+	return runChecks(ctx, p, checks)
 }
 
 // runDiffSmooth checks geometric-vs-numerical agreement where theory
@@ -291,52 +331,41 @@ func runDiffConstant(opts Options) ([]Violation, int, error) {
 // oracle section.) Each round also cross-checks the two solution
 // strategies on the *same* exact models for every monotone shape, where
 // any disagreement is attributable to the solvers alone.
-func runDiffSmooth(opts Options) ([]Violation, int, error) {
+func runDiffSmooth(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 6))
 	gen := NewGen(opts.Seed + 7)
-	var vs []Violation
-	checks := 0
+	var checks []check
 	for round := 0; round < opts.rounds(); round++ {
 		n := 2 + rng.Intn(3)
 		procs := gen.Platform(n, ShapeSmooth)
 		D := 5000 + rng.Intn(40000)
-		checks++
-		bad, err := DiffSmooth(procs, D, 16, 60000, 30, opts.Tol)
-		if err != nil {
-			return nil, checks, err
-		}
-		vs = append(vs, bad...)
+		checks = append(checks, func() ([]Violation, error) {
+			return DiffSmooth(procs, D, 16, 60000, 30, opts.Tol)
+		})
 		for _, shape := range MonotoneShapes() {
 			exProcs := gen.Platform(2+rng.Intn(3), shape)
 			exD := 5000 + rng.Intn(40000)
-			checks++
-			bad, err := DiffExact(exProcs, exD, opts.Tol)
-			if err != nil {
-				return nil, checks, err
-			}
-			vs = append(vs, bad...)
+			checks = append(checks, func() ([]Violation, error) {
+				return DiffExact(exProcs, exD, opts.Tol)
+			})
 		}
 	}
-	return vs, checks, nil
+	return runChecks(ctx, p, checks)
 }
 
 // runDiffDynamic checks the dynamic algorithms against the model-based
 // reference on smooth monotone platforms.
-func runDiffDynamic(opts Options) ([]Violation, int, error) {
+func runDiffDynamic(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 8))
 	gen := NewGen(opts.Seed + 9)
-	var vs []Violation
-	checks := 0
+	var checks []check
 	for round := 0; round < opts.rounds(); round++ {
 		n := 2 + rng.Intn(2)
 		procs := gen.Platform(n, ShapeSmooth)
 		D := 5000 + rng.Intn(15000)
-		checks++
-		bad, err := DiffDynamic(procs, D, 0.02, opts.Tol)
-		if err != nil {
-			return nil, checks, err
-		}
-		vs = append(vs, bad...)
+		checks = append(checks, func() ([]Violation, error) {
+			return DiffDynamic(procs, D, 0.02, opts.Tol)
+		})
 	}
-	return vs, checks, nil
+	return runChecks(ctx, p, checks)
 }

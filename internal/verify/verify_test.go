@@ -2,6 +2,7 @@ package verify
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -145,22 +146,112 @@ func TestOracleExactOnConstantSpeeds(t *testing.T) {
 	}
 }
 
-func TestOracleRefusesHugeSpaces(t *testing.T) {
+func TestOracleEnumRefusesHugeSpaces(t *testing.T) {
 	ms := ExactModels(NewGen(1).Platform(6, ShapeConstant))
-	if _, _, err := Oracle(ms, 1000); err == nil {
-		t.Error("expected a state-space error")
+	_, _, err := OracleEnum(ms, 1000)
+	if err == nil {
+		t.Fatal("expected a state-space error")
 	}
-	if !strings.Contains(compositionsError(ms, 1000), "too large") {
-		t.Error("error should mention the state space")
+	if !strings.Contains(err.Error(), "too large") {
+		t.Errorf("error should mention the state space: %v", err)
+	}
+	// The DP oracle handles the instance the enumerator refuses.
+	sizes, _, err := Oracle(ms, 1000)
+	if err != nil {
+		t.Fatalf("DP oracle on the same instance: %v", err)
+	}
+	sum := 0
+	for _, d := range sizes {
+		sum += d
+	}
+	if sum != 1000 {
+		t.Errorf("DP sizes %v sum to %d, want 1000", sizes, sum)
 	}
 }
 
-func compositionsError(ms []core.Model, D int) string {
-	_, _, err := Oracle(ms, D)
-	if err == nil {
-		return ""
+// TestOracleMatchesEnumerator pins the DP oracle to the independent
+// branch-and-bound enumerator on small instances of every shape —
+// including the non-monotone ones, which exercise the DP's full-scan
+// fallback. Both compute the exact minimum over the same finite set of
+// floating-point makespans, so the comparison is exact, not approximate.
+func TestOracleMatchesEnumerator(t *testing.T) {
+	gen := NewGen(21)
+	rng := rand.New(rand.NewSource(22))
+	for _, shape := range Shapes() {
+		for trial := 0; trial < 4; trial++ {
+			n := 2 + rng.Intn(3)
+			ms := ExactModels(gen.Platform(n, shape))
+			D := 1 + rng.Intn(30)
+			dpSizes, dpOpt, err := Oracle(ms, D)
+			if err != nil {
+				t.Fatalf("%s n=%d D=%d: DP: %v", shape, n, D, err)
+			}
+			_, enumOpt, err := OracleEnum(ms, D)
+			if err != nil {
+				t.Fatalf("%s n=%d D=%d: enum: %v", shape, n, D, err)
+			}
+			if dpOpt != enumOpt {
+				t.Errorf("%s n=%d D=%d: DP optimum %g != enumerated optimum %g", shape, n, D, dpOpt, enumOpt)
+			}
+			sum := 0
+			for _, d := range dpSizes {
+				if d < 0 {
+					t.Fatalf("%s n=%d D=%d: negative DP part in %v", shape, n, D, dpSizes)
+				}
+				sum += d
+			}
+			if sum != D {
+				t.Fatalf("%s n=%d D=%d: DP sizes %v sum to %d", shape, n, D, dpSizes, sum)
+			}
+			got, err := Makespan(ms, dpSizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != dpOpt {
+				t.Errorf("%s n=%d D=%d: DP distribution %v achieves %g, claimed %g", shape, n, D, dpSizes, got, dpOpt)
+			}
+		}
 	}
-	return err.Error()
+}
+
+// TestOracleScalesBeyondEnumerator is the scaling acceptance check: the
+// DP oracle must handle D = 10,000 over n = 16 heterogeneous processes —
+// an instance whose composition space (~10⁴⁴ states) the enumerator
+// refuses outright — and agree with the geometric algorithm there.
+func TestOracleScalesBeyondEnumerator(t *testing.T) {
+	ms := ExactModels(NewGen(33).Platform(16, MonotoneShapes()...))
+	const D = 10000
+	if _, _, err := OracleEnum(ms, D); err == nil {
+		t.Fatal("enumerator should refuse D=10000, n=16")
+	}
+	sizes, opt, err := Oracle(ms, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, d := range sizes {
+		sum += d
+	}
+	if sum != D {
+		t.Fatalf("DP sizes sum to %d, want %d", sum, D)
+	}
+	if achieved, _ := Makespan(ms, sizes); achieved != opt {
+		t.Fatalf("DP distribution achieves %g, claimed %g", achieved, opt)
+	}
+	dist, err := partition.Geometric().Partition(ms, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Makespan(ms, dist.Sizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < opt {
+		t.Fatalf("geometric makespan %g beats the claimed optimum %g", got, opt)
+	}
+	if got > opt*1.05 {
+		t.Errorf("geometric makespan %g is %.1f%% above the optimum %g", got, 100*(got/opt-1), opt)
+	}
 }
 
 // brokenPartitioner wraps the geometric algorithm and injects an
@@ -231,6 +322,42 @@ func TestOracleCatchesBrokenPartitioner(t *testing.T) {
 	}
 }
 
+// TestDPOracleCatchesBrokenPartitionerAtScale repeats the mutation test
+// at a problem size only the DP oracle can reach: at D = 5000 the
+// injected one-unit rounding bug costs just ~0.25% of makespan, invisible
+// to the default 5% slack but caught with a tolerance proportionate to
+// the finer granularity — a check the enumerating oracle could never run.
+func TestDPOracleCatchesBrokenPartitionerAtScale(t *testing.T) {
+	procs := []Proc{
+		{Name: "fast", Shape: ShapeConstant, Time: func(x float64) float64 { return x / 400 }},
+		{Name: "slow", Shape: ShapeConstant, Time: func(x float64) float64 { return x / 100 }},
+	}
+	ms := ExactModels(procs)
+	const D = 5000
+	dist, err := brokenPartitioner().Partition(ms, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckDist("geometric-broken", ms, D, dist); len(vs) != 0 {
+		t.Fatalf("the injected bug must preserve the structural contract, got %v", vs)
+	}
+	const tightTol = 5e-4
+	vs, err := CheckOptimal("geometric-broken", ms, D, dist, tightTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("DP oracle failed to catch the off-by-one partitioner at D=5000")
+	}
+	good, err := partition.Geometric().Partition(ms, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs, err := CheckOptimal("geometric", ms, D, good, tightTol); err != nil || len(vs) != 0 {
+		t.Errorf("healthy geometric flagged at tight tolerance: %v, %v", vs, err)
+	}
+}
+
 func TestDiffConstantAgreement(t *testing.T) {
 	ms := ExactModels(NewGen(5).Platform(3, ShapeConstant))
 	vs, err := DiffConstant(ms, 10000, DiffTol{})
@@ -290,6 +417,29 @@ func TestSuiteDeterministic(t *testing.T) {
 	if a.Checks() != b.Checks() || len(a.Violations) != len(b.Violations) {
 		t.Errorf("same seed, different suite: %d/%d checks, %d/%d violations",
 			a.Checks(), b.Checks(), len(a.Violations), len(b.Violations))
+	}
+}
+
+// TestRunReportIndependentOfWorkers is the parallel-engine acceptance
+// check: the rendered report must be byte-identical for every worker
+// count, including the serial (1-worker) run.
+func TestRunReportIndependentOfWorkers(t *testing.T) {
+	render := func(workers int) string {
+		r, err := Run(Options{Seed: 4, Rounds: 1, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	want := render(1)
+	for _, w := range []int{2, 8, 0} {
+		if got := render(w); got != want {
+			t.Errorf("workers=%d: report differs from the serial run:\n%s\n---\n%s", w, got, want)
+		}
 	}
 }
 
