@@ -6,15 +6,16 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke verify update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service verify update-golden
 
 all: tier1
 
 ## tier1: go build + the full test suite (the repo's verify gate)
 tier1: build test
 
-## tier2: tier1 plus vet, -race, fuzz smokes and the verification suite
-tier2: tier1 vet race fuzz-smoke verify
+## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
+## gate and the verification suite
+tier2: tier1 vet race fuzz-smoke service verify
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,13 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzModelUpdates$$' -fuzztime=$(FUZZTIME) ./internal/model
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/config
 	$(GO) test -run='^$$' -fuzz='^FuzzPartition$$' -fuzztime=$(FUZZTIME) ./internal/partition
+
+## service: vet + race-test the partition service and its CLI end to end
+## (-count=1 forces a fresh run: these tests assert live concurrency —
+## single-flight, batching, drain — that a cached pass would not exercise)
+service:
+	$(GO) vet ./internal/service ./cmd/fupermod-serve
+	$(GO) test -race -count=1 ./internal/service ./cmd/fupermod-serve
 
 ## verify: run the partitioner verification suite (oracle + differential)
 verify:

@@ -33,26 +33,11 @@ func main() {
 	}
 }
 
-func partitionerByName(name string) (core.Partitioner, error) {
-	switch name {
-	case "even":
-		return partition.Even(), nil
-	case "constant":
-		return partition.Constant(), nil
-	case "geometric":
-		return partition.Geometric(), nil
-	case "numerical":
-		return partition.Numerical(), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want even | constant | geometric | numerical)", name)
-	}
-}
-
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fupermod-partition", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		algo = fs.String("algorithm", "geometric", "partitioning algorithm: even | constant | geometric | numerical")
+		algo = fs.String("algorithm", "geometric", "partitioning algorithm: "+strings.Join(partition.Names(), " | "))
 		kind = fs.String("model", model.KindPiecewise, "model kind: "+strings.Join(model.Kinds(), " | "))
 		D    = fs.Int("D", 0, "total problem size in computation units (required)")
 	)
@@ -65,7 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("need at least one points file")
 	}
-	p, err := partitionerByName(*algo)
+	p, err := partition.ByName(*algo)
 	if err != nil {
 		return err
 	}

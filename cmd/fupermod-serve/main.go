@@ -1,0 +1,111 @@
+// Command fupermod-serve runs the multi-tenant partition service: a
+// long-lived HTTP+JSON server answering measure → model → partition
+// requests with per-tenant model caches, single-flight sweep deduplication
+// and partition-request batching, all executing on one bounded worker
+// pool. It is the serving end of the FuPerMod tool chain — where
+// fupermod-bench/-model/-partition run the workflow once, the service
+// answers it continuously for many clients.
+//
+// Usage:
+//
+//	fupermod-serve -addr :8080 -workers 8 -cache-size 128
+//
+//	curl -s localhost:8080/v1/partition -d '{
+//	  "tenant": "team-a",
+//	  "devices": [{"preset": "fast", "seed": 1}, {"preset": "slow", "seed": 2}],
+//	  "grid": {"lo": 16, "hi": 5000, "n": 20},
+//	  "algorithm": "geometric",
+//	  "d": 20000
+//	}'
+//
+// The server drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fupermod/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "fupermod-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fupermod-serve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr            = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers         = fs.Int("workers", 0, "worker pool size for sweeps, fits and solves (0 = GOMAXPROCS)")
+		cacheSize       = fs.Int("cache-size", service.DefaultCacheSize, "fitted models kept per tenant (LRU)")
+		batchWindow     = fs.Duration("batch-window", service.DefaultBatchWindow, "window for batching identical partition requests (negative disables)")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		BatchWindow: *batchWindow,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(stdout, "fupermod-serve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve never returns nil; surface whatever tore the listener down.
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stdout, "fupermod-serve: draining (up to %s)\n", *shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// The grace period expired with requests still in flight.
+		srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "fupermod-serve: stopped")
+	return nil
+}

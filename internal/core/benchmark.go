@@ -119,8 +119,17 @@ func Sweep(k Kernel, sizes []int, prec Precision) ([]Point, error) {
 // scheduler order, so noisy parallel sweeps are statistically — not
 // bitwise — equivalent to serial ones; noiseless sweeps are identical.
 func SweepParallel(k Kernel, sizes []int, prec Precision, workers int) ([]Point, error) {
-	p := pool.New(workers)
-	pts, err := pool.Map(context.Background(), p, len(sizes), func(_ context.Context, i int) (Point, error) {
+	return SweepOnPool(context.Background(), pool.New(workers), k, sizes, prec)
+}
+
+// SweepOnPool is SweepParallel on a caller-supplied pool and context: the
+// per-size measurements share the pool's concurrency bound with every other
+// task running on it, so long-lived callers (the partition service) can
+// fan out many sweeps without oversubscribing the machine. The contract is
+// that of Sweep: points in size-grid order, and on error the completed
+// prefix before the first failing size.
+func SweepOnPool(ctx context.Context, p *pool.Pool, k Kernel, sizes []int, prec Precision) ([]Point, error) {
+	pts, err := pool.Map(ctx, p, len(sizes), func(_ context.Context, i int) (Point, error) {
 		return Benchmark(k, sizes[i], prec)
 	})
 	if err != nil {
@@ -138,7 +147,9 @@ func SweepParallel(k Kernel, sizes []int, prec Precision, workers int) ([]Point,
 
 // LogSizes returns n problem sizes spread geometrically over [lo, hi],
 // deduplicated and sorted — the usual sampling grid for building a full
-// functional performance model.
+// functional performance model. Every returned size lies in [lo, hi], the
+// sizes are strictly increasing, and at most n are returned (fewer when
+// the integer range cannot hold n distinct sizes).
 func LogSizes(lo, hi, n int) []int {
 	if n <= 0 || lo <= 0 || hi < lo {
 		return nil
@@ -155,7 +166,10 @@ func LogSizes(lo, hi, n int) []int {
 		if d <= prev {
 			d = prev + 1
 		}
-		if d > hi && i < n-1 {
+		if d > hi {
+			// Clamp unconditionally: when the grid is dense relative to
+			// the range, the d <= prev bump can push past hi — the
+			// duplicate hi is then dropped by the d == prev check below.
 			d = hi
 		}
 		if d != prev {

@@ -44,13 +44,17 @@ func (p Point) Speed() float64 {
 	return float64(p.D) / p.Time
 }
 
-// Validate reports whether the point is usable for modelling.
+// Validate reports whether the point is usable for modelling. A zero time
+// is valid: Benchmark rejects only negative run times, so a kernel that
+// completes below the clock resolution (or an infinitely fast virtual
+// device) legitimately produces Time == 0 — models floor such points at a
+// tiny positive time when fitting.
 func (p Point) Validate() error {
 	if p.D <= 0 {
 		return fmt.Errorf("core: point has non-positive size %d", p.D)
 	}
-	if p.Time <= 0 {
-		return fmt.Errorf("core: point at d=%d has non-positive time %g", p.D, p.Time)
+	if p.Time < 0 {
+		return fmt.Errorf("core: point at d=%d has negative time %g", p.D, p.Time)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -236,6 +237,43 @@ func TestLogSizes(t *testing.T) {
 	for i := 1; i < len(s2); i++ {
 		if s2[i] <= s2[i-1] {
 			t.Errorf("dedup failed: %v", s2)
+		}
+	}
+}
+
+// TestLogSizesBounds pins the grid invariants — every size in [lo, hi],
+// strictly increasing, at most n sizes — over a sweep of dense and sparse
+// ranges. Regression: the dedup bump used to push the last size past hi
+// when the grid was dense relative to the range, e.g. LogSizes(1, 3, 5)
+// returned [1 2 3 4].
+func TestLogSizesBounds(t *testing.T) {
+	if got := LogSizes(1, 3, 5); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("LogSizes(1, 3, 5) = %v, want [1 2 3]", got)
+	}
+	cases := []struct{ lo, hi, n int }{
+		{1, 3, 5}, {1, 1, 5}, {1, 2, 9}, {2, 7, 20}, {5, 6, 3},
+		{1, 100, 200}, {10, 10000, 7}, {16, 5000, 40}, {99, 100, 10},
+		{1, 1000000, 3}, {7, 7, 1}, {3, 50, 50},
+	}
+	for _, c := range cases {
+		s := LogSizes(c.lo, c.hi, c.n)
+		if len(s) == 0 {
+			t.Errorf("LogSizes(%d, %d, %d) returned no sizes", c.lo, c.hi, c.n)
+			continue
+		}
+		if len(s) > c.n {
+			t.Errorf("LogSizes(%d, %d, %d): %d sizes exceed n", c.lo, c.hi, c.n, len(s))
+		}
+		for i, d := range s {
+			if d < c.lo || d > c.hi {
+				t.Errorf("LogSizes(%d, %d, %d): size %d outside [lo, hi]: %v", c.lo, c.hi, c.n, d, s)
+			}
+			if i > 0 && d <= s[i-1] {
+				t.Errorf("LogSizes(%d, %d, %d): not strictly increasing: %v", c.lo, c.hi, c.n, s)
+			}
+		}
+		if s[0] != c.lo {
+			t.Errorf("LogSizes(%d, %d, %d): first size %d != lo", c.lo, c.hi, c.n, s[0])
 		}
 	}
 }

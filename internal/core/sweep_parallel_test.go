@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
+
+	"fupermod/internal/pool"
 )
 
 // safeKernel is a concurrency-safe deterministic kernel: no mutable
@@ -69,5 +72,88 @@ func TestSweepParallelErrorPrefix(t *testing.T) {
 		if !reflect.DeepEqual(got, wantPts) {
 			t.Errorf("workers=%d: prefix %v, serial produced %v", workers, got, wantPts)
 		}
+	}
+}
+
+// runFailKernel fails during Run (not Setup) at one size — the mid-sweep
+// failure mode of a kernel that sets up fine but dies executing.
+type runFailKernel struct {
+	perUnit float64
+	failAt  int
+}
+
+func (k *runFailKernel) Name() string             { return "run-fail" }
+func (k *runFailKernel) Complexity(d int) float64 { return float64(d) }
+
+func (k *runFailKernel) Setup(d int) (Instance, error) {
+	return runFailInstance{t: float64(d) * k.perUnit, fail: d == k.failAt}, nil
+}
+
+type runFailInstance struct {
+	t    float64
+	fail bool
+}
+
+func (i runFailInstance) Run() (float64, error) {
+	if i.fail {
+		return 0, errors.New("injected run failure")
+	}
+	return i.t, nil
+}
+func (i runFailInstance) Close() error { return nil }
+
+// TestSweepParallelMiddleRunFailure pins the prefix-and-error contract when
+// a middle size fails during Run: the returned slice holds exactly the
+// points of the sizes preceding the failing one, in grid order, with the
+// serial Sweep's error — for every worker count, including over-provisioned
+// pools where later sizes complete before the failure cancels them.
+func TestSweepParallelMiddleRunFailure(t *testing.T) {
+	sizes := LogSizes(16, 60000, 24)
+	failIdx := len(sizes) / 2
+	k := &runFailKernel{perUnit: 1e-6, failAt: sizes[failIdx]}
+	wantPts, wantErr := Sweep(k, sizes, oneShot)
+	if wantErr == nil || len(wantPts) != failIdx {
+		t.Fatalf("serial reference: %d points, err %v", len(wantPts), wantErr)
+	}
+	for _, workers := range []int{1, 2, 8, len(sizes) + 5} {
+		got, err := SweepParallel(k, sizes, oneShot, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected the injected run failure", workers)
+		}
+		if err.Error() != wantErr.Error() {
+			t.Errorf("workers=%d: error %q, serial reported %q", workers, err, wantErr)
+		}
+		if !reflect.DeepEqual(got, wantPts) {
+			t.Errorf("workers=%d: prefix %v, serial produced %v", workers, got, wantPts)
+		}
+		for i, p := range got {
+			if p.D != sizes[i] {
+				t.Errorf("workers=%d: point %d is size %d, want grid order %d", workers, i, p.D, sizes[i])
+			}
+		}
+	}
+}
+
+// TestSweepOnPoolSharesBound checks SweepOnPool runs on the caller's pool
+// and matches the serial sweep, and that a cancelled context stops it.
+func TestSweepOnPoolSharesBound(t *testing.T) {
+	k := &safeKernel{perUnit: 1e-6}
+	sizes := LogSizes(16, 5000, 12)
+	want, err := Sweep(k, sizes, oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New(3)
+	got, err := SweepOnPool(context.Background(), p, k, sizes, oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SweepOnPool diverges from serial sweep:\n%v\n%v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if pts, err := SweepOnPool(ctx, p, k, sizes, oneShot); err == nil {
+		t.Errorf("cancelled context should fail the sweep, got %d points", len(pts))
 	}
 }

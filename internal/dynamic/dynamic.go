@@ -118,7 +118,10 @@ func PartitionDynamic(kernelSet []core.Kernel, D int, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Models: models}
+	// Seed the result with the starting even distribution so callers that
+	// inspect the partial Result on error (e.g. a benchmark failing in
+	// iteration 0) never see a nil Dist.
+	res := &Result{Models: models, Dist: dist}
 	for it := 0; it < cfg.maxIters(); it++ {
 		pts := make([]core.Point, n)
 		for i, k := range kernelSet {

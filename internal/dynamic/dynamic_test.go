@@ -143,8 +143,25 @@ func TestPartitionDynamicCheaperThanFullModel(t *testing.T) {
 func TestPartitionDynamicKernelFailure(t *testing.T) {
 	ks := virtualKernels(t, platform.HCLCluster()[:2], platform.Quiet, 1)
 	ks[1] = failingKernel{}
-	if _, err := PartitionDynamic(ks, 1000, defaultCfg()); err == nil {
+	res, err := PartitionDynamic(ks, 1000, defaultCfg())
+	if err == nil {
 		t.Error("kernel failure should propagate")
+	}
+	// Regression: the partial Result used to carry Dist == nil when
+	// iteration 0 failed mid-benchmark, nil-dereffing callers inspecting
+	// it; it must hold the starting even distribution instead.
+	if res == nil || res.Dist == nil {
+		t.Fatalf("partial result on iteration-0 failure must carry a distribution, got %+v", res)
+	}
+	want, werr := core.NewEvenDist(1000, 2)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if got := res.Dist.Sizes(); got[0] != want.Parts[0].D || got[1] != want.Parts[1].D {
+		t.Errorf("partial result Dist = %v, want the even start %v", got, want.Sizes())
+	}
+	if err := res.Dist.Validate(); err != nil {
+		t.Errorf("partial result Dist invalid: %v", err)
 	}
 }
 

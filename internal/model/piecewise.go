@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"fupermod/internal/core"
 	"fupermod/internal/interp"
@@ -31,7 +32,11 @@ type Piecewise struct {
 
 // minTimeGrowth is the minimal relative time increase enforced between
 // consecutive coarsened knots, keeping the time function strictly
-// increasing and its inverse well defined.
+// increasing and its inverse well defined. The relative floor alone is not
+// enough: when the first measured time is zero (Benchmark accepts zero
+// times from kernels faster than the clock resolution) a purely relative
+// bump stays stuck at zero, so coarsening additionally enforces the
+// absolute floor minModelTime between knots.
 const minTimeGrowth = 1e-9
 
 // NewPiecewise returns an empty piecewise FPM.
@@ -55,8 +60,13 @@ func (m *Piecewise) rebuild() error {
 	prev := 0.0
 	for _, p := range pts {
 		t := p.Time
-		if t <= prev {
-			t = prev * (1 + minTimeGrowth)
+		// Clip upward to keep the coarsened times strictly increasing:
+		// the relative floor handles normal magnitudes, the absolute
+		// floor handles zero and denormal times (where prev*(1+ε) would
+		// round back to prev and InverseTime/lastSlope would divide by
+		// zero, feeding NaN into the partitioner).
+		if floor := math.Max(prev*(1+minTimeGrowth), prev+minModelTime); t < floor {
+			t = floor
 		}
 		m.coarseD = append(m.coarseD, float64(p.D))
 		m.coarseT = append(m.coarseT, t)

@@ -1,0 +1,113 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fupermod/internal/core"
+)
+
+// TestPiecewiseZeroTimePoints is the regression test for the coarsening
+// bug: core.Benchmark rejects only negative run times, so a kernel faster
+// than the clock resolution produces points with Time == 0. The piecewise
+// model's relative coarsening floor prev*(1+minTimeGrowth) is stuck at 0
+// when the first time is 0, leaving coarseT not strictly increasing —
+// InverseTime and lastSlope then divide by zero and feed NaN into the
+// geometric partitioner. Coarsening must floor times absolutely.
+func TestPiecewiseZeroTimePoints(t *testing.T) {
+	m := NewPiecewise()
+	pts := []core.Point{
+		{D: 10, Time: 0, Reps: 1},
+		{D: 20, Time: 0, Reps: 1},
+		{D: 40, Time: 1e-3, Reps: 1},
+		{D: 80, Time: 2e-3, Reps: 1},
+	}
+	for _, p := range pts {
+		if err := m.Update(p); err != nil {
+			t.Fatalf("zero-time point rejected: %v", err)
+		}
+	}
+	sizes, times := m.CoarsenedKnots()
+	for i := range times {
+		if times[i] <= 0 {
+			t.Errorf("coarsened knot %d has non-positive time %g", i, times[i])
+		}
+		if i > 0 && times[i] <= times[i-1] {
+			t.Errorf("coarsened times not strictly increasing at knot %d: %v", i, times)
+		}
+	}
+	// Every prediction must be finite, positive and monotone — pre-fix the
+	// flat zero knots made InverseTime divide by zero.
+	for _, x := range []float64{1, 10, 15, 20, 40, 80, 200} {
+		tm, err := m.Time(x)
+		if err != nil {
+			t.Fatalf("Time(%g): %v", x, err)
+		}
+		if !(tm > 0) || math.IsInf(tm, 0) || math.IsNaN(tm) {
+			t.Errorf("Time(%g) = %g, want finite positive", x, tm)
+		}
+		inv, err := m.InverseTime(tm)
+		if err != nil {
+			t.Fatalf("InverseTime(%g): %v", tm, err)
+		}
+		if math.IsNaN(inv) || math.IsInf(inv, 0) {
+			t.Errorf("InverseTime(Time(%g)) = %g", x, inv)
+		}
+	}
+	// Beyond the last knot the inverse relies on lastSlope, which used to
+	// be 0/0 when trailing knots were identical.
+	inv, err := m.InverseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(inv) || math.IsInf(inv, 0) || inv < sizes[len(sizes)-1] {
+		t.Errorf("extrapolated inverse = %g, want finite ≥ %g", inv, sizes[len(sizes)-1])
+	}
+}
+
+// TestPiecewiseCoarsenedInverseRoundTrip is the property test for coarsened
+// models: InverseTime(Time(x)) ≈ x over the measured range, including models
+// whose first measured time is zero. Coarsening makes the time function
+// strictly increasing, so the round trip must hold everywhere (clipped
+// plateaus have a tiny but positive slope; the tolerance accounts for the
+// conditioning of inverting them).
+func TestPiecewiseCoarsenedInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := NewPiecewise()
+		n := 2 + rng.Intn(12)
+		d := 0
+		maxD := 1
+		for i := 0; i < n; i++ {
+			d += 1 + rng.Intn(5000)
+			maxD = d
+			tm := rng.Float64() * 1e-2
+			switch {
+			case i == 0 && trial%2 == 0:
+				tm = 0 // zero-time first point — the regression shape
+			case rng.Intn(4) == 0:
+				tm = 0 // occasional zero later, forcing clipping
+			}
+			if err := m.Update(core.Point{D: d, Time: tm, Reps: 1}); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		for probe := 0; probe < 20; probe++ {
+			x := 1 + rng.Float64()*float64(maxD-1)
+			tau, err := m.Time(x)
+			if err != nil {
+				t.Fatalf("trial %d: Time(%g): %v", trial, x, err)
+			}
+			back, err := m.InverseTime(tau)
+			if err != nil {
+				t.Fatalf("trial %d: InverseTime(%g): %v", trial, tau, err)
+			}
+			tol := 1e-4*float64(maxD) + 1e-9
+			if math.Abs(back-x) > tol {
+				t.Errorf("trial %d: InverseTime(Time(%g)) = %g (|Δ| = %g > %g)",
+					trial, x, back, math.Abs(back-x), tol)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package partition
+
+import (
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// ByName returns the named partitioning algorithm — the registry behind
+// the -algorithm flags of the command-line tools and the "algorithm" field
+// of the partition service's requests.
+func ByName(name string) (core.Partitioner, error) {
+	switch name {
+	case "even":
+		return Even(), nil
+	case "constant":
+		return Constant(), nil
+	case "geometric":
+		return Geometric(), nil
+	case "numerical":
+		return Numerical(), nil
+	default:
+		return nil, fmt.Errorf("partition: unknown algorithm %q (want one of %v)", name, Names())
+	}
+}
+
+// Names lists the algorithms constructible by ByName.
+func Names() []string {
+	return []string{"even", "constant", "geometric", "numerical"}
+}

@@ -105,6 +105,30 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 	return results, nil
 }
 
+// Do runs fn as a single task on the pool: it acquires one worker slot
+// (blocking while the pool is saturated), runs fn, and releases the slot.
+// It is how long-running callers — e.g. the partition service's sweeps and
+// solver calls — share the pool's concurrency bound with Map-based
+// fan-outs. If ctx is cancelled before a slot is free, fn is not run and
+// the cancellation cause is returned.
+func Do(ctx context.Context, p *Pool, fn func(ctx context.Context) error) error {
+	if p == nil {
+		return fmt.Errorf("pool: Do needs a pool")
+	}
+	// Check first so an already-cancelled context deterministically skips
+	// the task even when a slot happens to be free.
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+	defer func() { <-p.sem }()
+	return fn(ctx)
+}
+
 // MapSeq is the serial reference implementation of Map: same contract,
 // one task at a time, in index order. The parallel paths are tested
 // against it, and callers that need strict sequential execution (e.g. a

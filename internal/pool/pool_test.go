@@ -211,3 +211,84 @@ func TestMapRejectsBadInputs(t *testing.T) {
 		t.Errorf("empty Map: %v, %v", res, err)
 	}
 }
+
+// TestMapCancelledParentSkipsAll covers the all-skipped path: a parent
+// context that is already cancelled when Map is called must run no task at
+// all, return the cancellation cause, and leave every result slot at the
+// zero value.
+func TestMapCancelledParentSkipsAll(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("already cancelled")
+	cancel(cause)
+	var ran atomic.Int32
+	res, err := Map(ctx, New(4), 8, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i + 1, nil
+	})
+	if !errors.Is(err, cause) {
+		t.Errorf("error = %v, want the cancellation cause", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d tasks ran under a cancelled parent, want 0", got)
+	}
+	if len(res) != 8 {
+		t.Fatalf("len(res) = %d, want 8 zero-valued slots", len(res))
+	}
+	for i, r := range res {
+		if r != 0 {
+			t.Errorf("slot %d = %d, want zero value", i, r)
+		}
+	}
+	// MapSeq honours the same contract.
+	if _, err := MapSeq(ctx, 3, func(_ context.Context, i int) (int, error) {
+		t.Error("MapSeq ran a task under a cancelled parent")
+		return 0, nil
+	}); err == nil {
+		t.Error("MapSeq should report the cancelled context")
+	}
+}
+
+func TestDoRunsOnPool(t *testing.T) {
+	p := New(2)
+	// Do shares the bound with Map: saturate the pool, then check Do
+	// blocks until a slot frees.
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	go Map(context.Background(), p, 2, func(_ context.Context, i int) (int, error) {
+		started <- struct{}{}
+		<-release
+		return 0, nil
+	})
+	<-started
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(context.Background(), p, func(context.Context) error { return nil })
+	}()
+	select {
+	case <-done:
+		t.Fatal("Do ran while the pool was saturated")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Do after release: %v", err)
+	}
+
+	if err := Do(context.Background(), nil, func(context.Context) error { return nil }); err == nil {
+		t.Error("nil pool should error")
+	}
+	wantErr := errors.New("task failed")
+	if err := Do(context.Background(), p, func(context.Context) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("Do error = %v, want %v", err, wantErr)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("gone")
+	cancel(cause)
+	if err := Do(ctx, p, func(context.Context) error {
+		t.Error("Do ran its task under a cancelled context")
+		return nil
+	}); !errors.Is(err, cause) {
+		t.Errorf("cancelled Do error = %v, want the cause", err)
+	}
+}

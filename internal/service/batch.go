@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"fupermod/internal/core"
+	"fupermod/internal/partition"
+	"fupermod/internal/pool"
+)
+
+// batchCall is one in-flight solver invocation shared by every partition
+// request with the same batch key. done is closed after the solve; dist
+// and err must only be read afterwards. The dist is shared read-only —
+// each request marshals its own response from it.
+type batchCall struct {
+	done chan struct{}
+	dist *core.Dist
+	err  error
+}
+
+// batchKeyOf fingerprints everything that determines a partition result:
+// the tenant, the resolved model cache keys in device order, the
+// algorithm, and the problem size. Requests agreeing on all of these are
+// answered by a single solver call.
+func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int) string {
+	var b strings.Builder
+	b.WriteString(tenant)
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k.String())
+	}
+	b.WriteByte('|')
+	b.WriteString(algorithm)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(D))
+	return b.String()
+}
+
+// solvePartition answers one partition request, batching identical-model
+// requests that arrive within the server's batch window into a single
+// solver call (the serving-layer analogue of request batching in an
+// inference stack: identical work admitted together is computed once).
+// The first request for a key becomes the batch leader: it registers the
+// batch, sleeps out the window while followers join, then runs the solver
+// on the shared pool and publishes the result to everyone.
+func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int) (*core.Dist, error) {
+	if s.batchWindow <= 0 {
+		return s.runSolve(models, algorithm, D)
+	}
+	key := batchKeyOf(tenant, keys, algorithm, D)
+	s.batchMu.Lock()
+	if call, ok := s.batches[key]; ok {
+		s.batchMu.Unlock()
+		s.stats.batchJoined.Add(1)
+		select {
+		case <-call.done:
+			return call.dist, call.err
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
+		}
+	}
+	call := &batchCall{done: make(chan struct{})}
+	s.batches[key] = call
+	s.batchMu.Unlock()
+
+	// Leader: let followers pile on for one window, then close the batch
+	// to new joiners *before* solving so late arrivals start a fresh one.
+	select {
+	case <-time.After(s.batchWindow):
+	case <-s.ctx.Done():
+	}
+	s.batchMu.Lock()
+	delete(s.batches, key)
+	s.batchMu.Unlock()
+
+	call.dist, call.err = s.runSolve(models, algorithm, D)
+	close(call.done)
+	return call.dist, call.err
+}
+
+// runSolve executes one partitioner call on the shared pool.
+func (s *Server) runSolve(models []core.Model, algorithm string, D int) (*core.Dist, error) {
+	p, err := partition.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	var dist *core.Dist
+	err = pool.Do(s.ctx, s.pool, func(context.Context) error {
+		s.stats.batchSolves.Add(1)
+		var serr error
+		dist, serr = p.Partition(models, D)
+		return serr
+	})
+	return dist, err
+}

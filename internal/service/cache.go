@@ -1,0 +1,196 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+	"fupermod/internal/pool"
+)
+
+// ModelKey identifies one fitted model in a tenant's cache: the virtual
+// device (preset name), its measurement-noise seed and level, the size
+// grid the sweep samples, and the model kind fitted to the points. Two
+// requests with equal keys are guaranteed the same model, so the service
+// measures once and reuses the fit (Stevens–Klöckner: cache fitted
+// black-box performance models across requests instead of re-measuring).
+type ModelKey struct {
+	Device string
+	Seed   int64
+	Noise  float64
+	Lo     int
+	Hi     int
+	N      int
+	Model  string
+}
+
+func (k ModelKey) String() string {
+	return fmt.Sprintf("%s/seed=%d/noise=%g/grid=%d:%d:%d/%s",
+		k.Device, k.Seed, k.Noise, k.Lo, k.Hi, k.N, k.Model)
+}
+
+// entry is one cache slot. ready is closed when fill completes (success or
+// failure); model/points/err must only be read after ready is closed —
+// the close is the happens-before edge making the fitted model safe for
+// concurrent read-only use by any number of partition solves.
+type entry struct {
+	key    ModelKey
+	ready  chan struct{}
+	model  core.Model
+	points []core.Point
+	err    error
+	elem   *list.Element
+}
+
+// tenantCache is one tenant's LRU-bounded model cache. It is guarded by
+// the server's cache mutex, not its own: eviction decisions and
+// single-flight registration are a few map/list operations, so one lock
+// keeps the invariants simple and uncontended next to sweep costs.
+type tenantCache struct {
+	max     int
+	entries map[ModelKey]*entry
+	order   *list.List // front = most recently used
+}
+
+func newTenantCache(max int) *tenantCache {
+	return &tenantCache{max: max, entries: make(map[ModelKey]*entry), order: list.New()}
+}
+
+// getModel returns the fitted model and raw points for key in the given
+// tenant's cache, sweeping and fitting on a cache miss. Concurrent
+// requests for the same key are deduplicated: exactly one performs the
+// sweep, the rest wait for it (single-flight). Failed fills are removed
+// from the cache so a later request can retry.
+func (s *Server) getModel(tenant string, key ModelKey) (core.Model, []core.Point, error) {
+	s.mu.Lock()
+	tc, ok := s.tenants[tenant]
+	if !ok {
+		tc = newTenantCache(s.cacheSize)
+		s.tenants[tenant] = tc
+	}
+	if e, ok := tc.entries[key]; ok {
+		tc.order.MoveToFront(e.elem)
+		select {
+		case <-e.ready:
+			s.stats.cacheHits.Add(1)
+		default:
+			s.stats.cacheCoalesced.Add(1)
+		}
+		s.mu.Unlock()
+		return s.awaitEntry(e)
+	}
+	s.stats.cacheMisses.Add(1)
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = tc.order.PushFront(e)
+	tc.entries[key] = e
+	for tc.order.Len() > tc.max {
+		oldest := tc.order.Back()
+		victim := oldest.Value.(*entry)
+		tc.order.Remove(oldest)
+		delete(tc.entries, victim.key)
+		s.stats.cacheEvictions.Add(1)
+	}
+	s.mu.Unlock()
+
+	s.fill(e)
+	if e.err != nil {
+		// Drop the failed entry (if it has not been evicted and replaced
+		// already) so the next identical request retries.
+		s.mu.Lock()
+		if cur, ok := tc.entries[key]; ok && cur == e {
+			tc.order.Remove(e.elem)
+			delete(tc.entries, key)
+		}
+		s.mu.Unlock()
+	}
+	return e.model, e.points, e.err
+}
+
+// awaitEntry blocks until the entry's fill completes or the server shuts
+// down. Waiters deliberately do not observe their own request context:
+// the fill belongs to the cache, not to any single client, so a client
+// disconnecting never poisons the entry for the others.
+func (s *Server) awaitEntry(e *entry) (core.Model, []core.Point, error) {
+	select {
+	case <-e.ready:
+		return e.model, e.points, e.err
+	case <-s.ctx.Done():
+		return nil, nil, fmt.Errorf("service: shutting down: %w", s.ctx.Err())
+	}
+}
+
+// fill performs the sweep and model fit for e, running the measurement on
+// the shared worker pool so concurrent fills never oversubscribe the
+// machine. The sweep is executed serially inside one pool slot: the noise
+// meter draws pseudo-random perturbations in sequence, so a serial sweep
+// is deterministic for a given key — the property that makes cache entries
+// reproducible and service responses byte-identical to the direct library
+// path.
+func (s *Server) fill(e *entry) {
+	defer close(e.ready)
+	key := e.key
+	dev, err := platform.Preset(key.Device)
+	if err != nil {
+		e.err = err
+		return
+	}
+	sizes := core.LogSizes(key.Lo, key.Hi, key.N)
+	if len(sizes) == 0 {
+		e.err = fmt.Errorf("service: invalid size grid lo=%d hi=%d n=%d", key.Lo, key.Hi, key.N)
+		return
+	}
+	meter := platform.NewMeter(dev, noiseConfig(key.Noise), key.Seed)
+	k, err := kernels.NewVirtual(dev.Name(), meter, GEMMBlockFlops)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.err = pool.Do(s.ctx, s.pool, func(context.Context) error {
+		s.stats.sweeps.Add(1)
+		pts, err := core.Sweep(k, sizes, s.precision)
+		if err != nil {
+			return err
+		}
+		m, err := model.New(key.Model)
+		if err != nil {
+			return err
+		}
+		if err := core.UpdateAll(m, pts); err != nil {
+			return err
+		}
+		e.model, e.points = m, pts
+		return nil
+	})
+}
+
+// noiseConfig maps the request's relative-noise level to the platform's
+// noise model, matching fupermod-bench's -noise flag semantics so service
+// sweeps reproduce CLI sweeps exactly.
+func noiseConfig(rel float64) platform.NoiseConfig {
+	if rel <= 0 {
+		return platform.Quiet
+	}
+	return platform.NoiseConfig{Rel: rel, OutlierP: 0.02, OutlierScale: 0.5}
+}
+
+// validate reports whether the key is well-formed before any cache work.
+func (k ModelKey) validate() error {
+	if k.Device == "" {
+		return fmt.Errorf("service: device preset is required")
+	}
+	if k.Noise < 0 || math.IsInf(k.Noise, 0) || math.IsNaN(k.Noise) {
+		return fmt.Errorf("service: noise %g must be finite and non-negative", k.Noise)
+	}
+	if k.Lo <= 0 || k.Hi < k.Lo || k.N <= 0 {
+		return fmt.Errorf("service: invalid size grid lo=%d hi=%d n=%d", k.Lo, k.Hi, k.N)
+	}
+	if k.Model == "" {
+		return fmt.Errorf("service: model kind is required")
+	}
+	return nil
+}

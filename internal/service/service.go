@@ -1,0 +1,467 @@
+// Package service is the long-lived, multi-tenant partition server: the
+// paper's one-shot measure → model → partition workflow (§4.1–4.3) turned
+// into a concurrent in-process HTTP+JSON service. Each tenant's fitted
+// performance models are cached in an LRU keyed by (device, noise seed,
+// size grid, model kind) with single-flight deduplication — concurrent
+// identical requests trigger exactly one benchmark sweep — and all sweeps,
+// fits and solver calls run on one shared bounded worker pool so the
+// service never oversubscribes the machine. Partition requests over
+// identical models arriving within a short window are batched into a
+// single solver call.
+//
+// The serving-layer shape — caching, request coalescing, batching, bounded
+// concurrency, graceful drain — follows Lastovetsky–Reddy–Rychkov–Clarke's
+// self-adaptable partitioning (models refined online across requests) and
+// Stevens–Klöckner's cached black-box performance models.
+//
+// Endpoints:
+//
+//	POST /v1/measure    sweep one device's size grid, return the points
+//	POST /v1/model      fit a model to the sweep, return knots + evaluation
+//	POST /v1/partition  distribute D units over a set of devices
+//	GET  /stats         request/latency/cache/batch counters
+//	GET  /healthz       liveness probe
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/pool"
+)
+
+// GEMMBlockFlops is the arithmetic cost of one computation unit (one
+// 128×128 block update), matching fupermod-bench's virtual kernels so
+// service sweeps and CLI sweeps are directly comparable.
+const GEMMBlockFlops = 2 * 128 * 128 * 128
+
+// DefaultSweepPrecision is the statistical stopping rule the service
+// benchmarks with. It is exported so clients reproducing a service result
+// through the library (and the service's own tests) measure identically.
+var DefaultSweepPrecision = core.Precision{
+	MinReps:    3,
+	MaxReps:    8,
+	Confidence: 0.95,
+	RelErr:     0.05,
+}
+
+// DefaultCacheSize is the per-tenant LRU bound when Config.CacheSize is 0.
+const DefaultCacheSize = 64
+
+// DefaultBatchWindow is the partition-batching window when
+// Config.BatchWindow is 0. Requests for the same models, algorithm and D
+// arriving within one window share a single solver call.
+const DefaultBatchWindow = time.Millisecond
+
+// MaxDevices bounds the number of devices in one partition request.
+const MaxDevices = 64
+
+// Config parametrises New.
+type Config struct {
+	// Workers bounds the shared pool running sweeps, fits and solves;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize is the per-tenant LRU bound in fitted models; <= 0
+	// selects DefaultCacheSize.
+	CacheSize int
+	// BatchWindow is how long a partition request waits for identical
+	// requests to batch with; 0 selects DefaultBatchWindow, negative
+	// disables batching.
+	BatchWindow time.Duration
+	// Precision overrides DefaultSweepPrecision when non-zero.
+	Precision core.Precision
+}
+
+// Server is the partition service. Create with New; it is safe for
+// concurrent use by any number of HTTP requests.
+type Server struct {
+	pool        *pool.Pool
+	cacheSize   int
+	batchWindow time.Duration
+	precision   core.Precision
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	tenants map[string]*tenantCache
+
+	batchMu sync.Mutex
+	batches map[string]*batchCall
+
+	stats stats
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cacheSize := cfg.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	window := cfg.BatchWindow
+	if window == 0 {
+		window = DefaultBatchWindow
+	}
+	prec := cfg.Precision
+	if prec == (core.Precision{}) {
+		prec = DefaultSweepPrecision
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		pool:        pool.New(cfg.Workers),
+		cacheSize:   cacheSize,
+		batchWindow: window,
+		precision:   prec,
+		ctx:         ctx,
+		cancel:      cancel,
+		tenants:     make(map[string]*tenantCache),
+		batches:     make(map[string]*batchCall),
+	}
+}
+
+// Close releases the server: waiters on in-flight cache fills and batches
+// are unblocked with a shutdown error. Call after draining the HTTP
+// listener (http.Server.Shutdown) so in-flight requests complete first.
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/measure", s.instrument(s.handleMeasure))
+	mux.HandleFunc("/v1/model", s.instrument(s.handleModel))
+	mux.HandleFunc("/v1/partition", s.instrument(s.handlePartition))
+	mux.HandleFunc("/stats", s.instrument(s.handleStats))
+	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
+	return mux
+}
+
+// DeviceSpec names one virtual device and its measurement conditions.
+type DeviceSpec struct {
+	// Preset is a platform device preset name (see fupermod-bench
+	// -help-devices), e.g. "netlib-blas", "fast", "gpu".
+	Preset string `json:"preset"`
+	// Seed seeds the device's measurement noise.
+	Seed int64 `json:"seed"`
+	// Noise is the relative measurement noise (0 disables it).
+	Noise float64 `json:"noise"`
+}
+
+// Grid is the geometric benchmark size grid [Lo, Hi] with N sizes.
+type Grid struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	N  int `json:"n"`
+}
+
+// MeasureRequest asks for the benchmark sweep of one device.
+type MeasureRequest struct {
+	Tenant string     `json:"tenant"`
+	Device DeviceSpec `json:"device"`
+	Grid   Grid       `json:"grid"`
+	// Model is the model kind the sweep is cached under (and fitted to);
+	// empty selects the piecewise FPM.
+	Model string `json:"model,omitempty"`
+}
+
+// PointPayload is one measured point.
+type PointPayload struct {
+	D     int     `json:"d"`
+	TimeS float64 `json:"time_s"`
+	Reps  int     `json:"reps"`
+	CI    float64 `json:"ci"`
+}
+
+// MeasureResponse returns the sweep's points.
+type MeasureResponse struct {
+	Device string         `json:"device"`
+	Model  string         `json:"model"`
+	Points []PointPayload `json:"points"`
+}
+
+// ModelRequest asks for a fitted model of one device.
+type ModelRequest = MeasureRequest
+
+// EvalPayload is the fitted model evaluated at one size.
+type EvalPayload struct {
+	D     int     `json:"d"`
+	TimeS float64 `json:"time_s"`
+	Speed float64 `json:"speed_ups"`
+}
+
+// ModelResponse returns the fitted model: the points it was built from and
+// its time/speed functions tabulated over the request grid.
+type ModelResponse struct {
+	Device string         `json:"device"`
+	Model  string         `json:"model"`
+	Points []PointPayload `json:"points"`
+	Eval   []EvalPayload  `json:"eval"`
+}
+
+// PartitionRequest asks for the distribution of D computation units over
+// the given devices.
+type PartitionRequest struct {
+	Tenant  string       `json:"tenant"`
+	Devices []DeviceSpec `json:"devices"`
+	Grid    Grid         `json:"grid"`
+	// Model is the model kind; empty selects the piecewise FPM.
+	Model string `json:"model,omitempty"`
+	// Algorithm is the partitioner; empty selects geometric.
+	Algorithm string `json:"algorithm,omitempty"`
+	D         int    `json:"d"`
+}
+
+// PartPayload is one process's share.
+type PartPayload struct {
+	Device string  `json:"device"`
+	Units  int     `json:"units"`
+	TimeS  float64 `json:"time_s"`
+}
+
+// PartitionResponse returns the computed distribution. It is a pure
+// function of the request — no per-request metadata — so identical
+// requests receive byte-identical responses whether served from a cold
+// sweep, the cache, or a shared batch.
+type PartitionResponse struct {
+	Algorithm string        `json:"algorithm"`
+	Model     string        `json:"model"`
+	D         int           `json:"d"`
+	Parts     []PartPayload `json:"parts"`
+	MakespanS float64       `json:"makespan_s"`
+	// Imbalance is max/min over predicted part times, or -1 when it is
+	// undefined (a loaded part with no predicted time).
+	Imbalance float64 `json:"imbalance"`
+}
+
+// httpError carries a status code to the error middleware.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with request counting and latency tracking.
+func (s *Server) instrument(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		start := time.Now()
+		status := http.StatusOK
+		if err := h(w, r); err != nil {
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			} else {
+				status = http.StatusInternalServerError
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		}
+		s.stats.observe(time.Since(start), status)
+	}
+}
+
+// decode parses a JSON request body with a sane size bound.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		return &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("malformed request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// tenantOf maps the empty tenant to a default so single-tenant clients
+// need not name themselves.
+func tenantOf(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// keyOf resolves a device spec + grid + model kind into a cache key.
+func keyOf(dev DeviceSpec, grid Grid, kind string) (ModelKey, error) {
+	if kind == "" {
+		kind = model.KindPiecewise
+	}
+	k := ModelKey{
+		Device: dev.Preset,
+		Seed:   dev.Seed,
+		Noise:  dev.Noise,
+		Lo:     grid.Lo,
+		Hi:     grid.Hi,
+		N:      grid.N,
+		Model:  kind,
+	}
+	if err := k.validate(); err != nil {
+		return ModelKey{}, badRequest("%v", err)
+	}
+	return k, nil
+}
+
+func pointPayloads(pts []core.Point) []PointPayload {
+	out := make([]PointPayload, len(pts))
+	for i, p := range pts {
+		out[i] = PointPayload{D: p.D, TimeS: p.Time, Reps: p.Reps, CI: p.CI}
+	}
+	return out
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) error {
+	var req MeasureRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	key, err := keyOf(req.Device, req.Grid, req.Model)
+	if err != nil {
+		return err
+	}
+	_, pts, err := s.getModel(tenantOf(req.Tenant), key)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return writeJSON(w, MeasureResponse{
+		Device: key.Device,
+		Model:  key.Model,
+		Points: pointPayloads(pts),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) error {
+	var req ModelRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	key, err := keyOf(req.Device, req.Grid, req.Model)
+	if err != nil {
+		return err
+	}
+	m, pts, err := s.getModel(tenantOf(req.Tenant), key)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	var eval []EvalPayload
+	for _, d := range core.LogSizes(key.Lo, key.Hi, key.N) {
+		tm, err := m.Time(float64(d))
+		if err != nil {
+			return fmt.Errorf("evaluating model at %d: %w", d, err)
+		}
+		sp, err := core.ModelSpeed(m, float64(d))
+		if err != nil {
+			return fmt.Errorf("evaluating speed at %d: %w", d, err)
+		}
+		eval = append(eval, EvalPayload{D: d, TimeS: tm, Speed: sp})
+	}
+	return writeJSON(w, ModelResponse{
+		Device: key.Device,
+		Model:  key.Model,
+		Points: pointPayloads(pts),
+		Eval:   eval,
+	})
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
+	var req PartitionRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	if len(req.Devices) == 0 {
+		return badRequest("at least one device is required")
+	}
+	if len(req.Devices) > MaxDevices {
+		return badRequest("%d devices exceed the limit of %d", len(req.Devices), MaxDevices)
+	}
+	if req.D <= 0 {
+		return badRequest("problem size d must be positive, got %d", req.D)
+	}
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "geometric"
+	}
+	tenant := tenantOf(req.Tenant)
+
+	// Resolve every device's fitted model through the tenant cache. The
+	// resolution is sequential within one request — each fill occupies a
+	// pool slot only while sweeping, and cross-request parallelism keeps
+	// the pool busy — which also rules out pool starvation from nested
+	// acquisition.
+	keys := make([]ModelKey, len(req.Devices))
+	models := make([]core.Model, len(req.Devices))
+	for i, dev := range req.Devices {
+		key, err := keyOf(dev, req.Grid, req.Model)
+		if err != nil {
+			return err
+		}
+		m, _, err := s.getModel(tenant, key)
+		if err != nil {
+			return badRequest("device %d (%s): %v", i, dev.Preset, err)
+		}
+		keys[i] = key
+		models[i] = m
+	}
+
+	dist, err := s.solvePartition(tenant, keys, models, algorithm, req.D)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	parts := make([]PartPayload, len(dist.Parts))
+	for i, p := range dist.Parts {
+		parts[i] = PartPayload{Device: keys[i].Device, Units: p.D, TimeS: p.Time}
+	}
+	imb := dist.Imbalance()
+	if math.IsInf(imb, 0) || math.IsNaN(imb) {
+		imb = -1
+	}
+	return writeJSON(w, PartitionResponse{
+		Algorithm: algorithm,
+		Model:     keys[0].Model,
+		D:         req.D,
+		Parts:     parts,
+		MakespanS: dist.MaxTime(),
+		Imbalance: imb,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		return &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"}
+	}
+	snap := s.stats.snapshot()
+	snap.Workers = s.pool.Workers()
+	s.mu.Lock()
+	snap.Tenants = len(s.tenants)
+	for _, tc := range s.tenants {
+		snap.CacheEntries += tc.order.Len()
+	}
+	s.mu.Unlock()
+	return writeJSON(w, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodGet {
+		return &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"}
+	}
+	return writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// stats holds the server's monotonically increasing counters. All fields
+// are updated with atomics so handlers never serialise on a stats lock.
+type stats struct {
+	requests atomic.Int64 // HTTP requests accepted (all endpoints)
+	errors   atomic.Int64 // requests answered with a non-2xx status
+	latencyN atomic.Int64 // completed requests with measured latency
+	latencyT atomic.Int64 // cumulative handler latency, nanoseconds
+
+	cacheHits      atomic.Int64 // model found ready in a tenant cache
+	cacheMisses    atomic.Int64 // model absent: a sweep was started
+	cacheCoalesced atomic.Int64 // request joined an in-flight sweep (single-flight)
+	cacheEvictions atomic.Int64 // entries dropped by the LRU bound
+
+	sweeps atomic.Int64 // benchmark sweeps actually executed
+
+	batchSolves atomic.Int64 // solver calls made on behalf of a batch
+	batchJoined atomic.Int64 // partition requests that joined an existing batch
+}
+
+// Snapshot is the JSON shape of the /stats endpoint.
+type Snapshot struct {
+	// Requests counts every request accepted, Errors those answered with
+	// a non-2xx status; AvgLatencyMicros is the mean handler latency.
+	Requests         int64   `json:"requests"`
+	Errors           int64   `json:"errors"`
+	AvgLatencyMicros float64 `json:"avg_latency_micros"`
+
+	// Cache counters: a hit returns a fitted model with no work, a miss
+	// triggers one sweep, a coalesced request waited on a sweep another
+	// request had already started (single-flight), and evictions count
+	// entries dropped by the per-tenant LRU bound.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+	CacheEvictions int64 `json:"cache_evictions"`
+
+	// Sweeps counts benchmark sweeps actually executed — the expensive
+	// operation the cache and single-flight exist to avoid.
+	Sweeps int64 `json:"sweeps"`
+
+	// BatchSolves counts solver calls, BatchJoined the partition requests
+	// that were answered by a solve another request triggered.
+	BatchSolves int64 `json:"batch_solves"`
+	BatchJoined int64 `json:"batch_joined"`
+
+	// Tenants and CacheEntries describe the current cache population.
+	Tenants      int `json:"tenants"`
+	CacheEntries int `json:"cache_entries"`
+
+	// Workers is the size of the shared worker pool.
+	Workers int `json:"workers"`
+}
+
+// observe records one completed request.
+func (s *stats) observe(d time.Duration, status int) {
+	if status >= 300 {
+		s.errors.Add(1)
+	}
+	s.latencyN.Add(1)
+	s.latencyT.Add(int64(d))
+}
+
+// snapshot captures the counters; tenant/entry counts are filled by the
+// server, which owns the cache lock.
+func (s *stats) snapshot() Snapshot {
+	snap := Snapshot{
+		Requests:       s.requests.Load(),
+		Errors:         s.errors.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheCoalesced: s.cacheCoalesced.Load(),
+		CacheEvictions: s.cacheEvictions.Load(),
+		Sweeps:         s.sweeps.Load(),
+		BatchSolves:    s.batchSolves.Load(),
+		BatchJoined:    s.batchJoined.Load(),
+	}
+	if n := s.latencyN.Load(); n > 0 {
+		snap.AvgLatencyMicros = float64(s.latencyT.Load()) / float64(n) / 1e3
+	}
+	return snap
+}
