@@ -6,7 +6,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke service verify update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service commmodel verify update-golden
 
 all: tier1
 
@@ -14,8 +14,8 @@ all: tier1
 tier1: build test
 
 ## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
-## gate and the verification suite
-tier2: tier1 vet race fuzz-smoke service verify
+## gate, the communication-model gate and the verification suite
+tier2: tier1 vet race fuzz-smoke service commmodel verify
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ fuzz-smoke:
 service:
 	$(GO) vet ./internal/service ./cmd/fupermod-serve
 	$(GO) test -race -count=1 ./internal/service ./cmd/fupermod-serve
+
+## commmodel: vet + race-test the communication models and their CLI
+## (-count=1: the calibration determinism tests assert serial-vs-parallel
+## byte identity under live pool scheduling)
+commmodel:
+	$(GO) vet ./internal/commmodel ./cmd/fupermod-commbench
+	$(GO) test -race -count=1 ./internal/commmodel ./cmd/fupermod-commbench
 
 ## verify: run the partitioner verification suite (oracle + differential)
 verify:

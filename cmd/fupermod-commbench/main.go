@@ -1,0 +1,173 @@
+// Command fupermod-commbench calibrates a communication operation on the
+// virtual runtime and fits communication performance models to the
+// measurements — the communication counterpart of fupermod-bench in the
+// tool chain (benchmark → model → partition).
+//
+// By default it measures the operation over a log-spaced message-size
+// grid, fits the requested models, and prints a measured-vs-predicted
+// table plus the fitted parameters and residuals. With -o the raw
+// calibration is written as a points file (the same format computation
+// benchmarks use); with -in an existing calibration is read back instead
+// of being measured, so fits can be re-run and inspected offline.
+//
+// Usage:
+//
+//	fupermod-commbench -net rendezvous -op bcast -ranks 8
+//	fupermod-commbench -net gigabit -op p2p -o p2p.points
+//	fupermod-commbench -in p2p.points -models hockney -robust
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fupermod/internal/commmodel"
+	"fupermod/internal/core"
+	"fupermod/internal/pool"
+	"fupermod/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "fupermod-commbench:", err)
+		os.Exit(1)
+	}
+}
+
+func opNames() string {
+	ops := commmodel.Ops()
+	ss := make([]string, len(ops))
+	for i, o := range ops {
+		ss[i] = string(o)
+	}
+	return strings.Join(ss, " | ")
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fupermod-commbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		netName = fs.String("net", "gigabit", "network preset: "+strings.Join(commmodel.NetNames(), " | "))
+		opName  = fs.String("op", "p2p", "operation to measure: "+opNames())
+		ranks   = fs.Int("ranks", 4, "number of processes in the simulated run")
+		lo      = fs.Int("lo", 64, "smallest message size in bytes")
+		hi      = fs.Int("hi", 1<<20, "largest message size in bytes")
+		n       = fs.Int("n", 12, "number of sizes (geometric grid)")
+		models  = fs.String("models", "hockney,loggp", "comma-separated model kinds to fit: "+strings.Join(commmodel.ModelKinds(), " | "))
+		robust  = fs.Bool("robust", false, "fit with the Theil–Sen robust estimator instead of least squares")
+		workers = fs.Int("workers", 4, "concurrent per-size simulations")
+		inFile  = fs.String("in", "", "read an existing calibration points file instead of measuring")
+		outFile = fs.String("o", "", "write the calibration as a points file ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var cal *commmodel.Calibration
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			return err
+		}
+		cal, err = commmodel.ReadCalibration(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *inFile, err)
+		}
+	} else {
+		net, err := commmodel.NetByName(*netName)
+		if err != nil {
+			return err
+		}
+		spec := commmodel.Spec{Op: commmodel.Op(*opName), Ranks: *ranks, Net: net, NetName: *netName}
+		if *workers < 1 {
+			*workers = 1
+		}
+		cal, err = commmodel.Calibrate(context.Background(), pool.New(*workers), spec, core.LogSizes(*lo, *hi, *n), commmodel.DefaultPrecision)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *outFile != "" {
+		w := stdout
+		if *outFile != "-" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := cal.Write(w); err != nil {
+			return err
+		}
+		if *outFile != "-" {
+			fmt.Fprintf(stdout, "wrote %d points to %s\n", len(cal.Points), *outFile)
+		}
+	}
+
+	var kinds []string
+	for _, k := range strings.Split(*models, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			kinds = append(kinds, k)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	fitted := make([]commmodel.CommModel, len(kinds))
+	for i, k := range kinds {
+		m, err := cal.Fit(k, *robust)
+		if err != nil {
+			return err
+		}
+		fitted[i] = m
+	}
+
+	cols := []string{"bytes", "measured s"}
+	for _, k := range kinds {
+		cols = append(cols, k+" s", k+" rel err")
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("%s on %s (%d ranks): measured vs fitted", cal.Spec.Op, cal.Spec.NetName, cal.Spec.Ranks),
+		cols...)
+	for _, pt := range cal.Points {
+		row := []any{pt.D, pt.Time}
+		for _, m := range fitted {
+			pred := m.Time(float64(pt.D))
+			rel := 0.0
+			if pt.Time > 0 {
+				rel = (pred - pt.Time) / pt.Time
+			}
+			row = append(row, pred, rel)
+		}
+		t.AddRow(row...)
+	}
+	var note strings.Builder
+	for i, m := range fitted {
+		if i > 0 {
+			note.WriteString("; ")
+		}
+		fmt.Fprintf(&note, "%s:", m.Name())
+		for _, p := range m.Params() {
+			fmt.Fprintf(&note, " %s=%.4g", p.Name, p.Value)
+		}
+		fit := m.Residuals()
+		fmt.Fprintf(&note, " (rmse %.3g s, max rel %.2g%%)", fit.RMSE, 100*fit.MaxRel)
+	}
+	t.Note = note.String()
+	_, err := t.WriteTo(stdout)
+	return err
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunHelp(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag.ErrHelp, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "-net") || !strings.Contains(sb.String(), "-op") {
+		t.Errorf("usage should list -net and -op:\n%s", sb.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-no-such-flag"}, &sb); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Errorf("unknown flag should error, got %v", err)
+	}
+	if err := run([]string{"-net", "token-ring"}, &sb); err == nil {
+		t.Error("unknown network preset should error")
+	}
+	if err := run([]string{"-op", "teleport"}, &sb); err == nil {
+		t.Error("unknown operation should error")
+	}
+	if err := run([]string{"-models", "m5"}, &sb); err == nil {
+		t.Error("unknown model kind should error")
+	}
+	if err := run([]string{"-ranks", "1", "-op", "halo"}, &sb); err == nil {
+		t.Error("too few ranks should error")
+	}
+	if err := run([]string{"stray-arg"}, &sb); err == nil {
+		t.Error("positional arguments should error")
+	}
+}
+
+// TestRunMeasureAndFit: on a uniform net every collective is affine in the
+// message size, so both fitted models must reproduce the measurements.
+func TestRunMeasureAndFit(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-net", "gigabit", "-op", "bcast", "-ranks", "4", "-n", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "bcast on gigabit (4 ranks)") {
+		t.Errorf("missing table title:\n%s", out)
+	}
+	for _, want := range []string{"hockney:", "loggp:", "alpha=", "max rel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output should contain %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPointsFileRoundTrip: -o writes a points file that -in can fit
+// without re-measuring.
+func TestRunPointsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p2p.points")
+	var sb strings.Builder
+	if err := run([]string{"-net", "rendezvous", "-op", "p2p", "-o", path, "-models", ""}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 12 points") {
+		t.Errorf("write confirmation missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-in", path, "-models", "loggp", "-robust"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p2p on rendezvous (4 ranks)") {
+		t.Errorf("round-tripped spec missing from title:\n%s", out)
+	}
+	// The rendezvous preset switches protocol at 64 KiB: the piecewise fit
+	// must find a finite threshold.
+	if !strings.Contains(out, "loggp:") || !strings.Contains(out, " S=") {
+		t.Errorf("loggp fit missing:\n%s", out)
+	}
+	if strings.Contains(out, "S=+Inf") {
+		t.Errorf("loggp should find the rendezvous kink:\n%s", out)
+	}
+}
+
+// TestRunDumpToStdout: -o - interleaves the points file with the report.
+func TestRunDumpToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-net", "shared", "-op", "halo", "-ranks", "3", "-o", "-", "-models", "hockney"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "comm/halo/3") {
+		t.Errorf("points-file kernel header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hockney:") {
+		t.Errorf("fit report missing:\n%s", out)
+	}
+}

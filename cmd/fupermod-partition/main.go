@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,9 +18,11 @@ import (
 	"os"
 	"strings"
 
+	"fupermod/internal/commmodel"
 	"fupermod/internal/core"
 	"fupermod/internal/model"
 	"fupermod/internal/partition"
+	"fupermod/internal/pool"
 	"fupermod/internal/trace"
 )
 
@@ -40,6 +43,11 @@ func run(args []string, stdout io.Writer) error {
 		algo = fs.String("algorithm", "geometric", "partitioning algorithm: "+strings.Join(partition.Names(), " | "))
 		kind = fs.String("model", model.KindPiecewise, "model kind: "+strings.Join(model.Kinds(), " | "))
 		D    = fs.Int("D", 0, "total problem size in computation units (required)")
+
+		commNet  = fs.String("comm-net", "", "include communication cost over this network preset ("+strings.Join(commmodel.NetNames(), " | ")+"); empty = compute only")
+		commOp   = fs.String("comm-op", "p2p", "operation the comm model is calibrated on")
+		commKind = fs.String("comm-model", "loggp", "comm model kind: "+strings.Join(commmodel.ModelKinds(), " | "))
+		commBPU  = fs.Float64("comm-bytes-per-unit", 0, "wire bytes one computation unit costs a process per iteration")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +84,15 @@ func run(args []string, stdout io.Writer) error {
 			names[i] = path
 		}
 	}
+	commNote := ""
+	if *commNet != "" {
+		models, commNote, err = commWrap(models, *commNet, *commOp, *commKind, *commBPU)
+		if err != nil {
+			return err
+		}
+	} else if *commBPU != 0 {
+		return fmt.Errorf("-comm-bytes-per-unit needs -comm-net")
+	}
 	dist, err := p.Partition(models, *D)
 	if err != nil {
 		return err
@@ -88,6 +105,46 @@ func run(args []string, stdout io.Writer) error {
 	}
 	t.Note = fmt.Sprintf("predicted makespan %.4gs, predicted imbalance %.4g",
 		dist.MaxTime(), dist.Imbalance())
+	if commNote != "" {
+		t.Note += "; " + commNote
+	}
 	_, err = t.WriteTo(stdout)
 	return err
+}
+
+// commWrap calibrates the requested operation on the named network preset,
+// fits the comm model, and wraps every compute model so the partitioner
+// balances compute plus per-iteration traffic (bytesPerUnit·dᵢ bytes).
+func commWrap(models []core.Model, netName, opName, kind string, bytesPerUnit float64) ([]core.Model, string, error) {
+	if bytesPerUnit < 0 {
+		return nil, "", fmt.Errorf("negative -comm-bytes-per-unit %g", bytesPerUnit)
+	}
+	net, err := commmodel.NetByName(netName)
+	if err != nil {
+		return nil, "", err
+	}
+	ranks := len(models)
+	if ranks < 2 {
+		ranks = 2 // point-to-point ops need a peer
+	}
+	spec := commmodel.Spec{Op: commmodel.Op(opName), Ranks: ranks, Net: net, NetName: netName}
+	cal, err := commmodel.Calibrate(context.Background(), pool.New(4), spec, nil, commmodel.DefaultPrecision)
+	if err != nil {
+		return nil, "", err
+	}
+	cm, err := cal.Fit(kind, false)
+	if err != nil {
+		return nil, "", err
+	}
+	comms := make([]partition.CommCost, len(models))
+	for i := range comms {
+		comms[i] = cm
+	}
+	wrapped, err := partition.WithCommModel(models, comms, partition.LinearBytes(bytesPerUnit))
+	if err != nil {
+		return nil, "", err
+	}
+	note := fmt.Sprintf("comm %s/%s/%s at %g B/unit (fit max rel %.2g%%)",
+		kind, opName, netName, bytesPerUnit, 100*cm.Residuals().MaxRel)
+	return wrapped, note, nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,5 +76,64 @@ func TestRunHappyPath(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunCommAware: with a comm spec the distribution prices traffic into
+// the balance — the predicted makespan grows and the note records the
+// fitted comm model.
+func TestRunCommAware(t *testing.T) {
+	dir := t.TempDir()
+	fast := writePointsFile(t, dir, "fast", platform.FastCore("fast"))
+	slow := writePointsFile(t, dir, "slow", platform.SlowCore("slow"))
+	args := []string{"-algorithm", "numerical", "-D", "4000"}
+	var blind strings.Builder
+	if err := run(append(args, fast, slow), &blind); err != nil {
+		t.Fatalf("compute-only run failed: %v", err)
+	}
+	var aware strings.Builder
+	comm := []string{"-comm-net", "rendezvous", "-comm-model", "loggp", "-comm-bytes-per-unit", "4096"}
+	if err := run(append(append(args, comm...), fast, slow), &aware); err != nil {
+		t.Fatalf("comm-aware run failed: %v", err)
+	}
+	out := aware.String()
+	if !strings.Contains(out, "comm loggp/p2p/rendezvous at 4096 B/unit") {
+		t.Errorf("comm note missing:\n%s", out)
+	}
+	mk := func(s string) float64 {
+		i := strings.Index(s, "predicted makespan ")
+		if i < 0 {
+			t.Fatalf("no makespan in output:\n%s", s)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(s[i:], "predicted makespan %gs", &v); err != nil {
+			t.Fatalf("parsing makespan: %v", err)
+		}
+		return v
+	}
+	if b, a := mk(blind.String()), mk(out); a <= b {
+		t.Errorf("comm-aware makespan %g should exceed compute-only %g (it includes traffic)", a, b)
+	}
+}
+
+// TestRunCommFlagErrors: malformed comm specs are rejected.
+func TestRunCommFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	pts := writePointsFile(t, dir, "fast", platform.FastCore("fast"))
+	var sb strings.Builder
+	if err := run([]string{"-D", "10", "-comm-net", "token-ring", pts}, &sb); err == nil {
+		t.Error("unknown comm net should error")
+	}
+	if err := run([]string{"-D", "10", "-comm-net", "gigabit", "-comm-op", "teleport", pts}, &sb); err == nil {
+		t.Error("unknown comm op should error")
+	}
+	if err := run([]string{"-D", "10", "-comm-net", "gigabit", "-comm-model", "m5", pts}, &sb); err == nil {
+		t.Error("unknown comm model kind should error")
+	}
+	if err := run([]string{"-D", "10", "-comm-net", "gigabit", "-comm-bytes-per-unit", "-1", pts}, &sb); err == nil {
+		t.Error("negative bytes per unit should error")
+	}
+	if err := run([]string{"-D", "10", "-comm-bytes-per-unit", "64", pts}, &sb); err == nil {
+		t.Error("bytes per unit without a net should error")
 	}
 }

@@ -153,6 +153,37 @@ func (c *Comm) Gather(root int, nbytes int, payload any) ([]any, error) {
 	return out, nil
 }
 
+// Scatter distributes payloads[r] from root to each rank r, in rank
+// order. nbytes is the wire size of one rank's payload. The root performs
+// the p−1 sends serially (a flat scatter, the inverse of Gather), so the
+// modelled cost is linear in p. Non-root ranks pass nil payloads and
+// receive their own slot.
+func (c *Comm) Scatter(root int, nbytes int, payloads []any) (any, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("comm: scatter root %d out of range [0,%d)", root, size)
+	}
+	if c.rank != root {
+		got, err := c.Recv(root)
+		if err != nil {
+			return nil, fmt.Errorf("comm: scatter: %w", err)
+		}
+		return got, nil
+	}
+	if len(payloads) != size {
+		return nil, fmt.Errorf("comm: scatter root has %d payloads for %d ranks", len(payloads), size)
+	}
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		if err := c.Send(r, nbytes, payloads[r]); err != nil {
+			return nil, fmt.Errorf("comm: scatter: %w", err)
+		}
+	}
+	return payloads[root], nil
+}
+
 // Allgather makes every rank's payload available on all ranks (gather to
 // rank 0, broadcast of the gathered slice). nbytes is the wire size of one
 // rank's payload.

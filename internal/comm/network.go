@@ -22,6 +22,57 @@ func (m NetModel) Cost(from, to, nbytes int) float64 { return m.PtP(nbytes) }
 // MaxLatency implements Network for the uniform model.
 func (m NetModel) MaxLatency() float64 { return m.Latency }
 
+// Rendezvous is a two-regime point-to-point network modelling the
+// eager/rendezvous protocol switch of real MPI implementations: messages
+// up to Threshold bytes are sent eagerly (the sender fires and forgets,
+// paying only the eager model), while larger messages negotiate a
+// rendezvous first (an extra handshake raises the latency, but the
+// zero-copy transfer usually has *better* bandwidth). The resulting cost
+// function is piecewise affine with a kink at the threshold — the shape
+// the LogGP-style communication models in internal/commmodel exist to
+// capture and a plain Hockney α+βm fit cannot.
+type Rendezvous struct {
+	// Eager prices messages of up to Threshold bytes.
+	Eager NetModel
+	// Rend prices messages beyond the threshold; its Latency includes the
+	// handshake round-trip.
+	Rend NetModel
+	// Threshold is the eager limit in bytes.
+	Threshold int
+}
+
+// NewRendezvous validates the protocol switch: the rendezvous regime must
+// have the higher latency (it pays the handshake) and the threshold must
+// be positive.
+func NewRendezvous(eager, rend NetModel, threshold int) (*Rendezvous, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("comm: rendezvous threshold must be positive, got %d", threshold)
+	}
+	if rend.Latency < eager.Latency {
+		return nil, fmt.Errorf("comm: rendezvous latency %g below eager latency %g", rend.Latency, eager.Latency)
+	}
+	return &Rendezvous{Eager: eager, Rend: rend, Threshold: threshold}, nil
+}
+
+// PtP returns the protocol-dependent point-to-point time for n bytes.
+func (r *Rendezvous) PtP(nbytes int) float64 {
+	if nbytes <= r.Threshold {
+		return r.Eager.PtP(nbytes)
+	}
+	return r.Rend.PtP(nbytes)
+}
+
+// Cost implements Network.
+func (r *Rendezvous) Cost(from, to, nbytes int) float64 { return r.PtP(nbytes) }
+
+// MaxLatency implements Network.
+func (r *Rendezvous) MaxLatency() float64 {
+	if r.Rend.Latency > r.Eager.Latency {
+		return r.Rend.Latency
+	}
+	return r.Eager.Latency
+}
+
 // Hierarchical is a two-level network: ranks are grouped onto nodes;
 // pairs on the same node use the Intra model, pairs on different nodes
 // the Inter model.

@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScatterDeliversOwnSlot(t *testing.T) {
+	const p = 5
+	payloads := make([]any, p)
+	for r := range payloads {
+		payloads[r] = 100 + r
+	}
+	net := NetModel{Latency: 1e-3, ByteTime: 1e-8}
+	clocks, err := runOrTimeout(t, p, net, func(c *Comm) error {
+		var in []any
+		if c.Rank() == 2 {
+			in = payloads
+		}
+		got, err := c.Scatter(2, 64, in)
+		if err != nil {
+			return err
+		}
+		if got != 100+c.Rank() {
+			t.Errorf("rank %d received %v, want %d", c.Rank(), got, 100+c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root sends p-1 messages serially: its clock is (p-1)·(α+βm).
+	want := float64(p-1) * net.PtP(64)
+	if math.Abs(clocks[2]-want) > 1e-12 {
+		t.Errorf("root clock %g, want %g (flat scatter is linear in p)", clocks[2], want)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	_, err := runOrTimeout(t, 2, GigabitEthernet, func(c *Comm) error {
+		_, err := c.Scatter(7, 8, nil)
+		return err
+	})
+	if err == nil {
+		t.Error("out-of-range root should error")
+	}
+	_, err = runOrTimeout(t, 3, GigabitEthernet, func(c *Comm) error {
+		if c.Rank() != 0 {
+			// Peers must not block on a root that errors out before
+			// sending; Recv fails with ErrTerminated.
+			_, err := c.Scatter(0, 8, nil)
+			return err
+		}
+		_, err := c.Scatter(0, 8, []any{1, 2}) // wrong arity
+		return err
+	})
+	if err == nil {
+		t.Error("payload/rank arity mismatch should error")
+	}
+}
+
+func TestRendezvousKink(t *testing.T) {
+	eager := NetModel{Latency: 50e-6, ByteTime: 1e-8}
+	rend := NetModel{Latency: 500e-6, ByteTime: 5e-9}
+	r, err := NewRendezvous(eager, rend, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.PtP(4096), eager.PtP(4096); got != want {
+		t.Errorf("at threshold: %g, want eager %g", got, want)
+	}
+	if got, want := r.PtP(4097), rend.PtP(4097); got != want {
+		t.Errorf("past threshold: %g, want rendezvous %g", got, want)
+	}
+	if got := r.MaxLatency(); got != rend.Latency {
+		t.Errorf("MaxLatency %g, want %g", got, rend.Latency)
+	}
+	if got := r.Cost(0, 1, 100); got != eager.PtP(100) {
+		t.Errorf("Cost ignores ranks on a uniform rendezvous net: %g", got)
+	}
+}
+
+func TestRendezvousValidation(t *testing.T) {
+	if _, err := NewRendezvous(NetModel{}, NetModel{}, 0); err == nil {
+		t.Error("non-positive threshold should error")
+	}
+	if _, err := NewRendezvous(NetModel{Latency: 1e-3}, NetModel{Latency: 1e-6}, 64); err == nil {
+		t.Error("rendezvous latency below eager latency should error")
+	}
+}

@@ -1,0 +1,178 @@
+package commmodel
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/pool"
+)
+
+// Spec describes one calibration target: an operation on a world.
+type Spec struct {
+	// Op is the operation to measure.
+	Op Op
+	// Ranks is the world size the operation runs on.
+	Ranks int
+	// Peer is the destination rank of OpP2P/OpPingPong (0 selects the
+	// last rank); ignored by the collectives. On non-uniform networks the
+	// peer selects which link is being calibrated.
+	Peer int
+	// Net is the network under measurement.
+	Net comm.Network
+	// NetName names the network in points files and reports.
+	NetName string
+}
+
+// Validate reports specification errors.
+func (s Spec) Validate() error {
+	if s.Net == nil {
+		return fmt.Errorf("commmodel: spec for %s needs a network", s.Op)
+	}
+	if s.Ranks < s.Op.minRanks() {
+		return fmt.Errorf("commmodel: %s needs at least %d ranks, got %d", s.Op, s.Op.minRanks(), s.Ranks)
+	}
+	if _, err := opBody(s.Op, max(s.Ranks, 2), 1, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Kernel adapts the spec to core.Kernel: the "problem size" is the
+// per-rank message size in bytes, and one kernel run is one comm.Run
+// simulation of the operation.
+func (s Spec) Kernel() core.Kernel { return opKernel{spec: s} }
+
+// DefaultGrid is the calibration message-size grid: log-spaced from 64 B
+// to 1 MiB, the range the applications' per-iteration messages span.
+func DefaultGrid() []int { return core.LogSizes(64, 1<<20, 12) }
+
+// DefaultPrecision is the repetition rule for calibration measurements.
+// The virtual runtime is deterministic, so the confidence interval
+// collapses after the second repetition; the statistical machinery is
+// still exercised (and would kick in for a noisy runtime).
+var DefaultPrecision = core.Precision{MinReps: 2, MaxReps: 5, Confidence: 0.95, RelErr: 0.02}
+
+// Calibration is the result of measuring one spec over a size grid.
+type Calibration struct {
+	// Spec echoes the calibration target.
+	Spec Spec
+	// Points holds one measurement per grid size, in increasing size
+	// order; D is the message size in bytes.
+	Points []core.Point
+}
+
+// Calibrate measures the spec at each grid size (nil sizes selects
+// DefaultGrid) with the given repetition rule (zero prec selects
+// DefaultPrecision). The per-size measurements — each an independent
+// comm.Run simulation — run concurrently on the caller's pool, sharing
+// its concurrency bound with every other task on it; because virtual time
+// is deterministic, the returned points are byte-identical to a serial
+// sweep at any worker count.
+func Calibrate(ctx context.Context, p *pool.Pool, spec Spec, sizes []int, prec core.Precision) (*Calibration, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if sizes == nil {
+		sizes = DefaultGrid()
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("commmodel: calibrating %s needs a non-empty size grid", spec.Op)
+	}
+	if prec == (core.Precision{}) {
+		prec = DefaultPrecision
+	}
+	pts, err := core.SweepOnPool(ctx, p, spec.Kernel(), sizes, prec)
+	if err != nil {
+		return nil, fmt.Errorf("commmodel: calibrating %s: %w", spec.Op, err)
+	}
+	return &Calibration{Spec: spec, Points: pts}, nil
+}
+
+// Fit fits the named model kind ("hockney" or "loggp") to the calibration
+// by least squares; robust selects the Theil–Sen estimator instead.
+func (c *Calibration) Fit(kind string, robust bool) (CommModel, error) {
+	switch kind {
+	case "hockney":
+		return FitHockney(c.Points, robust)
+	case "loggp":
+		return FitLogGP(c.Points, robust)
+	default:
+		return nil, fmt.Errorf("commmodel: unknown model kind %q (want one of %v)", kind, ModelKinds())
+	}
+}
+
+// kernelPrefix marks communication points files apart from computation
+// ones in the shared format.
+const kernelPrefix = "comm/"
+
+// PointFile converts the calibration to the shared points-file
+// representation: the kernel field carries "comm/<op>/<ranks>" and the
+// device field the network name, so communication calibrations round-trip
+// through the exact same serialisation as computation benchmarks.
+func (c *Calibration) PointFile() model.PointFile {
+	return model.PointFile{
+		Kernel: fmt.Sprintf("%s%s/%d", kernelPrefix, c.Spec.Op, c.Spec.Ranks),
+		Device: c.Spec.NetName,
+		Points: append([]core.Point(nil), c.Points...),
+	}
+}
+
+// Write serialises the calibration in the points-file format.
+func (c *Calibration) Write(w io.Writer) error {
+	return model.WritePoints(w, c.PointFile())
+}
+
+// ReadCalibration parses a calibration written by Write. The network is
+// not serialised (only its name is), so the returned Spec carries a nil
+// Net: the calibration can be fitted and inspected but not re-measured.
+func ReadCalibration(r io.Reader) (*Calibration, error) {
+	pf, err := model.ReadPoints(r)
+	if err != nil {
+		return nil, fmt.Errorf("commmodel: %w", err)
+	}
+	rest, ok := strings.CutPrefix(pf.Kernel, kernelPrefix)
+	if !ok {
+		return nil, fmt.Errorf("commmodel: points file measures kernel %q, not a communication operation", pf.Kernel)
+	}
+	op, ranksStr, _ := strings.Cut(rest, "/")
+	ranks := 0
+	if ranksStr != "" {
+		if _, err := fmt.Sscanf(ranksStr, "%d", &ranks); err != nil {
+			return nil, fmt.Errorf("commmodel: bad rank count %q in kernel %q", ranksStr, pf.Kernel)
+		}
+	}
+	return &Calibration{
+		Spec:   Spec{Op: Op(op), Ranks: ranks, NetName: pf.Device},
+		Points: pf.Points,
+	}, nil
+}
+
+// NetByName resolves the named uniform network preset: "gigabit"
+// (comm.GigabitEthernet), "shared" (comm.SharedMemory), or "rendezvous"
+// (gigabit eager regime with a 64 KiB protocol switch into a
+// higher-latency, higher-bandwidth rendezvous regime). It is the registry
+// behind the -net flags of the tools and the service's comm spec.
+func NetByName(name string) (comm.Network, error) {
+	switch name {
+	case "gigabit":
+		return comm.GigabitEthernet, nil
+	case "shared":
+		return comm.SharedMemory, nil
+	case "rendezvous":
+		return comm.NewRendezvous(
+			comm.GigabitEthernet,
+			comm.NetModel{Latency: 20 * comm.GigabitEthernet.Latency, ByteTime: comm.GigabitEthernet.ByteTime / 2},
+			64<<10,
+		)
+	default:
+		return nil, fmt.Errorf("commmodel: unknown network %q (want one of %v)", name, NetNames())
+	}
+}
+
+// NetNames lists the networks constructible by NetByName.
+func NetNames() []string { return []string{"gigabit", "shared", "rendezvous"} }

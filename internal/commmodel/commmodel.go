@@ -1,0 +1,190 @@
+// Package commmodel is the communication-performance-model subsystem: the
+// counterpart, for communication, of the computation models in package
+// model. FuPerMod partitions data by computation speed functions, but the
+// target applications (parallel matrix multiplication, Jacobi) are
+// communication-bound at scale, and a partitioner that cannot price a
+// process's traffic balances the wrong quantity. The companion work on
+// self-adaptable algorithms (arXiv:1109.3074) argues heterogeneous
+// partitioning must account for communication cost functions, and
+// Stevens–Klöckner (arXiv:1904.09538) shows black-box cost models
+// calibrated from measurements transfer across machines; this package
+// follows both: models are *fitted to measurements* of the comm runtime,
+// never assumed.
+//
+// The subsystem mirrors the computation-model stack layer by layer:
+//
+//   - Model types (this file): Hockney (α + β·m) and LogGP (L, o, G with
+//     eager/rendezvous piecewise segments), each implementing CommModel —
+//     predicted time per message size, named parameters, fit residuals.
+//   - Calibration (calibrate.go): a benchmarker that drives the virtual
+//     comm runtime to measure point-to-point ping-pong and the collectives
+//     the applications actually use (broadcast, scatter/gather, allgather,
+//     halo exchange) over a log-spaced message-size grid, reusing core's
+//     statistical repetition/CI machinery and running the independent
+//     comm.Run simulations concurrently on the shared pool.Pool.
+//   - Fitting (fit.go): least-squares (or Theil–Sen robust) estimation of
+//     the model parameters from measured points.
+//   - Persistence: calibrations serialise in the same points-file format
+//     as computation models (model.PointFile), with the message size in
+//     bytes as the point's D.
+//
+// partition.WithCommModel plugs fitted models into the partitioning
+// algorithms (per-process cost tᵢ(dᵢ) + cᵢ(bytes(dᵢ))), and
+// verify.DiffComm pins each fitted model's predictions against fresh
+// runtime measurements.
+package commmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// CommModel is a fitted communication performance model: a continuous
+// prediction of the time one execution of an operation takes as a function
+// of the per-rank message size in bytes.
+type CommModel interface {
+	// Name identifies the model kind, e.g. "hockney".
+	Name() string
+	// Time predicts the operation time in seconds for a message of the
+	// given size in bytes (negative sizes are treated as zero). The
+	// prediction is always non-negative.
+	Time(bytes float64) float64
+	// Params returns the fitted parameters in a fixed display order.
+	Params() []Param
+	// Residuals reports how well the model reproduces the points it was
+	// fitted to.
+	Residuals() Fit
+}
+
+// Param is one named fitted parameter.
+type Param struct {
+	Name  string
+	Value float64
+}
+
+// Fit summarises the residuals of a fitted model against its calibration
+// points.
+type Fit struct {
+	// N is the number of calibration points.
+	N int
+	// RMSE is the root-mean-square residual in seconds.
+	RMSE float64
+	// MaxAbs is the largest absolute residual in seconds.
+	MaxAbs float64
+	// MaxRel is the largest relative residual |pred−meas|/meas over points
+	// with positive measured time.
+	MaxRel float64
+}
+
+// Hockney is the classic α+β model: a per-message latency plus a per-byte
+// transfer time. It is exact for any operation whose cost is affine in the
+// message size — which, for a fixed process count, covers every collective
+// of the uniform virtual runtime — and the canonical first-order model for
+// real networks.
+type Hockney struct {
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the per-byte time in seconds (1/bandwidth).
+	Beta float64
+
+	fit Fit
+}
+
+// Name implements CommModel.
+func (h *Hockney) Name() string { return "hockney" }
+
+// Time implements CommModel.
+func (h *Hockney) Time(bytes float64) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	t := h.Alpha + bytes*h.Beta
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// Params implements CommModel.
+func (h *Hockney) Params() []Param {
+	return []Param{{"alpha", h.Alpha}, {"beta", h.Beta}}
+}
+
+// Residuals implements CommModel.
+func (h *Hockney) Residuals() Fit { return h.fit }
+
+// LogGP carries the LogGP parameter family (Alexandrov et al.): L the wire
+// latency, O the per-message CPU overhead, G the per-byte gap — extended
+// with the eager/rendezvous protocol switch of real MPI implementations:
+// messages above the Threshold pay an extra handshake H and a (usually
+// smaller) rendezvous per-byte gap GRend. The predicted single-operation
+// time is piecewise affine:
+//
+//	m ≤ Threshold:  L + 2·O + m·G
+//	m > Threshold:  L + 2·O + H + m·GRend
+//
+// Single-operation measurements determine only the aggregate intercept
+// L+2·O per segment; the split between L and O follows the conventional
+// o = α/4 identifiability choice (the fitted behaviour is unaffected).
+type LogGP struct {
+	// L is the wire latency in seconds.
+	L float64
+	// O is the per-message send/receive CPU overhead in seconds.
+	O float64
+	// G is the eager per-byte gap in seconds.
+	G float64
+	// Threshold is the eager message-size limit in bytes; +Inf when the
+	// fit found no protocol switch (a single affine segment).
+	Threshold float64
+	// H is the rendezvous handshake cost in seconds (0 without a switch).
+	H float64
+	// GRend is the rendezvous per-byte gap (equal to G without a switch).
+	GRend float64
+
+	fit Fit
+}
+
+// Name implements CommModel.
+func (l *LogGP) Name() string { return "loggp" }
+
+// Time implements CommModel.
+func (l *LogGP) Time(bytes float64) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	var t float64
+	if bytes <= l.Threshold {
+		t = l.L + 2*l.O + bytes*l.G
+	} else {
+		t = l.L + 2*l.O + l.H + bytes*l.GRend
+	}
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// Params implements CommModel.
+func (l *LogGP) Params() []Param {
+	return []Param{
+		{"L", l.L}, {"o", l.O}, {"G", l.G},
+		{"S", l.Threshold}, {"H", l.H}, {"G_rend", l.GRend},
+	}
+}
+
+// Residuals implements CommModel.
+func (l *LogGP) Residuals() Fit { return l.fit }
+
+// ModelKinds lists the fittable communication model kinds, as accepted by
+// Calibration.Fit and the -fit flags of the tools.
+func ModelKinds() []string { return []string{"hockney", "loggp"} }
+
+// checkFinite guards fitted parameters against degenerate inputs.
+func checkFinite(name string, vals ...float64) error {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("commmodel: %s fit produced non-finite parameter %g", name, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package commmodel
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+	"fupermod/internal/pool"
+)
+
+// affinePoints builds noiseless measurements of a + b·m.
+func affinePoints(a, b float64, sizes []int) []core.Point {
+	pts := make([]core.Point, len(sizes))
+	for i, m := range sizes {
+		pts[i] = core.Point{D: m, Time: a + b*float64(m), Reps: 2}
+	}
+	return pts
+}
+
+func TestFitHockneyRecoversAffine(t *testing.T) {
+	const alpha, beta = 5e-5, 1e-8
+	h, err := FitHockney(affinePoints(alpha, beta, DefaultGrid()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Alpha-alpha) > 1e-9 || math.Abs(h.Beta-beta) > 1e-12 {
+		t.Errorf("fit (α=%g, β=%g), want (%g, %g)", h.Alpha, h.Beta, alpha, beta)
+	}
+	if f := h.Residuals(); f.N != 12 || f.MaxRel > 1e-9 {
+		t.Errorf("residuals %+v on exact data", f)
+	}
+}
+
+func TestFitHockneyRobustIgnoresOutlier(t *testing.T) {
+	const alpha, beta = 5e-5, 1e-8
+	pts := affinePoints(alpha, beta, DefaultGrid())
+	pts[3].Time *= 50 // one wildly corrupted measurement
+	h, err := FitHockney(pts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Beta-beta)/beta > 0.05 {
+		t.Errorf("Theil–Sen slope %g drifted >5%% from %g under a single outlier", h.Beta, beta)
+	}
+	ols, err := FitHockney(pts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ols.Beta-beta) <= math.Abs(h.Beta-beta) {
+		t.Errorf("OLS (β=%g) should be hurt more than Theil–Sen (β=%g) by the outlier", ols.Beta, h.Beta)
+	}
+}
+
+func TestFitLogGPFindsKink(t *testing.T) {
+	// Piecewise truth: eager α=1e-4, G=1e-8 up to 8 KiB; rendezvous adds a
+	// handshake and halves the per-byte gap.
+	const (
+		aE, gE    = 1e-4, 1e-8
+		h, gR     = 9e-4, 5e-9
+		threshold = 8 << 10
+	)
+	sizes := core.LogSizes(64, 1<<20, 14)
+	pts := make([]core.Point, len(sizes))
+	for i, m := range sizes {
+		tt := aE + float64(m)*gE
+		if m > threshold {
+			tt = aE + h + float64(m)*gR
+		}
+		pts[i] = core.Point{D: m, Time: tt, Reps: 2}
+	}
+	l, err := FitLogGP(pts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(l.Threshold, 1) {
+		t.Fatal("fit found no protocol switch in piecewise data")
+	}
+	if l.Threshold < threshold/2 || l.Threshold > 4*threshold {
+		t.Errorf("threshold %g not near true switch %d", l.Threshold, threshold)
+	}
+	if got := l.L + 2*l.O; math.Abs(got-aE) > 1e-7 {
+		t.Errorf("eager intercept L+2o = %g, want %g", got, aE)
+	}
+	if math.Abs(l.G-gE) > 1e-11 || math.Abs(l.GRend-gR) > 1e-11 {
+		t.Errorf("gaps (G=%g, G_rend=%g), want (%g, %g)", l.G, l.GRend, gE, gR)
+	}
+	if math.Abs(l.H-h) > 1e-6 {
+		t.Errorf("handshake %g, want %g", l.H, h)
+	}
+	// Off-grid predictions on both sides of the kink must track the truth.
+	for _, m := range []float64{1000, 100_000} {
+		want := aE + m*gE
+		if m > threshold {
+			want = aE + h + m*gR
+		}
+		if got := l.Time(m); math.Abs(got-want)/want > 0.05 {
+			t.Errorf("Time(%g) = %g, want within 5%% of %g", m, got, want)
+		}
+	}
+}
+
+func TestFitLogGPDegeneratesOnAffineData(t *testing.T) {
+	l, err := FitLogGP(affinePoints(1e-4, 1e-8, DefaultGrid()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(l.Threshold, 1) || l.H != 0 {
+		t.Errorf("affine data grew a spurious kink: S=%g H=%g", l.Threshold, l.H)
+	}
+	if l.GRend != l.G {
+		t.Errorf("degenerate fit must have one gap: G=%g G_rend=%g", l.G, l.GRend)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitHockney(nil, false); err == nil {
+		t.Error("empty points should not fit")
+	}
+	bad := []core.Point{{D: 64, Time: math.NaN(), Reps: 1}, {D: 128, Time: 1, Reps: 1}}
+	if _, err := FitHockney(bad, false); err == nil {
+		t.Error("invalid point should not fit")
+	}
+}
+
+func TestMeasureMatchesClosedForms(t *testing.T) {
+	net := comm.NetModel{Latency: 1e-4, ByteTime: 1e-8}
+	const m, p = 4096, 6
+	ptp := net.PtP(m)
+	cases := []struct {
+		op   Op
+		want float64
+	}{
+		{OpP2P, ptp},
+		{OpPingPong, 2 * ptp},
+		{OpScatter, float64(p-1) * ptp},     // root serialises p−1 sends
+		{OpGather, ptp},                     // senders overlap; recvs are free
+		{OpHalo, 2 * ptp},                   // eager both ways, then drain
+		{OpBcast, 3 * ptp},                  // binomial: ⌈log₂6⌉ rounds
+		{OpAllgather, ptp + 3*net.PtP(p*m)}, // gather, then bcast of p·m
+	}
+	for _, c := range cases {
+		got, err := Measure(c.op, p, 0, net, m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.op, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", c.op, got, c.want)
+		}
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	net := comm.GigabitEthernet
+	if _, err := Measure(OpPingPong, 1, 0, net, 64); err == nil {
+		t.Error("pingpong on one rank should error")
+	}
+	if _, err := Measure(OpP2P, 4, 9, net, 64); err == nil {
+		t.Error("out-of-range peer should error")
+	}
+	if _, err := Measure(OpBcast, 4, 0, net, -1); err == nil {
+		t.Error("negative size should error")
+	}
+	if _, err := Measure(Op("nope"), 4, 0, net, 64); err == nil {
+		t.Error("unknown op should error")
+	}
+	if _, err := Measure(OpBcast, 4, 0, nil, 64); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := Measure(OpBcast, 1, 0, net, 64); err != nil {
+		t.Errorf("1-rank bcast is a no-op, not an error: %v", err)
+	}
+}
+
+func TestCalibrateFitsUniformNetExactly(t *testing.T) {
+	p := pool.New(4)
+	spec := Spec{Op: OpBcast, Ranks: 8, Net: comm.GigabitEthernet, NetName: "gigabit"}
+	cal, err := Calibrate(context.Background(), p, spec, nil, core.Precision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Points) != len(DefaultGrid()) {
+		t.Fatalf("got %d points, want %d", len(cal.Points), len(DefaultGrid()))
+	}
+	h, err := cal.Fit("hockney", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed-topology collective on a uniform α-β net is exactly affine in
+	// the message size, so the fit must reproduce every grid point.
+	if f := h.Residuals(); f.MaxRel > 1e-6 {
+		t.Errorf("hockney fit of uniform-net bcast has MaxRel %g, want ~0", f.MaxRel)
+	}
+	if _, err := cal.Fit("nope", false); err == nil {
+		t.Error("unknown model kind should error")
+	}
+}
+
+// TestCalibrateDeterministicAcrossWorkers is the satellite determinism
+// check: calibration sweeps must be byte-identical to serial at any
+// worker count, because each comm.Run simulation uses virtual time. Run
+// with -race via the commmodel gate.
+func TestCalibrateDeterministicAcrossWorkers(t *testing.T) {
+	net, err := NetByName("rendezvous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Op: OpAllgather, Ranks: 7, Net: net, NetName: "rendezvous"}
+	var serial []byte
+	for _, workers := range []int{1, 2, 8} {
+		cal, err := Calibrate(context.Background(), pool.New(workers), spec, nil, core.Precision{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := cal.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			serial = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), serial) {
+			t.Errorf("workers=%d produced different bytes than serial:\n%s\nvs\n%s",
+				workers, buf.Bytes(), serial)
+		}
+	}
+}
+
+func TestCalibrationRoundTrip(t *testing.T) {
+	spec := Spec{Op: OpHalo, Ranks: 5, Net: comm.SharedMemory, NetName: "shared"}
+	cal, err := Calibrate(context.Background(), pool.New(2), spec, []int{64, 256, 1024}, core.Precision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cal.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCalibration(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Op != OpHalo || got.Spec.Ranks != 5 || got.Spec.NetName != "shared" {
+		t.Errorf("round-tripped spec %+v", got.Spec)
+	}
+	if len(got.Points) != 3 {
+		t.Fatalf("round-tripped %d points, want 3", len(got.Points))
+	}
+	for i, p := range got.Points {
+		// The text format keeps 12 significant digits.
+		want := cal.Points[i]
+		if p.D != want.D || p.Reps != want.Reps ||
+			math.Abs(p.Time-want.Time) > 1e-11*want.Time || p.CI != want.CI {
+			t.Errorf("point %d: %+v != %+v", i, p, want)
+		}
+	}
+	// A computation points file must be rejected.
+	if _, err := ReadCalibration(bytes.NewReader([]byte("# kernel: matmul\n# device: cpu0\n64 1.0 3 0.1\n"))); err == nil {
+		t.Error("non-comm kernel should be rejected")
+	}
+}
+
+func TestRendezvousNetGivesLogGPAnEdge(t *testing.T) {
+	// On the rendezvous preset the truth is piecewise affine: LogGP must fit
+	// it tightly while single-segment Hockney cannot.
+	net, err := NetByName("rendezvous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Op: OpPingPong, Ranks: 2, Net: net, NetName: "rendezvous"}
+	cal, err := Calibrate(context.Background(), pool.New(4), spec, core.LogSizes(64, 1<<20, 16), core.Precision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := cal.Fit("loggp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hk, err := cal.Fit("hockney", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := lg.Residuals(); f.MaxRel > 0.05 {
+		t.Errorf("loggp MaxRel %g on a piecewise net, want ≤5%%", f.MaxRel)
+	}
+	if lg.Residuals().RMSE >= hk.Residuals().RMSE {
+		t.Errorf("loggp RMSE %g not better than hockney %g on a kinked net",
+			lg.Residuals().RMSE, hk.Residuals().RMSE)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Op: OpBcast, Ranks: 4, Net: comm.GigabitEthernet}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Op: OpBcast, Ranks: 4}).Validate(); err == nil {
+		t.Error("nil net should be rejected")
+	}
+	if err := (Spec{Op: OpHalo, Ranks: 1, Net: comm.GigabitEthernet}).Validate(); err == nil {
+		t.Error("1-rank halo should be rejected")
+	}
+	if err := (Spec{Op: Op("nope"), Ranks: 4, Net: comm.GigabitEthernet}).Validate(); err == nil {
+		t.Error("unknown op should be rejected")
+	}
+}
+
+func TestNetByName(t *testing.T) {
+	for _, name := range NetNames() {
+		n, err := NetByName(name)
+		if err != nil || n == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := NetByName("token-ring"); err == nil {
+		t.Error("unknown net should error")
+	}
+}

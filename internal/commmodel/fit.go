@@ -1,0 +1,211 @@
+package commmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fupermod/internal/core"
+)
+
+// FitHockney fits α + β·m to the measured points by ordinary least
+// squares, or — with robust set — by the Theil–Sen estimator (median of
+// pairwise slopes), which tolerates up to ~29% outlying measurements.
+// Negative fitted parameters (possible under noise) are clamped to zero.
+func FitHockney(pts []core.Point, robust bool) (*Hockney, error) {
+	xs, ys, err := fitData(pts, 2)
+	if err != nil {
+		return nil, err
+	}
+	alpha, beta := fitAffine(xs, ys, robust)
+	if err := checkFinite("hockney", alpha, beta); err != nil {
+		return nil, err
+	}
+	h := &Hockney{Alpha: math.Max(alpha, 0), Beta: math.Max(beta, 0)}
+	h.fit = residuals(h, pts)
+	return h, nil
+}
+
+// loggpMinSegment is the fewest points a LogGP protocol segment may be
+// fitted from.
+const loggpMinSegment = 3
+
+// loggpSplitGain is the factor by which a two-segment fit must reduce the
+// total squared error before the fitter accepts a protocol switch; it
+// keeps genuinely affine data from growing a spurious kink out of
+// rounding noise.
+const loggpSplitGain = 0.5
+
+// FitLogGP fits the piecewise eager/rendezvous LogGP model: every
+// boundary between consecutive grid sizes is a candidate protocol
+// threshold, each side is fitted affinely (least squares, or Theil–Sen
+// with robust), and the split minimising the total squared error wins —
+// if it beats the single-segment fit by loggpSplitGain; otherwise the
+// model degenerates to one affine segment (Threshold = +Inf), which is
+// the correct shape on a protocol-free network.
+func FitLogGP(pts []core.Point, robust bool) (*LogGP, error) {
+	xs, ys, err := fitData(pts, 2)
+	if err != nil {
+		return nil, err
+	}
+	// Single-segment reference fit.
+	a, b := fitAffine(xs, ys, robust)
+	bestSSE := sseAffine(xs, ys, a, b)
+	single := bestSSE
+	// When the single segment already explains the data to floating-point
+	// noise, the data is affine: searching for a split would only ever trade
+	// one rounding residual for a smaller one and invent a kink.
+	var yscale float64
+	for _, y := range ys {
+		yscale += y * y
+	}
+	affineAlready := single <= 1e-20*yscale
+	bestSplit := -1
+	var aL, bL, aR, bR float64
+	if n := len(xs); n >= 2*loggpMinSegment && !affineAlready {
+		for s := loggpMinSegment; s <= n-loggpMinSegment; s++ {
+			la, lb := fitAffine(xs[:s], ys[:s], robust)
+			ra, rb := fitAffine(xs[s:], ys[s:], robust)
+			sse := sseAffine(xs[:s], ys[:s], la, lb) + sseAffine(xs[s:], ys[s:], ra, rb)
+			if sse < bestSSE {
+				bestSSE, bestSplit = sse, s
+				aL, bL, aR, bR = la, lb, ra, rb
+			}
+		}
+	}
+	m := &LogGP{}
+	if bestSplit < 0 || bestSSE > loggpSplitGain*single {
+		// No protocol switch: one affine segment.
+		aL, bL = math.Max(a, 0), math.Max(b, 0)
+		m.L, m.O, m.G = aL/2, aL/4, bL
+		m.Threshold, m.H, m.GRend = math.Inf(1), 0, bL
+	} else {
+		aL, bL = math.Max(aL, 0), math.Max(bL, 0)
+		aR, bR = math.Max(aR, 0), math.Max(bR, 0)
+		m.L, m.O, m.G = aL/2, aL/4, bL
+		// The threshold lies between the last eager and first rendezvous
+		// grid sizes; the geometric midpoint is the natural choice on a
+		// log-spaced grid.
+		m.Threshold = math.Sqrt(xs[bestSplit-1] * xs[bestSplit])
+		m.H = math.Max(aR-aL, 0)
+		m.GRend = bR
+	}
+	if err := checkFinite("loggp", m.L, m.O, m.G, m.H, m.GRend); err != nil {
+		return nil, err
+	}
+	m.fit = residuals(m, pts)
+	return m, nil
+}
+
+// fitData validates the points and extracts (bytes, seconds) columns
+// sorted by size.
+func fitData(pts []core.Point, minPoints int) ([]float64, []float64, error) {
+	if len(pts) < minPoints {
+		return nil, nil, fmt.Errorf("commmodel: fitting needs at least %d points, got %d", minPoints, len(pts))
+	}
+	sorted := append([]core.Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].D < sorted[j].D })
+	xs := make([]float64, len(sorted))
+	ys := make([]float64, len(sorted))
+	for i, p := range sorted {
+		if err := p.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("commmodel: %w", err)
+		}
+		xs[i] = float64(p.D)
+		ys[i] = p.Time
+	}
+	return xs, ys, nil
+}
+
+// fitAffine estimates intercept and slope of y ≈ a + b·x.
+func fitAffine(xs, ys []float64, robust bool) (a, b float64) {
+	if robust {
+		return theilSen(xs, ys)
+	}
+	return olsAffine(xs, ys)
+}
+
+// olsAffine is the closed-form least-squares line. A single point (or a
+// degenerate all-equal x column) yields the constant model a = mean(y).
+func olsAffine(xs, ys []float64) (a, b float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den <= 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// theilSen is the robust line estimator: slope = median of all pairwise
+// slopes, intercept = median of y − slope·x.
+func theilSen(xs, ys []float64) (a, b float64) {
+	var slopes []float64
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if dx := xs[j] - xs[i]; dx != 0 {
+				slopes = append(slopes, (ys[j]-ys[i])/dx)
+			}
+		}
+	}
+	if len(slopes) == 0 {
+		return median(append([]float64(nil), ys...)), 0
+	}
+	b = median(slopes)
+	resid := make([]float64, len(xs))
+	for i := range xs {
+		resid[i] = ys[i] - b*xs[i]
+	}
+	return median(resid), b
+}
+
+// median destructively computes the median of a non-empty slice.
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// sseAffine is the squared-error sum of the affine fit over the points.
+func sseAffine(xs, ys []float64, a, b float64) float64 {
+	s := 0.0
+	for i := range xs {
+		r := ys[i] - (a + b*xs[i])
+		s += r * r
+	}
+	return s
+}
+
+// residuals evaluates the fitted model against its calibration points.
+func residuals(m CommModel, pts []core.Point) Fit {
+	f := Fit{N: len(pts)}
+	if len(pts) == 0 {
+		return f
+	}
+	sq := 0.0
+	for _, p := range pts {
+		r := math.Abs(m.Time(float64(p.D)) - p.Time)
+		sq += r * r
+		if r > f.MaxAbs {
+			f.MaxAbs = r
+		}
+		if p.Time > 0 {
+			if rel := r / p.Time; rel > f.MaxRel {
+				f.MaxRel = rel
+			}
+		}
+	}
+	f.RMSE = math.Sqrt(sq / float64(len(pts)))
+	return f
+}

@@ -1,0 +1,216 @@
+package commmodel
+
+import (
+	"fmt"
+
+	"fupermod/internal/comm"
+	"fupermod/internal/core"
+)
+
+// Op names one measurable communication operation. The set covers the
+// point-to-point patterns and the collectives the applications in
+// internal/apps actually issue: matmul broadcasts pivot rows/columns,
+// Jacobi allgathers solution slices, the stencil exchanges halos, and the
+// tool chain scatters inputs and gathers results.
+type Op string
+
+const (
+	// OpP2P is a single one-way transfer from rank 0 to a peer — the raw
+	// link cost, measurable directly because clocks are virtual.
+	OpP2P Op = "p2p"
+	// OpPingPong is the classic round trip between rank 0 and a peer: the
+	// pattern real MPI benchmarks use, twice the one-way cost here.
+	OpPingPong Op = "pingpong"
+	// OpBcast is the binomial-tree broadcast from rank 0.
+	OpBcast Op = "bcast"
+	// OpScatter is the flat root scatter from rank 0.
+	OpScatter Op = "scatter"
+	// OpGather is the flat gather to rank 0.
+	OpGather Op = "gather"
+	// OpAllgather is gather-to-root plus broadcast of the gathered slice.
+	OpAllgather Op = "allgather"
+	// OpHalo is a ring halo exchange: every rank sends one message to each
+	// neighbour and receives one from each.
+	OpHalo Op = "halo"
+)
+
+// Ops lists every measurable operation.
+func Ops() []Op {
+	return []Op{OpP2P, OpPingPong, OpBcast, OpScatter, OpGather, OpAllgather, OpHalo}
+}
+
+// AppOps lists the collectives the applications in internal/apps issue —
+// the set the comm-inclusive verification calibrates and pins.
+func AppOps() []Op { return []Op{OpBcast, OpScatter, OpGather, OpAllgather, OpHalo} }
+
+// minRanks returns the smallest world the operation is defined on.
+func (op Op) minRanks() int {
+	switch op {
+	case OpP2P, OpPingPong, OpHalo:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Measure runs the operation once on the virtual runtime — size ranks over
+// net, each rank's payload m bytes on the wire — and returns its critical-
+// path time: the largest final virtual clock over ranks. Virtual time
+// makes the measurement deterministic: equal inputs produce equal times
+// bit for bit, regardless of goroutine scheduling.
+func Measure(op Op, ranks int, peer int, net comm.Network, m int) (float64, error) {
+	if ranks < op.minRanks() {
+		return 0, fmt.Errorf("commmodel: %s needs at least %d ranks, got %d", op, op.minRanks(), ranks)
+	}
+	if m < 0 {
+		return 0, fmt.Errorf("commmodel: negative message size %d", m)
+	}
+	if net == nil {
+		return 0, fmt.Errorf("commmodel: measuring %s needs a network", op)
+	}
+	if op == OpP2P || op == OpPingPong {
+		if peer == 0 {
+			peer = ranks - 1
+		}
+		if peer < 1 || peer >= ranks {
+			return 0, fmt.Errorf("commmodel: %s peer %d out of range [1,%d)", op, peer, ranks)
+		}
+	}
+	body, err := opBody(op, ranks, peer, m)
+	if err != nil {
+		return 0, err
+	}
+	clocks, err := comm.Run(ranks, net, body)
+	if err != nil {
+		return 0, fmt.Errorf("commmodel: measuring %s over %d ranks at %d bytes: %w", op, ranks, m, err)
+	}
+	worst := 0.0
+	for _, c := range clocks {
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// opBody builds the per-rank SPMD body executing the operation once.
+func opBody(op Op, ranks, peer, m int) (func(*comm.Comm) error, error) {
+	switch op {
+	case OpP2P:
+		return func(c *comm.Comm) error {
+			switch c.Rank() {
+			case 0:
+				return c.Send(peer, m, nil)
+			case peer:
+				_, err := c.Recv(0)
+				return err
+			}
+			return nil
+		}, nil
+	case OpPingPong:
+		return func(c *comm.Comm) error {
+			switch c.Rank() {
+			case 0:
+				if err := c.Send(peer, m, nil); err != nil {
+					return err
+				}
+				_, err := c.Recv(peer)
+				return err
+			case peer:
+				if _, err := c.Recv(0); err != nil {
+					return err
+				}
+				return c.Send(0, m, nil)
+			}
+			return nil
+		}, nil
+	case OpBcast:
+		return func(c *comm.Comm) error {
+			_, err := c.Bcast(0, m, nil)
+			return err
+		}, nil
+	case OpScatter:
+		return func(c *comm.Comm) error {
+			var payloads []any
+			if c.Rank() == 0 {
+				payloads = make([]any, c.Size())
+			}
+			_, err := c.Scatter(0, m, payloads)
+			return err
+		}, nil
+	case OpGather:
+		return func(c *comm.Comm) error {
+			_, err := c.Gather(0, m, nil)
+			return err
+		}, nil
+	case OpAllgather:
+		return func(c *comm.Comm) error {
+			_, err := c.Allgather(m, nil)
+			return err
+		}, nil
+	case OpHalo:
+		return func(c *comm.Comm) error {
+			p, r := c.Size(), c.Rank()
+			left, right := (r+p-1)%p, (r+1)%p
+			// Everyone sends eagerly to both neighbours, then drains. The
+			// buffered channels make the sends non-blocking, so the ring
+			// cannot deadlock.
+			if err := c.Send(right, m, nil); err != nil {
+				return err
+			}
+			if left != right {
+				if err := c.Send(left, m, nil); err != nil {
+					return err
+				}
+			}
+			if _, err := c.Recv(left); err != nil {
+				return err
+			}
+			if left != right {
+				_, err := c.Recv(right)
+				return err
+			}
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("commmodel: unknown operation %q (want one of %v)", op, Ops())
+	}
+}
+
+// opKernel adapts one operation to core.Kernel, so the calibration sweep
+// reuses the exact statistical machinery computation kernels are measured
+// with (core.Benchmark repetition/CI control, core.SweepOnPool
+// parallelism). The "problem size" d is the per-rank message size in
+// bytes.
+type opKernel struct {
+	spec Spec
+}
+
+// Name implements core.Kernel.
+func (k opKernel) Name() string { return "comm/" + string(k.spec.Op) }
+
+// Complexity implements core.Kernel: the bytes a rank puts on the wire.
+func (k opKernel) Complexity(d int) float64 { return float64(d) }
+
+// Setup implements core.Kernel.
+func (k opKernel) Setup(d int) (core.Instance, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("commmodel: message size must be positive, got %d", d)
+	}
+	return opInstance{spec: k.spec, bytes: d}, nil
+}
+
+// opInstance runs one fresh comm.Run simulation per Run call. Instances
+// are safe for concurrent use: each Run builds its own world.
+type opInstance struct {
+	spec  Spec
+	bytes int
+}
+
+// Run implements core.Instance.
+func (in opInstance) Run() (float64, error) {
+	return Measure(in.spec.Op, in.spec.Ranks, in.spec.Peer, in.spec.Net, in.bytes)
+}
+
+// Close implements core.Instance.
+func (in opInstance) Close() error { return nil }

@@ -19,8 +19,8 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistryAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -528,5 +528,76 @@ func TestE8AdaptiveCompetitive(t *testing.T) {
 	if adaptiveErr > uniformSameErr*1.5 {
 		t.Errorf("adaptive (%g) should be competitive with uniform (%g) at equal points",
 			adaptiveErr, uniformSameErr)
+	}
+}
+
+func TestS1ShapeSweep(t *testing.T) {
+	tb, err := S1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 6*4 {
+		t.Fatalf("expected 6 shapes x 4 algorithms = 24 rows, got %d", len(rows))
+	}
+	best := map[string]float64{} // shape -> best makespan over algorithms
+	even := map[string]float64{} // shape -> even makespan
+	for _, r := range rows {
+		shape, algo := r[0], r[1]
+		monotone := shape != "noisy" && shape != "non-monotonic"
+		if r[2] == "error" {
+			if monotone {
+				t.Errorf("%s refused monotone shape %s", algo, shape)
+			}
+			continue
+		}
+		mk := cell(t, r[2])
+		if mk <= 0 {
+			t.Errorf("%s on %s: makespan %g", algo, shape, mk)
+		}
+		if b, ok := best[shape]; !ok || mk < b {
+			best[shape] = mk
+		}
+		if algo == "even" {
+			even[shape] = mk
+		}
+	}
+	// The model-aware algorithms must never lose to the even split on the
+	// monotone shapes (they can tie on the constant shape).
+	for shape, e := range even {
+		if shape == "noisy" || shape == "non-monotonic" {
+			continue
+		}
+		if best[shape] > e*(1+1e-9) {
+			t.Errorf("shape %s: best makespan %g worse than even %g", shape, best[shape], e)
+		}
+	}
+}
+
+func TestC1ModelResiduals(t *testing.T) {
+	tb, err := C1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRel := map[string]float64{} // "net/op/model" -> max_rel
+	for _, r := range tb.Rows() {
+		maxRel[r[0]+"/"+r[1]+"/"+r[2]] = cell(t, r[4])
+	}
+	// Uniform affine nets: both models should be near-exact everywhere.
+	for key, v := range maxRel {
+		if strings.HasPrefix(key, "gigabit/") || strings.HasPrefix(key, "shared/") {
+			if v > 1e-3 {
+				t.Errorf("%s: max_rel %g on a uniform net", key, v)
+			}
+		}
+	}
+	// Rendezvous broadcast: the affine Hockney model cannot express the
+	// protocol switch; piecewise LogGP can.
+	h, l := maxRel["rendezvous/bcast/hockney"], maxRel["rendezvous/bcast/loggp"]
+	if l > 0.05 {
+		t.Errorf("loggp on rendezvous bcast: max_rel %g, want tight fit", l)
+	}
+	if h < 2*l {
+		t.Errorf("hockney (%g) should fit rendezvous bcast far worse than loggp (%g)", h, l)
 	}
 }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"fupermod/internal/commmodel"
+	"fupermod/internal/partition"
+	"fupermod/internal/pool"
+	"fupermod/internal/trace"
+	"fupermod/internal/verify"
+)
+
+// S1 sweeps every generated speed shape from the verification subsystem
+// across every registered partitioning algorithm. Each platform is six
+// processes of a single shape (seeded, so the table is reproducible), the
+// models are the exact generated time functions, and the figure of merit
+// is the predicted makespan and imbalance of each algorithm's
+// distribution. The four monotone shapes satisfy the algorithms' shape
+// restrictions; noisy and non-monotonic deliberately violate them, so an
+// algorithm is allowed to refuse (reported as an error cell) or to return
+// a degraded-but-valid distribution — what it must never do is return an
+// invalid one, which CheckDist enforces here.
+func S1() (*trace.Table, error) {
+	const (
+		procs = 6
+		D     = 20000
+	)
+	t := trace.NewTable("S1: partitioner makespan across generated speed shapes",
+		"shape", "algorithm", "makespan_s", "imbalance")
+	for si, shape := range verify.Shapes() {
+		gen := verify.NewGen(400 + int64(si))
+		models := verify.ExactModels(gen.Platform(procs, shape))
+		for _, name := range partition.Names() {
+			p, err := partition.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := p.Partition(models, D)
+			if err != nil {
+				// Non-monotone shapes may be legitimately refused.
+				t.AddRow(string(shape), name, "error", "error")
+				continue
+			}
+			if vs := verify.CheckDist(name, models, D, dist); len(vs) > 0 {
+				return nil, fmt.Errorf("s1: %s on %s: %s", name, shape, vs[0].Detail)
+			}
+			t.AddRow(string(shape), name, dist.MaxTime(), dist.Imbalance())
+		}
+	}
+	return t, nil
+}
+
+// C1 calibrates every application collective on every network preset of
+// the virtual runtime and fits both communication models to the measured
+// points, tabulating the fit residuals. On the uniform presets both
+// models should track the measurements closely; on the rendezvous preset
+// the affine Hockney model cannot express the protocol switch and its
+// maximum relative error blows up, while the piecewise LogGP model stays
+// tight — except for allgather, whose gather and broadcast halves cross
+// the threshold at different sizes (two kinks, one threshold).
+func C1() (*trace.Table, error) {
+	const ranks = 4
+	t := trace.NewTable("C1: measured vs fitted communication models",
+		"net", "op", "model", "rmse_s", "max_rel")
+	p := pool.New(1)
+	sizes := commmodel.DefaultGrid()
+	for _, netName := range commmodel.NetNames() {
+		net, err := commmodel.NetByName(netName)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range commmodel.AppOps() {
+			spec := commmodel.Spec{Op: op, Ranks: ranks, Net: net, NetName: netName}
+			cal, err := commmodel.Calibrate(context.Background(), p, spec, sizes, commmodel.DefaultPrecision)
+			if err != nil {
+				return nil, fmt.Errorf("c1: calibrating %s on %s: %w", op, netName, err)
+			}
+			for _, kind := range commmodel.ModelKinds() {
+				m, err := cal.Fit(kind, false)
+				if err != nil {
+					return nil, fmt.Errorf("c1: fitting %s to %s on %s: %w", kind, op, netName, err)
+				}
+				fit := m.Residuals()
+				t.AddRow(netName, string(op), kind, fit.RMSE, fit.MaxRel)
+			}
+		}
+	}
+	return t, nil
+}

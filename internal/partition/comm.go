@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"fmt"
+
+	"fupermod/internal/core"
+)
+
+// CommCost is the fragment of a fitted communication model the
+// partitioners need: predicted seconds for a message of the given size in
+// bytes. commmodel's Hockney and LogGP satisfy it; partition deliberately
+// depends on the interface, not the package.
+type CommCost interface {
+	Time(bytes float64) float64
+}
+
+// BytesFunc maps a process's assigned share d (in problem-size units) to
+// the bytes that process puts on the wire per iteration. It must be
+// non-negative and non-decreasing in d.
+type BytesFunc func(proc int, d float64) float64
+
+// LinearBytes is the common traffic shape: every assigned unit costs the
+// same wire bytes on every process (e.g. a halo row of fixed width).
+func LinearBytes(perUnit float64) BytesFunc {
+	return func(_ int, d float64) float64 { return perUnit * d }
+}
+
+// WithCommModel generalises WithOverhead from scalar overhead functions to
+// fitted communication models: each process's predicted time becomes
+//
+//	tᵢ(dᵢ) + cᵢ(bytes(i, dᵢ))
+//
+// where cᵢ is a calibrated CommCost (Hockney, LogGP, ...). Balancing the
+// wrapped models equalises total per-iteration times, compute plus
+// communication — and unlike a scalar k·d overhead, a fitted model prices
+// the per-message latency and any eager/rendezvous protocol switch, which
+// is exactly what a scalar rate cannot represent.
+//
+// The wrapped models work with every partitioning algorithm (they act at
+// the core.Model interface), so ByName algorithms, the service, and the
+// tools all accept them unchanged.
+func WithCommModel(models []core.Model, comms []CommCost, bytesOf BytesFunc) ([]core.Model, error) {
+	if len(models) != len(comms) {
+		return nil, fmt.Errorf("partition: %d models, %d comm models", len(models), len(comms))
+	}
+	if bytesOf == nil {
+		return nil, fmt.Errorf("partition: nil bytes function")
+	}
+	overheads := make([]func(d float64) float64, len(models))
+	for i, c := range comms {
+		if c == nil {
+			return nil, fmt.Errorf("partition: comm model %d is nil", i)
+		}
+		i, c := i, c
+		overheads[i] = func(d float64) float64 {
+			// Zero bytes means the process sends no message at all, not a
+			// zero-length one, so it pays neither latency nor bandwidth.
+			if b := bytesOf(i, d); b > 0 {
+				return c.Time(b)
+			}
+			return 0
+		}
+	}
+	wrapped, err := WithOverhead(models, overheads)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range wrapped {
+		wrapped[i] = &renamedModel{Model: m, name: models[i].Name() + "+comm"}
+	}
+	return wrapped, nil
+}
+
+// renamedModel overrides the display name of a wrapped model so
+// comm-aware models are distinguishable from scalar-overhead ones in
+// reports.
+type renamedModel struct {
+	core.Model
+	name string
+}
+
+// Name implements core.Model.
+func (m *renamedModel) Name() string { return m.name }

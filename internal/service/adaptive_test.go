@@ -1,0 +1,107 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestAdaptiveWindowController pins the controller's policy with
+// synthetic timestamps — no sleeping, fully deterministic.
+func TestAdaptiveWindowController(t *testing.T) {
+	const max = 10 * time.Millisecond
+	a := adaptiveWindow{max: max}
+	t0 := time.Unix(1000, 0)
+
+	// First-ever arrival: no gap information, treated as busy.
+	if w := a.observe(t0); w != max {
+		t.Errorf("first arrival window %v, want full %v", w, max)
+	}
+	// Rapid-fire arrivals keep the ewma small: stay at the full window.
+	now := t0
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Millisecond)
+		if w := a.observe(now); w != max {
+			t.Errorf("busy arrival %d window %v, want full %v", i, w, max)
+		}
+	}
+	// Long gaps drive the ewma past 4·max: the window must collapse to 0.
+	for i := 0; i < 6; i++ {
+		now = now.Add(20 * max)
+		a.observe(now)
+	}
+	now = now.Add(20 * max)
+	if w := a.observe(now); w != 0 {
+		t.Errorf("idle window %v, want 0", w)
+	}
+	// A ramp point: ewma exactly 3·max sits halfway between the busy
+	// (2·max) and idle (4·max) thresholds — half the window.
+	a2 := adaptiveWindow{max: max, ewma: 3 * max}
+	if w := a2.observe(now); w != max/2 {
+		t.Errorf("midpoint window %v, want %v", w, max/2)
+	}
+	// A traffic burst after idleness halves the ewma per arrival, so the
+	// window recovers quickly.
+	for i := 0; i < 8; i++ {
+		now = now.Add(time.Millisecond)
+		a.observe(now)
+	}
+	now = now.Add(time.Millisecond)
+	if w := a.observe(now); w != max {
+		t.Errorf("post-burst window %v, want full %v again", w, max)
+	}
+	// Clock skew (a non-monotone wall clock) must not produce a negative
+	// gap or panic.
+	if w := a.observe(now.Add(-time.Hour)); w != max {
+		t.Errorf("skewed-clock window %v, want full %v", w, max)
+	}
+}
+
+// TestAdaptiveWindowLowTrafficP50: sparse partition traffic must not pay
+// the batch window. The server is configured with a window big enough to
+// dominate the latency; after the controller has seen a few long gaps,
+// request latency must drop well below the configured window, while the
+// high-traffic regime (TestBatching) keeps batching with an unchanged
+// single solver call.
+func TestAdaptiveWindowLowTrafficP50(t *testing.T) {
+	const window = 40 * time.Millisecond
+	_, ts := newTestServer(t, Config{BatchWindow: window})
+	req := PartitionRequest{
+		Tenant:  "sparse",
+		Devices: []DeviceSpec{{Preset: "fast", Seed: 1}, {Preset: "slow", Seed: 2}},
+		Grid:    testGrid,
+		D:       6000,
+	}
+	for _, dev := range req.Devices {
+		status, body := postJSON(t, ts.URL+"/v1/measure", MeasureRequest{Tenant: req.Tenant, Device: dev, Grid: req.Grid})
+		if status != http.StatusOK {
+			t.Fatalf("prime: status %d: %s", status, body)
+		}
+	}
+	const n = 6
+	latencies := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(5 * window) // idle gap: >4·window even after smoothing
+		}
+		start := time.Now()
+		status, body := postJSON(t, ts.URL+"/v1/partition", req)
+		latencies = append(latencies, time.Since(start))
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, body)
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[len(latencies)/2]
+	t.Logf("latencies %v, p50 %v (configured window %v)", latencies, p50, window)
+	// The first request pays the full window (cold controller = busy);
+	// once the gaps register, requests skip it. The median must sit well
+	// under the window — the solve itself takes microseconds.
+	if p50 >= window/2 {
+		t.Errorf("low-traffic p50 %v did not drop below half the %v batch window", p50, window)
+	}
+	if snap := getStats(t, ts.URL); snap.BatchWindowSkips == 0 {
+		t.Error("controller never skipped the window despite idle traffic")
+	}
+}

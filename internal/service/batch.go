@@ -4,12 +4,57 @@ import (
 	"context"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"fupermod/internal/core"
 	"fupermod/internal/partition"
 	"fupermod/internal/pool"
 )
+
+// adaptiveWindow adjusts the batch window to the observed partition
+// traffic: under load (requests arriving within a couple of windows of
+// each other) the full window is worth waiting out because followers will
+// join; when traffic is idle, waiting only adds latency to a request that
+// will batch with nobody, so the window shrinks to zero. The controller
+// tracks an exponentially weighted moving average of inter-arrival gaps:
+//
+//	ewma ≤ 2·max → full window (busy)
+//	ewma ≥ 4·max → no window  (idle)
+//	in between   → linear ramp
+//
+// A server that has seen no partition traffic yet counts as busy — the
+// conservative default keeps batching effective from the first burst.
+type adaptiveWindow struct {
+	mu   sync.Mutex
+	max  time.Duration // configured window (the upper bound)
+	ewma time.Duration // smoothed inter-arrival gap; 0 = busy
+	last time.Time     // previous arrival; zero = none yet
+}
+
+// observe records one partition-request arrival and returns the batch
+// window that request should wait, in [0, max].
+func (a *adaptiveWindow) observe(now time.Time) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.last.IsZero() {
+		gap := now.Sub(a.last)
+		if gap < 0 {
+			gap = 0
+		}
+		a.ewma = (a.ewma + gap) / 2
+	}
+	a.last = now
+	busy, idle := 2*a.max, 4*a.max
+	switch {
+	case a.ewma <= busy:
+		return a.max
+	case a.ewma >= idle:
+		return 0
+	default:
+		return time.Duration(float64(a.max) * float64(idle-a.ewma) / float64(idle-busy))
+	}
+}
 
 // batchCall is one in-flight solver invocation shared by every partition
 // request with the same batch key. done is closed after the solve; dist
@@ -25,7 +70,7 @@ type batchCall struct {
 // the tenant, the resolved model cache keys in device order, the
 // algorithm, and the problem size. Requests agreeing on all of these are
 // answered by a single solver call.
-func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int) string {
+func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int, commTag string) string {
 	var b strings.Builder
 	b.WriteString(tenant)
 	for _, k := range keys {
@@ -36,6 +81,10 @@ func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int) string 
 	b.WriteString(algorithm)
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(D))
+	// Comm-aware and compute-only requests over the same models solve
+	// different balance problems and must never share a batch.
+	b.WriteByte('|')
+	b.WriteString(commTag)
 	return b.String()
 }
 
@@ -46,11 +95,12 @@ func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int) string 
 // The first request for a key becomes the batch leader: it registers the
 // batch, sleeps out the window while followers join, then runs the solver
 // on the shared pool and publishes the result to everyone.
-func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int) (*core.Dist, error) {
+func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int, commTag string) (*core.Dist, error) {
 	if s.batchWindow <= 0 {
 		return s.runSolve(models, algorithm, D)
 	}
-	key := batchKeyOf(tenant, keys, algorithm, D)
+	window := s.window.observe(time.Now())
+	key := batchKeyOf(tenant, keys, algorithm, D, commTag)
 	s.batchMu.Lock()
 	if call, ok := s.batches[key]; ok {
 		s.batchMu.Unlock()
@@ -62,6 +112,13 @@ func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Mo
 			return nil, s.ctx.Err()
 		}
 	}
+	if window <= 0 {
+		// Idle traffic: nobody will join within any window, so don't make
+		// this request pay one. In-flight batches are still joined above.
+		s.batchMu.Unlock()
+		s.stats.batchWindowSkips.Add(1)
+		return s.runSolve(models, algorithm, D)
+	}
 	call := &batchCall{done: make(chan struct{})}
 	s.batches[key] = call
 	s.batchMu.Unlock()
@@ -69,7 +126,7 @@ func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Mo
 	// Leader: let followers pile on for one window, then close the batch
 	// to new joiners *before* solving so late arrivals start a fresh one.
 	select {
-	case <-time.After(s.batchWindow):
+	case <-time.After(window):
 	case <-s.ctx.Done():
 	}
 	s.batchMu.Lock()

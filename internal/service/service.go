@@ -96,6 +96,10 @@ type Server struct {
 
 	batchMu sync.Mutex
 	batches map[string]*batchCall
+	window  adaptiveWindow
+
+	commMu sync.Mutex
+	comms  map[string]*commEntry
 
 	stats stats
 }
@@ -124,6 +128,8 @@ func New(cfg Config) *Server {
 		cancel:      cancel,
 		tenants:     make(map[string]*tenantCache),
 		batches:     make(map[string]*batchCall),
+		window:      adaptiveWindow{max: window},
+		comms:       make(map[string]*commEntry),
 	}
 }
 
@@ -216,6 +222,9 @@ type PartitionRequest struct {
 	// Algorithm is the partitioner; empty selects geometric.
 	Algorithm string `json:"algorithm,omitempty"`
 	D         int    `json:"d"`
+	// Comm, when set, makes the partition communication-aware: each
+	// device's balanced time includes the fitted cost of its traffic.
+	Comm *CommSpec `json:"comm,omitempty"`
 }
 
 // PartPayload is one process's share.
@@ -238,6 +247,9 @@ type PartitionResponse struct {
 	// Imbalance is max/min over predicted part times, or -1 when it is
 	// undefined (a loaded part with no predicted time).
 	Imbalance float64 `json:"imbalance"`
+	// Comm fingerprints the communication model the balance included
+	// (kind/op/net/ranks/bytes-per-unit); empty for compute-only requests.
+	Comm string `json:"comm,omitempty"`
 }
 
 // httpError carries a status code to the error middleware.
@@ -422,7 +434,12 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 		models[i] = m
 	}
 
-	dist, err := s.solvePartition(tenant, keys, models, algorithm, req.D)
+	models, commTag, err := s.commWrap(req.Comm, models)
+	if err != nil {
+		return badRequest("comm: %v", err)
+	}
+
+	dist, err := s.solvePartition(tenant, keys, models, algorithm, req.D, commTag)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -441,6 +458,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 		Parts:     parts,
 		MakespanS: dist.MaxTime(),
 		Imbalance: imb,
+		Comm:      commTag,
 	})
 }
 

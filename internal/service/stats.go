@@ -20,8 +20,11 @@ type stats struct {
 
 	sweeps atomic.Int64 // benchmark sweeps actually executed
 
-	batchSolves atomic.Int64 // solver calls made on behalf of a batch
-	batchJoined atomic.Int64 // partition requests that joined an existing batch
+	batchSolves      atomic.Int64 // solver calls made on behalf of a batch
+	batchJoined      atomic.Int64 // partition requests that joined an existing batch
+	batchWindowSkips atomic.Int64 // requests that skipped the window (idle traffic)
+
+	commCalibrations atomic.Int64 // comm-model calibrations actually executed
 }
 
 // Snapshot is the JSON shape of the /stats endpoint.
@@ -46,9 +49,16 @@ type Snapshot struct {
 	Sweeps int64 `json:"sweeps"`
 
 	// BatchSolves counts solver calls, BatchJoined the partition requests
-	// that were answered by a solve another request triggered.
-	BatchSolves int64 `json:"batch_solves"`
-	BatchJoined int64 `json:"batch_joined"`
+	// that were answered by a solve another request triggered, and
+	// BatchWindowSkips the requests the adaptive controller exempted from
+	// waiting because partition traffic was idle.
+	BatchSolves      int64 `json:"batch_solves"`
+	BatchJoined      int64 `json:"batch_joined"`
+	BatchWindowSkips int64 `json:"batch_window_skips"`
+
+	// CommCalibrations counts communication-model calibrations executed;
+	// repeated comm-aware requests are served from the calibration cache.
+	CommCalibrations int64 `json:"comm_calibrations"`
 
 	// Tenants and CacheEntries describe the current cache population.
 	Tenants      int `json:"tenants"`
@@ -71,15 +81,17 @@ func (s *stats) observe(d time.Duration, status int) {
 // server, which owns the cache lock.
 func (s *stats) snapshot() Snapshot {
 	snap := Snapshot{
-		Requests:       s.requests.Load(),
-		Errors:         s.errors.Load(),
-		CacheHits:      s.cacheHits.Load(),
-		CacheMisses:    s.cacheMisses.Load(),
-		CacheCoalesced: s.cacheCoalesced.Load(),
-		CacheEvictions: s.cacheEvictions.Load(),
-		Sweeps:         s.sweeps.Load(),
-		BatchSolves:    s.batchSolves.Load(),
-		BatchJoined:    s.batchJoined.Load(),
+		Requests:         s.requests.Load(),
+		Errors:           s.errors.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		CacheCoalesced:   s.cacheCoalesced.Load(),
+		CacheEvictions:   s.cacheEvictions.Load(),
+		Sweeps:           s.sweeps.Load(),
+		BatchSolves:      s.batchSolves.Load(),
+		BatchJoined:      s.batchJoined.Load(),
+		BatchWindowSkips: s.batchWindowSkips.Load(),
+		CommCalibrations: s.commCalibrations.Load(),
 	}
 	if n := s.latencyN.Load(); n > 0 {
 		snap.AvgLatencyMicros = float64(s.latencyT.Load()) / float64(n) / 1e3

@@ -1,0 +1,71 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"fupermod/internal/commmodel"
+)
+
+func commSpec(t *testing.T, op commmodel.Op, ranks int, netName string) commmodel.Spec {
+	t.Helper()
+	net, err := commmodel.NetByName(netName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return commmodel.Spec{Op: op, Ranks: ranks, Net: net, NetName: netName}
+}
+
+// A fixed-topology collective on a uniform α–β net is exactly affine in
+// the message size, so Hockney must pin every off-grid probe.
+func TestDiffCommCleanOnUniformNet(t *testing.T) {
+	for _, op := range append(commmodel.AppOps(), commmodel.OpPingPong) {
+		vs, err := DiffComm(commSpec(t, op, 6, "gigabit"), "hockney", nil, DiffTol{})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		for _, v := range vs {
+			t.Errorf("%s: %s", op, v)
+		}
+	}
+}
+
+// LogGP's piecewise segments must pin a rendezvous net (away from the one
+// grid interval hiding the protocol switch).
+func TestDiffCommCleanLogGPOnRendezvous(t *testing.T) {
+	for _, op := range []commmodel.Op{commmodel.OpPingPong, commmodel.OpBcast, commmodel.OpHalo} {
+		vs, err := DiffComm(commSpec(t, op, 5, "rendezvous"), "loggp", nil, DiffTol{})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		for _, v := range vs {
+			t.Errorf("%s: %s", op, v)
+		}
+	}
+}
+
+// The differential must have teeth: a single-segment Hockney cannot
+// represent a rendezvous protocol switch, and DiffComm must say so.
+func TestDiffCommDetectsMisfit(t *testing.T) {
+	vs, err := DiffComm(commSpec(t, commmodel.OpPingPong, 2, "rendezvous"), "hockney", nil, DiffTol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("hockney fitted a kinked cost curve without any reported violation")
+	}
+	if !strings.Contains(vs[0].Check, "diff-comm") {
+		t.Errorf("violation check %q", vs[0].Check)
+	}
+}
+
+func TestDiffCommErrors(t *testing.T) {
+	spec := commSpec(t, commmodel.OpBcast, 4, "gigabit")
+	if _, err := DiffComm(spec, "nope", nil, DiffTol{}); err == nil {
+		t.Error("unknown model kind should error")
+	}
+	spec.Net = nil
+	if _, err := DiffComm(spec, "hockney", nil, DiffTol{}); err == nil {
+		t.Error("nil network should error")
+	}
+}

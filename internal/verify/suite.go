@@ -67,7 +67,7 @@ func (o Options) oracleRelTol() float64 {
 // Section summarises one suite section.
 type Section struct {
 	// Name identifies the section: "invariants", "oracle",
-	// "diff-constant", "diff-smooth", "diff-dynamic".
+	// "diff-constant", "diff-smooth", "diff-comm", "diff-dynamic".
 	Name string
 	// Checks is the number of individual assertions made.
 	Checks int
@@ -175,6 +175,7 @@ func Run(opts Options) (*Report, error) {
 		{"oracle", runOracle},
 		{"diff-constant", runDiffConstant},
 		{"diff-smooth", runDiffSmooth},
+		{"diff-comm", runDiffComm},
 	}
 	if !opts.SkipDynamic {
 		sections = append(sections, sectionFn{"diff-dynamic", runDiffDynamic})
