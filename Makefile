@@ -36,13 +36,15 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzModelUpdates$$' -fuzztime=$(FUZZTIME) ./internal/model
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/config
 	$(GO) test -run='^$$' -fuzz='^FuzzPartition$$' -fuzztime=$(FUZZTIME) ./internal/partition
+	$(GO) test -race -run='^$$' -fuzz='^FuzzCacheStore$$' -fuzztime=$(FUZZTIME) ./internal/service
 
-## service: vet + race-test the partition service and its CLI end to end
-## (-count=1 forces a fresh run: these tests assert live concurrency —
-## single-flight, batching, drain — that a cached pass would not exercise)
+## service: vet + race-test the partition service (incl. the on-disk model
+## store) and its CLI end to end (-count=1 forces a fresh run: these tests
+## assert live concurrency — single-flight, batching, quotas, drain — that
+## a cached pass would not exercise)
 service:
-	$(GO) vet ./internal/service ./cmd/fupermod-serve
-	$(GO) test -race -count=1 ./internal/service ./cmd/fupermod-serve
+	$(GO) vet ./internal/service/... ./cmd/fupermod-serve
+	$(GO) test -race -count=1 ./internal/service/... ./cmd/fupermod-serve
 
 ## commmodel: vet + race-test the communication models and their CLI
 ## (-count=1: the calibration determinism tests assert serial-vs-parallel

@@ -17,6 +17,12 @@
 //	fupermod-bench -kernel virtual -device netlib-blas -lo 16 -hi 5000 -n 40 -o netlib.points
 //	fupermod-bench -kernel gemm -b 32 -lo 4 -hi 256 -n 10 -o local-gemm.points
 //	fupermod-bench -machine examples/machines/two-node.machine -outdir points/
+//
+// With -store-dir, virtual sweeps go through the same on-disk model store
+// fupermod-serve uses: a sweep already present under the key (device, seed,
+// noise, grid, precision) is reused instead of re-measured, and fresh sweeps
+// are spilled for the next run — so bench and a server pointed at one
+// directory share a warm measurement database.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"fupermod/internal/kernels"
 	"fupermod/internal/model"
 	"fupermod/internal/platform"
+	"fupermod/internal/service/modelstore"
 )
 
 func main() {
@@ -68,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		helpDev    = fs.Bool("help-devices", false, "list device presets and exit")
 		machine    = fs.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
 		outDir     = fs.String("outdir", "points", "output directory for -machine mode")
+		storeDir   = fs.String("store-dir", "", "model store directory shared with fupermod-serve: reuse a stored sweep, spill fresh ones")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,9 +134,54 @@ func run(args []string, stdout io.Writer) error {
 	if len(sizes) == 0 {
 		return fmt.Errorf("invalid size grid lo=%d hi=%d n=%d", *lo, *hi, *n)
 	}
-	pts, err := core.SweepParallel(k, sizes, prec, *workers)
-	if err != nil {
-		return err
+
+	// Virtual sweeps are deterministic in (device, seed, noise, grid,
+	// precision), so they can round-trip through the serve-side model store.
+	// Real kernels time this machine — their numbers are not portable store
+	// entries.
+	var store *modelstore.Store
+	var storeKey modelstore.Key
+	if *storeDir != "" {
+		if *kernelKind != "virtual" {
+			return fmt.Errorf("-store-dir applies to virtual kernels only (real %s timings are machine-specific)", *kernelKind)
+		}
+		if store, err = modelstore.Open(*storeDir); err != nil {
+			return err
+		}
+		storeKey = modelstore.Key{
+			Tenant: "default",
+			Device: *device,
+			Seed:   *seed,
+			Noise:  *noise,
+			Lo:     *lo, Hi: *hi, N: *n,
+			Prec: modelstore.EncodePrecision(prec),
+		}
+	}
+
+	var pts []core.Point
+	fromStore := false
+	if store != nil {
+		ent, ok, gerr := store.Get(storeKey)
+		switch {
+		case gerr != nil:
+			// Corrupt entry: re-measure; the Put below heals the file.
+			fmt.Fprintf(os.Stderr, "store: %v (re-measuring)\n", gerr)
+		case ok:
+			pts = ent.Points
+			fromStore = true
+			fmt.Fprintf(os.Stderr, "store: reusing %d points from %s\n", len(pts), store.Path(storeKey))
+		}
+	}
+	if !fromStore {
+		if pts, err = core.SweepParallel(k, sizes, prec, *workers); err != nil {
+			return err
+		}
+		if store != nil {
+			if err := store.Put(storeKey, k.Name(), pts); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "store: spilled %d points to %s\n", len(pts), store.Path(storeKey))
+		}
 	}
 
 	w := stdout

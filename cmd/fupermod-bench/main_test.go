@@ -9,7 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"fupermod/internal/core"
 	"fupermod/internal/model"
+	"fupermod/internal/service/modelstore"
 )
 
 func TestRunHelp(t *testing.T) {
@@ -85,6 +87,114 @@ func TestRunHappyPathFile(t *testing.T) {
 	}
 	if len(pf.Points) != 4 || pf.Device != "netlib-blas" {
 		t.Errorf("points file: %d points, device %q", len(pf.Points), pf.Device)
+	}
+}
+
+// TestRunStoreRoundTrip: with -store-dir, the first run spills its sweep
+// into the serve-compatible model store and later runs serve from it. The
+// reuse is proven by doctoring the stored entry — the second run must emit
+// the doctored numbers, so they can only have come from the store.
+func TestRunStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	args := func() []string {
+		return []string{"-kernel", "virtual", "-device", "netlib-blas",
+			"-lo", "16", "-hi", "64", "-n", "3", "-noise", "0",
+			"-min-reps", "1", "-max-reps", "1", "-store-dir", dir}
+	}
+	var first bytes.Buffer
+	if err := run(args(), &first); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := modelstore.Key{
+		Tenant: "default", Device: "netlib-blas",
+		Seed: 1, Noise: 0, Lo: 16, Hi: 64, N: 3,
+		Prec: modelstore.EncodePrecision(core.Precision{
+			MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.03, MaxSeconds: 300,
+		}),
+	}
+	ent, ok, err := store.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("first run did not spill under the expected key: ok=%v err=%v", ok, err)
+	}
+	ent.Points[0].Time = 123.5
+	if err := store.Put(key, ent.Kernel, ent.Points); err != nil {
+		t.Fatal(err)
+	}
+
+	var second bytes.Buffer
+	if err := run(args(), &second); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := model.ReadPoints(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Points[0].Time != 123.5 {
+		t.Errorf("second run re-measured (t=%g) instead of serving the stored sweep", pf.Points[0].Time)
+	}
+
+	// A different seed is a different key: it must measure, not reuse.
+	var other bytes.Buffer
+	if err := run(append(args(), "-seed", "2"), &other); err != nil {
+		t.Fatal(err)
+	}
+	if opf, err := model.ReadPoints(bytes.NewReader(other.Bytes())); err != nil {
+		t.Fatal(err)
+	} else if opf.Points[0].Time == 123.5 {
+		t.Error("seed 2 served seed 1's stored sweep")
+	}
+}
+
+// TestRunStoreHealsCorruptEntry: a torn store file is re-measured, not
+// served, and the fresh spill heals it.
+func TestRunStoreHealsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-kernel", "virtual", "-device", "netlib-blas",
+		"-lo", "16", "-hi", "64", "-n", "3", "-noise", "0",
+		"-min-reps", "1", "-max-reps", "1", "-store-dir", dir}
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.points"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("store files: %v, %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var second bytes.Buffer
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != first.String() {
+		t.Errorf("re-measure after torn entry diverged:\n%s\nvs\n%s", second.String(), first.String())
+	}
+	healed, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, data) {
+		t.Error("fresh spill did not heal the torn entry")
+	}
+}
+
+func TestRunStoreRejectsRealKernels(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-kernel", "gemm", "-store-dir", t.TempDir(),
+		"-lo", "4", "-hi", "8", "-n", "2", "-min-reps", "1", "-max-reps", "1"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "virtual") {
+		t.Errorf("-store-dir with a real kernel: err = %v, want virtual-only error", err)
 	}
 }
 

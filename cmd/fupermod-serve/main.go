@@ -6,9 +6,18 @@
 // fupermod-bench/-model/-partition run the workflow once, the service
 // answers it continuously for many clients.
 //
+// With -store-dir the service keeps an on-disk model store: every sweep is
+// spilled there and reloaded on restart, so a bounced server answers from
+// warm models with zero re-sweeps. With -quota-slots a weighted fair
+// admission quota bounds each tenant's concurrently in-flight sweeps
+// (excess requests get 429 + Retry-After); per-tenant weights are set with
+// repeatable -quota-weight tenant=w flags.
+//
 // Usage:
 //
-//	fupermod-serve -addr :8080 -workers 8 -cache-size 128
+//	fupermod-serve -addr :8080 -workers 8 -cache-size 128 \
+//	    -store-dir /var/lib/fupermod/store \
+//	    -quota-slots 2 -quota-weight team-a=1 -quota-weight team-b=3
 //
 //	curl -s localhost:8080/v1/partition -d '{
 //	  "tenant": "team-a",
@@ -31,6 +40,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,23 +66,65 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		addr            = fs.String("addr", "127.0.0.1:8080", "listen address")
-		workers         = fs.Int("workers", 0, "worker pool size for sweeps, fits and solves (0 = GOMAXPROCS)")
+		workers         = fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for sweeps, fits and solves")
 		cacheSize       = fs.Int("cache-size", service.DefaultCacheSize, "fitted models kept per tenant (LRU)")
-		batchWindow     = fs.Duration("batch-window", service.DefaultBatchWindow, "window for batching identical partition requests (negative disables)")
+		batchWindow     = fs.Duration("batch-window", service.DefaultBatchWindow, "window for batching identical partition requests")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT")
+		storeDir        = fs.String("store-dir", "", "directory of the on-disk model store (empty disables persistence)")
+		quotaSlots      = fs.Int("quota-slots", 0, "in-flight sweep slots per quota weight unit (0 disables admission control)")
 	)
+	quotaWeights := map[string]int{}
+	fs.Func("quota-weight", "per-tenant quota weight as tenant=w (repeatable)", func(v string) error {
+		tenant, ws, ok := strings.Cut(v, "=")
+		if !ok || tenant == "" {
+			return fmt.Errorf("want tenant=weight, got %q", v)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil {
+			return err
+		}
+		if w < 1 {
+			return fmt.Errorf("weight for %q must be at least 1, got %d", tenant, w)
+		}
+		quotaWeights[tenant] = w
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	// Reject silently-wrong configurations instead of letting the service
+	// paper over them with defaults: a non-positive cache or worker count
+	// is a typo, not a request for DefaultCacheSize/GOMAXPROCS.
+	if *workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", *workers)
+	}
+	if *cacheSize <= 0 {
+		return fmt.Errorf("-cache-size must be positive, got %d", *cacheSize)
+	}
+	if *batchWindow <= 0 {
+		return fmt.Errorf("-batch-window must be positive, got %s", *batchWindow)
+	}
+	if *quotaSlots < 0 {
+		return fmt.Errorf("-quota-slots must be non-negative, got %d", *quotaSlots)
+	}
+	if len(quotaWeights) > 0 && *quotaSlots == 0 {
+		return fmt.Errorf("-quota-weight requires -quota-slots")
+	}
 
-	svc := service.New(service.Config{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		BatchWindow: *batchWindow,
+	svc, err := service.New(service.Config{
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		BatchWindow:  *batchWindow,
+		StoreDir:     *storeDir,
+		QuotaSlots:   *quotaSlots,
+		QuotaWeights: quotaWeights,
 	})
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)

@@ -37,6 +37,20 @@ func TestRunFlagErrors(t *testing.T) {
 		{"positional"},                   // unexpected argument
 		{"-addr", "127.0.0.1:notaport"},  // unusable listen address
 		{"-batch-window", "not-a-delay"}, // bad duration
+		// Non-positive values are configuration typos, not requests for the
+		// defaults; the server must refuse to start rather than silently
+		// substitute them (regression: these used to boot with defaults).
+		{"-workers", "0"},
+		{"-workers", "-3"},
+		{"-cache-size", "0"},
+		{"-cache-size", "-1"},
+		{"-batch-window", "0s"},
+		{"-batch-window", "-1ms"},
+		{"-quota-slots", "-1"},
+		{"-quota-weight", "team-a=2"},                      // weight without -quota-slots
+		{"-quota-slots", "1", "-quota-weight", "team-a"},   // missing =w
+		{"-quota-slots", "1", "-quota-weight", "team-a=0"}, // weight < 1
+		{"-quota-slots", "1", "-quota-weight", "=2"},       // empty tenant
 	}
 	for _, args := range cases {
 		var out syncBuffer

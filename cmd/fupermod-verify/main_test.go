@@ -3,6 +3,8 @@ package main
 import (
 	"errors"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +50,32 @@ func TestRunQuickSkipsDynamic(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "diff-dynamic") {
 		t.Errorf("-quick should skip the dynamic section:\n%s", sb.String())
+	}
+}
+
+// TestRunStoreAudit: -store-dir switches the command into store-audit
+// mode — an empty store passes trivially, a store holding a corrupt file
+// fails the run with a violation summary.
+func TestRunStoreAudit(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-store-dir", dir}, &sb); err != nil {
+		t.Fatalf("empty store should audit clean: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "model store audit") {
+		t.Errorf("missing audit table:\n%s", sb.String())
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "torn.points"), []byte("# store: x\n1 2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err := run([]string{"-store-dir", dir}, &sb)
+	if err == nil || !errors.Is(err, errViolations) {
+		t.Fatalf("corrupt store should fail the audit, got %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "corrupt") {
+		t.Errorf("report missing the corrupt file:\n%s", sb.String())
 	}
 }
 

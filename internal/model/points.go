@@ -26,7 +26,11 @@ type PointFile struct {
 }
 
 // WritePoints serialises the point file in a line-oriented text format:
-// comment headers followed by "d time reps ci" records.
+// comment headers followed by "d time reps ci" records. Floats are written
+// with the shortest representation that parses back to the identical
+// float64, so a write–read round trip reproduces the measurements exactly —
+// the property the partition service's disk store relies on to rebuild
+// byte-identical models after a restart.
 func WritePoints(w io.Writer, pf PointFile) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "# fupermod points v1")
@@ -37,7 +41,9 @@ func WritePoints(w io.Writer, pf PointFile) error {
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("model: refusing to write invalid point: %w", err)
 		}
-		fmt.Fprintf(bw, "%d %.12g %d %.12g\n", p.D, p.Time, p.Reps, p.CI)
+		fmt.Fprintf(bw, "%d %s %d %s\n", p.D,
+			strconv.FormatFloat(p.Time, 'g', -1, 64), p.Reps,
+			strconv.FormatFloat(p.CI, 'g', -1, 64))
 	}
 	return bw.Flush()
 }

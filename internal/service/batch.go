@@ -56,22 +56,25 @@ func (a *adaptiveWindow) observe(now time.Time) time.Duration {
 	}
 }
 
-// batchCall is one in-flight solver invocation shared by every partition
-// request with the same batch key. done is closed after the solve; dist
-// and err must only be read afterwards. The dist is shared read-only —
-// each request marshals its own response from it.
+// batchCall is one in-flight batched operation shared by every request
+// with the same batch key. done is closed after the run; val and err must
+// only be read afterwards. The value is shared read-only — each request
+// marshals its own response from it.
 type batchCall struct {
 	done chan struct{}
-	dist *core.Dist
+	val  any
 	err  error
 }
 
 // batchKeyOf fingerprints everything that determines a partition result:
-// the tenant, the resolved model cache keys in device order, the
-// algorithm, and the problem size. Requests agreeing on all of these are
-// answered by a single solver call.
-func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int, commTag string) string {
+// the operation, the tenant, the resolved model cache keys in device
+// order, the algorithm, and the problem size. Requests agreeing on all of
+// these are answered by a single solver call. op keeps the key spaces of
+// the different batched endpoints (partition, dynpart, balance) disjoint.
+func batchKeyOf(op, tenant string, keys []ModelKey, algorithm string, D int, commTag string) string {
 	var b strings.Builder
+	b.WriteString(op)
+	b.WriteByte('|')
 	b.WriteString(tenant)
 	for _, k := range keys {
 		b.WriteByte('|')
@@ -88,26 +91,26 @@ func batchKeyOf(tenant string, keys []ModelKey, algorithm string, D int, commTag
 	return b.String()
 }
 
-// solvePartition answers one partition request, batching identical-model
-// requests that arrive within the server's batch window into a single
-// solver call (the serving-layer analogue of request batching in an
-// inference stack: identical work admitted together is computed once).
-// The first request for a key becomes the batch leader: it registers the
-// batch, sleeps out the window while followers join, then runs the solver
-// on the shared pool and publishes the result to everyone.
-func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int, commTag string) (*core.Dist, error) {
+// batched coalesces identical expensive operations that arrive within the
+// server's batch window into a single run (the serving-layer analogue of
+// request batching in an inference stack: identical work admitted together
+// is computed once). The first request for a key becomes the batch leader:
+// it registers the batch, sleeps out the window while followers join, then
+// invokes run exactly once and publishes the result to everyone. Partition
+// solves, dynamic-partition runs and balance replays all route through
+// here with disjoint key spaces.
+func (s *Server) batched(key string, run func() (any, error)) (any, error) {
 	if s.batchWindow <= 0 {
-		return s.runSolve(models, algorithm, D)
+		return run()
 	}
 	window := s.window.observe(time.Now())
-	key := batchKeyOf(tenant, keys, algorithm, D, commTag)
 	s.batchMu.Lock()
 	if call, ok := s.batches[key]; ok {
 		s.batchMu.Unlock()
 		s.stats.batchJoined.Add(1)
 		select {
 		case <-call.done:
-			return call.dist, call.err
+			return call.val, call.err
 		case <-s.ctx.Done():
 			return nil, s.ctx.Err()
 		}
@@ -117,14 +120,14 @@ func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Mo
 		// this request pay one. In-flight batches are still joined above.
 		s.batchMu.Unlock()
 		s.stats.batchWindowSkips.Add(1)
-		return s.runSolve(models, algorithm, D)
+		return run()
 	}
 	call := &batchCall{done: make(chan struct{})}
 	s.batches[key] = call
 	s.batchMu.Unlock()
 
 	// Leader: let followers pile on for one window, then close the batch
-	// to new joiners *before* solving so late arrivals start a fresh one.
+	// to new joiners *before* running so late arrivals start a fresh one.
 	select {
 	case <-time.After(window):
 	case <-s.ctx.Done():
@@ -133,9 +136,21 @@ func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Mo
 	delete(s.batches, key)
 	s.batchMu.Unlock()
 
-	call.dist, call.err = s.runSolve(models, algorithm, D)
+	call.val, call.err = run()
 	close(call.done)
-	return call.dist, call.err
+	return call.val, call.err
+}
+
+// solvePartition answers one partition request through the batcher.
+func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int, commTag string) (*core.Dist, error) {
+	key := batchKeyOf("part", tenant, keys, algorithm, D, commTag)
+	v, err := s.batched(key, func() (any, error) {
+		return s.runSolve(models, algorithm, D)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Dist), nil
 }
 
 // runSolve executes one partitioner call on the shared pool.

@@ -5,12 +5,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"fupermod/internal/core"
 	"fupermod/internal/kernels"
 	"fupermod/internal/model"
 	"fupermod/internal/platform"
 	"fupermod/internal/pool"
+	"fupermod/internal/service/modelstore"
 )
 
 // ModelKey identifies one fitted model in a tenant's cache: the virtual
@@ -68,11 +70,7 @@ func newTenantCache(max int) *tenantCache {
 // from the cache so a later request can retry.
 func (s *Server) getModel(tenant string, key ModelKey) (core.Model, []core.Point, error) {
 	s.mu.Lock()
-	tc, ok := s.tenants[tenant]
-	if !ok {
-		tc = newTenantCache(s.cacheSize)
-		s.tenants[tenant] = tc
-	}
+	tc := s.tenantCacheLocked(tenant)
 	if e, ok := tc.entries[key]; ok {
 		tc.order.MoveToFront(e.elem)
 		select {
@@ -84,20 +82,22 @@ func (s *Server) getModel(tenant string, key ModelKey) (core.Model, []core.Point
 		s.mu.Unlock()
 		return s.awaitEntry(e)
 	}
+	// Admission control happens exactly here: a miss commits the tenant to
+	// a fill — the expensive, pool-occupying operation the quota meters.
+	// Hits and coalesced waits above are deliberately exempt.
+	if !s.quota.acquire(tenant) {
+		s.mu.Unlock()
+		return nil, nil, s.rejectQuota(tenant)
+	}
 	s.stats.cacheMisses.Add(1)
 	e := &entry{key: key, ready: make(chan struct{})}
 	e.elem = tc.order.PushFront(e)
 	tc.entries[key] = e
-	for tc.order.Len() > tc.max {
-		oldest := tc.order.Back()
-		victim := oldest.Value.(*entry)
-		tc.order.Remove(oldest)
-		delete(tc.entries, victim.key)
-		s.stats.cacheEvictions.Add(1)
-	}
+	s.evictOverLocked(tc)
 	s.mu.Unlock()
 
-	s.fill(e)
+	s.fill(tenant, e)
+	s.quota.release(tenant)
 	if e.err != nil {
 		// Drop the failed entry (if it has not been evicted and replaced
 		// already) so the next identical request retries.
@@ -109,6 +109,28 @@ func (s *Server) getModel(tenant string, key ModelKey) (core.Model, []core.Point
 		s.mu.Unlock()
 	}
 	return e.model, e.points, e.err
+}
+
+// tenantCacheLocked returns (creating if needed) the tenant's cache.
+// Caller holds s.mu.
+func (s *Server) tenantCacheLocked(tenant string) *tenantCache {
+	tc, ok := s.tenants[tenant]
+	if !ok {
+		tc = newTenantCache(s.cacheSize)
+		s.tenants[tenant] = tc
+	}
+	return tc
+}
+
+// evictOverLocked applies the LRU bound. Caller holds s.mu.
+func (s *Server) evictOverLocked(tc *tenantCache) {
+	for tc.order.Len() > tc.max {
+		oldest := tc.order.Back()
+		victim := oldest.Value.(*entry)
+		tc.order.Remove(oldest)
+		delete(tc.entries, victim.key)
+		s.stats.cacheEvictions.Add(1)
+	}
 }
 
 // awaitEntry blocks until the entry's fill completes or the server shuts
@@ -124,24 +146,44 @@ func (s *Server) awaitEntry(e *entry) (core.Model, []core.Point, error) {
 	}
 }
 
-// fill performs the sweep and model fit for e, running the measurement on
-// the shared worker pool so concurrent fills never oversubscribe the
+// fill produces the fitted model for e: from the disk store when a warm
+// entry exists (no sweep at all — the restart path), otherwise by sweeping
+// on the shared worker pool so concurrent fills never oversubscribe the
 // machine. The sweep is executed serially inside one pool slot: the noise
 // meter draws pseudo-random perturbations in sequence, so a serial sweep
 // is deterministic for a given key — the property that makes cache entries
-// reproducible and service responses byte-identical to the direct library
-// path.
-func (s *Server) fill(e *entry) {
+// reproducible, disk-store spills replayable, and service responses
+// byte-identical to the direct library path.
+func (s *Server) fill(tenant string, e *entry) {
 	defer close(e.ready)
 	key := e.key
-	dev, err := platform.Preset(key.Device)
-	if err != nil {
-		e.err = err
-		return
-	}
 	sizes := core.LogSizes(key.Lo, key.Hi, key.N)
 	if len(sizes) == 0 {
 		e.err = fmt.Errorf("service: invalid size grid lo=%d hi=%d n=%d", key.Lo, key.Hi, key.N)
+		return
+	}
+	// The store is consulted before device resolution: a stored sweep is
+	// servable even when its device can no longer be resolved (a machine
+	// file not yet re-uploaded after a restart).
+	sk, stored := s.storeKey(tenant, key)
+	if stored {
+		switch ent, ok, err := s.store.Get(sk); {
+		case err != nil:
+			// Torn or damaged file: count it and fall through to a clean
+			// re-sweep; the spill below heals the entry.
+			s.stats.storeCorrupt.Add(1)
+		case ok:
+			m, ferr := fitPoints(key.Model, ent.Points)
+			if ferr == nil {
+				s.stats.storeHits.Add(1)
+				e.model, e.points = m, ent.Points
+				return
+			}
+		}
+	}
+	dev, err := s.resolveDevice(tenant, key.Device)
+	if err != nil {
+		e.err = err
 		return
 	}
 	meter := platform.NewMeter(dev, noiseConfig(key.Noise), key.Seed)
@@ -152,20 +194,59 @@ func (s *Server) fill(e *entry) {
 	}
 	e.err = pool.Do(s.ctx, s.pool, func(context.Context) error {
 		s.stats.sweeps.Add(1)
+		start := time.Now()
 		pts, err := core.Sweep(k, sizes, s.precision)
+		s.stats.sweepNanos.Add(int64(time.Since(start)))
 		if err != nil {
 			return err
 		}
-		m, err := model.New(key.Model)
+		m, err := fitPoints(key.Model, pts)
 		if err != nil {
-			return err
-		}
-		if err := core.UpdateAll(m, pts); err != nil {
 			return err
 		}
 		e.model, e.points = m, pts
 		return nil
 	})
+	if e.err == nil && stored {
+		// Write-behind spill: failures keep the in-memory entry valid and
+		// are only counted — durability is best-effort per fill, and the
+		// next fill of the same key simply retries the write.
+		if err := s.store.Put(sk, dev.Name(), e.points); err != nil {
+			s.stats.storeErrors.Add(1)
+		} else {
+			s.stats.storeSpills.Add(1)
+		}
+	}
+}
+
+// storeKey maps an in-memory cache key to its disk-store key; ok is false
+// when the server runs without a store. The model kind is dropped — the
+// stored artefact is the measurement — and the server's sweep precision is
+// folded in, so servers with different stopping rules never share entries.
+func (s *Server) storeKey(tenant string, key ModelKey) (modelstore.Key, bool) {
+	if s.store == nil {
+		return modelstore.Key{}, false
+	}
+	return modelstore.Key{
+		Tenant: tenant,
+		Device: key.Device,
+		Seed:   key.Seed,
+		Noise:  key.Noise,
+		Lo:     key.Lo, Hi: key.Hi, N: key.N,
+		Prec: modelstore.EncodePrecision(s.precision),
+	}, true
+}
+
+// fitPoints fits one model kind to a finished sweep.
+func fitPoints(kind string, pts []core.Point) (core.Model, error) {
+	m, err := model.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.UpdateAll(m, pts); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // noiseConfig maps the request's relative-noise level to the platform's

@@ -1,0 +1,349 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/kernels"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/pool"
+)
+
+// The dynamic endpoints expose the paper's model-free algorithms (§4.4)
+// through the same tenant/batch/quota plumbing as the model-based path:
+//
+//	/v1/dynpart  runs dynamic data partitioning — iterative benchmarking of
+//	             partial models until the distribution stabilises. The run
+//	             is expensive (it sweeps) and therefore quota-metered and
+//	             batched: identical runs within a window share one result.
+//	/v1/balance  replays an application's observed per-iteration times
+//	             through the dynamic load balancer. The replay is stateless
+//	             — the full observation history travels in the request — so
+//	             identical histories give identical proposals whether
+//	             replayed cold, batched, or after a restart.
+
+// DefaultDynEps is the dynpart convergence threshold when the request
+// leaves eps unset.
+const DefaultDynEps = 0.05
+
+// DynpartRequest asks for a model-free dynamic partitioning run.
+type DynpartRequest struct {
+	Tenant  string       `json:"tenant"`
+	Devices []DeviceSpec `json:"devices"`
+	D       int          `json:"d"`
+	// Model is the partial-model kind grown at each step; empty selects
+	// the piecewise FPM.
+	Model string `json:"model,omitempty"`
+	// Algorithm is the partitioner invoked at every step; empty selects
+	// geometric.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Eps is the relative-change convergence threshold; 0 selects
+	// DefaultDynEps.
+	Eps float64 `json:"eps,omitempty"`
+	// MaxIters caps the iterations; 0 selects the library default.
+	MaxIters int `json:"max_iters,omitempty"`
+}
+
+// DynpartStep traces one iteration of the run (the paper's Fig. 3 rows).
+type DynpartStep struct {
+	Units       []int   `json:"units"`
+	Change      float64 `json:"change"`
+	ModelPoints int     `json:"model_points"`
+}
+
+// DynpartResponse returns the converged distribution and the trace.
+type DynpartResponse struct {
+	Algorithm  string        `json:"algorithm"`
+	Model      string        `json:"model"`
+	D          int           `json:"d"`
+	Parts      []PartPayload `json:"parts"`
+	MakespanS  float64       `json:"makespan_s"`
+	Steps      []DynpartStep `json:"steps"`
+	Converged  bool          `json:"converged"`
+	BenchmarkS float64       `json:"benchmark_s"`
+}
+
+func (s *Server) handleDynpart(w http.ResponseWriter, r *http.Request) error {
+	var req DynpartRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	if len(req.Devices) == 0 {
+		return badRequest("at least one device is required")
+	}
+	if len(req.Devices) > MaxDevices {
+		return badRequest("%d devices exceed the limit of %d", len(req.Devices), MaxDevices)
+	}
+	if req.D < len(req.Devices) {
+		return badRequest("problem size d=%d smaller than device count %d", req.D, len(req.Devices))
+	}
+	kind := req.Model
+	if kind == "" {
+		kind = model.KindPiecewise
+	}
+	if _, err := model.New(kind); err != nil {
+		return badRequest("%v", err)
+	}
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "geometric"
+	}
+	algo, err := partition.ByName(algorithm)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = DefaultDynEps
+	}
+	if eps < 0 || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return badRequest("eps %g must be finite and positive", req.Eps)
+	}
+	if req.MaxIters < 0 {
+		return badRequest("max_iters must be non-negative, got %d", req.MaxIters)
+	}
+	tenant := tenantOf(req.Tenant)
+
+	// Resolve and canonicalise every device up front: a dynpart run
+	// benchmarks real (virtual) devices, so machine refs must be live.
+	devs := make([]platform.Device, len(req.Devices))
+	keys := make([]ModelKey, len(req.Devices))
+	for i, spec := range req.Devices {
+		key, err := s.keyFor(tenant, spec, Grid{Lo: 1, Hi: req.D, N: 1}, kind)
+		if err != nil {
+			return err
+		}
+		dev, err := s.resolveDevice(tenant, key.Device)
+		if err != nil {
+			return badRequest("device %d (%s): %v", i, spec.Preset, err)
+		}
+		keys[i] = key
+		devs[i] = dev
+	}
+
+	bkey := dynpartBatchKey(tenant, keys, algorithm, req.D, eps, req.MaxIters)
+	v, err := s.batched(bkey, func() (any, error) {
+		// The quota meters the whole run — it occupies a pool slot while
+		// sweeping at every iteration. Leader-only acquisition: followers
+		// of the batch do no work of their own.
+		if !s.quota.acquire(tenant) {
+			return nil, s.rejectQuota(tenant)
+		}
+		defer s.quota.release(tenant)
+		kernelSet := make([]core.Kernel, len(devs))
+		for i, dev := range devs {
+			meter := platform.NewMeter(dev, noiseConfig(req.Devices[i].Noise), req.Devices[i].Seed)
+			k, err := kernels.NewVirtual(dev.Name(), meter, GEMMBlockFlops)
+			if err != nil {
+				return nil, err
+			}
+			kernelSet[i] = k
+		}
+		cfg := dynamic.Config{
+			Algorithm: algo,
+			NewModel:  func() core.Model { m, _ := model.New(kind); return m },
+			Precision: s.precision,
+			Eps:       eps,
+			MaxIters:  req.MaxIters,
+		}
+		var res *dynamic.Result
+		// One pool slot for the whole run: the iterations benchmark the
+		// kernels serially, which keeps the seeded meters deterministic.
+		err := pool.Do(s.ctx, s.pool, func(context.Context) error {
+			s.stats.dynpartRuns.Add(1)
+			var derr error
+			res, derr = dynamic.PartitionDynamic(kernelSet, req.D, cfg)
+			return derr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return asRequestError(err, "%v", err)
+	}
+	res := v.(*dynamic.Result)
+
+	parts := make([]PartPayload, len(res.Dist.Parts))
+	for i, p := range res.Dist.Parts {
+		parts[i] = PartPayload{Device: keys[i].Device, Units: p.D, TimeS: p.Time}
+	}
+	steps := make([]DynpartStep, len(res.Steps))
+	for i, st := range res.Steps {
+		units := make([]int, len(st.Dist.Parts))
+		for j, p := range st.Dist.Parts {
+			units[j] = p.D
+		}
+		steps[i] = DynpartStep{Units: units, Change: st.Change, ModelPoints: st.ModelPoints}
+	}
+	return writeJSON(w, DynpartResponse{
+		Algorithm:  algorithm,
+		Model:      kind,
+		D:          req.D,
+		Parts:      parts,
+		MakespanS:  res.Dist.MaxTime(),
+		Steps:      steps,
+		Converged:  res.Converged,
+		BenchmarkS: res.BenchmarkSeconds,
+	})
+}
+
+// dynpartBatchKey fingerprints everything that determines a dynpart run.
+func dynpartBatchKey(tenant string, keys []ModelKey, algorithm string, D int, eps float64, maxIters int) string {
+	var b strings.Builder
+	b.WriteString("dyn|")
+	b.WriteString(tenant)
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k.String())
+	}
+	fmt.Fprintf(&b, "|%s|%d|%s|%d", algorithm, D, strconv.FormatFloat(eps, 'g', -1, 64), maxIters)
+	return b.String()
+}
+
+// BalanceRequest replays observed per-iteration times through the dynamic
+// load balancer (the Jacobi use case): iteration i's times must be the
+// per-process compute times measured under the distribution the balancer
+// proposed after iteration i-1 (even split for i = 0).
+type BalanceRequest struct {
+	Tenant string `json:"tenant"`
+	// N is the process count, D the total problem size.
+	N int `json:"n"`
+	D int `json:"d"`
+	// Model is the partial-model kind; empty selects the piecewise FPM.
+	Model string `json:"model,omitempty"`
+	// Algorithm is the partitioner; empty selects geometric.
+	Algorithm string `json:"algorithm,omitempty"`
+	// MinGain suppresses redistribution below this relative predicted
+	// improvement.
+	MinGain float64 `json:"min_gain,omitempty"`
+	// Iterations holds the observed times, oldest first, each of length N.
+	Iterations [][]float64 `json:"iterations"`
+}
+
+// BalanceIteration is the balancer's proposal after one observation.
+type BalanceIteration struct {
+	Units   []int `json:"units"`
+	Changed bool  `json:"changed"`
+}
+
+// BalanceResponse returns the proposal trace and the final distribution
+// the application should use next.
+type BalanceResponse struct {
+	Algorithm  string             `json:"algorithm"`
+	Model      string             `json:"model"`
+	D          int                `json:"d"`
+	N          int                `json:"n"`
+	Iterations []BalanceIteration `json:"iterations"`
+	Units      []int              `json:"units"`
+}
+
+func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) error {
+	var req BalanceRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.N <= 0 || req.N > MaxDevices {
+		return badRequest("process count n=%d must be in [1, %d]", req.N, MaxDevices)
+	}
+	if req.D < req.N {
+		return badRequest("problem size d=%d smaller than process count %d", req.D, req.N)
+	}
+	if len(req.Iterations) == 0 {
+		return badRequest("at least one observed iteration is required")
+	}
+	for i, times := range req.Iterations {
+		if len(times) != req.N {
+			return badRequest("iteration %d has %d times for %d processes", i, len(times), req.N)
+		}
+		for j, t := range times {
+			if t < 0 || math.IsInf(t, 0) || math.IsNaN(t) {
+				return badRequest("iteration %d process %d: time %g must be finite and non-negative", i, j, t)
+			}
+		}
+	}
+	kind := req.Model
+	if kind == "" {
+		kind = model.KindPiecewise
+	}
+	if _, err := model.New(kind); err != nil {
+		return badRequest("%v", err)
+	}
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "geometric"
+	}
+	algo, err := partition.ByName(algorithm)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	if req.MinGain < 0 || math.IsInf(req.MinGain, 0) || math.IsNaN(req.MinGain) {
+		return badRequest("min_gain %g must be finite and non-negative", req.MinGain)
+	}
+	tenant := tenantOf(req.Tenant)
+
+	bkey := balanceBatchKey(tenant, &req, kind, algorithm)
+	v, err := s.batched(bkey, func() (any, error) {
+		cfg := dynamic.Config{
+			Algorithm: algo,
+			NewModel:  func() core.Model { m, _ := model.New(kind); return m },
+		}
+		var resp *BalanceResponse
+		// The replay is pure computation (model updates + solver calls);
+		// one pool slot bounds it like any other solve.
+		err := pool.Do(s.ctx, s.pool, func(context.Context) error {
+			s.stats.balanceRuns.Add(1)
+			b, err := dynamic.NewBalancer(cfg, req.D, req.N, req.MinGain)
+			if err != nil {
+				return err
+			}
+			resp = &BalanceResponse{Algorithm: algorithm, Model: kind, D: req.D, N: req.N}
+			for i, times := range req.Iterations {
+				changed, err := b.Observe(times)
+				if err != nil {
+					return fmt.Errorf("iteration %d: %w", i, err)
+				}
+				units := make([]int, req.N)
+				for j, p := range b.Dist().Parts {
+					units[j] = p.D
+				}
+				resp.Iterations = append(resp.Iterations, BalanceIteration{Units: units, Changed: changed})
+			}
+			resp.Units = resp.Iterations[len(resp.Iterations)-1].Units
+			return nil
+		})
+		return resp, err
+	})
+	if err != nil {
+		return asRequestError(err, "%v", err)
+	}
+	return writeJSON(w, v.(*BalanceResponse))
+}
+
+// balanceBatchKey fingerprints a full replay, observation history included.
+func balanceBatchKey(tenant string, req *BalanceRequest, kind, algorithm string) string {
+	var b strings.Builder
+	b.WriteString("bal|")
+	b.WriteString(tenant)
+	fmt.Fprintf(&b, "|%d|%d|%s|%s|%s", req.N, req.D, kind, algorithm,
+		strconv.FormatFloat(req.MinGain, 'g', -1, 64))
+	for _, times := range req.Iterations {
+		b.WriteByte('|')
+		for j, t := range times {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,356 @@
+// Package modelstore is the durable half of the partition service's model
+// cache: every fitted model's underlying benchmark sweep is spilled to disk
+// as a points file, one file per key, and reloaded on start — so a restarted
+// server (or a fupermod-bench / fupermod-verify run pointed at the same
+// directory) reuses the expensive measurements instead of re-sweeping.
+// Persisting the measurement database is what amortises the cost of
+// functional performance models across runs (Lastovetsky et al.'s
+// self-adaptable algorithms reuse refined models across invocations;
+// Stevens–Klöckner's black-box GPU models pay off through exactly such a
+// persisted model database).
+//
+// Each entry is a regular points file (model.WritePoints format), readable
+// by every tool in the chain, with two extra comment headers the format
+// ignores: a "# store:" line carrying the full cache key and a trailing
+// "# end:" line carrying the point count. The trailer is the torn-write
+// detector: a file truncated by a crash mid-write fails the count check and
+// is reported as corrupt — the caller re-sweeps instead of serving a
+// partial model. Writes go through a temp file and an atomic rename, so a
+// crash never leaves a half-written file under the entry's real name.
+package modelstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+)
+
+// Key identifies one stored sweep: the tenant it belongs to, the measured
+// virtual device and its noise conditions, the size grid, and the benchmark
+// precision the sweep was measured under. The model *kind* is deliberately
+// absent — the stored artefact is the measurement, and any model kind can
+// be refitted from it — as is everything request-scoped.
+type Key struct {
+	// Tenant namespaces entries exactly like the in-memory cache does.
+	Tenant string
+	// Device is the canonical device string (a preset name, or the
+	// service's fingerprinted machine-device reference).
+	Device string
+	// Seed and Noise are the measurement-noise conditions.
+	Seed  int64
+	Noise float64
+	// Lo, Hi, N describe the geometric size grid.
+	Lo, Hi, N int
+	// Prec is the canonical precision string (EncodePrecision); sweeps
+	// under different stopping rules are different measurements.
+	Prec string
+}
+
+// EncodePrecision renders a precision as the canonical string stored in
+// keys, with full round-trip float formatting.
+func EncodePrecision(p core.Precision) string {
+	return fmt.Sprintf("%d:%d:%s:%s:%s:%d",
+		p.MinReps, p.MaxReps, fmtG(p.Confidence), fmtG(p.RelErr), fmtG(p.MaxSeconds), p.Warmup)
+}
+
+// DecodePrecision parses EncodePrecision's output.
+func DecodePrecision(s string) (core.Precision, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: want 6 fields", s)
+	}
+	var p core.Precision
+	var err error
+	if p.MinReps, err = strconv.Atoi(parts[0]); err != nil {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: %w", s, err)
+	}
+	if p.MaxReps, err = strconv.Atoi(parts[1]); err != nil {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: %w", s, err)
+	}
+	if p.Confidence, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: %w", s, err)
+	}
+	if p.RelErr, err = strconv.ParseFloat(parts[3], 64); err != nil {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: %w", s, err)
+	}
+	if p.MaxSeconds, err = strconv.ParseFloat(parts[4], 64); err != nil {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: %w", s, err)
+	}
+	if p.Warmup, err = strconv.Atoi(parts[5]); err != nil {
+		return core.Precision{}, fmt.Errorf("modelstore: precision %q: %w", s, err)
+	}
+	return p, nil
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Validate reports whether the key is storable.
+func (k Key) Validate() error {
+	if k.Tenant == "" {
+		return fmt.Errorf("modelstore: key needs a tenant")
+	}
+	if k.Device == "" {
+		return fmt.Errorf("modelstore: key needs a device")
+	}
+	if k.Lo <= 0 || k.Hi < k.Lo || k.N <= 0 {
+		return fmt.Errorf("modelstore: invalid size grid lo=%d hi=%d n=%d", k.Lo, k.Hi, k.N)
+	}
+	if k.Prec == "" {
+		return fmt.Errorf("modelstore: key needs a precision string")
+	}
+	if _, err := DecodePrecision(k.Prec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// id is the canonical key string: every field, url-escaped where free-form,
+// '|'-separated. Equal keys have equal ids and vice versa.
+func (k Key) id() string {
+	return strings.Join([]string{
+		url.QueryEscape(k.Tenant),
+		url.QueryEscape(k.Device),
+		strconv.FormatInt(k.Seed, 10),
+		fmtG(k.Noise),
+		strconv.Itoa(k.Lo), strconv.Itoa(k.Hi), strconv.Itoa(k.N),
+		url.QueryEscape(k.Prec),
+	}, "|")
+}
+
+func parseKeyID(s string) (Key, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 8 {
+		return Key{}, fmt.Errorf("modelstore: key %q: want 8 fields, got %d", s, len(parts))
+	}
+	var k Key
+	var err error
+	if k.Tenant, err = url.QueryUnescape(parts[0]); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.Device, err = url.QueryUnescape(parts[1]); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.Seed, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.Noise, err = strconv.ParseFloat(parts[3], 64); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.Lo, err = strconv.Atoi(parts[4]); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.Hi, err = strconv.Atoi(parts[5]); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.N, err = strconv.Atoi(parts[6]); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if k.Prec, err = url.QueryUnescape(parts[7]); err != nil {
+		return Key{}, fmt.Errorf("modelstore: key %q: %w", s, err)
+	}
+	if err := k.Validate(); err != nil {
+		return Key{}, err
+	}
+	return k, nil
+}
+
+// filename derives the entry's file name from the key id. The content hash
+// keeps arbitrary tenant/device strings out of the filesystem namespace;
+// the id embedded in the file is authoritative, the name only an address.
+func (k Key) filename() string {
+	sum := sha256.Sum256([]byte(k.id()))
+	return hex.EncodeToString(sum[:12]) + ".points"
+}
+
+// Entry is one loaded store record.
+type Entry struct {
+	Key    Key
+	Kernel string
+	Points []core.Point
+}
+
+// Corrupt describes one unreadable store file: a torn write, a truncation,
+// or hand-edited damage. Corrupt entries are never returned as data — the
+// caller's recovery is to re-sweep.
+type Corrupt struct {
+	Path string
+	Err  error
+}
+
+// Store is a directory of spilled sweeps. It is safe for concurrent use;
+// writes to the same key serialise on an internal lock, and the atomic
+// rename makes concurrent readers see either the old or the new complete
+// file, never a mixture.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open creates (if necessary) and opens the store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("modelstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key is (or would be) stored at.
+func (s *Store) Path(k Key) string { return filepath.Join(s.dir, k.filename()) }
+
+// encode renders one complete entry file: the store header, the standard
+// points file, and the count trailer.
+func encode(k Key, kernel string, pts []core.Point) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# store: %s\n", k.id())
+	if err := model.WritePoints(&buf, model.PointFile{Kernel: kernel, Device: k.Device, Points: pts}); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&buf, "# end: %d\n", len(pts))
+	return buf.Bytes(), nil
+}
+
+// Put spills one sweep. The write is atomic: a temp file in the store
+// directory is renamed over the entry, so a crash at any instant leaves
+// either the previous complete entry or the new one.
+func (s *Store) Put(k Key, kernel string, pts []core.Point) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("modelstore: refusing to store empty sweep for %s", k.id())
+	}
+	data, err := encode(k, kernel, pts)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, ".spill-*")
+	if err != nil {
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("modelstore: %w", err)
+	}
+	return nil
+}
+
+// decode parses and integrity-checks one entry file.
+func decode(path string, data []byte) (Entry, error) {
+	var e Entry
+	var keyLine string
+	endCount := -1
+	// The trailer must be the complete final line, newline included: any
+	// crash-truncation — even one byte — removes it.
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		return e, fmt.Errorf("modelstore: %s: missing final newline (torn write?)", path)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		meta := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "#"))
+		switch {
+		case strings.HasPrefix(meta, "store:"):
+			keyLine = strings.TrimSpace(strings.TrimPrefix(meta, "store:"))
+		case strings.HasPrefix(meta, "end:"):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "end:")))
+			if err != nil {
+				return e, fmt.Errorf("modelstore: %s: bad end trailer: %w", path, err)
+			}
+			endCount = n
+		}
+	}
+	if keyLine == "" {
+		return e, fmt.Errorf("modelstore: %s: missing store key header", path)
+	}
+	if endCount < 0 {
+		return e, fmt.Errorf("modelstore: %s: missing end trailer (torn write?)", path)
+	}
+	key, err := parseKeyID(keyLine)
+	if err != nil {
+		return e, fmt.Errorf("modelstore: %s: %w", path, err)
+	}
+	pf, err := model.ReadPoints(bytes.NewReader(data))
+	if err != nil {
+		return e, fmt.Errorf("modelstore: %s: %w", path, err)
+	}
+	if len(pf.Points) != endCount {
+		return e, fmt.Errorf("modelstore: %s: %d points but trailer says %d (torn write?)",
+			path, len(pf.Points), endCount)
+	}
+	return Entry{Key: key, Kernel: pf.Kernel, Points: pf.Points}, nil
+}
+
+// Get loads the entry for one key. ok is false when no entry exists. A
+// present-but-corrupt entry returns an error — the caller should treat it
+// as a miss and re-sweep (a subsequent Put heals the file).
+func (s *Store) Get(k Key) (Entry, bool, error) {
+	path := s.Path(k)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Entry{}, false, nil
+	}
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("modelstore: %w", err)
+	}
+	e, err := decode(path, data)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if e.Key != k {
+		// Hash-addressed file carrying a different key: treat as absent
+		// rather than serving another key's measurements.
+		return Entry{}, false, fmt.Errorf("modelstore: %s: key mismatch (stale or colliding entry)", path)
+	}
+	return e, true, nil
+}
+
+// Load reads every entry in the store. Corrupt files are collected, not
+// fatal: a store damaged by a crash loads everything intact and reports
+// what it had to drop, so the server re-sweeps only the torn entries.
+func (s *Store) Load() ([]Entry, []Corrupt, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.points"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("modelstore: %w", err)
+	}
+	var entries []Entry
+	var corrupt []Corrupt
+	for _, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
+			continue
+		}
+		e, err := decode(path, data)
+		if err != nil {
+			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, corrupt, nil
+}

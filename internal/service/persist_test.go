@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fupermod/internal/model"
+)
+
+// newStoreServer starts a server over dir and registers cleanup. Each call
+// simulates one process lifetime against the same store directory.
+func newStoreServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.StoreDir = dir
+	return newTestServer(t, cfg)
+}
+
+// TestCrashRestartByteIdentical is the crash/restart differential: fill a
+// server over HTTP, stop it, start a fresh Server on the same -store-dir,
+// and require byte-identical responses with the sweeps counter flat at
+// zero — the restarted server must reproduce its models purely from disk.
+func TestCrashRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	requests := []PartitionRequest{
+		{
+			Tenant:  "a",
+			Devices: []DeviceSpec{{Preset: "fast", Seed: 1}, {Preset: "slow", Seed: 2}},
+			Grid:    testGrid,
+			D:       10000,
+		},
+		{
+			Tenant:    "b",
+			Devices:   []DeviceSpec{{Preset: "gpu", Seed: 3, Noise: 0.05}, {Preset: "netlib-blas", Seed: 4, Noise: 0.05}},
+			Grid:      testGrid,
+			Algorithm: "numerical",
+			Model:     model.KindAkima,
+			D:         7000,
+		},
+	}
+	measures := []MeasureRequest{
+		{Tenant: "a", Device: DeviceSpec{Preset: "fast", Seed: 1}, Grid: testGrid},
+		{Tenant: "b", Device: DeviceSpec{Preset: "gpu", Seed: 3, Noise: 0.05}, Grid: testGrid, Model: model.KindAkima},
+	}
+
+	// Lifetime 1: fill over HTTP.
+	svc1, ts1 := newStoreServer(t, dir, Config{})
+	var wantParts [][]byte
+	var wantPoints [][]byte
+	for _, req := range requests {
+		status, body := postJSON(t, ts1.URL+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("fill partition: status %d: %s", status, body)
+		}
+		wantParts = append(wantParts, body)
+	}
+	for _, req := range measures {
+		status, body := postJSON(t, ts1.URL+"/v1/measure", req)
+		if status != 200 {
+			t.Fatalf("fill measure: status %d: %s", status, body)
+		}
+		wantPoints = append(wantPoints, body)
+	}
+	snap1 := getStats(t, ts1.URL)
+	if snap1.Sweeps == 0 {
+		t.Fatal("cold server swept nothing")
+	}
+	if snap1.StoreSpills != snap1.Sweeps {
+		t.Errorf("spills=%d sweeps=%d: every sweep must be spilled", snap1.StoreSpills, snap1.Sweeps)
+	}
+	ts1.Close()
+	svc1.Close()
+
+	// Lifetime 2: fresh server, same directory. All responses must be
+	// byte-identical and no sweep may run.
+	_, ts2 := newStoreServer(t, dir, Config{})
+	snap0 := getStats(t, ts2.URL)
+	if snap0.StoreLoaded == 0 {
+		t.Error("restart preloaded nothing from a warm store")
+	}
+	for i, req := range requests {
+		status, body := postJSON(t, ts2.URL+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("restart partition %d: status %d: %s", i, status, body)
+		}
+		if !bytes.Equal(body, wantParts[i]) {
+			t.Errorf("partition %d diverges after restart:\n%s\n%s", i, body, wantParts[i])
+		}
+	}
+	for i, req := range measures {
+		status, body := postJSON(t, ts2.URL+"/v1/measure", req)
+		if status != 200 {
+			t.Fatalf("restart measure %d: status %d: %s", i, status, body)
+		}
+		if !bytes.Equal(body, wantPoints[i]) {
+			t.Errorf("measure %d diverges after restart:\n%s\n%s", i, body, wantPoints[i])
+		}
+	}
+	snap2 := getStats(t, ts2.URL)
+	if snap2.Sweeps != 0 {
+		t.Errorf("restarted server swept %d times; a warm store must mean zero re-sweeps", snap2.Sweeps)
+	}
+}
+
+// TestRestartServesNonDefaultKindsFromStore: the preload fits the default
+// kind, but any other model kind must still be answerable from the stored
+// measurement (store hit at fill time), with no sweep.
+func TestRestartServesNonDefaultKindsFromStore(t *testing.T) {
+	dir := t.TempDir()
+	req := MeasureRequest{Device: DeviceSpec{Preset: "fast", Seed: 7}, Grid: testGrid, Model: model.KindAkima}
+
+	_, ts1 := newStoreServer(t, dir, Config{})
+	status, want := postJSON(t, ts1.URL+"/v1/measure", req)
+	if status != 200 {
+		t.Fatalf("fill: status %d", status)
+	}
+
+	_, ts2 := newStoreServer(t, dir, Config{})
+	// A different kind over the same measurement conditions: the akima
+	// sweep stored in lifetime 1 serves the constant-kind fill too.
+	other := req
+	other.Model = model.KindConstant
+	if status, body := postJSON(t, ts2.URL+"/v1/measure", other); status != 200 {
+		t.Fatalf("other-kind measure: status %d: %s", status, body)
+	}
+	status, got := postJSON(t, ts2.URL+"/v1/measure", req)
+	if status != 200 {
+		t.Fatalf("same-kind measure: status %d", status)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("points diverge after restart:\n%s\n%s", got, want)
+	}
+	snap := getStats(t, ts2.URL)
+	if snap.Sweeps != 0 {
+		t.Errorf("restarted server swept %d times", snap.Sweeps)
+	}
+	if snap.StoreHits == 0 {
+		t.Error("non-default kind did not hit the store")
+	}
+}
+
+// TestTornStoreFileReSweeps: a file truncated mid-write (the crash the
+// trailer detects) is never served — the server counts it corrupt,
+// re-sweeps cleanly, and the re-sweep heals the file on disk.
+func TestTornStoreFileReSweeps(t *testing.T) {
+	dir := t.TempDir()
+	req := MeasureRequest{Device: DeviceSpec{Preset: "fast", Seed: 9}, Grid: testGrid}
+
+	_, ts1 := newStoreServer(t, dir, Config{})
+	status, want := postJSON(t, ts1.URL+"/v1/measure", req)
+	if status != 200 {
+		t.Fatalf("fill: status %d", status)
+	}
+
+	// Tear every stored file.
+	files, err := filepath.Glob(filepath.Join(dir, "*.points"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("store files: %v (err %v)", files, err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(f, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, ts2 := newStoreServer(t, dir, Config{})
+	snap0 := getStats(t, ts2.URL)
+	if snap0.StoreCorrupt == 0 {
+		t.Error("torn files not counted corrupt at preload")
+	}
+	if snap0.StoreLoaded != 0 {
+		t.Errorf("preloaded %d entries from torn files", snap0.StoreLoaded)
+	}
+	status, got := postJSON(t, ts2.URL+"/v1/measure", req)
+	if status != 200 {
+		t.Fatalf("re-sweep: status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("re-sweep diverges from original:\n%s\n%s", got, want)
+	}
+	snap := getStats(t, ts2.URL)
+	if snap.Sweeps != 1 {
+		t.Errorf("sweeps=%d, want exactly 1 (the healing re-sweep)", snap.Sweeps)
+	}
+
+	// Third lifetime: the heal must have repaired the file.
+	_, ts3 := newStoreServer(t, dir, Config{})
+	status, got3 := postJSON(t, ts3.URL+"/v1/measure", req)
+	if status != 200 {
+		t.Fatalf("healed measure: status %d", status)
+	}
+	if !bytes.Equal(got3, want) {
+		t.Errorf("healed response diverges:\n%s\n%s", got3, want)
+	}
+	if snap3 := getStats(t, ts3.URL); snap3.Sweeps != 0 {
+		t.Errorf("healed store still re-swept %d times", snap3.Sweeps)
+	}
+}
+
+// TestStoreIsolatesPrecision: a store filled under one stopping rule must
+// not serve a server sweeping under another.
+func TestStoreIsolatesPrecision(t *testing.T) {
+	dir := t.TempDir()
+	req := MeasureRequest{Device: DeviceSpec{Preset: "fast", Seed: 3}, Grid: testGrid}
+
+	_, ts1 := newStoreServer(t, dir, Config{})
+	if status, _ := postJSON(t, ts1.URL+"/v1/measure", req); status != 200 {
+		t.Fatalf("fill failed")
+	}
+
+	strict := DefaultSweepPrecision
+	strict.MaxReps++
+	_, ts2 := newStoreServer(t, dir, Config{Precision: strict})
+	snap0 := getStats(t, ts2.URL)
+	if snap0.StoreLoaded != 0 {
+		t.Errorf("preloaded %d entries measured under a different precision", snap0.StoreLoaded)
+	}
+	if status, _ := postJSON(t, ts2.URL+"/v1/measure", req); status != 200 {
+		t.Fatalf("measure failed")
+	}
+	if snap := getStats(t, ts2.URL); snap.Sweeps != 1 {
+		t.Errorf("sweeps=%d, want 1: a different precision is a different measurement", snap.Sweeps)
+	}
+}

@@ -14,12 +14,22 @@
 // self-adaptable partitioning (models refined online across requests) and
 // Stevens–Klöckner's cached black-box performance models.
 //
+// With Config.StoreDir set, every fitted model's sweep is also spilled to
+// an on-disk store (package modelstore) and reloaded on start, so a
+// restarted server reproduces its models byte-identically with zero
+// re-sweeps; with Config.QuotaSlots set, a weighted fair admission quota
+// bounds each tenant's in-flight expensive operations (429 + Retry-After
+// on breach) so one tenant's sweep storm cannot starve another.
+//
 // Endpoints:
 //
 //	POST /v1/measure    sweep one device's size grid, return the points
 //	POST /v1/model      fit a model to the sweep, return knots + evaluation
 //	POST /v1/partition  distribute D units over a set of devices
-//	GET  /stats         request/latency/cache/batch counters
+//	POST /v1/dynpart    model-free dynamic partitioning (paper §4.4)
+//	POST /v1/balance    replay observed iteration times through the balancer
+//	POST /v1/machine    upload a machine file describing a tenant's devices
+//	GET  /stats         request/latency/cache/batch/store/quota counters
 //	GET  /healthz       liveness probe
 package service
 
@@ -30,12 +40,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"fupermod/internal/core"
 	"fupermod/internal/model"
 	"fupermod/internal/pool"
+	"fupermod/internal/service/modelstore"
 )
 
 // GEMMBlockFlops is the arithmetic cost of one computation unit (one
@@ -78,6 +90,18 @@ type Config struct {
 	BatchWindow time.Duration
 	// Precision overrides DefaultSweepPrecision when non-zero.
 	Precision core.Precision
+	// StoreDir, when non-empty, enables the on-disk model store: every
+	// sweep is spilled there (write-behind) and reloaded on start, so a
+	// restarted server reuses its measurements instead of re-sweeping.
+	StoreDir string
+	// QuotaSlots, when positive, bounds each tenant's concurrently
+	// in-flight expensive operations (sweep fills, dynamic-partition runs)
+	// at QuotaSlots × weight; excess requests are rejected with 429.
+	// Zero or negative disables admission control.
+	QuotaSlots int
+	// QuotaWeights maps tenant name → weight for the admission quota;
+	// absent tenants weigh 1.
+	QuotaWeights map[string]int
 }
 
 // Server is the partition service. Create with New; it is safe for
@@ -101,11 +125,20 @@ type Server struct {
 	commMu sync.Mutex
 	comms  map[string]*commEntry
 
+	machineMu sync.Mutex
+	machines  map[string]*tenantMachines
+
+	store *modelstore.Store
+	quota *quotas
+
 	stats stats
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. With cfg.StoreDir set, the store
+// directory is opened (created if absent) and every intact entry matching
+// the server's sweep precision is preloaded into the tenant caches before
+// the first request.
+func New(cfg Config) (*Server, error) {
 	cacheSize := cfg.CacheSize
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
@@ -119,7 +152,7 @@ func New(cfg Config) *Server {
 		prec = DefaultSweepPrecision
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		pool:        pool.New(cfg.Workers),
 		cacheSize:   cacheSize,
 		batchWindow: window,
@@ -130,6 +163,64 @@ func New(cfg Config) *Server {
 		batches:     make(map[string]*batchCall),
 		window:      adaptiveWindow{max: window},
 		comms:       make(map[string]*commEntry),
+		machines:    make(map[string]*tenantMachines),
+		quota:       newQuotas(cfg.QuotaSlots, cfg.QuotaWeights),
+	}
+	if cfg.StoreDir != "" {
+		st, err := modelstore.Open(cfg.StoreDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		s.preload()
+	}
+	return s, nil
+}
+
+// preload warms the tenant caches from the disk store: every intact entry
+// measured under this server's precision is refitted (default model kind)
+// and inserted ready, so the first requests after a restart are cache hits
+// with zero sweeps. Corrupt files are only counted — the torn entries
+// re-sweep (and heal) lazily on first use.
+func (s *Server) preload() {
+	entries, corrupt, err := s.store.Load()
+	if err != nil {
+		return
+	}
+	s.stats.storeCorrupt.Add(int64(len(corrupt)))
+	prec := modelstore.EncodePrecision(s.precision)
+	for _, ent := range entries {
+		if ent.Key.Prec != prec {
+			continue // another server's stopping rule: not our measurement
+		}
+		m, err := fitPoints(model.KindPiecewise, ent.Points)
+		if err != nil {
+			continue
+		}
+		e := &entry{
+			key: ModelKey{
+				Device: ent.Key.Device,
+				Seed:   ent.Key.Seed,
+				Noise:  ent.Key.Noise,
+				Lo:     ent.Key.Lo, Hi: ent.Key.Hi, N: ent.Key.N,
+				Model: model.KindPiecewise,
+			},
+			ready:  make(chan struct{}),
+			model:  m,
+			points: ent.Points,
+		}
+		close(e.ready)
+		s.mu.Lock()
+		tc := s.tenantCacheLocked(ent.Key.Tenant)
+		if old, ok := tc.entries[e.key]; ok {
+			tc.order.Remove(old.elem)
+		}
+		e.elem = tc.order.PushFront(e)
+		tc.entries[e.key] = e
+		s.evictOverLocked(tc)
+		s.mu.Unlock()
+		s.stats.storeLoaded.Add(1)
 	}
 }
 
@@ -144,6 +235,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/measure", s.instrument(s.handleMeasure))
 	mux.HandleFunc("/v1/model", s.instrument(s.handleModel))
 	mux.HandleFunc("/v1/partition", s.instrument(s.handlePartition))
+	mux.HandleFunc("/v1/dynpart", s.instrument(s.handleDynpart))
+	mux.HandleFunc("/v1/balance", s.instrument(s.handleBalance))
+	mux.HandleFunc("/v1/machine", s.instrument(s.handleMachine))
 	mux.HandleFunc("/stats", s.instrument(s.handleStats))
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
 	return mux
@@ -252,16 +346,29 @@ type PartitionResponse struct {
 	Comm string `json:"comm,omitempty"`
 }
 
-// httpError carries a status code to the error middleware.
+// httpError carries a status code (and, for quota rejections, a
+// Retry-After hint) to the error middleware.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; 0 = no header
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// asRequestError passes a handler-originated httpError (e.g. a quota 429)
+// through intact and downgrades everything else to a 400 with the given
+// message.
+func asRequestError(err error, format string, args ...any) error {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he
+	}
+	return badRequest(format, args...)
 }
 
 // instrument wraps a handler with request counting and latency tracking.
@@ -274,6 +381,9 @@ func (s *Server) instrument(h func(w http.ResponseWriter, r *http.Request) error
 			var he *httpError
 			if errors.As(err, &he) {
 				status = he.status
+				if he.retryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+				}
 			} else {
 				status = http.StatusInternalServerError
 			}
@@ -313,6 +423,18 @@ func tenantOf(name string) string {
 	return name
 }
 
+// keyFor canonicalises the device reference for the tenant (resolving
+// bare "machine:<rank>" refs against the tenant's current upload) and
+// builds the cache key.
+func (s *Server) keyFor(tenant string, dev DeviceSpec, grid Grid, kind string) (ModelKey, error) {
+	canon, err := s.canonDevice(tenant, dev.Preset)
+	if err != nil {
+		return ModelKey{}, badRequest("%v", err)
+	}
+	dev.Preset = canon
+	return keyOf(dev, grid, kind)
+}
+
 // keyOf resolves a device spec + grid + model kind into a cache key.
 func keyOf(dev DeviceSpec, grid Grid, kind string) (ModelKey, error) {
 	if kind == "" {
@@ -346,13 +468,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	key, err := keyOf(req.Device, req.Grid, req.Model)
+	tenant := tenantOf(req.Tenant)
+	key, err := s.keyFor(tenant, req.Device, req.Grid, req.Model)
 	if err != nil {
 		return err
 	}
-	_, pts, err := s.getModel(tenantOf(req.Tenant), key)
+	_, pts, err := s.getModel(tenant, key)
 	if err != nil {
-		return badRequest("%v", err)
+		return asRequestError(err, "%v", err)
 	}
 	return writeJSON(w, MeasureResponse{
 		Device: key.Device,
@@ -366,13 +489,14 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	key, err := keyOf(req.Device, req.Grid, req.Model)
+	tenant := tenantOf(req.Tenant)
+	key, err := s.keyFor(tenant, req.Device, req.Grid, req.Model)
 	if err != nil {
 		return err
 	}
-	m, pts, err := s.getModel(tenantOf(req.Tenant), key)
+	m, pts, err := s.getModel(tenant, key)
 	if err != nil {
-		return badRequest("%v", err)
+		return asRequestError(err, "%v", err)
 	}
 	var eval []EvalPayload
 	for _, d := range core.LogSizes(key.Lo, key.Hi, key.N) {
@@ -422,13 +546,13 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 	keys := make([]ModelKey, len(req.Devices))
 	models := make([]core.Model, len(req.Devices))
 	for i, dev := range req.Devices {
-		key, err := keyOf(dev, req.Grid, req.Model)
+		key, err := s.keyFor(tenant, dev, req.Grid, req.Model)
 		if err != nil {
 			return err
 		}
 		m, _, err := s.getModel(tenant, key)
 		if err != nil {
-			return badRequest("device %d (%s): %v", i, dev.Preset, err)
+			return asRequestError(err, "device %d (%s): %v", i, dev.Preset, err)
 		}
 		keys[i] = key
 		models[i] = m

@@ -22,7 +22,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -454,7 +457,10 @@ func TestCacheEviction(t *testing.T) {
 // window) survives http.Server.Shutdown — the drain waits for it and the
 // client receives the complete, correct response.
 func TestShutdownDraining(t *testing.T) {
-	svc := New(Config{BatchWindow: 250 * time.Millisecond})
+	svc, err := New(Config{BatchWindow: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 	ts := httptest.NewUnstartedServer(svc.Handler())
 	ts.Start()
@@ -501,7 +507,10 @@ func TestShutdownDraining(t *testing.T) {
 // TestClosedServerFailsFills: after Close, cache fills abort instead of
 // hanging.
 func TestClosedServerFailsFills(t *testing.T) {
-	svc := New(Config{})
+	svc, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	svc.Close()

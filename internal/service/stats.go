@@ -1,12 +1,16 @@
 package service
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // stats holds the server's monotonically increasing counters. All fields
-// are updated with atomics so handlers never serialise on a stats lock.
+// are updated with atomics so handlers never serialise on a stats lock;
+// the per-tenant quota-rejection map is the one mutex-guarded exception
+// (it is touched only on the rejection path, which is already the slow
+// lane).
 type stats struct {
 	requests atomic.Int64 // HTTP requests accepted (all endpoints)
 	errors   atomic.Int64 // requests answered with a non-2xx status
@@ -14,20 +18,49 @@ type stats struct {
 	latencyT atomic.Int64 // cumulative handler latency, nanoseconds
 
 	cacheHits      atomic.Int64 // model found ready in a tenant cache
-	cacheMisses    atomic.Int64 // model absent: a sweep was started
-	cacheCoalesced atomic.Int64 // request joined an in-flight sweep (single-flight)
+	cacheMisses    atomic.Int64 // model absent: a fill was started
+	cacheCoalesced atomic.Int64 // request joined an in-flight fill (single-flight)
 	cacheEvictions atomic.Int64 // entries dropped by the LRU bound
 
-	sweeps atomic.Int64 // benchmark sweeps actually executed
+	sweeps     atomic.Int64 // benchmark sweeps actually executed
+	sweepNanos atomic.Int64 // cumulative wall time of those sweeps
+
+	storeLoaded  atomic.Int64 // entries preloaded from the disk store at start
+	storeHits    atomic.Int64 // fills served from the disk store (no sweep)
+	storeSpills  atomic.Int64 // sweeps spilled to the disk store
+	storeCorrupt atomic.Int64 // corrupt store files encountered (re-sweep path)
+	storeErrors  atomic.Int64 // store writes that failed (entry kept in memory)
 
 	batchSolves      atomic.Int64 // solver calls made on behalf of a batch
 	batchJoined      atomic.Int64 // partition requests that joined an existing batch
 	batchWindowSkips atomic.Int64 // requests that skipped the window (idle traffic)
 
 	commCalibrations atomic.Int64 // comm-model calibrations actually executed
+
+	dynpartRuns    atomic.Int64 // dynamic-partition runs actually executed
+	balanceRuns    atomic.Int64 // balance replays actually executed
+	machineUploads atomic.Int64 // machine files accepted
+
+	quotaRejections atomic.Int64 // requests rejected by the per-tenant quota
+
+	quotaMu       sync.Mutex
+	quotaByTenant map[string]int64
 }
 
-// Snapshot is the JSON shape of the /stats endpoint.
+// rejectQuota records one quota rejection for the tenant.
+func (s *stats) rejectQuota(tenant string) {
+	s.quotaRejections.Add(1)
+	s.quotaMu.Lock()
+	if s.quotaByTenant == nil {
+		s.quotaByTenant = make(map[string]int64)
+	}
+	s.quotaByTenant[tenant]++
+	s.quotaMu.Unlock()
+}
+
+// Snapshot is the JSON shape of the /stats endpoint. The schema is pinned
+// by a golden-file test (stats_golden_test.go): new counters must be added
+// there deliberately, never by accident.
 type Snapshot struct {
 	// Requests counts every request accepted, Errors those answered with
 	// a non-2xx status; AvgLatencyMicros is the mean handler latency.
@@ -36,7 +69,7 @@ type Snapshot struct {
 	AvgLatencyMicros float64 `json:"avg_latency_micros"`
 
 	// Cache counters: a hit returns a fitted model with no work, a miss
-	// triggers one sweep, a coalesced request waited on a sweep another
+	// triggers one fill, a coalesced request waited on a fill another
 	// request had already started (single-flight), and evictions count
 	// entries dropped by the per-tenant LRU bound.
 	CacheHits      int64 `json:"cache_hits"`
@@ -45,13 +78,23 @@ type Snapshot struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 
 	// Sweeps counts benchmark sweeps actually executed — the expensive
-	// operation the cache and single-flight exist to avoid.
+	// operation the cache, single-flight and disk store exist to avoid.
 	Sweeps int64 `json:"sweeps"`
 
-	// BatchSolves counts solver calls, BatchJoined the partition requests
-	// that were answered by a solve another request triggered, and
-	// BatchWindowSkips the requests the adaptive controller exempted from
-	// waiting because partition traffic was idle.
+	// Disk-store counters: entries preloaded at start, fills answered
+	// from disk instead of sweeping, sweeps spilled to disk, corrupt
+	// files encountered (each one re-swept, never served), and failed
+	// spill writes.
+	StoreLoaded  int64 `json:"store_loaded"`
+	StoreHits    int64 `json:"store_hits"`
+	StoreSpills  int64 `json:"store_spills"`
+	StoreCorrupt int64 `json:"store_corrupt"`
+	StoreErrors  int64 `json:"store_errors"`
+
+	// BatchSolves counts solver calls, BatchJoined the requests that were
+	// answered by a run another request triggered, and BatchWindowSkips
+	// the requests the adaptive controller exempted from waiting because
+	// traffic was idle.
 	BatchSolves      int64 `json:"batch_solves"`
 	BatchJoined      int64 `json:"batch_joined"`
 	BatchWindowSkips int64 `json:"batch_window_skips"`
@@ -59,6 +102,17 @@ type Snapshot struct {
 	// CommCalibrations counts communication-model calibrations executed;
 	// repeated comm-aware requests are served from the calibration cache.
 	CommCalibrations int64 `json:"comm_calibrations"`
+
+	// Dynamic-endpoint counters: model-free partition runs, balance
+	// replays, and accepted machine-file uploads.
+	DynpartRuns    int64 `json:"dynpart_runs"`
+	BalanceRuns    int64 `json:"balance_runs"`
+	MachineUploads int64 `json:"machine_uploads"`
+
+	// QuotaRejections counts requests rejected by the per-tenant
+	// admission quota, in total and per tenant.
+	QuotaRejections         int64            `json:"quota_rejections"`
+	QuotaRejectionsByTenant map[string]int64 `json:"quota_rejections_by_tenant,omitempty"`
 
 	// Tenants and CacheEntries describe the current cache population.
 	Tenants      int `json:"tenants"`
@@ -88,13 +142,30 @@ func (s *stats) snapshot() Snapshot {
 		CacheCoalesced:   s.cacheCoalesced.Load(),
 		CacheEvictions:   s.cacheEvictions.Load(),
 		Sweeps:           s.sweeps.Load(),
+		StoreLoaded:      s.storeLoaded.Load(),
+		StoreHits:        s.storeHits.Load(),
+		StoreSpills:      s.storeSpills.Load(),
+		StoreCorrupt:     s.storeCorrupt.Load(),
+		StoreErrors:      s.storeErrors.Load(),
 		BatchSolves:      s.batchSolves.Load(),
 		BatchJoined:      s.batchJoined.Load(),
 		BatchWindowSkips: s.batchWindowSkips.Load(),
 		CommCalibrations: s.commCalibrations.Load(),
+		DynpartRuns:      s.dynpartRuns.Load(),
+		BalanceRuns:      s.balanceRuns.Load(),
+		MachineUploads:   s.machineUploads.Load(),
+		QuotaRejections:  s.quotaRejections.Load(),
 	}
 	if n := s.latencyN.Load(); n > 0 {
 		snap.AvgLatencyMicros = float64(s.latencyT.Load()) / float64(n) / 1e3
 	}
+	s.quotaMu.Lock()
+	if len(s.quotaByTenant) > 0 {
+		snap.QuotaRejectionsByTenant = make(map[string]int64, len(s.quotaByTenant))
+		for t, n := range s.quotaByTenant {
+			snap.QuotaRejectionsByTenant[t] = n
+		}
+	}
+	s.quotaMu.Unlock()
 	return snap
 }

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden byte-compares got against testdata/<name>, rewriting the
+// golden file instead when the test binary runs with -update (the same
+// pattern as internal/trace).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/service -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// sentinelSnapshot fills every Snapshot field with a distinct value, so a
+// field accidentally dropped from the JSON schema (or serialised under the
+// wrong key) changes the golden bytes.
+func sentinelSnapshot(t *testing.T) Snapshot {
+	var snap Snapshot
+	v := reflect.ValueOf(&snap).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int64:
+			f.SetInt(int64(1000 + i))
+		case reflect.Int:
+			f.SetInt(int64(100 + i))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		case reflect.Map:
+			f.Set(reflect.ValueOf(map[string]int64{"tenant-a": 7, "tenant-b": 3}))
+		default:
+			t.Fatalf("Snapshot field %s has kind %s: teach sentinelSnapshot about it", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return snap
+}
+
+// TestStatsGolden pins the /stats JSON schema: every field name, rendered
+// with sorted keys. Adding a counter must be a deliberate act — this test
+// plus a -update run — never a silent schema change.
+func TestStatsGolden(t *testing.T) {
+	raw, err := json.Marshal(sentinelSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-marshal through a map: Go serialises map keys sorted, giving a
+	// stable, diff-friendly golden file regardless of struct field order.
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stats.json", append(sorted, '\n'))
+}
+
+// TestStatsEndpointMatchesSchema: the live endpoint serves exactly the
+// golden schema's keys — no extras, none missing (omitempty fields are
+// exercised above but may be absent on an idle server).
+func TestStatsEndpointMatchesSchema(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := postRaw(ts.URL+"/v1/measure", MeasureRequest{Device: DeviceSpec{Preset: "fast", Seed: 1}, Grid: testGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	raw, err := json.Marshal(sentinelSnapshot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]any
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var res map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	for k := range res {
+		if _, ok := want[k]; !ok {
+			t.Errorf("/stats serves key %q missing from the golden schema", k)
+		}
+	}
+	for k := range want {
+		if _, ok := res[k]; !ok && k != "quota_rejections_by_tenant" {
+			t.Errorf("/stats is missing schema key %q", k)
+		}
+	}
+}

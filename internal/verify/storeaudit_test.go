@@ -1,0 +1,151 @@
+package verify
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/kernels"
+	"fupermod/internal/platform"
+	"fupermod/internal/service/modelstore"
+)
+
+// auditPrec keeps audit-test sweeps cheap.
+var auditPrec = core.Precision{MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.05, MaxSeconds: 300}
+
+// putSweep measures one preset device exactly like the serving stack does
+// and spills the sweep under the canonical key.
+func putSweep(t *testing.T, store *modelstore.Store, preset string, seed int64) modelstore.Key {
+	t.Helper()
+	dev, err := platform.Preset(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := platform.NewMeter(dev, platform.Quiet, seed)
+	k, err := kernels.NewVirtual(dev.Name(), meter, gemmBlockFlops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := modelstore.Key{
+		Tenant: "audit", Device: preset, Seed: seed,
+		Lo: 16, Hi: 500, N: 4,
+		Prec: modelstore.EncodePrecision(auditPrec),
+	}
+	pts, err := core.Sweep(k, core.LogSizes(key.Lo, key.Hi, key.N), auditPrec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(key, dev.Name(), pts); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestAuditStoreClean(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putSweep(t, store, "fast", 1)
+	putSweep(t, store, "slow", 2)
+
+	audit, err := AuditStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.OK() || audit.Entries != 2 || audit.Verified != 2 || audit.Skipped != 0 {
+		t.Errorf("clean store audit: %+v", audit)
+	}
+	var sb strings.Builder
+	if _, err := audit.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "store intact") {
+		t.Errorf("report missing intact note:\n%s", sb.String())
+	}
+}
+
+// TestAuditStoreDetectsDivergence: a stored sweep that does not replay
+// (here: hand-edited timings) is a violation — the audit is a real replay,
+// not a format check.
+func TestAuditStoreDetectsDivergence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := putSweep(t, store, "fast", 1)
+	ent, ok, err := store.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	ent.Points[0].Time *= 2
+	if err := store.Put(key, ent.Kernel, ent.Points); err != nil {
+		t.Fatal(err)
+	}
+
+	audit, err := AuditStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.OK() || len(audit.Violations) == 0 || audit.Verified != 0 {
+		t.Errorf("doctored entry not flagged: %+v", audit)
+	}
+	if audit.Violations[0].Check != "store-replay" {
+		t.Errorf("violation check = %q", audit.Violations[0].Check)
+	}
+}
+
+func TestAuditStoreReportsCorruptAndSkipsMachines(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := putSweep(t, store, "fast", 1)
+	torn := putSweep(t, store, "slow", 2)
+
+	// Tear the second entry's file.
+	data, err := os.ReadFile(store.Path(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(torn), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A machine-device entry cannot be replayed without the upload: skipped.
+	machineKey := good
+	machineKey.Device = "machine:abcdef123456/0"
+	ent, _, err := store.Get(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(machineKey, ent.Kernel, ent.Points); err != nil {
+		t.Fatal(err)
+	}
+
+	audit, err := AuditStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.OK() {
+		t.Error("audit passed over a torn file")
+	}
+	if len(audit.Corrupt) != 1 || audit.Entries != 2 || audit.Verified != 1 || audit.Skipped != 1 {
+		t.Errorf("audit = %+v", audit)
+	}
+	// Stray non-store files in the glob's way are reported, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "notes.points"), []byte("scratch\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if audit, err = AuditStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(audit.Corrupt) != 2 {
+		t.Errorf("stray file not reported corrupt: %+v", audit.Corrupt)
+	}
+}
