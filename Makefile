@@ -6,7 +6,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke service commmodel verify update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service commmodel verify perf-smoke update-golden
 
 all: tier1
 
@@ -14,8 +14,9 @@ all: tier1
 tier1: build test
 
 ## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
-## gate, the communication-model gate and the verification suite
-tier2: tier1 vet race fuzz-smoke service commmodel verify
+## gate, the communication-model gate, the verification suite and the
+## perf-suite smoke
+tier2: tier1 vet race fuzz-smoke service commmodel verify perf-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/config
 	$(GO) test -run='^$$' -fuzz='^FuzzPartition$$' -fuzztime=$(FUZZTIME) ./internal/partition
 	$(GO) test -race -run='^$$' -fuzz='^FuzzCacheStore$$' -fuzztime=$(FUZZTIME) ./internal/service
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeMatchesRef$$' -fuzztime=$(FUZZTIME) ./internal/service/modelstore
 
 ## service: vet + race-test the partition service (incl. the on-disk model
 ## store) and its CLI end to end (-count=1 forces a fresh run: these tests
@@ -57,6 +59,18 @@ commmodel:
 verify:
 	$(GO) run ./cmd/fupermod-verify -seed 1
 
+## perf-smoke: single-iteration run of the tracked perf suite, then a
+## self-diff of the snapshot it produced — proves every tracked benchmark
+## still runs and the snapshot schema round-trips. Deliberately asserts
+## nothing about timings: CI machines are too noisy for that; regression
+## detection is the operator-run `-perf -diff OLD NEW` against committed
+## BENCH_<n>.json trajectory points.
+perf-smoke:
+	$(GO) run ./cmd/fupermod-bench -perf -benchtime 1x -o /tmp/fupermod-perf-smoke.json
+	$(GO) run ./cmd/fupermod-bench -perf -diff /tmp/fupermod-perf-smoke.json /tmp/fupermod-perf-smoke.json
+
 ## update-golden: rewrite the golden files under internal/trace/testdata
+## and the perf-snapshot schema golden under internal/bench/testdata
 update-golden:
 	$(GO) test ./internal/trace -update
+	$(GO) test ./internal/bench -run TestSnapshotGolden -update

@@ -36,6 +36,7 @@ import (
 
 func benchExperiment(b *testing.B, gen func() (interface{ NumRows() int }, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := gen()
 		if err != nil {
@@ -83,6 +84,7 @@ func buildModels(b *testing.B, kind string, n, points int) []fupermod.Model {
 
 func benchPartitioner(b *testing.B, p fupermod.Partitioner, kind string, n int) {
 	models := buildModels(b, kind, n, 25)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Partition(models, 100000); err != nil {
@@ -112,6 +114,7 @@ func BenchmarkPartitionNumerical32(b *testing.B) {
 }
 
 func BenchmarkModelUpdatePiecewise(b *testing.B) {
+	b.ReportAllocs()
 	dev := platform.NetlibBLASCore()
 	pts := make([]core.Point, 0, 40)
 	for _, d := range core.LogSizes(16, 5000, 40) {
@@ -129,6 +132,7 @@ func BenchmarkModelUpdatePiecewise(b *testing.B) {
 }
 
 func BenchmarkModelUpdateAkima(b *testing.B) {
+	b.ReportAllocs()
 	dev := platform.NetlibBLASCore()
 	pts := make([]core.Point, 0, 40)
 	for _, d := range core.LogSizes(16, 5000, 40) {
@@ -146,6 +150,7 @@ func BenchmarkModelUpdateAkima(b *testing.B) {
 }
 
 func BenchmarkMatpartGrid(b *testing.B) {
+	b.ReportAllocs()
 	areas := make([]float64, 32)
 	for i := range areas {
 		areas[i] = 1 + float64(i%7)
@@ -159,6 +164,7 @@ func BenchmarkMatpartGrid(b *testing.B) {
 }
 
 func BenchmarkCommBcast16(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := comm.Run(16, comm.GigabitEthernet, func(c *comm.Comm) error {
 			for k := 0; k < 10; k++ {
@@ -175,6 +181,7 @@ func BenchmarkCommBcast16(b *testing.B) {
 }
 
 func BenchmarkVirtualBenchmarkLoop(b *testing.B) {
+	b.ReportAllocs()
 	dev := platform.FastCore("f")
 	meter := platform.NewMeter(dev, platform.DefaultNoise, 1)
 	prec := core.Precision{MinReps: 5, MaxReps: 30, Confidence: 0.95, RelErr: 0.025}
@@ -202,6 +209,7 @@ var sweepSizes = core.LogSizes(16, 60000, 64)
 // and size grid — the speedup here is what the -workers flag of
 // cmd/fupermod-bench buys on embarrassingly parallel sweeps.
 func BenchmarkSweepSerial(b *testing.B) {
+	b.ReportAllocs()
 	k := sweepKernel(b)
 	prec := core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05}
 	b.ResetTimer()
@@ -213,6 +221,7 @@ func BenchmarkSweepSerial(b *testing.B) {
 }
 
 func BenchmarkSweepParallel(b *testing.B) {
+	b.ReportAllocs()
 	k := sweepKernel(b)
 	prec := core.Precision{MinReps: 3, MaxReps: 10, Confidence: 0.95, RelErr: 0.05}
 	b.ResetTimer()
@@ -237,6 +246,7 @@ func BenchmarkA2SolverAblation(b *testing.B)     { benchExperiment(b, wrap(exper
 func BenchmarkA3AllgatherAblation(b *testing.B)  { benchExperiment(b, wrap(experiments.A3)) }
 
 func BenchmarkRealMatmul4Procs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := apps.RunRealMatmul(apps.RealMatmulConfig{
 			NBlocks: 6, B: 8, Areas: []float64{4, 2, 1, 1},
@@ -252,6 +262,7 @@ func BenchmarkRealMatmul4Procs(b *testing.B) {
 }
 
 func BenchmarkRingAllgather8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := comm.Run(8, comm.GigabitEthernet, func(c *comm.Comm) error {
 			_, err := c.RingAllgather(1<<16, c.Rank())
@@ -269,6 +280,7 @@ func BenchmarkV1PredictionValidation(b *testing.B) { benchExperiment(b, wrap(exp
 func BenchmarkE6GPUCrossover(b *testing.B) { benchExperiment(b, wrap(experiments.E6)) }
 
 func BenchmarkPartitionBandsCertified(b *testing.B) {
+	b.ReportAllocs()
 	devs := []platform.Device{platform.FastCore("a"), platform.SlowCore("b")}
 	for i := 0; i < b.N; i++ {
 		ks, err := kernels.VirtualSet(devs, platform.Quiet, 1, 1)
@@ -295,6 +307,7 @@ func BenchmarkPartitionBandsCertified(b *testing.B) {
 }
 
 func BenchmarkRealJacobi4Procs(b *testing.B) {
+	b.ReportAllocs()
 	devs := platform.JacobiCluster()[2:6]
 	for i := 0; i < b.N; i++ {
 		res, err := apps.RunRealJacobi(apps.RealJacobiConfig{

@@ -76,9 +76,22 @@ func run(args []string, stdout io.Writer) error {
 		machine    = fs.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
 		outDir     = fs.String("outdir", "points", "output directory for -machine mode")
 		storeDir   = fs.String("store-dir", "", "model store directory shared with fupermod-serve: reuse a stored sweep, spill fresh ones")
+		perf       = fs.Bool("perf", false, "run the tracked perf suite and write a BENCH_<n>.json snapshot to -o (default stdout)")
+		diffMode   = fs.Bool("diff", false, "with -perf: diff two snapshot files (positional: OLD.json NEW.json), non-zero exit on regression")
+		benchtime  = fs.String("benchtime", "", "with -perf: time per benchmark in -test.benchtime syntax, e.g. 1x or 100ms (default 1s)")
+		threshold  = fs.Float64("threshold", 1.30, "with -perf -diff: ratio past which a slowdown is a regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diffMode {
+		if !*perf {
+			return errors.New("-diff requires -perf")
+		}
+		return runDiff(fs.Args(), *threshold, stdout)
+	}
+	if *perf {
+		return runPerf(*out, *benchtime, stdout)
 	}
 	if *helpDev {
 		for _, name := range platform.PresetNames() {

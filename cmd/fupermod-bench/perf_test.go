@@ -1,0 +1,130 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fupermod/internal/bench"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, s *bench.Snapshot) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func diffSnapshot(names ...string) *bench.Snapshot {
+	s := &bench.Snapshot{
+		Schema: bench.SnapshotSchema, GitRev: "test",
+		Host:       bench.HostFingerprint(),
+		Benchmarks: map[string]bench.Metrics{},
+	}
+	for i, n := range names {
+		s.Benchmarks[n] = bench.Metrics{N: 5, NsPerOp: 1000, AllocsPerOp: int64(i), BytesPerOp: 64}
+	}
+	return s
+}
+
+func TestPerfDiffNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", diffSnapshot("a/x", "b/y"))
+	niu := writeSnapshot(t, dir, "new.json", diffSnapshot("a/x", "b/y"))
+	var sb strings.Builder
+	if err := run([]string{"-perf", "-diff", old, niu}, &sb); err != nil {
+		t.Fatalf("identical snapshots must pass: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("output should report a clean diff:\n%s", sb.String())
+	}
+}
+
+func TestPerfDiffRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	slow := diffSnapshot("a/x", "b/y")
+	m := slow.Benchmarks["a/x"]
+	m.NsPerOp *= 2
+	slow.Benchmarks["a/x"] = m
+	old := writeSnapshot(t, dir, "old.json", diffSnapshot("a/x", "b/y"))
+	niu := writeSnapshot(t, dir, "new.json", slow)
+
+	var sb strings.Builder
+	err := run([]string{"-perf", "-diff", old, niu}, &sb)
+	if err == nil {
+		t.Fatal("a 2x slowdown must fail the diff")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("error should say regression: %v", err)
+	}
+	if !strings.Contains(sb.String(), "a/x") || !strings.Contains(sb.String(), "ns/op") {
+		t.Errorf("output should name the regressed benchmark and metric:\n%s", sb.String())
+	}
+
+	// The same pair passes under a lax threshold.
+	sb.Reset()
+	if err := run([]string{"-perf", "-diff", "-threshold", "3.0", old, niu}, &sb); err != nil {
+		t.Fatalf("2x slowdown under threshold 3.0 must pass: %v", err)
+	}
+}
+
+func TestPerfDiffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeSnapshot(t, dir, "ok.json", diffSnapshot("a/x"))
+
+	var sb strings.Builder
+	if err := run([]string{"-diff", ok, ok}, &sb); err == nil {
+		t.Error("-diff without -perf should error")
+	}
+	if err := run([]string{"-perf", "-diff", ok}, &sb); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("one positional arg should be a usage error, got %v", err)
+	}
+	if err := run([]string{"-perf", "-diff", ok, ok, ok}, &sb); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("three positional args should be a usage error, got %v", err)
+	}
+	if err := run([]string{"-perf", "-diff", filepath.Join(dir, "missing.json"), ok}, &sb); err == nil {
+		t.Error("nonexistent snapshot should error")
+	}
+	if err := run([]string{"-perf", "-diff", "-threshold", "0.9", ok, ok}, &sb); err == nil {
+		t.Error("threshold below 1 should error")
+	}
+}
+
+func TestPerfDiffMalformedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeSnapshot(t, dir, "ok.json", diffSnapshot("a/x"))
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-perf", "-diff", bad, ok}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("malformed snapshot should error with a parse message, got %v", err)
+	}
+}
+
+func TestPerfDiffSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeSnapshot(t, dir, "ok.json", diffSnapshot("a/x"))
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(
+		`{"schema":999,"git_rev":"x","host":{"os":"l","arch":"a","cpus":1,"go":"g"},`+
+			`"benchmarks":{"a/x":{"n":1,"ns_per_op":1,"allocs_per_op":0,"bytes_per_op":0}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-perf", "-diff", ok, future}, &sb)
+	if !errors.Is(err, bench.ErrSchemaMismatch) {
+		t.Errorf("want ErrSchemaMismatch, got %v", err)
+	}
+}

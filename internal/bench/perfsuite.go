@@ -1,0 +1,294 @@
+package bench
+
+// The tracked micro-benchmark suite behind `fupermod-bench -perf`: one
+// benchmark per true hot path, and for every optimized path its kept
+// reference implementation as a `-ref` twin — so a snapshot carries its
+// own before/after pair, and the equivalence tests (in the packages that
+// own each pair) guarantee the two compute identical results.
+//
+// Names are stable snapshot keys: renaming one is a schema-level act that
+// breaks trajectory diffs, so extend, don't rename.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/platform"
+	"fupermod/internal/service"
+	"fupermod/internal/service/modelstore"
+	"fupermod/internal/verify"
+)
+
+// sink defeats dead-code elimination of benchmark bodies.
+var sink float64
+
+// PerfSuite returns the tracked micro-benchmarks of the repo's hot paths.
+// cmd/fupermod-bench appends the experiment macro-benchmarks (which live
+// above this package in the import graph) before running.
+func PerfSuite() []PerfBenchmark {
+	return []PerfBenchmark{
+		{Name: "verify/oracle-dp", F: benchOracle(verify.Oracle)},
+		{Name: "verify/oracle-dp-ref", F: benchOracle(verify.OracleRef)},
+		{Name: "model/piecewise-eval", F: benchPiecewiseEval((*model.Piecewise).Time)},
+		{Name: "model/piecewise-eval-ref", F: benchPiecewiseEval((*model.Piecewise).TimeRef)},
+		{Name: "model/write-points", F: benchWritePoints(model.WritePoints)},
+		{Name: "model/write-points-ref", F: benchWritePoints(model.WritePointsRef)},
+		{Name: "service/json-roundtrip", F: benchJSONRoundtrip(service.EncodeJSON, service.DecodeJSON)},
+		{Name: "service/json-roundtrip-ref", F: benchJSONRoundtrip(service.EncodeJSONRef, service.DecodeJSONRef)},
+		{Name: "service/batch-key", F: benchBatchKey},
+		{Name: "modelstore/decode", F: benchStoreDecode(modelstore.Decode)},
+		{Name: "modelstore/decode-ref", F: benchStoreDecode(modelstore.DecodeRef)},
+		{Name: "modelstore/load", F: benchStoreLoad((*modelstore.Store).Load)},
+		{Name: "modelstore/load-ref", F: benchStoreLoad((*modelstore.Store).LoadRef)},
+	}
+}
+
+// oracleModels builds the DP oracle's input: 8 heterogeneous monotone
+// processes from the verification generators, as exact FuncModels.
+func oracleModels() []core.Model {
+	procs := verify.NewGen(1).Platform(8, verify.MonotoneShapes()...)
+	models := make([]core.Model, len(procs))
+	for i, p := range procs {
+		models[i] = verify.NewFuncModel(p.Name, p.Time)
+	}
+	return models
+}
+
+const oracleD = 4000
+
+func benchOracle(oracle func([]core.Model, int) ([]int, float64, error)) func(b *testing.B) {
+	return func(b *testing.B) {
+		models := oracleModels()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, opt, err := oracle(models, oracleD)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += opt
+		}
+	}
+}
+
+// evalQueries reproduces the solvers' access pattern: repeated bisection
+// searches over the model's domain, each converging geometrically on a
+// different target — consecutive evaluations cluster in one segment, the
+// locality the memoized segment lookup exploits.
+func evalQueries(lo, hi float64) []float64 {
+	var xs []float64
+	for k := 0; k < 32; k++ {
+		target := lo + (hi-lo)*float64(k*k%97)/97.0
+		a, b := lo, hi
+		for step := 0; step < 24; step++ {
+			mid := (a + b) / 2
+			xs = append(xs, mid)
+			if mid < target {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+	}
+	return xs
+}
+
+func benchPiecewiseEval(eval func(*model.Piecewise, float64) (float64, error)) func(b *testing.B) {
+	return func(b *testing.B) {
+		dev := platform.NetlibBLASCore()
+		m := model.NewPiecewise()
+		for _, d := range core.LogSizes(16, 60000, 60) {
+			if err := m.Update(core.Point{D: d, Time: dev.BaseTime(float64(d)), Reps: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		xs := evalQueries(16, 60000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				t, err := eval(m, x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += t
+			}
+		}
+	}
+}
+
+// perfPoints builds n synthetic valid measurement points.
+func perfPoints(n int) []core.Point {
+	pts := make([]core.Point, n)
+	for i := range pts {
+		pts[i] = core.Point{
+			D:    16 + i*7,
+			Time: 1e-4 * float64(i+1) * 1.000173,
+			Reps: 3 + i%5,
+			CI:   1e-6 * float64(i%11),
+		}
+	}
+	return pts
+}
+
+func benchWritePoints(write func(io.Writer, model.PointFile) error) func(b *testing.B) {
+	return func(b *testing.B) {
+		pf := model.PointFile{Kernel: "gemm-b128", Device: "netlib-blas", Points: perfPoints(200)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := write(io.Discard, pf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// perfPartitionRequest is a representative service request: 8 devices,
+// comm-aware, the shape a busy multi-tenant server decodes constantly.
+func perfPartitionRequest() service.PartitionRequest {
+	devs := make([]service.DeviceSpec, 8)
+	for i := range devs {
+		devs[i] = service.DeviceSpec{Preset: "netlib-blas", Seed: int64(i + 1), Noise: 0.02}
+	}
+	return service.PartitionRequest{
+		Tenant:    "tenant-a",
+		Devices:   devs,
+		Grid:      service.Grid{Lo: 16, Hi: 60000, N: 40},
+		Model:     "piecewise",
+		Algorithm: "geometric",
+		D:         100000,
+	}
+}
+
+func perfPartitionResponse() service.PartitionResponse {
+	parts := make([]service.PartPayload, 8)
+	for i := range parts {
+		parts[i] = service.PartPayload{Device: "netlib-blas", Units: 12500 + i, TimeS: 0.125 + float64(i)*1e-3}
+	}
+	return service.PartitionResponse{
+		Algorithm: "geometric", Model: "piecewise", D: 100000,
+		Parts: parts, MakespanS: 0.131, Imbalance: 1.05,
+	}
+}
+
+func benchJSONRoundtrip(encode func(io.Writer, any) error, decode func(io.Reader, any) error) func(b *testing.B) {
+	return func(b *testing.B) {
+		var reqBuf bytes.Buffer
+		if err := service.EncodeJSONRef(&reqBuf, perfPartitionRequest()); err != nil {
+			b.Fatal(err)
+		}
+		reqBytes := reqBuf.Bytes()
+		resp := perfPartitionResponse()
+		rd := bytes.NewReader(reqBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(reqBytes)
+			var req service.PartitionRequest
+			if err := decode(rd, &req); err != nil {
+				b.Fatal(err)
+			}
+			if err := encode(io.Discard, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchBatchKey(b *testing.B) {
+	keys := make([]service.ModelKey, 8)
+	for i := range keys {
+		keys[i] = service.ModelKey{
+			Device: "netlib-blas", Seed: int64(i + 1), Noise: 0.02,
+			Lo: 16, Hi: 60000, N: 40, Model: "piecewise",
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := service.BatchKey("part", "tenant-a", keys, "geometric", 100000, "")
+		sink += float64(len(k))
+	}
+}
+
+// storeEntry materialises one representative store file (300 points) and
+// returns its path and bytes.
+func storeEntry(b *testing.B, dir string) (string, []byte) {
+	b.Helper()
+	st, err := modelstore.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := modelstore.Key{
+		Tenant: "default", Device: "netlib-blas", Seed: 1, Noise: 0.02,
+		Lo: 16, Hi: 60000, N: 300,
+		Prec: modelstore.EncodePrecision(core.Precision{
+			MinReps: 3, MaxReps: 8, Confidence: 0.95, RelErr: 0.05,
+		}),
+	}
+	if err := st.Put(key, "gemm-b128", perfPoints(300)); err != nil {
+		b.Fatal(err)
+	}
+	path := st.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return path, data
+}
+
+func benchStoreDecode(decode func(string, []byte) (modelstore.Entry, error)) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "fupermod-perf-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		path, data := storeEntry(b, dir)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := decode(path, data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += float64(len(e.Points))
+		}
+	}
+}
+
+func benchStoreLoad(load func(*modelstore.Store) ([]modelstore.Entry, []modelstore.Corrupt, error)) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "fupermod-perf-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := modelstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prec := modelstore.EncodePrecision(core.Precision{
+			MinReps: 3, MaxReps: 8, Confidence: 0.95, RelErr: 0.05,
+		})
+		for i := 0; i < 12; i++ {
+			key := modelstore.Key{
+				Tenant: "default", Device: fmt.Sprintf("dev-%d", i), Seed: 1, Noise: 0.02,
+				Lo: 16, Hi: 60000, N: 100, Prec: prec,
+			}
+			if err := st.Put(key, "gemm-b128", perfPoints(100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entries, corrupt, err := load(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(entries) != 12 || len(corrupt) != 0 {
+				b.Fatalf("load: %d entries, %d corrupt", len(entries), len(corrupt))
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// refKnots builds a 40-knot interpolant with irregular spacing.
+func refKnots(t *testing.T) *Linear {
+	t.Helper()
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	x := 1.0
+	for i := range xs {
+		xs[i] = x
+		ys[i] = math.Sin(x/7)*5 + x*0.3
+		x += 0.5 + 3*math.Abs(math.Sin(float64(i)))
+	}
+	l, err := NewLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// adversarialQueries returns the queries most likely to expose a hint
+// admitting the wrong segment: every knot exactly, every knot nudged one
+// ulp to each side, midpoints, and far out-of-domain points on both sides.
+func adversarialQueries(l *Linear) []float64 {
+	xs, _ := l.Knots()
+	var qs []float64
+	for i, x := range xs {
+		qs = append(qs, x,
+			math.Nextafter(x, math.Inf(-1)),
+			math.Nextafter(x, math.Inf(1)))
+		if i+1 < len(xs) {
+			qs = append(qs, (x+xs[i+1])/2)
+		}
+	}
+	lo, hi := l.Domain()
+	qs = append(qs, lo-100, lo-1e-9, hi+1e-9, hi+100, 0, -5)
+	return qs
+}
+
+// TestLinearAtMatchesRef pins the memoized segment lookup to the plain
+// binary search bit for bit: the hint must be invisible in results, for
+// random queries, exact knots, one-ulp neighbours of knots, and
+// out-of-domain extrapolation — in any query order (each query runs with
+// whatever hint the previous one left behind).
+func TestLinearAtMatchesRef(t *testing.T) {
+	l := refKnots(t)
+	rng := rand.New(rand.NewSource(42))
+	lo, hi := l.Domain()
+	var queries []float64
+	queries = append(queries, adversarialQueries(l)...)
+	for i := 0; i < 2000; i++ {
+		queries = append(queries, lo+(hi-lo)*rng.Float64())
+	}
+	// Shuffle so hint state entering each adversarial query varies.
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	for _, x := range queries {
+		if got, want := l.At(x), l.AtRef(x); got != want {
+			t.Fatalf("At(%v) = %v, AtRef = %v", x, got, want)
+		}
+		if got, want := l.Deriv(x), l.DerivRef(x); got != want {
+			t.Fatalf("Deriv(%v) = %v, DerivRef = %v", x, got, want)
+		}
+	}
+}
+
+// TestLinearAtMatchesRefConcurrent shares one interpolant across
+// goroutines issuing interleaved bisection sweeps (tier 2 runs this under
+// -race): the atomic hint may be stale arbitrarily often but must never
+// change a result.
+func TestLinearAtMatchesRefConcurrent(t *testing.T) {
+	l := refKnots(t)
+	lo, hi := l.Domain()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			for rep := 0; rep < 200; rep++ {
+				// One bisection sweep towards a random target — the
+				// monotone probe pattern the hint is designed for.
+				target := lo + (hi-lo)*rng.Float64()
+				a, b := lo, hi
+				for range [20]int{} {
+					mid := (a + b) / 2
+					if got, want := l.At(mid), l.AtRef(mid); got != want {
+						t.Errorf("worker %d: At(%v) = %v, AtRef = %v", worker, mid, got, want)
+						return
+					}
+					if mid < target {
+						a = mid
+					} else {
+						b = mid
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

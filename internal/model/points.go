@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"fupermod/internal/core"
 )
@@ -25,13 +26,57 @@ type PointFile struct {
 	Points []core.Point
 }
 
+// pointsBuffers pools the serialisation scratch of WritePoints: spilling a
+// sweep to the model store and streaming points files over the service are
+// per-request operations, and append-formatting into a pooled byte slice
+// keeps them allocation-free at steady state.
+var pointsBuffers = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // WritePoints serialises the point file in a line-oriented text format:
 // comment headers followed by "d time reps ci" records. Floats are written
 // with the shortest representation that parses back to the identical
 // float64, so a write–read round trip reproduces the measurements exactly —
 // the property the partition service's disk store relies on to rebuild
 // byte-identical models after a restart.
+//
+// This is the optimized implementation: records are append-formatted into
+// one pooled buffer and written with a single w.Write, instead of a fresh
+// bufio.Writer and one fmt.Fprintf per point. WritePointsRef keeps the
+// straightforward implementation; byte identity between the two is pinned
+// by TestWritePointsMatchesRef.
 func WritePoints(w io.Writer, pf PointFile) error {
+	bp := pointsBuffers.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "# fupermod points v1\n# kernel: "...)
+	b = append(b, pf.Kernel...)
+	b = append(b, "\n# device: "...)
+	b = append(b, pf.Device...)
+	b = append(b, "\n# columns: d time reps ci\n"...)
+	for _, p := range pf.Points {
+		if err := p.Validate(); err != nil {
+			*bp = b
+			pointsBuffers.Put(bp)
+			return fmt.Errorf("model: refusing to write invalid point: %w", err)
+		}
+		b = strconv.AppendInt(b, int64(p.D), 10)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, p.Time, 'g', -1, 64)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(p.Reps), 10)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, p.CI, 'g', -1, 64)
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	*bp = b
+	pointsBuffers.Put(bp)
+	return err
+}
+
+// WritePointsRef is the reference implementation of WritePoints — the
+// plain bufio + fmt form, kept (pool.MapSeq-style) as the specification
+// the pooled fast path is equivalence-tested against.
+func WritePointsRef(w io.Writer, pf PointFile) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "# fupermod points v1")
 	fmt.Fprintf(bw, "# kernel: %s\n", pf.Kernel)
@@ -52,6 +97,19 @@ func WritePoints(w io.Writer, pf PointFile) error {
 // lines are ignored, so files remain forward compatible with extra
 // metadata.
 func ReadPoints(r io.Reader) (PointFile, error) {
+	return ReadPointsMeta(r, nil)
+}
+
+// ReadPointsMeta parses a point file like ReadPoints and additionally
+// reports every "key: value" comment line the format itself does not
+// consume to the meta callback (nil disables the callbacks). It exists so
+// layered formats — the model store wraps point files in "# store:" and
+// "# end:" comments — can capture their metadata in the same single pass
+// that parses the points, instead of re-reading the file. The key is
+// passed exactly as written (not trimmed), so a caller matching "end" sees
+// "# end : 4" as the distinct key "end " — the same strictness as a
+// prefix match on "end:".
+func ReadPointsMeta(r io.Reader, meta func(key, value string)) (PointFile, error) {
 	var pf PointFile
 	sc := bufio.NewScanner(r)
 	line := 0
@@ -62,12 +120,18 @@ func ReadPoints(r io.Reader) (PointFile, error) {
 			continue
 		}
 		if strings.HasPrefix(text, "#") {
-			meta := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			m := strings.TrimSpace(strings.TrimPrefix(text, "#"))
 			switch {
-			case strings.HasPrefix(meta, "kernel:"):
-				pf.Kernel = strings.TrimSpace(strings.TrimPrefix(meta, "kernel:"))
-			case strings.HasPrefix(meta, "device:"):
-				pf.Device = strings.TrimSpace(strings.TrimPrefix(meta, "device:"))
+			case strings.HasPrefix(m, "kernel:"):
+				pf.Kernel = strings.TrimSpace(strings.TrimPrefix(m, "kernel:"))
+			case strings.HasPrefix(m, "device:"):
+				pf.Device = strings.TrimSpace(strings.TrimPrefix(m, "device:"))
+			default:
+				if meta != nil {
+					if k, v, ok := strings.Cut(m, ":"); ok {
+						meta(k, strings.TrimSpace(v))
+					}
+				}
 			}
 			continue
 		}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+)
+
+// refPiecewise builds a piecewise model over a deliberately noisy curve
+// (so coarsening clips some knots) with n points.
+func refPiecewise(t *testing.T, n int) *Piecewise {
+	t.Helper()
+	m := NewPiecewise()
+	rng := rand.New(rand.NewSource(7))
+	d := 16
+	for i := 0; i < n; i++ {
+		tm := 1e-4 * float64(d) * (1 + 0.3*rng.Float64()) // noisy, occasionally dipping
+		if err := m.Update(core.Point{D: d, Time: tm, Reps: 3}); err != nil {
+			t.Fatal(err)
+		}
+		d += 17 + rng.Intn(400)
+	}
+	return m
+}
+
+// TestPiecewiseTimeMatchesRef pins Time (memoized segment lookup) to
+// TimeRef (plain binary search) bit for bit across the whole domain:
+// below the first knot (origin-line regime), at every coarsened knot and
+// its one-ulp neighbours, between knots, beyond the last knot
+// (extrapolation), and on the error cases.
+func TestPiecewiseTimeMatchesRef(t *testing.T) {
+	m := refPiecewise(t, 50)
+	knots, _ := m.CoarsenedKnots()
+	var queries []float64
+	for _, x := range knots {
+		queries = append(queries, x,
+			math.Nextafter(x, math.Inf(-1)),
+			math.Nextafter(x, math.Inf(1)))
+	}
+	rng := rand.New(rand.NewSource(11))
+	last := knots[len(knots)-1]
+	for i := 0; i < 2000; i++ {
+		queries = append(queries, rng.Float64()*last*1.2)
+	}
+	queries = append(queries, 0, 1, last*10, -3)
+	rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	for _, x := range queries {
+		got, gerr := m.Time(x)
+		want, werr := m.TimeRef(x)
+		if (gerr != nil) != (werr != nil) {
+			t.Fatalf("Time(%v): error mismatch: %v vs %v", x, gerr, werr)
+		}
+		if gerr == nil && got != want {
+			t.Fatalf("Time(%v) = %v, TimeRef = %v", x, got, want)
+		}
+	}
+
+	// Degenerate models agree too: empty and single-point.
+	empty := NewPiecewise()
+	if _, err := empty.Time(5); err == nil {
+		t.Error("empty model should error")
+	}
+	if _, err := empty.TimeRef(5); err == nil {
+		t.Error("empty model should error through TimeRef")
+	}
+	one := NewPiecewise()
+	if err := one.Update(core.Point{D: 10, Time: 0.5, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 3, 10, 25} {
+		got, _ := one.Time(x)
+		want, _ := one.TimeRef(x)
+		if got != want {
+			t.Errorf("single-point Time(%v) = %v, TimeRef = %v", x, got, want)
+		}
+	}
+}
+
+// refPointFile builds a point file with awkward float values (shortest
+// 'g' representations of different lengths) and names needing no escaping.
+func refPointFile(n int) PointFile {
+	pf := PointFile{Kernel: "gemm-b128", Device: "netlib blas #1"}
+	rng := rand.New(rand.NewSource(3))
+	d := 16
+	for i := 0; i < n; i++ {
+		pf.Points = append(pf.Points, core.Point{
+			D:    d,
+			Time: rng.Float64() * math.Pow(10, float64(rng.Intn(9)-4)),
+			Reps: 1 + rng.Intn(30),
+			CI:   rng.Float64() * 1e-3,
+		})
+		d += 1 + rng.Intn(500)
+	}
+	return pf
+}
+
+// TestWritePointsMatchesRef pins the pooled append-formatting writer to
+// WritePointsRef byte for byte — including empty files, empty metadata and
+// repeated calls (pool reuse must not leak a previous file's bytes).
+func TestWritePointsMatchesRef(t *testing.T) {
+	files := []PointFile{
+		{},
+		{Kernel: "k", Device: "d"},
+		refPointFile(1),
+		refPointFile(200),
+		refPointFile(3), // smaller after bigger: exercises pool reuse
+	}
+	for i, pf := range files {
+		var got, want bytes.Buffer
+		if err := WritePoints(&got, pf); err != nil {
+			t.Fatalf("file %d: WritePoints: %v", i, err)
+		}
+		if err := WritePointsRef(&want, pf); err != nil {
+			t.Fatalf("file %d: WritePointsRef: %v", i, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("file %d: outputs differ\ngot:\n%s\nwant:\n%s", i, got.Bytes(), want.Bytes())
+		}
+		// And the fast path still round-trips through the reader.
+		back, err := ReadPoints(bytes.NewReader(got.Bytes()))
+		if err != nil {
+			t.Fatalf("file %d: ReadPoints: %v", i, err)
+		}
+		if len(back.Points) != len(pf.Points) {
+			t.Errorf("file %d: round trip lost points: %d != %d", i, len(back.Points), len(pf.Points))
+		}
+	}
+}
+
+// TestWritePointsInvalidMatchesRef: both writers refuse invalid points
+// with the same message.
+func TestWritePointsInvalidMatchesRef(t *testing.T) {
+	bad := PointFile{Kernel: "k", Device: "d", Points: []core.Point{{D: -1, Time: 1, Reps: 1}}}
+	gerr := WritePoints(&bytes.Buffer{}, bad)
+	werr := WritePointsRef(&bytes.Buffer{}, bad)
+	if gerr == nil || werr == nil {
+		t.Fatalf("invalid point must error: %v vs %v", gerr, werr)
+	}
+	if gerr.Error() != werr.Error() {
+		t.Errorf("error text diverged: %q vs %q", gerr, werr)
+	}
+	if !strings.Contains(gerr.Error(), "invalid point") {
+		t.Errorf("unexpected error: %v", gerr)
+	}
+}

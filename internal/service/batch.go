@@ -66,13 +66,16 @@ type batchCall struct {
 	err  error
 }
 
-// batchKeyOf fingerprints everything that determines a partition result:
+// BatchKey fingerprints everything that determines a partition result:
 // the operation, the tenant, the resolved model cache keys in device
 // order, the algorithm, and the problem size. Requests agreeing on all of
 // these are answered by a single solver call. op keeps the key spaces of
 // the different batched endpoints (partition, dynpart, balance) disjoint.
-func batchKeyOf(op, tenant string, keys []ModelKey, algorithm string, D int, commTag string) string {
+// It is exported so the perf harness (internal/bench) can track its cost —
+// the key is computed on every batched request.
+func BatchKey(op, tenant string, keys []ModelKey, algorithm string, D int, commTag string) string {
 	var b strings.Builder
+	b.Grow(64 + len(op) + len(tenant) + len(algorithm) + len(commTag) + 48*len(keys))
 	b.WriteString(op)
 	b.WriteByte('|')
 	b.WriteString(tenant)
@@ -143,7 +146,7 @@ func (s *Server) batched(key string, run func() (any, error)) (any, error) {
 
 // solvePartition answers one partition request through the batcher.
 func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int, commTag string) (*core.Dist, error) {
-	key := batchKeyOf("part", tenant, keys, algorithm, D, commTag)
+	key := BatchKey("part", tenant, keys, algorithm, D, commTag)
 	v, err := s.batched(key, func() (any, error) {
 		return s.runSolve(models, algorithm, D)
 	})

@@ -144,9 +144,9 @@ func TestPartitionCommValidation(t *testing.T) {
 // comm spec must not share a batch — the two concurrent requests below
 // would otherwise receive the same distribution.
 func TestBatchKeyIncludesComm(t *testing.T) {
-	a := batchKeyOf("part", "t", nil, "geometric", 100, "")
-	b := batchKeyOf("part", "t", nil, "geometric", 100, "loggp/p2p/gigabit/2/512")
-	c := batchKeyOf("part", "t", nil, "geometric", 100, "loggp/p2p/gigabit/2/1024")
+	a := BatchKey("part", "t", nil, "geometric", 100, "")
+	b := BatchKey("part", "t", nil, "geometric", 100, "loggp/p2p/gigabit/2/512")
+	c := BatchKey("part", "t", nil, "geometric", 100, "loggp/p2p/gigabit/2/1024")
 	if a == b || b == c {
 		t.Errorf("batch keys collide across comm specs: %q %q %q", a, b, c)
 	}

@@ -1,0 +1,174 @@
+package modelstore
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// populatedEntryBytes spills one entry through the real Put path and
+// returns the file's path and bytes.
+func populatedEntryBytes(t *testing.T) (string, []byte) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("default", "netlib-blas")
+	if err := s.Put(k, "gemm-b128", awkwardPoints()); err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestDecodeMatchesRef pins the streaming Decode to the two-pass
+// DecodeRef: identical entries on intact files (deep-equal, including the
+// full-precision points), identical intact/corrupt classification on every
+// damaged variant, and identical messages for the standard corruptions
+// the store documents (truncation, torn trailer, count mismatch).
+func TestDecodeMatchesRef(t *testing.T) {
+	path, data := populatedEntryBytes(t)
+
+	got, gerr := Decode(path, data)
+	want, werr := DecodeRef(path, data)
+	if gerr != nil || werr != nil {
+		t.Fatalf("intact file should decode: %v / %v", gerr, werr)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("entries differ:\n%+v\n%+v", got, want)
+	}
+
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupt := map[string][]byte{
+		"empty":                nil,
+		"truncated last byte":  data[:len(data)-1],
+		"truncated mid file":   data[:len(data)/2],
+		"missing end trailer":  []byte(strings.Join(lines[:len(lines)-2], "")),
+		"missing store header": bytes.Replace(data, []byte("# store: "), []byte("# stale: "), 1),
+		"bad end count":        bytes.Replace(data, []byte("# end: "), []byte("# end: banana"), 1),
+		"count mismatch":       bytes.Replace(data, []byte("# end: 4"), []byte("# end: 5"), 1),
+		"bad key id":           bytes.Replace(data, []byte("# store: default"), []byte("# store: extra|default"), 1),
+		"garbage data line":    bytes.Replace(data, []byte("\n16 "), []byte("\nnot a point\n16 "), 1),
+		"two end trailers":     append(append([]byte{}, data...), []byte("# end: 9\n")...),
+		"bare store data line": bytes.Replace(data, []byte("\n16 "), []byte("\nstore: sneaky\n16 "), 1),
+		"second bad end mid":   bytes.Replace(data, []byte("# columns"), []byte("# end: nope\n# columns"), 1),
+		"spaced end key":       bytes.Replace(data, []byte("# end: "), []byte("# end : "), 1),
+		"spaced store key":     bytes.Replace(data, []byte("# store: "), []byte("# store : "), 1),
+	}
+	// Guard against silently ineffective bytes.Replace (e.g. the trailer
+	// text changing): every variant must actually differ from the intact
+	// file.
+	for name, variant := range corrupt {
+		if bytes.Equal(variant, data) {
+			t.Fatalf("%s: corruption did not modify the file", name)
+		}
+		_, gerr := Decode(path, variant)
+		_, werr := DecodeRef(path, variant)
+		if (gerr == nil) != (werr == nil) {
+			t.Errorf("%s: classification diverged: Decode=%v DecodeRef=%v", name, gerr, werr)
+			continue
+		}
+		if gerr == nil {
+			t.Errorf("%s: both decoders accepted a corrupt file", name)
+		}
+	}
+
+	// The standard single-fault corruptions must produce the identical
+	// message, not merely both fail — operators grep these.
+	identical := []string{"empty", "truncated last byte", "missing end trailer",
+		"missing store header", "bad end count", "count mismatch", "garbage data line",
+		"spaced end key", "spaced store key", "second bad end mid", "two end trailers"}
+	for _, name := range identical {
+		_, gerr := Decode(path, corrupt[name])
+		_, werr := DecodeRef(path, corrupt[name])
+		if gerr == nil || werr == nil {
+			continue // already reported above
+		}
+		if gerr.Error() != werr.Error() {
+			t.Errorf("%s: messages diverged:\n  Decode:    %v\n  DecodeRef: %v", name, gerr, werr)
+		}
+	}
+}
+
+// TestLoadMatchesRef pins the pooled streaming reload to LoadRef on a
+// populated store with a corrupt file mixed in: identical entries
+// (deep-equal, order and all), identical corrupt classification.
+func TestLoadMatchesRef(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []string{"cpu-0", "cpu-1", "gpu-0", "gpu-1"} {
+		if err := s.Put(testKey("default", dev), "gemm-b128", awkwardPoints()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One torn entry: both loaders must drop exactly it.
+	torn := s.Path(testKey("default", "gpu-1"))
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, corrupt, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEntries, refCorrupt, err := s.LoadRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, refEntries) {
+		t.Errorf("entries differ:\n%+v\n%+v", entries, refEntries)
+	}
+	if len(entries) != 3 {
+		t.Errorf("loaded %d entries, want 3", len(entries))
+	}
+	if len(corrupt) != 1 || len(refCorrupt) != 1 {
+		t.Fatalf("corrupt counts differ: %d vs %d", len(corrupt), len(refCorrupt))
+	}
+	if corrupt[0].Path != torn || refCorrupt[0].Path != torn {
+		t.Errorf("wrong corrupt path: %s / %s, want %s", corrupt[0].Path, refCorrupt[0].Path, torn)
+	}
+	if corrupt[0].Err.Error() != refCorrupt[0].Err.Error() {
+		t.Errorf("corrupt messages diverged:\n%v\n%v", corrupt[0].Err, refCorrupt[0].Err)
+	}
+}
+
+// TestStoreGetUsesStreamingDecode: the streaming path is what Get serves,
+// so a populated store round-trips through it.
+func TestStoreGetUsesStreamingDecode(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("default", "gpu-0")
+	if err := s.Put(k, "gemm-b128", awkwardPoints()); err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	data, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DecodeRef(s.Path(k), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, ref) {
+		t.Errorf("Get entry differs from DecodeRef:\n%+v\n%+v", e, ref)
+	}
+}

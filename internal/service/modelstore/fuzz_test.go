@@ -1,0 +1,46 @@
+package modelstore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeMatchesRef throws arbitrary bytes at both decoder
+// implementations and requires them to agree completely: the same
+// intact/corrupt classification, deep-equal entries on intact files, and
+// the identical error message on corrupt ones. This is the net under the
+// strict fast path — decodeStrict accepting a file the reference rejects
+// (or reading it differently) is exactly the kind of bug a hand-written
+// grammar subset can hide, and random mutation of real entry files probes
+// the edges a table of hand-picked corruptions misses.
+func FuzzDecodeMatchesRef(f *testing.F) {
+	intact, err := encode(testKey("default", "netlib-blas"), "gemm-b128", awkwardPoints())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(intact)
+	f.Add([]byte(""))
+	f.Add([]byte("# store: a|b|1|0.5|16|64|4|p\n# end: 0\n"))
+	f.Add([]byte("# store : spaced\n# end : 4\n16 0.5 3 0\n"))
+	f.Add([]byte("# kernel: k\n# end: -1\n# store: x\n"))
+	f.Add([]byte("# end: 1\n# end: banana\n16 0.5 3 0\n"))
+	f.Add([]byte("\u2002# store: unicode-indent\n# end: 0\n"))
+	f.Add([]byte("# store: v\u00a0tail\n# end: 1\n16\u00a00.5 3 0\n"))
+	f.Add([]byte("16 0.5 3 0\r\n\t# end: 1\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, gerr := Decode("fuzz.points", data)
+		want, werr := DecodeRef("fuzz.points", data)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("classification diverged on %q:\n  Decode:    %v\n  DecodeRef: %v", data, gerr, werr)
+		}
+		if gerr != nil {
+			if gerr.Error() != werr.Error() {
+				t.Fatalf("messages diverged on %q:\n  Decode:    %v\n  DecodeRef: %v", data, gerr, werr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("entries diverged on %q:\n  Decode:    %+v\n  DecodeRef: %+v", data, got, want)
+		}
+	})
+}

@@ -261,8 +261,263 @@ func (s *Store) Put(k Key, kernel string, pts []core.Point) error {
 	return nil
 }
 
-// decode parses and integrity-checks one entry file.
-func decode(path string, data []byte) (Entry, error) {
+// Decode parses and integrity-checks one entry file. It is the streaming
+// implementation: intact files written by this store take decodeStrict's
+// single zero-copy scan; anything that scan does not recognise falls back
+// to the general single-pass parse, where the store metadata ("# store:",
+// "# end:") is captured by the same model.ReadPointsMeta pass that parses
+// the points. DecodeRef keeps the straightforward two-pass implementation;
+// the two classify every file — intact or corrupt — identically (the
+// reference's check order is reproduced exactly), which TestDecodeMatchesRef
+// and FuzzDecodeMatchesRef pin.
+// It is exported for the perf harness and the equivalence tests; regular
+// access goes through Get and Load.
+func Decode(path string, data []byte) (Entry, error) {
+	var e Entry
+	var keyLine string
+	endCount := -1
+	badEnd := error(nil)
+	// The trailer must be the complete final line, newline included: any
+	// crash-truncation — even one byte — removes it.
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		return e, fmt.Errorf("modelstore: %s: missing final newline (torn write?)", path)
+	}
+	if e, ok := decodeStrict(data); ok {
+		return e, nil
+	}
+	pf, perr := model.ReadPointsMeta(bytes.NewReader(data), func(k, v string) {
+		switch k {
+		case "store":
+			keyLine = v
+		case "end":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				if badEnd == nil {
+					badEnd = fmt.Errorf("modelstore: %s: bad end trailer: %w", path, err)
+				}
+				return
+			}
+			endCount = n
+		}
+	})
+	if perr != nil {
+		// The single pass aborts at the first malformed record, so any
+		// metadata after the fault (the end trailer in particular) was
+		// never seen. The file is corrupt either way; classify it through
+		// the reference's full scan so multi-fault files report the same
+		// corruption first, whichever implementation reads them.
+		return DecodeRef(path, data)
+	}
+	// The reference implementation reads the metadata before the points;
+	// keep its error precedence so both report the same corruption first.
+	if badEnd != nil {
+		return e, badEnd
+	}
+	if keyLine == "" {
+		return e, fmt.Errorf("modelstore: %s: missing store key header", path)
+	}
+	if endCount < 0 {
+		return e, fmt.Errorf("modelstore: %s: missing end trailer (torn write?)", path)
+	}
+	key, err := parseKeyID(keyLine)
+	if err != nil {
+		return e, fmt.Errorf("modelstore: %s: %w", path, err)
+	}
+	if len(pf.Points) != endCount {
+		return e, fmt.Errorf("modelstore: %s: %d points but trailer says %d (torn write?)",
+			path, len(pf.Points), endCount)
+	}
+	return Entry{Key: key, Kernel: pf.Kernel, Points: pf.Points}, nil
+}
+
+// decodeStrict is Decode's fast path: the whole file is converted to a
+// string once, then scanned in a single pass in which every line, key and
+// field is a substring of that one conversion — an intact 300-point entry
+// decodes in a handful of allocations instead of two per line. It only
+// understands the plain printable-ASCII grammar this store's own writer
+// emits (plus harmless space/tab/CR edge variation); ok=false on anything
+// else — Unicode bytes where trimming or field splitting could differ,
+// control characters, over-long lines, any malformed record — and Decode
+// then re-parses through the general path. The fast path can therefore
+// change how fast a file is read, never what it means; decodeStrict
+// succeeding where the general path would reject, or producing a different
+// entry, would be an equivalence bug (FuzzDecodeMatchesRef hunts for one).
+func decodeStrict(data []byte) (Entry, bool) {
+	s := string(data)
+	var kernel, keyLine string
+	endCount := -1
+	var pts []core.Point
+	pos := 0
+	for pos < len(s) {
+		nl := strings.IndexByte(s[pos:], '\n')
+		if nl < 0 {
+			// No final newline; Decode rejected this already, defensive.
+			return Entry{}, false
+		}
+		if nl > 32*1024 {
+			// The general path's line scanner has a token size limit this
+			// scan does not; near it, the two could classify differently.
+			return Entry{}, false
+		}
+		ln := s[pos : pos+nl]
+		pos += nl + 1
+		// Trim the ASCII whitespace strings.TrimSpace would trim; if a
+		// control or non-ASCII byte is left on an edge, TrimSpace might
+		// remove more (\v, \f, Unicode spaces) — bail rather than guess.
+		for len(ln) > 0 && (ln[0] == ' ' || ln[0] == '\t' || ln[0] == '\r') {
+			ln = ln[1:]
+		}
+		for len(ln) > 0 && (ln[len(ln)-1] == ' ' || ln[len(ln)-1] == '\t' || ln[len(ln)-1] == '\r') {
+			ln = ln[:len(ln)-1]
+		}
+		if len(ln) == 0 {
+			continue
+		}
+		if ln[0] < 0x21 || ln[0] >= 0x7F || ln[len(ln)-1] < 0x21 || ln[len(ln)-1] >= 0x7F {
+			return Entry{}, false
+		}
+		if ln[0] == '#' {
+			m := ln[1:]
+			for len(m) > 0 && (m[0] == ' ' || m[0] == '\t') {
+				m = m[1:]
+			}
+			if len(m) == 0 {
+				continue
+			}
+			if m[0] < 0x21 || m[0] >= 0x7F {
+				return Entry{}, false
+			}
+			switch {
+			case strings.HasPrefix(m, "kernel:"):
+				v, ok := strictValue(m[len("kernel:"):])
+				if !ok {
+					return Entry{}, false
+				}
+				kernel = v
+			case strings.HasPrefix(m, "device:"):
+				// The device header is parsed but not part of an Entry;
+				// only its trim ambiguity matters.
+				if _, ok := strictValue(m[len("device:"):]); !ok {
+					return Entry{}, false
+				}
+			default:
+				c := strings.IndexByte(m, ':')
+				if c < 0 {
+					continue
+				}
+				switch m[:c] {
+				case "store":
+					v, ok := strictValue(m[c+1:])
+					if !ok || v == "" {
+						return Entry{}, false
+					}
+					keyLine = v
+				case "end":
+					v, ok := strictValue(m[c+1:])
+					if !ok {
+						return Entry{}, false
+					}
+					n, err := strconv.Atoi(v)
+					if err != nil || n < 0 {
+						// A negative trailer means "missing trailer" to the
+						// general path; let it say so.
+						return Entry{}, false
+					}
+					endCount = n
+				}
+			}
+			continue
+		}
+		// Data record: exactly four printable-ASCII fields split on
+		// space/tab, parsed with the same strconv calls the general path
+		// uses — on identical substrings, so identical values or errors.
+		var f [4]string
+		n := 0
+		start := -1
+		for i := 0; i <= len(ln); i++ {
+			c := byte(' ')
+			if i < len(ln) {
+				c = ln[i]
+			}
+			switch {
+			case c == ' ' || c == '\t':
+				if start >= 0 {
+					if n == 4 {
+						return Entry{}, false
+					}
+					f[n] = ln[start:i]
+					n++
+					start = -1
+				}
+			case c < 0x21 || c >= 0x7F:
+				return Entry{}, false
+			default:
+				if start < 0 {
+					start = i
+				}
+			}
+		}
+		if n != 4 {
+			return Entry{}, false
+		}
+		d, err := strconv.Atoi(f[0])
+		if err != nil {
+			return Entry{}, false
+		}
+		tm, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		reps, err := strconv.Atoi(f[2])
+		if err != nil {
+			return Entry{}, false
+		}
+		ci, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		p := core.Point{D: d, Time: tm, Reps: reps, CI: ci}
+		if p.Validate() != nil {
+			return Entry{}, false
+		}
+		pts = append(pts, p)
+	}
+	if keyLine == "" || endCount < 0 || len(pts) != endCount {
+		return Entry{}, false
+	}
+	// The kept strings are substrings of the one big conversion; clone
+	// them so a long-lived Entry does not pin the whole file in memory.
+	key, err := parseKeyID(strings.Clone(keyLine))
+	if err != nil {
+		return Entry{}, false
+	}
+	return Entry{Key: key, Kernel: strings.Clone(kernel), Points: pts}, true
+}
+
+// strictValue trims ASCII space/tab off a metadata value and reports
+// whether the result is unambiguous under the general path's Unicode-aware
+// TrimSpace — that is, whatever is left on the edges is printable ASCII.
+func strictValue(v string) (string, bool) {
+	for len(v) > 0 && (v[0] == ' ' || v[0] == '\t') {
+		v = v[1:]
+	}
+	for len(v) > 0 && (v[len(v)-1] == ' ' || v[len(v)-1] == '\t') {
+		v = v[:len(v)-1]
+	}
+	if v == "" {
+		return "", true
+	}
+	if v[0] < 0x21 || v[0] >= 0x7F || v[len(v)-1] < 0x21 || v[len(v)-1] >= 0x7F {
+		return "", false
+	}
+	return v, true
+}
+
+// DecodeRef is the reference implementation of Decode: line-split the
+// whole file for the store metadata, then re-parse it with
+// model.ReadPoints. Kept (pool.MapSeq-style) as the specification the
+// streaming fast path is equivalence-tested against.
+func DecodeRef(path string, data []byte) (Entry, error) {
 	var e Entry
 	var keyLine string
 	endCount := -1
@@ -317,7 +572,7 @@ func (s *Store) Get(k Key) (Entry, bool, error) {
 	if err != nil {
 		return Entry{}, false, fmt.Errorf("modelstore: %w", err)
 	}
-	e, err := decode(path, data)
+	e, err := Decode(path, data)
 	if err != nil {
 		return Entry{}, false, err
 	}
@@ -329,10 +584,54 @@ func (s *Store) Get(k Key) (Entry, bool, error) {
 	return e, true, nil
 }
 
+// loadBuffers pools the file-read scratch of Load, so a reload over a
+// populated store reuses one buffer across all entries instead of
+// allocating a fresh byte slice per file. Decode copies everything it
+// keeps (the scanner materialises new strings and points), so reusing the
+// backing buffer between files is safe.
+var loadBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Load reads every entry in the store. Corrupt files are collected, not
 // fatal: a store damaged by a crash loads everything intact and reports
 // what it had to drop, so the server re-sweeps only the torn entries.
 func (s *Store) Load() ([]Entry, []Corrupt, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.points"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("modelstore: %w", err)
+	}
+	buf := loadBuffers.Get().(*bytes.Buffer)
+	defer loadBuffers.Put(buf)
+	var entries []Entry
+	var corrupt []Corrupt
+	for _, path := range names {
+		buf.Reset()
+		f, err := os.Open(path)
+		if err != nil {
+			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
+			continue
+		}
+		_, err = buf.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
+			continue
+		}
+		e, err := Decode(path, buf.Bytes())
+		if err != nil {
+			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, corrupt, nil
+}
+
+// LoadRef is the reference implementation of Load: a fresh os.ReadFile
+// per entry and the two-pass DecodeRef, no shared buffer. Kept
+// (pool.MapSeq-style) as the specification the pooled streaming reload is
+// equivalence-tested against — TestLoadMatchesRef pins entry-for-entry
+// identity on a populated store.
+func (s *Store) LoadRef() ([]Entry, []Corrupt, error) {
 	names, err := filepath.Glob(filepath.Join(s.dir, "*.points"))
 	if err != nil {
 		return nil, nil, fmt.Errorf("modelstore: %w", err)
@@ -345,7 +644,7 @@ func (s *Store) Load() ([]Entry, []Corrupt, error) {
 			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
 			continue
 		}
-		e, err := decode(path, data)
+		e, err := DecodeRef(path, data)
 		if err != nil {
 			corrupt = append(corrupt, Corrupt{Path: path, Err: err})
 			continue

@@ -395,15 +395,14 @@ func (s *Server) instrument(h func(w http.ResponseWriter, r *http.Request) error
 	}
 }
 
-// decode parses a JSON request body with a sane size bound.
+// decode parses a JSON request body with a sane size bound, through the
+// pooled codec (codec.go).
 func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	if r.Method != http.MethodPost {
 		return &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"}
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	if err := DecodeJSON(r.Body, v); err != nil {
 		return badRequest("malformed request: %v", err)
 	}
 	return nil
@@ -411,7 +410,7 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 
 func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(v)
+	return EncodeJSON(w, v)
 }
 
 // tenantOf maps the empty tenant to a default so single-tenant clients

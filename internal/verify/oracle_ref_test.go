@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestOracleMatchesRef pins the optimized Oracle (pooled scratch, inlined
+// binary search) to OracleRef, the kept reference implementation: exactly
+// equal makespans AND exactly equal distributions — the two share one
+// tie-breaking rule, so any divergence is a fast-path bug, not a
+// legitimate alternative optimum.
+func TestOracleMatchesRef(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		for _, n := range []int{1, 2, 4, 7} {
+			// Platform without a shape filter mixes all shapes, including
+			// the noisy and non-monotonic ones that force the O(n·D²)
+			// scan fallback — both inner loops must agree.
+			models := ExactModels(NewGen(seed).Platform(n))
+			for _, D := range []int{0, 1, 13, 97, 331} {
+				got, gotOpt, err := Oracle(models, D)
+				ref, refOpt, rerr := OracleRef(models, D)
+				if (err != nil) != (rerr != nil) {
+					t.Fatalf("seed=%d n=%d D=%d: error mismatch: %v vs %v", seed, n, D, err, rerr)
+				}
+				if err != nil {
+					continue
+				}
+				if gotOpt != refOpt {
+					t.Errorf("seed=%d n=%d D=%d: makespan %g, ref %g", seed, n, D, gotOpt, refOpt)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("seed=%d n=%d D=%d: dist %v, ref %v", seed, n, D, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleMatchesRefAtScale exercises the monotone binary-search fast
+// path at a size where the inlined search runs thousands of times per
+// row — the configuration the perf suite benchmarks.
+func TestOracleMatchesRefAtScale(t *testing.T) {
+	models := ExactModels(NewGen(2).Platform(8, MonotoneShapes()...))
+	const D = 4000
+	got, gotOpt, err := Oracle(models, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refOpt, err := OracleRef(models, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOpt != refOpt {
+		t.Errorf("makespan %g, ref %g", gotOpt, refOpt)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("dist %v, ref %v", got, ref)
+	}
+}
+
+// TestOracleErrorsMatchRef: the fast path keeps the reference's full error
+// contract.
+func TestOracleErrorsMatchRef(t *testing.T) {
+	models := ExactModels(NewGen(1).Platform(2, MonotoneShapes()...))
+	if _, _, err := Oracle(nil, 10); err == nil {
+		t.Error("Oracle(nil models) should error")
+	}
+	if _, _, err := OracleRef(nil, 10); err == nil {
+		t.Error("OracleRef(nil models) should error")
+	}
+	if _, _, err := Oracle(models, -1); err == nil {
+		t.Error("Oracle(D=-1) should error")
+	}
+	if _, _, err := OracleRef(models, -1); err == nil {
+		t.Error("OracleRef(D=-1) should error")
+	}
+}
+
+// TestOracleConcurrentMatchesRef hammers the pooled fast path from many
+// goroutines at once (tier 2 runs this under -race): scratch reuse
+// through oraclePool must never leak one call's DP tables into
+// another's answer.
+func TestOracleConcurrentMatchesRef(t *testing.T) {
+	type instance struct {
+		seed int64
+		n, D int
+	}
+	instances := []instance{
+		{seed: 1, n: 3, D: 151},
+		{seed: 2, n: 5, D: 97},
+		{seed: 3, n: 2, D: 233},
+		{seed: 4, n: 6, D: 64},
+	}
+	type want struct {
+		dist []int
+		opt  float64
+	}
+	wants := make([]want, len(instances))
+	for i, in := range instances {
+		m := ExactModels(NewGen(in.seed).Platform(in.n, MonotoneShapes()...))
+		dist, opt, err := OracleRef(m, in.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want{dist: dist, opt: opt}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for i, in := range instances {
+					m := ExactModels(NewGen(in.seed).Platform(in.n, MonotoneShapes()...))
+					dist, opt, err := Oracle(m, in.D)
+					if err != nil {
+						t.Errorf("worker %d: %v", worker, err)
+						return
+					}
+					if opt != wants[i].opt || !reflect.DeepEqual(dist, wants[i].dist) {
+						t.Errorf("worker %d instance %d: got (%v, %g), want (%v, %g)",
+							worker, i, dist, opt, wants[i].dist, wants[i].opt)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
