@@ -6,7 +6,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke service commmodel verify perf-smoke update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route commmodel verify perf-smoke update-golden
 
 all: tier1
 
@@ -14,9 +14,9 @@ all: tier1
 tier1: build test
 
 ## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
-## gate, the communication-model gate, the verification suite and the
-## perf-suite smoke
-tier2: tier1 vet race fuzz-smoke service commmodel verify perf-smoke
+## gate, the routing-tier gate, the communication-model gate, the
+## verification suite and the perf-suite smoke
+tier2: tier1 vet race fuzz-smoke service route commmodel verify perf-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPartition$$' -fuzztime=$(FUZZTIME) ./internal/partition
 	$(GO) test -race -run='^$$' -fuzz='^FuzzCacheStore$$' -fuzztime=$(FUZZTIME) ./internal/service
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeMatchesRef$$' -fuzztime=$(FUZZTIME) ./internal/service/modelstore
+	$(GO) test -run='^$$' -fuzz='^FuzzRing$$' -fuzztime=$(FUZZTIME) ./internal/service/ring
 
 ## service: vet + race-test the partition service (incl. the on-disk model
 ## store) and its CLI end to end (-count=1 forces a fresh run: these tests
@@ -47,6 +48,13 @@ fuzz-smoke:
 service:
 	$(GO) vet ./internal/service/... ./cmd/fupermod-serve
 	$(GO) test -race -count=1 ./internal/service/... ./cmd/fupermod-serve
+
+## route: vet + race-test the consistent-hash ring and the routing tier
+## CLI end to end (-count=1: the failover tests kill a live backend mid-
+## storm; a cached pass would not exercise the race)
+route:
+	$(GO) vet ./internal/service/ring ./cmd/fupermod-route
+	$(GO) test -race -count=1 ./internal/service/ring ./cmd/fupermod-route
 
 ## commmodel: vet + race-test the communication models and their CLI
 ## (-count=1: the calibration determinism tests assert serial-vs-parallel
@@ -69,8 +77,10 @@ perf-smoke:
 	$(GO) run ./cmd/fupermod-bench -perf -benchtime 1x -o /tmp/fupermod-perf-smoke.json
 	$(GO) run ./cmd/fupermod-bench -perf -diff /tmp/fupermod-perf-smoke.json /tmp/fupermod-perf-smoke.json
 
-## update-golden: rewrite the golden files under internal/trace/testdata
-## and the perf-snapshot schema golden under internal/bench/testdata
+## update-golden: rewrite the golden files under internal/trace/testdata,
+## the perf-snapshot schema golden under internal/bench/testdata, and the
+## /stats schema golden under internal/service/testdata
 update-golden:
 	$(GO) test ./internal/trace -update
 	$(GO) test ./internal/bench -run TestSnapshotGolden -update
+	$(GO) test ./internal/service -run TestStatsGolden -update

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"fupermod/internal/service"
+)
+
+// syncBuffer lets the test read router output while run is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRouteFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-addr"},                       // missing value
+		{},                              // no backend at all
+		{"-backend", "http://h:1", "p"}, // unexpected positional
+		{"-backend", "not a url"},       // no scheme
+		{"-backend", "ftp://h:1"},       // wrong scheme
+		{"-backend", "http://"},         // empty host
+		{"-backend", "http://h:1", "-backend", "http://h:1"},      // duplicate
+		{"-backend", "http://h:1", "-health-interval", "0s"},      // non-positive
+		{"-backend", "http://h:1", "-health-interval", "-1s"},     // negative
+		{"-backend", "http://h:1", "-health-interval", "soonish"}, // bad duration
+	}
+	for _, args := range cases {
+		var out syncBuffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// newBackend boots one real service instance (one fupermod-serve worth of
+// serving) on an ephemeral port.
+func newBackend(t *testing.T, cfg service.Config) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func postJSON(t *testing.T, url string, req any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func getStats(t *testing.T, base string) service.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startRoute boots the router entrypoint against the given backends and
+// returns its base URL.
+func startRoute(t *testing.T, backends ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	args := []string{"-addr", "127.0.0.1:0", "-health-interval", "50ms"}
+	for _, b := range backends {
+		args = append(args, "-backend", b)
+	}
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, &out) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("router exited with %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("router did not exit after context cancellation")
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router did not report a listen address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouteSpreadsAndStaysByteIdentical is the cross-process differential:
+// a fleet of two real backends behind the router serves a mixed-tenant
+// corpus byte-identically to one reference server handling everything —
+// and when a backend dies mid-fleet, the survivors keep every answer
+// byte-identical while the router fails its tenants over.
+func TestRouteSpreadsAndStaysByteIdentical(t *testing.T) {
+	grid := service.Grid{Lo: 16, Hi: 2000, N: 8}
+	corpus := make([]service.PartitionRequest, 16)
+	for i := range corpus {
+		corpus[i] = service.PartitionRequest{
+			Tenant:  fmt.Sprintf("fleet-%d", i),
+			Devices: []service.DeviceSpec{{Preset: "fast", Seed: int64(i + 1)}, {Preset: "slow", Seed: int64(i + 50)}},
+			Grid:    grid,
+			D:       4000 + 10*i,
+		}
+	}
+
+	ref := newBackend(t, service.Config{Workers: 2})
+	want := make([][]byte, len(corpus))
+	for i, req := range corpus {
+		status, body := postJSON(t, ref.URL+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("reference %s: status %d: %s", req.Tenant, status, body)
+		}
+		want[i] = body
+	}
+
+	b1 := newBackend(t, service.Config{Workers: 2})
+	b2 := newBackend(t, service.Config{Workers: 2})
+	route := startRoute(t, b1.URL, b2.URL)
+
+	resp, err := http.Get(route + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Live   int    `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "ok" || hz.Live != 2 {
+		t.Fatalf("router healthz: %+v, want ok with 2 live", hz)
+	}
+
+	for i, req := range corpus {
+		status, body := postJSON(t, route+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("routed %s: status %d: %s", req.Tenant, status, body)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Errorf("routed %s differs from the reference server", req.Tenant)
+		}
+	}
+
+	// Both backends took a share of the corpus (the ring spreads tenants),
+	// and the merged fleet view adds up.
+	s1, s2 := getStats(t, b1.URL), getStats(t, b2.URL)
+	if s1.Sweeps == 0 || s2.Sweeps == 0 {
+		t.Errorf("corpus was not spread: backend sweeps %d and %d", s1.Sweeps, s2.Sweeps)
+	}
+	merged := getStats(t, route)
+	if merged.Sweeps != s1.Sweeps+s2.Sweeps {
+		t.Errorf("merged sweeps %d != %d + %d", merged.Sweeps, s1.Sweeps, s2.Sweeps)
+	}
+	if merged.Workers != s1.Workers+s2.Workers {
+		t.Errorf("merged workers %d != %d + %d", merged.Workers, s1.Workers, s2.Workers)
+	}
+
+	// Kill one backend process outright: its tenants re-walk the ring to
+	// the survivor on first touch, and every byte stays identical (the
+	// sweep is deterministic wherever it runs).
+	b1.Close()
+	for i, req := range corpus {
+		status, body := postJSON(t, route+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("post-failover %s: status %d: %s", req.Tenant, status, body)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Errorf("post-failover %s differs from the reference server", req.Tenant)
+		}
+	}
+
+	// The router noticed: /healthz reports one live backend.
+	resp, err = http.Get(route + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Live != 1 {
+		t.Errorf("router healthz after failover: %d live, want 1", hz.Live)
+	}
+}
+
+// TestRouteAllBackendsDead: with every backend gone the router answers 503
+// with the service's error envelope, never a hang or a panic.
+func TestRouteAllBackendsDead(t *testing.T) {
+	b := newBackend(t, service.Config{Workers: 1})
+	route := startRoute(t, b.URL)
+	b.Close()
+	status, body := postJSON(t, route+"/v1/measure", service.MeasureRequest{
+		Device: service.DeviceSpec{Preset: "fast", Seed: 1},
+		Grid:   service.Grid{Lo: 16, Hi: 2000, N: 8},
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (want 503): %s", status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("want the service error envelope, got %s", body)
+	}
+}

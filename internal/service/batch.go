@@ -102,42 +102,42 @@ func BatchKey(op, tenant string, keys []ModelKey, algorithm string, D int, commT
 // invokes run exactly once and publishes the result to everyone. Partition
 // solves, dynamic-partition runs and balance replays all route through
 // here with disjoint key spaces.
-func (s *Server) batched(key string, run func() (any, error)) (any, error) {
-	if s.batchWindow <= 0 {
+func (sh *shard) batched(key string, run func() (any, error)) (any, error) {
+	if sh.batchWindow <= 0 {
 		return run()
 	}
-	window := s.window.observe(time.Now())
-	s.batchMu.Lock()
-	if call, ok := s.batches[key]; ok {
-		s.batchMu.Unlock()
-		s.stats.batchJoined.Add(1)
+	window := sh.window.observe(time.Now())
+	sh.batchMu.Lock()
+	if call, ok := sh.batches[key]; ok {
+		sh.batchMu.Unlock()
+		sh.stats.batchJoined.Add(1)
 		select {
 		case <-call.done:
 			return call.val, call.err
-		case <-s.ctx.Done():
-			return nil, s.ctx.Err()
+		case <-sh.ctx.Done():
+			return nil, sh.ctx.Err()
 		}
 	}
 	if window <= 0 {
 		// Idle traffic: nobody will join within any window, so don't make
 		// this request pay one. In-flight batches are still joined above.
-		s.batchMu.Unlock()
-		s.stats.batchWindowSkips.Add(1)
+		sh.batchMu.Unlock()
+		sh.stats.batchWindowSkips.Add(1)
 		return run()
 	}
 	call := &batchCall{done: make(chan struct{})}
-	s.batches[key] = call
-	s.batchMu.Unlock()
+	sh.batches[key] = call
+	sh.batchMu.Unlock()
 
 	// Leader: let followers pile on for one window, then close the batch
 	// to new joiners *before* running so late arrivals start a fresh one.
 	select {
 	case <-time.After(window):
-	case <-s.ctx.Done():
+	case <-sh.ctx.Done():
 	}
-	s.batchMu.Lock()
-	delete(s.batches, key)
-	s.batchMu.Unlock()
+	sh.batchMu.Lock()
+	delete(sh.batches, key)
+	sh.batchMu.Unlock()
 
 	call.val, call.err = run()
 	close(call.done)
@@ -145,10 +145,10 @@ func (s *Server) batched(key string, run func() (any, error)) (any, error) {
 }
 
 // solvePartition answers one partition request through the batcher.
-func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int, commTag string) (*core.Dist, error) {
+func (sh *shard) solvePartition(tenant string, keys []ModelKey, models []core.Model, algorithm string, D int, commTag string) (*core.Dist, error) {
 	key := BatchKey("part", tenant, keys, algorithm, D, commTag)
-	v, err := s.batched(key, func() (any, error) {
-		return s.runSolve(models, algorithm, D)
+	v, err := sh.batched(key, func() (any, error) {
+		return sh.runSolve(models, algorithm, D)
 	})
 	if err != nil {
 		return nil, err
@@ -157,14 +157,14 @@ func (s *Server) solvePartition(tenant string, keys []ModelKey, models []core.Mo
 }
 
 // runSolve executes one partitioner call on the shared pool.
-func (s *Server) runSolve(models []core.Model, algorithm string, D int) (*core.Dist, error) {
+func (sh *shard) runSolve(models []core.Model, algorithm string, D int) (*core.Dist, error) {
 	p, err := partition.ByName(algorithm)
 	if err != nil {
 		return nil, err
 	}
 	var dist *core.Dist
-	err = pool.Do(s.ctx, s.pool, func(context.Context) error {
-		s.stats.batchSolves.Add(1)
+	err = pool.Do(sh.ctx, sh.pool, func(context.Context) error {
+		sh.stats.batchSolves.Add(1)
 		var serr error
 		dist, serr = p.Partition(models, D)
 		return serr

@@ -50,7 +50,7 @@ type entry struct {
 }
 
 // tenantCache is one tenant's LRU-bounded model cache. It is guarded by
-// the server's cache mutex, not its own: eviction decisions and
+// the shard's cache mutex, not its own: eviction decisions and
 // single-flight registration are a few map/list operations, so one lock
 // keeps the invariants simple and uncontended next to sweep costs.
 type tenantCache struct {
@@ -68,93 +68,93 @@ func newTenantCache(max int) *tenantCache {
 // requests for the same key are deduplicated: exactly one performs the
 // sweep, the rest wait for it (single-flight). Failed fills are removed
 // from the cache so a later request can retry.
-func (s *Server) getModel(tenant string, key ModelKey) (core.Model, []core.Point, error) {
-	s.mu.Lock()
-	tc := s.tenantCacheLocked(tenant)
+func (sh *shard) getModel(tenant string, key ModelKey) (core.Model, []core.Point, error) {
+	sh.mu.Lock()
+	tc := sh.tenantCacheLocked(tenant)
 	if e, ok := tc.entries[key]; ok {
 		tc.order.MoveToFront(e.elem)
 		select {
 		case <-e.ready:
-			s.stats.cacheHits.Add(1)
+			sh.stats.cacheHits.Add(1)
 		default:
-			s.stats.cacheCoalesced.Add(1)
+			sh.stats.cacheCoalesced.Add(1)
 		}
-		s.mu.Unlock()
-		return s.awaitEntry(e)
+		sh.mu.Unlock()
+		return sh.awaitEntry(e)
 	}
 	// Admission control happens exactly here: a miss commits the tenant to
 	// a fill — the expensive, pool-occupying operation the quota meters.
 	// Hits and coalesced waits above are deliberately exempt.
-	if !s.quota.acquire(tenant) {
-		s.mu.Unlock()
-		return nil, nil, s.rejectQuota(tenant)
+	if !sh.quota.acquire(tenant) {
+		sh.mu.Unlock()
+		return nil, nil, sh.rejectQuota(tenant)
 	}
-	s.stats.cacheMisses.Add(1)
+	sh.stats.cacheMisses.Add(1)
 	e := &entry{key: key, ready: make(chan struct{})}
 	e.elem = tc.order.PushFront(e)
 	tc.entries[key] = e
-	s.evictOverLocked(tc)
-	s.mu.Unlock()
+	sh.evictOverLocked(tc)
+	sh.mu.Unlock()
 
-	s.fill(tenant, e)
-	s.quota.release(tenant)
+	sh.fill(tenant, e)
+	sh.quota.release(tenant)
 	if e.err != nil {
 		// Drop the failed entry (if it has not been evicted and replaced
 		// already) so the next identical request retries.
-		s.mu.Lock()
+		sh.mu.Lock()
 		if cur, ok := tc.entries[key]; ok && cur == e {
 			tc.order.Remove(e.elem)
 			delete(tc.entries, key)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return e.model, e.points, e.err
 }
 
 // tenantCacheLocked returns (creating if needed) the tenant's cache.
-// Caller holds s.mu.
-func (s *Server) tenantCacheLocked(tenant string) *tenantCache {
-	tc, ok := s.tenants[tenant]
+// Caller holds sh.mu.
+func (sh *shard) tenantCacheLocked(tenant string) *tenantCache {
+	tc, ok := sh.tenants[tenant]
 	if !ok {
-		tc = newTenantCache(s.cacheSize)
-		s.tenants[tenant] = tc
+		tc = newTenantCache(sh.cacheSize)
+		sh.tenants[tenant] = tc
 	}
 	return tc
 }
 
-// evictOverLocked applies the LRU bound. Caller holds s.mu.
-func (s *Server) evictOverLocked(tc *tenantCache) {
+// evictOverLocked applies the LRU bound. Caller holds sh.mu.
+func (sh *shard) evictOverLocked(tc *tenantCache) {
 	for tc.order.Len() > tc.max {
 		oldest := tc.order.Back()
 		victim := oldest.Value.(*entry)
 		tc.order.Remove(oldest)
 		delete(tc.entries, victim.key)
-		s.stats.cacheEvictions.Add(1)
+		sh.stats.cacheEvictions.Add(1)
 	}
 }
 
-// awaitEntry blocks until the entry's fill completes or the server shuts
+// awaitEntry blocks until the entry's fill completes or the shard shuts
 // down. Waiters deliberately do not observe their own request context:
 // the fill belongs to the cache, not to any single client, so a client
 // disconnecting never poisons the entry for the others.
-func (s *Server) awaitEntry(e *entry) (core.Model, []core.Point, error) {
+func (sh *shard) awaitEntry(e *entry) (core.Model, []core.Point, error) {
 	select {
 	case <-e.ready:
 		return e.model, e.points, e.err
-	case <-s.ctx.Done():
-		return nil, nil, fmt.Errorf("service: shutting down: %w", s.ctx.Err())
+	case <-sh.ctx.Done():
+		return nil, nil, fmt.Errorf("service: shutting down: %w", sh.ctx.Err())
 	}
 }
 
-// fill produces the fitted model for e: from the disk store when a warm
-// entry exists (no sweep at all — the restart path), otherwise by sweeping
-// on the shared worker pool so concurrent fills never oversubscribe the
-// machine. The sweep is executed serially inside one pool slot: the noise
-// meter draws pseudo-random perturbations in sequence, so a serial sweep
-// is deterministic for a given key — the property that makes cache entries
-// reproducible, disk-store spills replayable, and service responses
-// byte-identical to the direct library path.
-func (s *Server) fill(tenant string, e *entry) {
+// fill produces the fitted model for e. With a store configured, the fill
+// goes through the store's cross-replica single-flight (modelstore.Fill):
+// the store is consulted before the device is even resolved — a stored
+// sweep is servable when its device can no longer be resolved (a machine
+// file not yet re-uploaded after a restart) — and a miss sweeps exactly
+// once per key across every replica sharing the store, each one mapping
+// the outcome onto its own counters. Storeless shards sweep directly; the
+// cache-entry single-flight already deduplicates within the shard.
+func (sh *shard) fill(tenant string, e *entry) {
 	defer close(e.ready)
 	key := e.key
 	sizes := core.LogSizes(key.Lo, key.Hi, key.N)
@@ -162,69 +162,105 @@ func (s *Server) fill(tenant string, e *entry) {
 		e.err = fmt.Errorf("service: invalid size grid lo=%d hi=%d n=%d", key.Lo, key.Hi, key.N)
 		return
 	}
-	// The store is consulted before device resolution: a stored sweep is
-	// servable even when its device can no longer be resolved (a machine
-	// file not yet re-uploaded after a restart).
-	sk, stored := s.storeKey(tenant, key)
+	sk, stored := sh.storeKey(tenant, key)
 	if stored {
-		switch ent, ok, err := s.store.Get(sk); {
-		case err != nil:
-			// Torn or damaged file: count it and fall through to a clean
-			// re-sweep; the spill below heals the entry.
-			s.stats.storeCorrupt.Add(1)
-		case ok:
-			m, ferr := fitPoints(key.Model, ent.Points)
-			if ferr == nil {
-				s.stats.storeHits.Add(1)
-				e.model, e.points = m, ent.Points
-				return
+		ent, info, err := sh.store.Fill(sh.ctx, sk, func() (string, []core.Point, error) {
+			return sh.sweepKey(tenant, key, sizes)
+		})
+		if info.Corrupt {
+			// Torn or damaged file: the flight re-swept and the spill healed
+			// the entry.
+			sh.stats.storeCorrupt.Add(1)
+		}
+		if err != nil {
+			e.err = err
+			return
+		}
+		m, ferr := fitPoints(key.Model, ent.Points)
+		if ferr == nil {
+			switch info.Source {
+			case modelstore.SourceDisk:
+				sh.stats.storeHits.Add(1)
+			case modelstore.SourceSwept:
+				// Write-behind spill: failures keep the in-memory entry valid
+				// and are only counted — durability is best-effort per fill.
+				if info.PutErr != nil {
+					sh.stats.storeErrors.Add(1)
+				} else {
+					sh.stats.storeSpills.Add(1)
+				}
+			case modelstore.SourceJoined:
+				// Another replica's sweep answered us: nothing of ours to
+				// count — the sweeping replica owns the sweep and the spill.
 			}
+			e.model, e.points = m, ent.Points
+			return
 		}
+		if info.Source != modelstore.SourceDisk {
+			e.err = ferr
+			return
+		}
+		// A disk entry this model kind cannot be fitted to: fall through to
+		// a clean local sweep; the spill below replaces the entry.
 	}
-	dev, err := s.resolveDevice(tenant, key.Device)
+	kernel, pts, err := sh.sweepKey(tenant, key, sizes)
 	if err != nil {
 		e.err = err
 		return
 	}
-	meter := platform.NewMeter(dev, noiseConfig(key.Noise), key.Seed)
-	k, err := kernels.NewVirtual(dev.Name(), meter, GEMMBlockFlops)
+	m, err := fitPoints(key.Model, pts)
 	if err != nil {
 		e.err = err
 		return
 	}
-	e.err = pool.Do(s.ctx, s.pool, func(context.Context) error {
-		s.stats.sweeps.Add(1)
-		start := time.Now()
-		pts, err := core.Sweep(k, sizes, s.precision)
-		s.stats.sweepNanos.Add(int64(time.Since(start)))
-		if err != nil {
-			return err
-		}
-		m, err := fitPoints(key.Model, pts)
-		if err != nil {
-			return err
-		}
-		e.model, e.points = m, pts
-		return nil
-	})
-	if e.err == nil && stored {
-		// Write-behind spill: failures keep the in-memory entry valid and
-		// are only counted — durability is best-effort per fill, and the
-		// next fill of the same key simply retries the write.
-		if err := s.store.Put(sk, dev.Name(), e.points); err != nil {
-			s.stats.storeErrors.Add(1)
+	e.model, e.points = m, pts
+	if stored {
+		if err := sh.store.Put(sk, kernel, pts); err != nil {
+			sh.stats.storeErrors.Add(1)
 		} else {
-			s.stats.storeSpills.Add(1)
+			sh.stats.storeSpills.Add(1)
 		}
 	}
 }
 
+// sweepKey resolves the key's device and runs its benchmark sweep on the
+// shared worker pool so concurrent fills never oversubscribe the machine.
+// The sweep is executed serially inside one pool slot: the noise meter
+// draws pseudo-random perturbations in sequence, so a serial sweep is
+// deterministic for a given key — the property that makes cache entries
+// reproducible, disk-store spills replayable, and service responses
+// byte-identical to the direct library path on every replica.
+func (sh *shard) sweepKey(tenant string, key ModelKey, sizes []int) (string, []core.Point, error) {
+	dev, err := sh.resolveDevice(tenant, key.Device)
+	if err != nil {
+		return "", nil, err
+	}
+	meter := platform.NewMeter(dev, noiseConfig(key.Noise), key.Seed)
+	k, err := kernels.NewVirtual(dev.Name(), meter, GEMMBlockFlops)
+	if err != nil {
+		return "", nil, err
+	}
+	var pts []core.Point
+	err = pool.Do(sh.ctx, sh.pool, func(context.Context) error {
+		sh.stats.sweeps.Add(1)
+		start := time.Now()
+		var serr error
+		pts, serr = core.Sweep(k, sizes, sh.precision)
+		sh.stats.sweepNanos.Add(int64(time.Since(start)))
+		return serr
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return dev.Name(), pts, nil
+}
+
 // storeKey maps an in-memory cache key to its disk-store key; ok is false
-// when the server runs without a store. The model kind is dropped — the
-// stored artefact is the measurement — and the server's sweep precision is
+// when the shard runs without a store. The model kind is dropped — the
+// stored artefact is the measurement — and the shard's sweep precision is
 // folded in, so servers with different stopping rules never share entries.
-func (s *Server) storeKey(tenant string, key ModelKey) (modelstore.Key, bool) {
-	if s.store == nil {
+func (sh *shard) storeKey(tenant string, key ModelKey) (modelstore.Key, bool) {
+	if sh.store == nil {
 		return modelstore.Key{}, false
 	}
 	return modelstore.Key{
@@ -233,7 +269,7 @@ func (s *Server) storeKey(tenant string, key ModelKey) (modelstore.Key, bool) {
 		Seed:   key.Seed,
 		Noise:  key.Noise,
 		Lo:     key.Lo, Hi: key.Hi, N: key.N,
-		Prec: modelstore.EncodePrecision(s.precision),
+		Prec: modelstore.EncodePrecision(sh.precision),
 	}, true
 }
 

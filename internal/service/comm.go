@@ -72,12 +72,12 @@ type commEntry struct {
 	err  error
 }
 
-// commModel resolves the spec to a fitted comm model through the server's
+// commModel resolves the spec to a fitted comm model through the shard's
 // calibration cache, with single-flight deduplication: concurrent first
 // requests for the same combination trigger exactly one calibration. The
 // returned tag fingerprints everything that shaped the wrapped models —
 // it goes into the batch key and the response.
-func (s *Server) commModel(c CommSpec, devices int) (commmodel.CommModel, string, error) {
+func (sh *shard) commModel(c CommSpec, devices int) (commmodel.CommModel, string, error) {
 	spec, kind, err := c.normalize(devices)
 	if err != nil {
 		return nil, "", err
@@ -85,14 +85,14 @@ func (s *Server) commModel(c CommSpec, devices int) (commmodel.CommModel, string
 	tag := fmt.Sprintf("%s/%s/%s/%d/%g", kind, spec.Op, spec.NetName, spec.Ranks, c.BytesPerUnit)
 	cacheKey := fmt.Sprintf("%s|%s|%s|%d", kind, spec.Op, spec.NetName, spec.Ranks)
 
-	s.commMu.Lock()
-	e, ok := s.comms[cacheKey]
+	sh.commMu.Lock()
+	e, ok := sh.comms[cacheKey]
 	if !ok {
 		e = &commEntry{done: make(chan struct{})}
-		s.comms[cacheKey] = e
-		s.commMu.Unlock()
-		s.stats.commCalibrations.Add(1)
-		cal, err := commmodel.Calibrate(s.ctx, s.pool, spec, nil, commmodel.DefaultPrecision)
+		sh.comms[cacheKey] = e
+		sh.commMu.Unlock()
+		sh.stats.commCalibrations.Add(1)
+		cal, err := commmodel.Calibrate(sh.ctx, sh.pool, spec, nil, commmodel.DefaultPrecision)
 		if err == nil {
 			e.m, e.err = cal.Fit(kind, false)
 		} else {
@@ -100,17 +100,17 @@ func (s *Server) commModel(c CommSpec, devices int) (commmodel.CommModel, string
 		}
 		if e.err != nil {
 			// Failed fills are not cached: the next request retries.
-			s.commMu.Lock()
-			delete(s.comms, cacheKey)
-			s.commMu.Unlock()
+			sh.commMu.Lock()
+			delete(sh.comms, cacheKey)
+			sh.commMu.Unlock()
 		}
 		close(e.done)
 	} else {
-		s.commMu.Unlock()
+		sh.commMu.Unlock()
 		select {
 		case <-e.done:
-		case <-s.ctx.Done():
-			return nil, "", s.ctx.Err()
+		case <-sh.ctx.Done():
+			return nil, "", sh.ctx.Err()
 		}
 	}
 	if e.err != nil {
@@ -121,11 +121,11 @@ func (s *Server) commModel(c CommSpec, devices int) (commmodel.CommModel, string
 
 // commWrap wraps the compute models with the spec's fitted comm model.
 // Without a spec the models pass through untouched with an empty tag.
-func (s *Server) commWrap(c *CommSpec, models []core.Model) ([]core.Model, string, error) {
+func (sh *shard) commWrap(c *CommSpec, models []core.Model) ([]core.Model, string, error) {
 	if c == nil {
 		return models, "", nil
 	}
-	cm, tag, err := s.commModel(*c, len(models))
+	cm, tag, err := sh.commModel(*c, len(models))
 	if err != nil {
 		return nil, "", err
 	}

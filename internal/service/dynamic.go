@@ -110,18 +110,22 @@ func (s *Server) handleDynpart(w http.ResponseWriter, r *http.Request) error {
 	if req.MaxIters < 0 {
 		return badRequest("max_iters must be non-negative, got %d", req.MaxIters)
 	}
-	tenant := tenantOf(req.Tenant)
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
+	if err != nil {
+		return err
+	}
 
 	// Resolve and canonicalise every device up front: a dynpart run
 	// benchmarks real (virtual) devices, so machine refs must be live.
 	devs := make([]platform.Device, len(req.Devices))
 	keys := make([]ModelKey, len(req.Devices))
 	for i, spec := range req.Devices {
-		key, err := s.keyFor(tenant, spec, Grid{Lo: 1, Hi: req.D, N: 1}, kind)
+		key, err := sh.keyFor(tenant, spec, Grid{Lo: 1, Hi: req.D, N: 1}, kind)
 		if err != nil {
 			return err
 		}
-		dev, err := s.resolveDevice(tenant, key.Device)
+		dev, err := sh.resolveDevice(tenant, key.Device)
 		if err != nil {
 			return badRequest("device %d (%s): %v", i, spec.Preset, err)
 		}
@@ -130,14 +134,14 @@ func (s *Server) handleDynpart(w http.ResponseWriter, r *http.Request) error {
 	}
 
 	bkey := dynpartBatchKey(tenant, keys, algorithm, req.D, eps, req.MaxIters)
-	v, err := s.batched(bkey, func() (any, error) {
+	v, err := sh.batched(bkey, func() (any, error) {
 		// The quota meters the whole run — it occupies a pool slot while
 		// sweeping at every iteration. Leader-only acquisition: followers
 		// of the batch do no work of their own.
-		if !s.quota.acquire(tenant) {
-			return nil, s.rejectQuota(tenant)
+		if !sh.quota.acquire(tenant) {
+			return nil, sh.rejectQuota(tenant)
 		}
-		defer s.quota.release(tenant)
+		defer sh.quota.release(tenant)
 		kernelSet := make([]core.Kernel, len(devs))
 		for i, dev := range devs {
 			meter := platform.NewMeter(dev, noiseConfig(req.Devices[i].Noise), req.Devices[i].Seed)
@@ -150,15 +154,15 @@ func (s *Server) handleDynpart(w http.ResponseWriter, r *http.Request) error {
 		cfg := dynamic.Config{
 			Algorithm: algo,
 			NewModel:  func() core.Model { m, _ := model.New(kind); return m },
-			Precision: s.precision,
+			Precision: sh.precision,
 			Eps:       eps,
 			MaxIters:  req.MaxIters,
 		}
 		var res *dynamic.Result
 		// One pool slot for the whole run: the iterations benchmark the
 		// kernels serially, which keeps the seeded meters deterministic.
-		err := pool.Do(s.ctx, s.pool, func(context.Context) error {
-			s.stats.dynpartRuns.Add(1)
+		err := pool.Do(sh.ctx, sh.pool, func(context.Context) error {
+			sh.stats.dynpartRuns.Add(1)
 			var derr error
 			res, derr = dynamic.PartitionDynamic(kernelSet, req.D, cfg)
 			return derr
@@ -289,10 +293,14 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) error {
 	if req.MinGain < 0 || math.IsInf(req.MinGain, 0) || math.IsNaN(req.MinGain) {
 		return badRequest("min_gain %g must be finite and non-negative", req.MinGain)
 	}
-	tenant := tenantOf(req.Tenant)
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
+	if err != nil {
+		return err
+	}
 
 	bkey := balanceBatchKey(tenant, &req, kind, algorithm)
-	v, err := s.batched(bkey, func() (any, error) {
+	v, err := sh.batched(bkey, func() (any, error) {
 		cfg := dynamic.Config{
 			Algorithm: algo,
 			NewModel:  func() core.Model { m, _ := model.New(kind); return m },
@@ -300,8 +308,8 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) error {
 		var resp *BalanceResponse
 		// The replay is pure computation (model updates + solver calls);
 		// one pool slot bounds it like any other solve.
-		err := pool.Do(s.ctx, s.pool, func(context.Context) error {
-			s.stats.balanceRuns.Add(1)
+		err := pool.Do(sh.ctx, sh.pool, func(context.Context) error {
+			sh.stats.balanceRuns.Add(1)
 			b, err := dynamic.NewBalancer(cfg, req.D, req.N, req.MinGain)
 			if err != nil {
 				return err

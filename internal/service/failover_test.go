@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFailoverUnderStorm kills one shard in the middle of a 50-request
+// mixed-tenant storm and checks the failover contract:
+//
+//   - zero wrong bytes: every 200 response, before, during and after the
+//     kill, is byte-identical to the primed response for its request;
+//   - only in-flight casualties error, and they error 503 (a service
+//     condition), never 4xx (a client mistake);
+//   - failover costs zero re-sweeps: the dead shard's tenants are served
+//     by their ring successors straight from the shared store;
+//   - a revived shard warms itself from the store — its own sweep counter
+//     stays at zero while it serves its returned tenants.
+func TestFailoverUnderStorm(t *testing.T) {
+	dir := t.TempDir()
+	svc, ts := newStoreServer(t, dir, Config{Shards: 4, Workers: 4})
+
+	corpus := make([]PartitionRequest, 8)
+	for i := range corpus {
+		corpus[i] = PartitionRequest{
+			Tenant:  fmt.Sprintf("storm-%d", i),
+			Devices: []DeviceSpec{{Preset: "fast", Seed: int64(i + 1)}, {Preset: "slow", Seed: int64(i + 100)}},
+			Grid:    testGrid,
+			D:       5000 + 100*i,
+		}
+	}
+
+	// Prime serially: every key swept exactly once, spilled to the store.
+	primed := make([][]byte, len(corpus))
+	for i, req := range corpus {
+		status, body := postJSON(t, ts.URL+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("priming %s: status %d: %s", req.Tenant, status, body)
+		}
+		primed[i] = body
+	}
+	base := getStats(t, ts.URL)
+	if base.Sweeps == 0 {
+		t.Fatal("priming ran no sweeps; the storm would prove nothing")
+	}
+
+	// The victim is whichever shard owns the first tenant, so the storm
+	// provably has traffic failing over.
+	vsh, err := svc.shardFor(TenantOf(corpus[0].Tenant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := vsh.id
+
+	const stormN = 50
+	began := make(chan struct{}, stormN)
+	type result struct {
+		idx    int
+		status int
+		body   []byte
+	}
+	results := make(chan result, stormN)
+	var wg sync.WaitGroup
+	for i := 0; i < stormN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			began <- struct{}{}
+			idx := i % len(corpus)
+			status, body := postJSON(t, ts.URL+"/v1/partition", corpus[idx])
+			results <- result{idx: idx, status: status, body: body}
+		}(i)
+	}
+	// Kill mid-storm: after a fifth of the requests are provably in
+	// flight, the rest race the failover.
+	for i := 0; i < stormN/5; i++ {
+		<-began
+	}
+	if err := svc.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(results)
+
+	var errored int
+	for r := range results {
+		switch r.status {
+		case 200:
+			if !bytes.Equal(r.body, primed[r.idx]) {
+				t.Errorf("storm response for %s differs from primed bytes", corpus[r.idx].Tenant)
+			}
+		case 503:
+			errored++ // an in-flight casualty of the kill: allowed
+		default:
+			t.Errorf("storm request for %s: status %d (want 200 or 503): %s", corpus[r.idx].Tenant, r.status, r.body)
+		}
+	}
+	t.Logf("storm: %d/%d requests were in-flight casualties (503)", errored, stormN)
+
+	// Post-storm, the routing has settled: every request succeeds with the
+	// primed bytes, served by the survivors out of the shared store — the
+	// merged sweep counter (dead shard included) must not have moved.
+	for i, req := range corpus {
+		status, body := postJSON(t, ts.URL+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("post-storm %s: status %d: %s", req.Tenant, status, body)
+		}
+		if !bytes.Equal(body, primed[i]) {
+			t.Errorf("post-storm response for %s differs from primed bytes", req.Tenant)
+		}
+	}
+	afterStorm := getStats(t, ts.URL)
+	if afterStorm.Sweeps != base.Sweeps {
+		t.Errorf("failover re-swept: sweeps %d → %d (want unchanged)", base.Sweeps, afterStorm.Sweeps)
+	}
+	for _, ss := range afterStorm.Shards {
+		if ss.Shard == victim && ss.Live {
+			t.Errorf("killed shard %d still reported live", victim)
+		}
+	}
+
+	// Revive: the shard warms itself from the store and takes its tenants
+	// back, still with zero sweeps of its own.
+	if err := svc.ReviveShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range corpus {
+		status, body := postJSON(t, ts.URL+"/v1/partition", req)
+		if status != 200 {
+			t.Fatalf("post-revive %s: status %d: %s", req.Tenant, status, body)
+		}
+		if !bytes.Equal(body, primed[i]) {
+			t.Errorf("post-revive response for %s differs from primed bytes", req.Tenant)
+		}
+	}
+	final := getStats(t, ts.URL)
+	if final.Sweeps != base.Sweeps {
+		t.Errorf("revive re-swept: sweeps %d → %d (want unchanged)", base.Sweeps, final.Sweeps)
+	}
+	found := false
+	for _, ss := range final.Shards {
+		if ss.Shard != victim {
+			continue
+		}
+		found = true
+		if !ss.Live {
+			t.Errorf("revived shard %d reported dead", victim)
+		}
+		if ss.Sweeps != 0 {
+			t.Errorf("revived shard %d ran %d sweeps, want 0 (store warm-up only)", victim, ss.Sweeps)
+		}
+		if ss.StoreLoaded == 0 {
+			t.Errorf("revived shard %d preloaded nothing from the store", victim)
+		}
+	}
+	if !found {
+		t.Fatalf("/stats has no entry for shard %d", victim)
+	}
+	// Requests must never have gone backwards across the kill/revive: the
+	// retired counters keep the merged view monotone.
+	if final.Requests < afterStorm.Requests || final.CacheHits+final.StoreHits < afterStorm.CacheHits+afterStorm.StoreHits {
+		t.Error("merged /stats went backwards across revive")
+	}
+}
+
+// TestKillReviveBounds: the failure-injection surface rejects out-of-range
+// shard indices instead of panicking.
+func TestKillReviveBounds(t *testing.T) {
+	svc, _ := newTestServer(t, Config{Shards: 2})
+	for _, i := range []int{-1, 2, 99} {
+		if err := svc.KillShard(i); err == nil {
+			t.Errorf("KillShard(%d) accepted an out-of-range index", i)
+		}
+		if err := svc.ReviveShard(i); err == nil {
+			t.Errorf("ReviveShard(%d) accepted an out-of-range index", i)
+		}
+	}
+}
+
+// TestAllShardsDead: with every shard killed, requests answer 503 (no live
+// shard), not 500 and not a hang.
+func TestAllShardsDead(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Shards: 2})
+	for i := 0; i < 2; i++ {
+		if err := svc.KillShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	status, body := postJSON(t, ts.URL+"/v1/measure", MeasureRequest{Device: DeviceSpec{Preset: "fast", Seed: 1}, Grid: testGrid})
+	if status != 503 {
+		t.Fatalf("all-dead server answered %d (want 503): %s", status, body)
+	}
+}

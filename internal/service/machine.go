@@ -83,21 +83,25 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) error {
 	if len(devs) > MaxDevices {
 		return badRequest("machine file defines %d devices, limit is %d", len(devs), MaxDevices)
 	}
-	tenant := tenantOf(req.Tenant)
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
+	if err != nil {
+		return err
+	}
 	fp := machineFingerprint(req.Machine)
 
-	s.machineMu.Lock()
-	tm, ok := s.machines[tenant]
+	sh.machineMu.Lock()
+	tm, ok := sh.machines[tenant]
 	if !ok {
 		tm = &tenantMachines{byFP: make(map[string][]platform.Device)}
-		s.machines[tenant] = tm
+		sh.machines[tenant] = tm
 	}
 	if _, seen := tm.byFP[fp]; !seen {
 		tm.byFP[fp] = devs
-		s.stats.machineUploads.Add(1)
+		sh.stats.machineUploads.Add(1)
 	}
 	tm.current = fp
-	s.machineMu.Unlock()
+	sh.machineMu.Unlock()
 
 	resp := MachineResponse{Tenant: tenant, Fingerprint: fp}
 	nodeOf := m.NodeOf()
@@ -117,7 +121,7 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) error {
 // syntax is checked — existence is resolved at fill time, so entries
 // persisted on disk stay answerable after a restart even before the
 // machine file is re-uploaded).
-func (s *Server) canonDevice(tenant, name string) (string, error) {
+func (sh *shard) canonDevice(tenant, name string) (string, error) {
 	if !strings.HasPrefix(name, machinePrefix) {
 		return name, nil
 	}
@@ -135,9 +139,9 @@ func (s *Server) canonDevice(tenant, name string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("device %q: bad rank: %v", name, err)
 	}
-	s.machineMu.Lock()
-	defer s.machineMu.Unlock()
-	tm, ok := s.machines[tenant]
+	sh.machineMu.Lock()
+	defer sh.machineMu.Unlock()
+	tm, ok := sh.machines[tenant]
 	if !ok || tm.current == "" {
 		return "", fmt.Errorf("device %q: tenant %q has no uploaded machine file (POST /v1/machine first)", name, tenant)
 	}
@@ -149,7 +153,7 @@ func (s *Server) canonDevice(tenant, name string) (string, error) {
 
 // resolveDevice turns a canonical device string into the platform device
 // to measure: a preset, or a device of an uploaded machine file.
-func (s *Server) resolveDevice(tenant, name string) (platform.Device, error) {
+func (sh *shard) resolveDevice(tenant, name string) (platform.Device, error) {
 	if !strings.HasPrefix(name, machinePrefix) {
 		return platform.Preset(name)
 	}
@@ -161,9 +165,9 @@ func (s *Server) resolveDevice(tenant, name string) (platform.Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: device %q: bad rank: %w", name, err)
 	}
-	s.machineMu.Lock()
-	defer s.machineMu.Unlock()
-	tm, ok := s.machines[tenant]
+	sh.machineMu.Lock()
+	defer sh.machineMu.Unlock()
+	tm, ok := sh.machines[tenant]
 	if !ok {
 		return nil, fmt.Errorf("service: tenant %q has no uploaded machine file for device %q", tenant, name)
 	}

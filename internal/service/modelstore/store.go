@@ -194,9 +194,17 @@ type Corrupt struct {
 type Store struct {
 	dir string
 	mu  sync.Mutex
+
+	// flightMu guards flights, the in-progress Fill calls keyed by Key.id()
+	// (see fill.go). Because Open returns one shared handle per directory,
+	// this table is the cross-replica single-flight.
+	flightMu sync.Mutex
+	flights  map[string]*flight
 }
 
-// Open creates (if necessary) and opens the store directory.
+// Open creates (if necessary) and opens the store directory. Every Open of
+// one directory in a process returns the same *Store, so the per-key fill
+// deduplication (Fill) spans replicas that share a -store-dir.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("modelstore: empty directory")
@@ -204,7 +212,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("modelstore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return openShared(dir), nil
 }
 
 // Dir returns the store's directory.

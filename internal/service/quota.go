@@ -34,7 +34,7 @@ func newQuotas(slots int, weights map[string]int) *quotas {
 	}
 	w := make(map[string]int, len(weights))
 	for t, v := range weights {
-		w[tenantOf(t)] = v
+		w[TenantOf(t)] = v
 	}
 	return &quotas{slots: slots, weights: w, inflight: make(map[string]int)}
 }
@@ -77,23 +77,23 @@ func (q *quotas) release(tenant string) {
 // rejectQuota builds the 429 a breached tenant receives, records it, and
 // estimates Retry-After from the observed mean sweep duration — the time
 // scale at which an in-flight slot frees up.
-func (s *Server) rejectQuota(tenant string) error {
-	s.stats.rejectQuota(tenant)
+func (sh *shard) rejectQuota(tenant string) error {
+	sh.stats.rejectQuota(tenant)
 	return &httpError{
 		status:     http.StatusTooManyRequests,
 		msg:        "tenant " + tenant + " exceeded its in-flight sweep quota",
-		retryAfter: s.retryAfterSecs(),
+		retryAfter: sh.retryAfterSecs(),
 	}
 }
 
 // retryAfterSecs is the mean observed sweep duration rounded up to whole
 // seconds, at least 1.
-func (s *Server) retryAfterSecs() int {
-	n := s.stats.sweeps.Load()
+func (sh *shard) retryAfterSecs() int {
+	n := sh.stats.sweeps.Load()
 	if n <= 0 {
 		return 1
 	}
-	avg := time.Duration(s.stats.sweepNanos.Load() / n)
+	avg := time.Duration(sh.stats.sweepNanos.Load() / n)
 	secs := int(math.Ceil(avg.Seconds()))
 	if secs < 1 {
 		secs = 1

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fupermod/internal/model"
+)
+
+// diffCase is one request of the cross-replica differential corpus.
+type diffCase struct {
+	name string
+	path string
+	req  any
+	// direct, when non-nil, computes the byte-exact response through the
+	// library only — the ground truth every shard count must reproduce.
+	direct func(t *testing.T) []byte
+}
+
+// diffCorpus is the mixed-tenant battery: every endpoint that computes
+// from models, spread over enough distinct tenants that any multi-shard
+// server routes them to different shards.
+func diffCorpus() []diffCase {
+	measure := MeasureRequest{
+		Tenant: "alpha",
+		Device: DeviceSpec{Preset: "fast", Seed: 11},
+		Grid:   testGrid,
+	}
+	partPlain := PartitionRequest{
+		Tenant:  "beta",
+		Devices: []DeviceSpec{{Preset: "fast", Seed: 1}, {Preset: "slow", Seed: 2}},
+		Grid:    testGrid,
+		D:       10000,
+	}
+	partAkima := PartitionRequest{
+		Tenant:    "gamma",
+		Devices:   []DeviceSpec{{Preset: "gpu", Seed: 3, Noise: 0.05}, {Preset: "netlib-blas", Seed: 4, Noise: 0.05}},
+		Grid:      testGrid,
+		Algorithm: "numerical",
+		Model:     model.KindAkima,
+		D:         7000,
+	}
+	partComm := PartitionRequest{
+		Tenant:  "delta",
+		Devices: []DeviceSpec{{Preset: "fast", Seed: 5}, {Preset: "slow", Seed: 6}},
+		Grid:    testGrid,
+		D:       9000,
+		Comm:    &CommSpec{Net: "gigabit", Op: "halo", Model: "hockney", BytesPerUnit: 256},
+	}
+	dynpart := DynpartRequest{
+		Tenant:  "epsilon",
+		Devices: []DeviceSpec{{Preset: "fast", Seed: 7}, {Preset: "slow", Seed: 8}},
+		D:       3000,
+	}
+	balance := BalanceRequest{
+		Tenant: "zeta",
+		N:      3,
+		D:      600,
+		Iterations: [][]float64{
+			{1.0, 2.0, 3.0},
+			{1.5, 1.5, 2.0},
+			{1.4, 1.5, 1.6},
+		},
+	}
+	defaultTenant := MeasureRequest{
+		// The empty tenant canonicalises to "default" — it must land on
+		// the same shard, and produce the same bytes, on every topology.
+		Device: DeviceSpec{Preset: "slow", Seed: 12},
+		Grid:   testGrid,
+	}
+	return []diffCase{
+		{
+			name: "measure/alpha", path: "/v1/measure", req: measure,
+			direct: func(t *testing.T) []byte { return directMeasureBytes(t, measure) },
+		},
+		{
+			name: "partition/beta", path: "/v1/partition", req: partPlain,
+			direct: func(t *testing.T) []byte { return directPartitionBytes(t, partPlain) },
+		},
+		{
+			name: "partition/gamma-akima", path: "/v1/partition", req: partAkima,
+			direct: func(t *testing.T) []byte { return directPartitionBytes(t, partAkima) },
+		},
+		// Comm-aware partitioning has no one-line direct helper (the comm
+		// calibration rides the service's comm cache); its ground truth is
+		// cross-topology identity, anchored by the plain cases above.
+		{name: "partition/delta-comm", path: "/v1/partition", req: partComm},
+		{name: "dynpart/epsilon", path: "/v1/dynpart", req: dynpart},
+		{name: "balance/zeta", path: "/v1/balance", req: balance},
+		{name: "measure/default-tenant", path: "/v1/measure", req: defaultTenant},
+	}
+}
+
+// directMeasureBytes computes the byte-exact /v1/measure response for req
+// through the library only.
+func directMeasureBytes(t *testing.T, req MeasureRequest) []byte {
+	t.Helper()
+	kind := req.Model
+	if kind == "" {
+		kind = model.KindPiecewise
+	}
+	_, pts := directModel(t, req.Device, req.Grid, kind)
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, MeasureResponse{
+		Device: req.Device.Preset,
+		Model:  kind,
+		Points: pointPayloads(pts),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runDiffCorpus fires the whole corpus at once (every case concurrently)
+// and returns the response bytes per case, failing on any non-200.
+func runDiffCorpus(t *testing.T, baseURL string, corpus []diffCase) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(corpus))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	for i, c := range corpus {
+		wg.Add(1)
+		go func(i int, c diffCase) {
+			defer wg.Done()
+			status, body := postJSON(t, baseURL+c.path, c.req)
+			if status != 200 {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("%s: status %d: %s", c.name, status, body))
+				mu.Unlock()
+				return
+			}
+			out[i] = body
+		}(i, c)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return out
+}
+
+// TestCrossReplicaDifferential is the sharding gate: the same mixed-tenant
+// corpus, served by 1, 2 and 4 shards, must produce byte-identical
+// responses — and, where the library path has a direct encoding, bytes
+// identical to the library itself. Sharding is a performance topology,
+// never an observable one.
+func TestCrossReplicaDifferential(t *testing.T) {
+	corpus := diffCorpus()
+
+	// Ground truth from the library, computed once.
+	want := make([][]byte, len(corpus))
+	for i, c := range corpus {
+		if c.direct != nil {
+			want[i] = c.direct(t)
+		}
+	}
+
+	// Baseline topology: one shard (the pre-sharding server, exactly).
+	var baseline [][]byte
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			svc, ts := newTestServer(t, Config{Shards: shards, Workers: 4})
+			if got := svc.Shards(); got != shards {
+				t.Fatalf("Shards() = %d, want %d", got, shards)
+			}
+			got := runDiffCorpus(t, ts.URL, corpus)
+			// Serve the corpus a second time: cache hits must be
+			// byte-identical to cold fills.
+			again := runDiffCorpus(t, ts.URL, corpus)
+			for i, c := range corpus {
+				if !bytes.Equal(got[i], again[i]) {
+					t.Errorf("%s: warm response differs from cold response", c.name)
+				}
+				if want[i] != nil && !bytes.Equal(got[i], want[i]) {
+					t.Errorf("%s: differs from the direct library path\ngot:  %s\nwant: %s", c.name, got[i], want[i])
+				}
+			}
+			if baseline == nil {
+				baseline = got
+				return
+			}
+			for i, c := range corpus {
+				if !bytes.Equal(got[i], baseline[i]) {
+					t.Errorf("%s: %d-shard response differs from 1-shard response\ngot:  %s\nwant: %s",
+						c.name, shards, got[i], baseline[i])
+				}
+			}
+			// The per-shard breakdown must cover every shard, and the
+			// merged counters must equal the per-shard sums.
+			snap := getStats(t, ts.URL)
+			if len(snap.Shards) != shards {
+				t.Fatalf("/stats lists %d shards, want %d", len(snap.Shards), shards)
+			}
+			var sum ShardCounters
+			for _, ss := range snap.Shards {
+				if !ss.Live {
+					t.Errorf("shard %d reported dead on a healthy server", ss.Shard)
+				}
+				sum.add(ss.ShardCounters)
+			}
+			if sum.Sweeps != snap.Sweeps {
+				t.Errorf("merged sweeps %d != per-shard sum %d", snap.Sweeps, sum.Sweeps)
+			}
+			if sum.CacheMisses != snap.CacheMisses {
+				t.Errorf("merged cache_misses %d != per-shard sum %d", snap.CacheMisses, sum.CacheMisses)
+			}
+		})
+	}
+}
+
+// TestDifferentialMatchesDirectLibrary pins the corpus's direct cases
+// against the store-backed path too: a server restarted on the same
+// store directory must keep producing library-identical bytes with zero
+// additional sweeps.
+func TestDifferentialMatchesDirectLibraryAfterRestart(t *testing.T) {
+	corpus := diffCorpus()
+	dir := t.TempDir()
+
+	_, ts1 := newStoreServer(t, dir, Config{Shards: 2, Workers: 4})
+	first := runDiffCorpus(t, ts1.URL, corpus)
+
+	_, ts2 := newStoreServer(t, dir, Config{Shards: 4, Workers: 4})
+	second := runDiffCorpus(t, ts2.URL, corpus)
+	for i, c := range corpus {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Errorf("%s: restarted 4-shard server differs from original 2-shard server", c.name)
+		}
+		if c.direct != nil {
+			if want := c.direct(t); !bytes.Equal(second[i], want) {
+				t.Errorf("%s: restarted server differs from the direct library path", c.name)
+			}
+		}
+	}
+	// The restarted server preloaded every model-backed entry: the only
+	// sweeps it may run are for endpoints that never touch the store
+	// (dynpart and balance measure per-request by design).
+	snap := getStats(t, ts2.URL)
+	if snap.StoreLoaded == 0 {
+		t.Error("restarted server preloaded nothing from the shared store")
+	}
+	if snap.StoreHits+snap.CacheHits == 0 {
+		t.Error("restarted server answered the corpus without store or cache hits")
+	}
+}

@@ -1,0 +1,140 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRing drives the ring through an arbitrary add/remove/kill/revive
+// sequence decoded from the fuzz input and checks the routing invariants
+// after every step:
+//
+//   - no tenant is ever lost: whenever at least one replica is live, every
+//     tenant resolves, to exactly one live replica, deterministically;
+//   - single membership changes are minimally disruptive: tenants move
+//     only when their own replica changed state (dead/removed → move off
+//     it; added/revived → move onto it, from anywhere), never because an
+//     unrelated replica changed.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x02, 0x23, 0x01, 0x30})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x10, 0x21, 0x12, 0x32})
+	f.Add([]byte("add remove revive kill"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const replicas = 8 // op operand space: replica index 0..7
+		r := New(16)       // smaller vnode count keeps long inputs fast
+		member := make(map[string]bool)
+		live := make(map[string]bool)
+
+		tenants := make([]string, 64)
+		for i := range tenants {
+			tenants[i] = fmt.Sprintf("tenant-%d-%x", i, i*2654435761)
+		}
+		// A couple of tenants derived from the input itself, so the corpus
+		// explores hash positions the fixed pool does not.
+		if len(data) > 0 {
+			tenants = append(tenants, "t-"+string(data[:min(len(data), 32)]))
+		}
+
+		snapshot := func() map[string]string {
+			liveCount := 0
+			for _, l := range live {
+				if l {
+					liveCount++
+				}
+			}
+			out := make(map[string]string, len(tenants))
+			for _, tn := range tenants {
+				rep, ok := r.Lookup(tn)
+				if liveCount == 0 {
+					if ok {
+						t.Fatalf("Lookup(%q) resolved %q with zero live replicas", tn, rep)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("tenant %q lost: %d replicas live but none found", tn, liveCount)
+				}
+				if !live[rep] {
+					t.Fatalf("tenant %q routed to dead/unknown replica %q", tn, rep)
+				}
+				again, ok2 := r.Lookup(tn)
+				if !ok2 || again != rep {
+					t.Fatalf("Lookup(%q) nondeterministic: %q then (%q, %v)", tn, rep, again, ok2)
+				}
+				out[tn] = rep
+			}
+			return out
+		}
+
+		before := snapshot()
+		for _, b := range data {
+			op, idx := b>>4, int(b&0x0f)%replicas
+			name := fmt.Sprintf("replica-%d", idx)
+			joined, left := "", "" // replicas that gained / lost routability
+			switch op % 4 {
+			case 0: // add
+				if !member[name] {
+					joined = name
+				}
+				r.Add(name)
+				if !member[name] {
+					member[name], live[name] = true, true
+				}
+			case 1: // remove
+				if member[name] && live[name] {
+					left = name
+				}
+				r.Remove(name)
+				delete(member, name)
+				delete(live, name)
+			case 2: // kill
+				if member[name] && live[name] {
+					left = name
+				}
+				if r.SetLive(name, false) != member[name] {
+					t.Fatalf("SetLive(%q, false) membership mismatch", name)
+				}
+				if member[name] {
+					live[name] = false
+				}
+			case 3: // revive
+				if member[name] && !live[name] {
+					joined = name
+				}
+				if r.SetLive(name, true) != member[name] {
+					t.Fatalf("SetLive(%q, true) membership mismatch", name)
+				}
+				if member[name] {
+					live[name] = true
+				}
+			}
+
+			after := snapshot()
+			for _, tn := range tenants {
+				prev, hadPrev := before[tn]
+				cur, hasCur := after[tn]
+				if !hadPrev || !hasCur {
+					continue // no live replicas on one side: nothing to compare
+				}
+				if prev == cur {
+					continue
+				}
+				// The tenant moved: only legal if its own replica went away
+				// (prev == left) or the change introduced its new home
+				// (cur == joined).
+				if prev != left && cur != joined {
+					t.Fatalf("tenant %q moved %q → %q on an unrelated change (joined=%q left=%q)",
+						tn, prev, cur, joined, left)
+				}
+			}
+			before = after
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

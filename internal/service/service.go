@@ -1,25 +1,31 @@
 // Package service is the long-lived, multi-tenant partition server: the
 // paper's one-shot measure → model → partition workflow (§4.1–4.3) turned
-// into a concurrent in-process HTTP+JSON service. Each tenant's fitted
-// performance models are cached in an LRU keyed by (device, noise seed,
-// size grid, model kind) with single-flight deduplication — concurrent
-// identical requests trigger exactly one benchmark sweep — and all sweeps,
-// fits and solver calls run on one shared bounded worker pool so the
-// service never oversubscribes the machine. Partition requests over
-// identical models arriving within a short window are batched into a
-// single solver call.
+// into a concurrent in-process HTTP+JSON service, split into three layers:
+//
+//   - a stateless router (router.go) spreading tenants across shards with
+//     a consistent-hash ring (package ring) — tenant affinity, failover by
+//     re-walking the ring past dead shards;
+//   - one or more shards (shard.go), each the full serving core: per-tenant
+//     fitted-model LRU caches keyed by (device, noise seed, size grid,
+//     model kind) with single-flight deduplication — concurrent identical
+//     requests trigger exactly one benchmark sweep — identical-request
+//     batching within a short window, and weighted fair admission quotas;
+//   - the shared durable model store (package modelstore), the source of
+//     truth keeping shard-local caches coherent: a shard that misses
+//     locally checks the store — through its cross-replica single-flight —
+//     before paying for a sweep.
+//
+// All sweeps, fits and solver calls across all shards run on one shared
+// bounded worker pool so the service never oversubscribes the machine.
+// Responses are pure functions of their requests: any tenant, any shard
+// count, any failover history — same bytes as the direct library path
+// (the cross-replica differential battery in replica_diff_test.go pins
+// exactly this).
 //
 // The serving-layer shape — caching, request coalescing, batching, bounded
 // concurrency, graceful drain — follows Lastovetsky–Reddy–Rychkov–Clarke's
 // self-adaptable partitioning (models refined online across requests) and
 // Stevens–Klöckner's cached black-box performance models.
-//
-// With Config.StoreDir set, every fitted model's sweep is also spilled to
-// an on-disk store (package modelstore) and reloaded on start, so a
-// restarted server reproduces its models byte-identically with zero
-// re-sweeps; with Config.QuotaSlots set, a weighted fair admission quota
-// bounds each tenant's in-flight expensive operations (429 + Retry-After
-// on breach) so one tenant's sweep storm cannot starve another.
 //
 // Endpoints:
 //
@@ -29,7 +35,7 @@
 //	POST /v1/dynpart    model-free dynamic partitioning (paper §4.4)
 //	POST /v1/balance    replay observed iteration times through the balancer
 //	POST /v1/machine    upload a machine file describing a tenant's devices
-//	GET  /stats         request/latency/cache/batch/store/quota counters
+//	GET  /stats         merged + per-shard request/cache/store/quota counters
 //	GET  /healthz       liveness probe
 package service
 
@@ -41,13 +47,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"fupermod/internal/core"
 	"fupermod/internal/model"
-	"fupermod/internal/pool"
-	"fupermod/internal/service/modelstore"
 )
 
 // GEMMBlockFlops is the arithmetic cost of one computation unit (one
@@ -79,8 +82,11 @@ const MaxDevices = 64
 // Config parametrises New.
 type Config struct {
 	// Workers bounds the shared pool running sweeps, fits and solves;
-	// <= 0 selects GOMAXPROCS.
+	// <= 0 selects GOMAXPROCS. The pool is shared by all shards.
 	Workers int
+	// Shards is the number of in-process shards tenants are spread over;
+	// <= 0 selects 1 (the pre-sharding behaviour).
+	Shards int
 	// CacheSize is the per-tenant LRU bound in fitted models; <= 0
 	// selects DefaultCacheSize.
 	CacheSize int
@@ -93,6 +99,7 @@ type Config struct {
 	// StoreDir, when non-empty, enables the on-disk model store: every
 	// sweep is spilled there (write-behind) and reloaded on start, so a
 	// restarted server reuses its measurements instead of re-sweeping.
+	// Replicas pointed at the same directory share sweeps through it.
 	StoreDir string
 	// QuotaSlots, when positive, bounds each tenant's concurrently
 	// in-flight expensive operations (sweep fills, dynamic-partition runs)
@@ -103,131 +110,6 @@ type Config struct {
 	// absent tenants weigh 1.
 	QuotaWeights map[string]int
 }
-
-// Server is the partition service. Create with New; it is safe for
-// concurrent use by any number of HTTP requests.
-type Server struct {
-	pool        *pool.Pool
-	cacheSize   int
-	batchWindow time.Duration
-	precision   core.Precision
-
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	mu      sync.Mutex
-	tenants map[string]*tenantCache
-
-	batchMu sync.Mutex
-	batches map[string]*batchCall
-	window  adaptiveWindow
-
-	commMu sync.Mutex
-	comms  map[string]*commEntry
-
-	machineMu sync.Mutex
-	machines  map[string]*tenantMachines
-
-	store *modelstore.Store
-	quota *quotas
-
-	stats stats
-}
-
-// New returns a ready-to-serve Server. With cfg.StoreDir set, the store
-// directory is opened (created if absent) and every intact entry matching
-// the server's sweep precision is preloaded into the tenant caches before
-// the first request.
-func New(cfg Config) (*Server, error) {
-	cacheSize := cfg.CacheSize
-	if cacheSize <= 0 {
-		cacheSize = DefaultCacheSize
-	}
-	window := cfg.BatchWindow
-	if window == 0 {
-		window = DefaultBatchWindow
-	}
-	prec := cfg.Precision
-	if prec == (core.Precision{}) {
-		prec = DefaultSweepPrecision
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		pool:        pool.New(cfg.Workers),
-		cacheSize:   cacheSize,
-		batchWindow: window,
-		precision:   prec,
-		ctx:         ctx,
-		cancel:      cancel,
-		tenants:     make(map[string]*tenantCache),
-		batches:     make(map[string]*batchCall),
-		window:      adaptiveWindow{max: window},
-		comms:       make(map[string]*commEntry),
-		machines:    make(map[string]*tenantMachines),
-		quota:       newQuotas(cfg.QuotaSlots, cfg.QuotaWeights),
-	}
-	if cfg.StoreDir != "" {
-		st, err := modelstore.Open(cfg.StoreDir)
-		if err != nil {
-			cancel()
-			return nil, err
-		}
-		s.store = st
-		s.preload()
-	}
-	return s, nil
-}
-
-// preload warms the tenant caches from the disk store: every intact entry
-// measured under this server's precision is refitted (default model kind)
-// and inserted ready, so the first requests after a restart are cache hits
-// with zero sweeps. Corrupt files are only counted — the torn entries
-// re-sweep (and heal) lazily on first use.
-func (s *Server) preload() {
-	entries, corrupt, err := s.store.Load()
-	if err != nil {
-		return
-	}
-	s.stats.storeCorrupt.Add(int64(len(corrupt)))
-	prec := modelstore.EncodePrecision(s.precision)
-	for _, ent := range entries {
-		if ent.Key.Prec != prec {
-			continue // another server's stopping rule: not our measurement
-		}
-		m, err := fitPoints(model.KindPiecewise, ent.Points)
-		if err != nil {
-			continue
-		}
-		e := &entry{
-			key: ModelKey{
-				Device: ent.Key.Device,
-				Seed:   ent.Key.Seed,
-				Noise:  ent.Key.Noise,
-				Lo:     ent.Key.Lo, Hi: ent.Key.Hi, N: ent.Key.N,
-				Model: model.KindPiecewise,
-			},
-			ready:  make(chan struct{}),
-			model:  m,
-			points: ent.Points,
-		}
-		close(e.ready)
-		s.mu.Lock()
-		tc := s.tenantCacheLocked(ent.Key.Tenant)
-		if old, ok := tc.entries[e.key]; ok {
-			tc.order.Remove(old.elem)
-		}
-		e.elem = tc.order.PushFront(e)
-		tc.entries[e.key] = e
-		s.evictOverLocked(tc)
-		s.mu.Unlock()
-		s.stats.storeLoaded.Add(1)
-	}
-}
-
-// Close releases the server: waiters on in-flight cache fills and batches
-// are unblocked with a shutdown error. Call after draining the HTTP
-// listener (http.Server.Shutdown) so in-flight requests complete first.
-func (s *Server) Close() { s.cancel() }
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -331,7 +213,7 @@ type PartPayload struct {
 // PartitionResponse returns the computed distribution. It is a pure
 // function of the request — no per-request metadata — so identical
 // requests receive byte-identical responses whether served from a cold
-// sweep, the cache, or a shared batch.
+// sweep, the cache, a shared batch, or any shard of any replica.
 type PartitionResponse struct {
 	Algorithm string        `json:"algorithm"`
 	Model     string        `json:"model"`
@@ -361,12 +243,17 @@ func badRequest(format string, args ...any) error {
 }
 
 // asRequestError passes a handler-originated httpError (e.g. a quota 429)
-// through intact and downgrades everything else to a 400 with the given
+// through intact, maps a dead shard's cancellation to 503 — the in-flight
+// casualties of a killed shard are a service condition, not a client
+// mistake — and downgrades everything else to a 400 with the given
 // message.
 func asRequestError(err error, format string, args ...any) error {
 	var he *httpError
 	if errors.As(err, &he) {
 		return he
+	}
+	if errors.Is(err, context.Canceled) {
+		return &httpError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf(format, args...)}
 	}
 	return badRequest(format, args...)
 }
@@ -374,7 +261,7 @@ func asRequestError(err error, format string, args ...any) error {
 // instrument wraps a handler with request counting and latency tracking.
 func (s *Server) instrument(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.stats.requests.Add(1)
+		s.front.requests.Add(1)
 		start := time.Now()
 		status := http.StatusOK
 		if err := h(w, r); err != nil {
@@ -391,7 +278,7 @@ func (s *Server) instrument(h func(w http.ResponseWriter, r *http.Request) error
 			w.WriteHeader(status)
 			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 		}
-		s.stats.observe(time.Since(start), status)
+		s.front.observe(time.Since(start), status)
 	}
 }
 
@@ -413,9 +300,12 @@ func writeJSON(w http.ResponseWriter, v any) error {
 	return EncodeJSON(w, v)
 }
 
-// tenantOf maps the empty tenant to a default so single-tenant clients
-// need not name themselves.
-func tenantOf(name string) string {
+// TenantOf canonicalises a request's tenant name, mapping the empty tenant
+// to a default so single-tenant clients need not name themselves. It is
+// exported because routing layers in front of the service (cmd/
+// fupermod-route) must canonicalise identically, or the empty tenant and
+// "default" would land on different backends.
+func TenantOf(name string) string {
 	if name == "" {
 		return "default"
 	}
@@ -425,8 +315,8 @@ func tenantOf(name string) string {
 // keyFor canonicalises the device reference for the tenant (resolving
 // bare "machine:<rank>" refs against the tenant's current upload) and
 // builds the cache key.
-func (s *Server) keyFor(tenant string, dev DeviceSpec, grid Grid, kind string) (ModelKey, error) {
-	canon, err := s.canonDevice(tenant, dev.Preset)
+func (sh *shard) keyFor(tenant string, dev DeviceSpec, grid Grid, kind string) (ModelKey, error) {
+	canon, err := sh.canonDevice(tenant, dev.Preset)
 	if err != nil {
 		return ModelKey{}, badRequest("%v", err)
 	}
@@ -467,12 +357,16 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	tenant := tenantOf(req.Tenant)
-	key, err := s.keyFor(tenant, req.Device, req.Grid, req.Model)
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
 	if err != nil {
 		return err
 	}
-	_, pts, err := s.getModel(tenant, key)
+	key, err := sh.keyFor(tenant, req.Device, req.Grid, req.Model)
+	if err != nil {
+		return err
+	}
+	_, pts, err := sh.getModel(tenant, key)
 	if err != nil {
 		return asRequestError(err, "%v", err)
 	}
@@ -488,12 +382,16 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) error {
 	if err := decode(w, r, &req); err != nil {
 		return err
 	}
-	tenant := tenantOf(req.Tenant)
-	key, err := s.keyFor(tenant, req.Device, req.Grid, req.Model)
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
 	if err != nil {
 		return err
 	}
-	m, pts, err := s.getModel(tenant, key)
+	key, err := sh.keyFor(tenant, req.Device, req.Grid, req.Model)
+	if err != nil {
+		return err
+	}
+	m, pts, err := sh.getModel(tenant, key)
 	if err != nil {
 		return asRequestError(err, "%v", err)
 	}
@@ -535,7 +433,11 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 	if algorithm == "" {
 		algorithm = "geometric"
 	}
-	tenant := tenantOf(req.Tenant)
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
+	if err != nil {
+		return err
+	}
 
 	// Resolve every device's fitted model through the tenant cache. The
 	// resolution is sequential within one request — each fill occupies a
@@ -545,11 +447,11 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 	keys := make([]ModelKey, len(req.Devices))
 	models := make([]core.Model, len(req.Devices))
 	for i, dev := range req.Devices {
-		key, err := s.keyFor(tenant, dev, req.Grid, req.Model)
+		key, err := sh.keyFor(tenant, dev, req.Grid, req.Model)
 		if err != nil {
 			return err
 		}
-		m, _, err := s.getModel(tenant, key)
+		m, _, err := sh.getModel(tenant, key)
 		if err != nil {
 			return asRequestError(err, "device %d (%s): %v", i, dev.Preset, err)
 		}
@@ -557,14 +459,14 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 		models[i] = m
 	}
 
-	models, commTag, err := s.commWrap(req.Comm, models)
+	models, commTag, err := sh.commWrap(req.Comm, models)
 	if err != nil {
 		return badRequest("comm: %v", err)
 	}
 
-	dist, err := s.solvePartition(tenant, keys, models, algorithm, req.D, commTag)
+	dist, err := sh.solvePartition(tenant, keys, models, algorithm, req.D, commTag)
 	if err != nil {
-		return badRequest("%v", err)
+		return asRequestError(err, "%v", err)
 	}
 	parts := make([]PartPayload, len(dist.Parts))
 	for i, p := range dist.Parts {
@@ -583,21 +485,6 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) error {
 		Imbalance: imb,
 		Comm:      commTag,
 	})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	if r.Method != http.MethodGet {
-		return &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"}
-	}
-	snap := s.stats.snapshot()
-	snap.Workers = s.pool.Workers()
-	s.mu.Lock()
-	snap.Tenants = len(s.tenants)
-	for _, tc := range s.tenants {
-		snap.CacheEntries += tc.order.Len()
-	}
-	s.mu.Unlock()
-	return writeJSON(w, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {

@@ -6,17 +6,13 @@ import (
 	"time"
 )
 
-// stats holds the server's monotonically increasing counters. All fields
-// are updated with atomics so handlers never serialise on a stats lock;
-// the per-tenant quota-rejection map is the one mutex-guarded exception
-// (it is touched only on the rejection path, which is already the slow
-// lane).
-type stats struct {
-	requests atomic.Int64 // HTTP requests accepted (all endpoints)
-	errors   atomic.Int64 // requests answered with a non-2xx status
-	latencyN atomic.Int64 // completed requests with measured latency
-	latencyT atomic.Int64 // cumulative handler latency, nanoseconds
-
+// shardStats holds one shard's monotonically increasing counters. All
+// fields are updated with atomics so handlers never serialise on a stats
+// lock; the per-tenant quota-rejection map is the one mutex-guarded
+// exception (it is touched only on the rejection path, which is already
+// the slow lane). Front-of-house counters (requests, errors, latency) live
+// on the router (frontStats), which sees every request exactly once.
+type shardStats struct {
 	cacheHits      atomic.Int64 // model found ready in a tenant cache
 	cacheMisses    atomic.Int64 // model absent: a fill was started
 	cacheCoalesced atomic.Int64 // request joined an in-flight fill (single-flight)
@@ -48,7 +44,7 @@ type stats struct {
 }
 
 // rejectQuota records one quota rejection for the tenant.
-func (s *stats) rejectQuota(tenant string) {
+func (s *shardStats) rejectQuota(tenant string) {
 	s.quotaRejections.Add(1)
 	s.quotaMu.Lock()
 	if s.quotaByTenant == nil {
@@ -58,16 +54,79 @@ func (s *stats) rejectQuota(tenant string) {
 	s.quotaMu.Unlock()
 }
 
-// Snapshot is the JSON shape of the /stats endpoint. The schema is pinned
-// by a golden-file test (stats_golden_test.go): new counters must be added
-// there deliberately, never by accident.
-type Snapshot struct {
-	// Requests counts every request accepted, Errors those answered with
-	// a non-2xx status; AvgLatencyMicros is the mean handler latency.
-	Requests         int64   `json:"requests"`
-	Errors           int64   `json:"errors"`
-	AvgLatencyMicros float64 `json:"avg_latency_micros"`
+// counters captures the shard's counters as one addable value.
+func (s *shardStats) counters() ShardCounters {
+	c := ShardCounters{
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		CacheCoalesced:   s.cacheCoalesced.Load(),
+		CacheEvictions:   s.cacheEvictions.Load(),
+		Sweeps:           s.sweeps.Load(),
+		StoreLoaded:      s.storeLoaded.Load(),
+		StoreHits:        s.storeHits.Load(),
+		StoreSpills:      s.storeSpills.Load(),
+		StoreCorrupt:     s.storeCorrupt.Load(),
+		StoreErrors:      s.storeErrors.Load(),
+		BatchSolves:      s.batchSolves.Load(),
+		BatchJoined:      s.batchJoined.Load(),
+		BatchWindowSkips: s.batchWindowSkips.Load(),
+		CommCalibrations: s.commCalibrations.Load(),
+		DynpartRuns:      s.dynpartRuns.Load(),
+		BalanceRuns:      s.balanceRuns.Load(),
+		MachineUploads:   s.machineUploads.Load(),
+		QuotaRejections:  s.quotaRejections.Load(),
+	}
+	s.quotaMu.Lock()
+	if len(s.quotaByTenant) > 0 {
+		c.QuotaRejectionsByTenant = make(map[string]int64, len(s.quotaByTenant))
+		for t, n := range s.quotaByTenant {
+			c.QuotaRejectionsByTenant[t] = n
+		}
+	}
+	s.quotaMu.Unlock()
+	return c
+}
 
+// frontStats holds the router-level counters: every request is counted
+// once at the front door, whatever shard (or none — a routing error)
+// serves it. retired accumulates the counters of shards replaced by
+// ReviveShard so the merged view stays monotone across failovers.
+type frontStats struct {
+	requests atomic.Int64 // HTTP requests accepted (all endpoints)
+	errors   atomic.Int64 // requests answered with a non-2xx status
+	latencyN atomic.Int64 // completed requests with measured latency
+	latencyT atomic.Int64 // cumulative handler latency, nanoseconds
+
+	preloadCorrupt atomic.Int64 // corrupt store files found while preloading
+
+	retiredMu sync.Mutex
+	retired   ShardCounters
+}
+
+// observe records one completed request.
+func (f *frontStats) observe(d time.Duration, status int) {
+	if status >= 300 {
+		f.errors.Add(1)
+	}
+	f.latencyN.Add(1)
+	f.latencyT.Add(int64(d))
+}
+
+// retire folds a replaced shard's final counters into the front's retired
+// sum, so killing and reviving a shard never makes /stats go backwards.
+func (f *frontStats) retire(c ShardCounters) {
+	f.retiredMu.Lock()
+	f.retired.add(c)
+	f.retiredMu.Unlock()
+}
+
+// ShardCounters is the per-shard slice of the /stats schema: everything a
+// single shard counts for itself. It appears twice in the endpoint — once
+// per shard (ShardSnapshot) and once summed across shards plus retired
+// predecessors (Snapshot). The schema is pinned by a golden-file test
+// (stats_golden_test.go): new counters must be added there deliberately,
+// never by accident.
+type ShardCounters struct {
 	// Cache counters: a hit returns a fitted model with no work, a miss
 	// triggers one fill, a coalesced request waited on a fill another
 	// request had already started (single-flight), and evictions count
@@ -113,59 +172,96 @@ type Snapshot struct {
 	// admission quota, in total and per tenant.
 	QuotaRejections         int64            `json:"quota_rejections"`
 	QuotaRejectionsByTenant map[string]int64 `json:"quota_rejections_by_tenant,omitempty"`
+}
 
-	// Tenants and CacheEntries describe the current cache population.
+// add accumulates o into c (map keys merged by sum).
+func (c *ShardCounters) add(o ShardCounters) {
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
+	c.CacheCoalesced += o.CacheCoalesced
+	c.CacheEvictions += o.CacheEvictions
+	c.Sweeps += o.Sweeps
+	c.StoreLoaded += o.StoreLoaded
+	c.StoreHits += o.StoreHits
+	c.StoreSpills += o.StoreSpills
+	c.StoreCorrupt += o.StoreCorrupt
+	c.StoreErrors += o.StoreErrors
+	c.BatchSolves += o.BatchSolves
+	c.BatchJoined += o.BatchJoined
+	c.BatchWindowSkips += o.BatchWindowSkips
+	c.CommCalibrations += o.CommCalibrations
+	c.DynpartRuns += o.DynpartRuns
+	c.BalanceRuns += o.BalanceRuns
+	c.MachineUploads += o.MachineUploads
+	c.QuotaRejections += o.QuotaRejections
+	if len(o.QuotaRejectionsByTenant) > 0 {
+		if c.QuotaRejectionsByTenant == nil {
+			c.QuotaRejectionsByTenant = make(map[string]int64, len(o.QuotaRejectionsByTenant))
+		}
+		for t, n := range o.QuotaRejectionsByTenant {
+			c.QuotaRejectionsByTenant[t] += n
+		}
+	}
+}
+
+// ShardSnapshot is one shard's view in the /stats response.
+type ShardSnapshot struct {
+	// Shard is the shard's index, Live whether the ring currently routes
+	// tenants to it.
+	Shard int  `json:"shard"`
+	Live  bool `json:"live"`
+	ShardCounters
+	// Tenants and CacheEntries describe the shard's cache population.
+	Tenants      int `json:"tenants"`
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Snapshot is the JSON shape of the /stats endpoint: the merged view
+// (front-door request counters plus per-shard counters summed, retired
+// shards included) followed by the per-shard breakdown. A single-shard
+// server serves exactly the pre-sharding schema plus the "shards" list.
+type Snapshot struct {
+	// Requests counts every request accepted, Errors those answered with
+	// a non-2xx status; AvgLatencyMicros is the mean handler latency.
+	Requests         int64   `json:"requests"`
+	Errors           int64   `json:"errors"`
+	AvgLatencyMicros float64 `json:"avg_latency_micros"`
+
+	ShardCounters
+
+	// Tenants and CacheEntries sum the cache population across shards (a
+	// tenant lives on exactly one live shard, so the sum never double
+	// counts).
 	Tenants      int `json:"tenants"`
 	CacheEntries int `json:"cache_entries"`
 
-	// Workers is the size of the shared worker pool.
+	// Workers is the size of the worker pool all shards share.
 	Workers int `json:"workers"`
+
+	// Shards is the per-shard breakdown; absent on merged-of-merged views
+	// (the route CLI's cross-process aggregation).
+	Shards []ShardSnapshot `json:"shards,omitempty"`
 }
 
-// observe records one completed request.
-func (s *stats) observe(d time.Duration, status int) {
-	if status >= 300 {
-		s.errors.Add(1)
+// MergeSnapshots aggregates whole-server snapshots — the route CLI uses it
+// to merge the /stats of every live backend into one fleet view. The
+// per-shard breakdown is intentionally dropped (shard indices only mean
+// something within one process); AvgLatencyMicros is weighted by request
+// count.
+func MergeSnapshots(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	var latT float64
+	for _, s := range snaps {
+		out.Requests += s.Requests
+		out.Errors += s.Errors
+		latT += s.AvgLatencyMicros * float64(s.Requests)
+		out.ShardCounters.add(s.ShardCounters)
+		out.Tenants += s.Tenants
+		out.CacheEntries += s.CacheEntries
+		out.Workers += s.Workers
 	}
-	s.latencyN.Add(1)
-	s.latencyT.Add(int64(d))
-}
-
-// snapshot captures the counters; tenant/entry counts are filled by the
-// server, which owns the cache lock.
-func (s *stats) snapshot() Snapshot {
-	snap := Snapshot{
-		Requests:         s.requests.Load(),
-		Errors:           s.errors.Load(),
-		CacheHits:        s.cacheHits.Load(),
-		CacheMisses:      s.cacheMisses.Load(),
-		CacheCoalesced:   s.cacheCoalesced.Load(),
-		CacheEvictions:   s.cacheEvictions.Load(),
-		Sweeps:           s.sweeps.Load(),
-		StoreLoaded:      s.storeLoaded.Load(),
-		StoreHits:        s.storeHits.Load(),
-		StoreSpills:      s.storeSpills.Load(),
-		StoreCorrupt:     s.storeCorrupt.Load(),
-		StoreErrors:      s.storeErrors.Load(),
-		BatchSolves:      s.batchSolves.Load(),
-		BatchJoined:      s.batchJoined.Load(),
-		BatchWindowSkips: s.batchWindowSkips.Load(),
-		CommCalibrations: s.commCalibrations.Load(),
-		DynpartRuns:      s.dynpartRuns.Load(),
-		BalanceRuns:      s.balanceRuns.Load(),
-		MachineUploads:   s.machineUploads.Load(),
-		QuotaRejections:  s.quotaRejections.Load(),
+	if out.Requests > 0 {
+		out.AvgLatencyMicros = latT / float64(out.Requests)
 	}
-	if n := s.latencyN.Load(); n > 0 {
-		snap.AvgLatencyMicros = float64(s.latencyT.Load()) / float64(n) / 1e3
-	}
-	s.quotaMu.Lock()
-	if len(s.quotaByTenant) > 0 {
-		snap.QuotaRejectionsByTenant = make(map[string]int64, len(s.quotaByTenant))
-		for t, n := range s.quotaByTenant {
-			snap.QuotaRejectionsByTenant[t] = n
-		}
-	}
-	s.quotaMu.Unlock()
-	return snap
+	return out
 }

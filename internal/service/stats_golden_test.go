@@ -39,26 +39,49 @@ func checkGolden(t *testing.T, name string, got []byte) {
 
 // sentinelSnapshot fills every Snapshot field with a distinct value, so a
 // field accidentally dropped from the JSON schema (or serialised under the
-// wrong key) changes the golden bytes.
+// wrong key) changes the golden bytes. The filler recurses into embedded
+// structs (ShardCounters) and slices (the per-shard breakdown gets two
+// sentinel elements, so per-shard keys are pinned too).
 func sentinelSnapshot(t *testing.T) Snapshot {
 	var snap Snapshot
-	v := reflect.ValueOf(&snap).Elem()
-	for i := 0; i < v.NumField(); i++ {
-		f := v.Field(i)
-		switch f.Kind() {
-		case reflect.Int64:
-			f.SetInt(int64(1000 + i))
-		case reflect.Int:
-			f.SetInt(int64(100 + i))
-		case reflect.Float64:
-			f.SetFloat(float64(i) + 0.5)
-		case reflect.Map:
-			f.Set(reflect.ValueOf(map[string]int64{"tenant-a": 7, "tenant-b": 3}))
-		default:
-			t.Fatalf("Snapshot field %s has kind %s: teach sentinelSnapshot about it", v.Type().Field(i).Name, f.Kind())
-		}
-	}
+	fillSentinel(t, reflect.ValueOf(&snap).Elem(), 0)
 	return snap
+}
+
+// fillSentinel writes a distinct sentinel into every leaf field of v,
+// returning the next counter value.
+func fillSentinel(t *testing.T, v reflect.Value, n int) int {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			n = fillSentinel(t, v.Field(i), n)
+		}
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < s.Len(); i++ {
+			n = fillSentinel(t, s.Index(i), n)
+		}
+		v.Set(s)
+	case reflect.Int64:
+		v.SetInt(int64(1000 + n))
+		n++
+	case reflect.Int:
+		v.SetInt(int64(100 + n))
+		n++
+	case reflect.Float64:
+		v.SetFloat(float64(n) + 0.5)
+		n++
+	case reflect.Bool:
+		v.SetBool(n%2 == 0)
+		n++
+	case reflect.Map:
+		v.Set(reflect.ValueOf(map[string]int64{"tenant-a": 7, "tenant-b": 3}))
+		n++
+	default:
+		t.Fatalf("Snapshot field of kind %s: teach fillSentinel about it", v.Kind())
+	}
+	return n
 }
 
 // TestStatsGolden pins the /stats JSON schema: every field name, rendered

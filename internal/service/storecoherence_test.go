@@ -1,0 +1,94 @@
+package service
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestStoreCoherenceAcrossServers runs two independent Servers (separate
+// replicas, as fupermod-route would front) over one shared store directory
+// with tiny caches, so fills, evictions and reloads interleave under the
+// race detector — then adds a third, freshly-opened replica mid-test. The
+// store is the coherence point: every response from every replica must be
+// byte-identical to the direct library path, and the whole fleet must
+// sweep each distinct key exactly once — the cross-replica single-flight
+// through the store forbids double sweeps no matter how the replicas race.
+func TestStoreCoherenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+
+	// Four distinct keys for one tenant, against CacheSize 2: every round
+	// evicts and refills, so reloads exercise the store continuously.
+	reqs := make([]MeasureRequest, 4)
+	for i := range reqs {
+		preset := "fast"
+		if i%2 == 1 {
+			preset = "slow"
+		}
+		reqs[i] = MeasureRequest{
+			Tenant: "coherent",
+			Device: DeviceSpec{Preset: preset, Seed: int64(1 + i/2)},
+			Grid:   testGrid,
+		}
+	}
+	want := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		want[i] = directMeasureBytes(t, req)
+	}
+
+	cfg := Config{CacheSize: 2, Workers: 2}
+	var servers []string
+	var snaps []func() Snapshot
+	addServer := func() {
+		_, ts := newStoreServer(t, dir, cfg)
+		servers = append(servers, ts.URL)
+		snaps = append(snaps, func() Snapshot { return getStats(t, ts.URL) })
+	}
+	addServer()
+	addServer()
+
+	// storm fires every key at every current server, several times over,
+	// all concurrently — cache hits, evicted-and-refilled store hits and
+	// cross-server flight joins all race here.
+	storm := func(rounds int) {
+		var wg sync.WaitGroup
+		for r := 0; r < rounds; r++ {
+			for _, base := range servers {
+				for i, req := range reqs {
+					wg.Add(1)
+					go func(base string, i int, req MeasureRequest) {
+						defer wg.Done()
+						status, body := postJSON(t, base+"/v1/measure", req)
+						if status != 200 {
+							t.Errorf("measure %d on %s: status %d: %s", i, base, status, body)
+							return
+						}
+						if !bytes.Equal(body, want[i]) {
+							t.Errorf("measure %d on %s: differs from the direct library path", i, base)
+						}
+					}(base, i, req)
+				}
+			}
+		}
+		wg.Wait()
+	}
+
+	storm(3)
+	// A replica that joins mid-life opens the same store and must agree
+	// byte-for-byte without re-measuring anything.
+	addServer()
+	storm(3)
+
+	var sweeps, corrupt int64
+	for _, snap := range snaps {
+		s := snap()
+		sweeps += s.Sweeps
+		corrupt += s.StoreCorrupt
+	}
+	if sweeps != int64(len(reqs)) {
+		t.Errorf("fleet swept %d times for %d distinct keys: the store single-flight double-swept", sweeps, len(reqs))
+	}
+	if corrupt != 0 {
+		t.Errorf("fleet reported %d corrupt store entries on a healthy directory", corrupt)
+	}
+}
