@@ -6,7 +6,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route commmodel verify perf-smoke update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route rebalance commmodel verify perf-smoke update-golden
 
 all: tier1
 
@@ -14,9 +14,10 @@ all: tier1
 tier1: build test
 
 ## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
-## gate, the routing-tier gate, the communication-model gate, the
-## verification suite and the perf-suite smoke
-tier2: tier1 vet race fuzz-smoke service route commmodel verify perf-smoke
+## gate, the routing-tier gate, the rebalancing gate, the
+## communication-model gate, the verification suite and the perf-suite
+## smoke
+tier2: tier1 vet race fuzz-smoke service route rebalance commmodel verify perf-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +56,13 @@ service:
 route:
 	$(GO) vet ./internal/service/ring ./cmd/fupermod-route
 	$(GO) test -race -count=1 ./internal/service/ring ./cmd/fupermod-route
+
+## rebalance: vet + race-test the migration planner and the elastic
+## repartitioning layer above it (-count=1: the elastic strategy tests
+## replay drift schedules whose call counters a cached pass would skip)
+rebalance:
+	$(GO) vet ./internal/rebalance ./internal/dynamic ./internal/platform
+	$(GO) test -race -count=1 ./internal/rebalance ./internal/dynamic ./internal/platform
 
 ## commmodel: vet + race-test the communication models and their CLI
 ## (-count=1: the calibration determinism tests assert serial-vs-parallel

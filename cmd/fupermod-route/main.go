@@ -151,6 +151,15 @@ func (rt *router) handleForward(w http.ResponseWriter, r *http.Request) {
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := rt.forward.Do(req)
 		if err != nil {
+			if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The client went away mid-forward. That is evidence about
+				// the client, not the backend: marking the backend dead
+				// here poisons a live process for every tenant it serves,
+				// and a storm of cancellations would walk the whole ring
+				// dead. Answer the doomed request and leave the ring alone.
+				writeError(w, http.StatusServiceUnavailable, "request cancelled")
+				return
+			}
 			// Unreachable: fail the backend over and re-walk the ring.
 			rt.ring.SetLive(backend, false)
 			continue

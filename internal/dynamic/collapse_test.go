@@ -1,0 +1,185 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/platform"
+)
+
+// TestPartitionDynamicRetiresCollapsedRank is the regression test for the
+// drift-to-zero degeneracy: a device that collapses mid-run (10⁹× slower)
+// used to be re-benchmarked at the probe floor every remaining iteration,
+// each probe paying the full collapsed execution time. The collapsed rank
+// must instead be retired after the single observation that reveals the
+// collapse.
+func TestPartitionDynamicRetiresCollapsedRank(t *testing.T) {
+	inner := platform.FastCore("c")
+	dr, err := platform.NewDrift(inner, 3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []platform.Device{
+		platform.FastCore("a"),
+		platform.SlowCore("b"),
+		dr,
+	}
+	ks := virtualKernels(t, devs, platform.Quiet, 7)
+	res, err := PartitionDynamic(ks, 9000, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Dist.Parts[2].D; got != 0 {
+		t.Errorf("collapsed rank kept %d units, want 0 (dist %v)", got, res.Dist.Sizes())
+	}
+	if res.Retired == nil || !res.Retired[2] {
+		t.Errorf("collapsed rank not reported retired: %v", res.Retired)
+	}
+	if res.Retired[0] || res.Retired[1] {
+		t.Errorf("healthy ranks retired: %v", res.Retired)
+	}
+	// The collapsed device is executed exactly twice: the nominal iteration-0
+	// benchmark (3 reps under Quiet noise) and the single collapsed
+	// observation that triggers retirement. Before the fix the probe floor
+	// kept executing it every remaining iteration.
+	if calls := dr.Calls(); calls > 6 {
+		t.Errorf("collapsed device executed %d times; retirement should stop probing after the collapse is observed", calls)
+	}
+}
+
+// TestPartitionDynamicCollapseDisabled pins the opt-out: a negative
+// CollapseRel restores the old always-probe behaviour.
+func TestPartitionDynamicCollapseDisabled(t *testing.T) {
+	inner := platform.FastCore("c")
+	dr, err := platform.NewDrift(inner, 3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []platform.Device{
+		platform.FastCore("a"),
+		platform.SlowCore("b"),
+		dr,
+	}
+	ks := virtualKernels(t, devs, platform.Quiet, 7)
+	cfg := defaultCfg()
+	cfg.CollapseRel = -1
+	res, err := PartitionDynamic(ks, 9000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != nil {
+		t.Errorf("retirement disabled but Retired = %v", res.Retired)
+	}
+	if calls := dr.Calls(); calls <= 6 {
+		t.Errorf("retirement disabled should keep probing the collapsed device, saw only %d executions", calls)
+	}
+}
+
+// TestPartitionDynamicCollapseProperty drives random heterogeneous
+// platforms with one rank collapsed from the start by a huge random factor:
+// every run must terminate with the collapsed rank at zero units, the
+// survivors summing to D, and the dead device executed only for its first
+// (retiring) observation.
+func TestPartitionDynamicCollapseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	makers := []func(string) platform.Device{
+		func(n string) platform.Device { return platform.FastCore(n) },
+		func(n string) platform.Device { return platform.SlowCore(n) },
+		func(n string) platform.Device { return platform.DefaultGPU(n) },
+	}
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		devs := make([]platform.Device, n)
+		for i := range devs {
+			devs[i] = makers[rng.Intn(len(makers))]("dev")
+		}
+		dead := rng.Intn(n)
+		factor := math.Pow(10, 8+4*rng.Float64()) // 10⁸ … 10¹²
+		dr, err := platform.NewDrift(devs[dead], 0, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[dead] = dr
+		D := 2000 + rng.Intn(20000)
+		ks := virtualKernels(t, devs, platform.Quiet, int64(trial))
+		res, err := PartitionDynamic(ks, D, defaultCfg())
+		if err != nil {
+			t.Fatalf("trial %d (n=%d dead=%d factor=%g D=%d): %v", trial, n, dead, factor, D, err)
+		}
+		if err := res.Dist.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := res.Dist.Parts[dead].D; got != 0 {
+			t.Errorf("trial %d: collapsed rank %d kept %d units (dist %v)", trial, dead, got, res.Dist.Sizes())
+		}
+		if res.Retired == nil || !res.Retired[dead] {
+			t.Errorf("trial %d: collapsed rank %d not retired: %v", trial, dead, res.Retired)
+		}
+		// One observation retired it: no more executions than one benchmark.
+		if calls := dr.Calls(); calls > defaultCfg().Precision.MaxReps {
+			t.Errorf("trial %d: collapsed device executed %d times after retirement should have stopped probing", trial, calls)
+		}
+		sum := 0
+		for i, p := range res.Dist.Parts {
+			if i != dead {
+				sum += p.D
+			}
+		}
+		if sum != D {
+			t.Errorf("trial %d: survivors carry %d of %d units", trial, sum, D)
+		}
+	}
+}
+
+func TestConfigCollapseValidation(t *testing.T) {
+	ks := virtualKernels(t, platform.HCLCluster()[:2], platform.Quiet, 1)
+	bad := defaultCfg()
+	bad.CollapseRel = 1
+	if _, err := PartitionDynamic(ks, 1000, bad); err == nil {
+		t.Error("collapse threshold of 1 would retire every non-fastest rank; must error")
+	}
+	bad = defaultCfg()
+	bad.CollapseRel = math.NaN()
+	if _, err := PartitionDynamic(ks, 1000, bad); err == nil {
+		t.Error("NaN collapse threshold must error")
+	}
+}
+
+// TestPartitionLiveExpands pins the re-expansion: retired ranks occupy
+// zero-value parts, survivors keep their partitioned shares in rank order.
+func TestPartitionLiveExpands(t *testing.T) {
+	ks := virtualKernels(t, []platform.Device{
+		platform.FastCore("a"),
+		platform.FastCore("b"),
+		platform.FastCore("c"),
+	}, platform.Quiet, 3)
+	cfg := defaultCfg()
+	models := []core.Model{cfg.NewModel(), cfg.NewModel(), cfg.NewModel()}
+	for i, k := range ks {
+		p, err := core.Benchmark(k, 500, cfg.Precision)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := models[i].Update(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist, err := partitionLive(cfg.Algorithm, models, 1000, []bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dist.Parts[1].D != 0 || dist.Parts[1].Time != 0 {
+		t.Errorf("retired rank got %+v, want zero part", dist.Parts[1])
+	}
+	if dist.Parts[0].D+dist.Parts[2].D != 1000 {
+		t.Errorf("survivors carry %d units, want 1000", dist.Parts[0].D+dist.Parts[2].D)
+	}
+}

@@ -15,6 +15,7 @@ package dynamic
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"fupermod/internal/core"
 )
@@ -33,7 +34,21 @@ type Config struct {
 	Eps float64
 	// MaxIters caps the iterations of dynamic partitioning (default 20).
 	MaxIters int
+	// CollapseRel is the relative-speed floor of dynamic partitioning: a
+	// process whose freshly measured speed falls below CollapseRel times
+	// the fastest process's speed in the same iteration is retired —
+	// assigned zero units and never benchmarked again. Without it, a rank
+	// whose device collapses mid-run (a drift factor of 10⁹, a hung
+	// accelerator) is probed at the floor size every remaining iteration,
+	// each probe paying the full collapsed execution time. Zero selects
+	// DefaultCollapseRel; a negative value disables retirement.
+	CollapseRel float64
 }
+
+// DefaultCollapseRel retires a process measured a million times slower than
+// the fastest: its share of any partition rounds to zero units anyway, so
+// continuing to probe it buys nothing and costs collapsed-speed benchmarks.
+const DefaultCollapseRel = 1e-6
 
 func (c Config) validate(needPrecision bool) error {
 	if c.Algorithm == nil {
@@ -50,7 +65,20 @@ func (c Config) validate(needPrecision bool) error {
 			return fmt.Errorf("dynamic: eps must be positive, got %g", c.Eps)
 		}
 	}
+	if math.IsNaN(c.CollapseRel) || c.CollapseRel >= 1 {
+		return fmt.Errorf("dynamic: collapse threshold must be below 1, got %g", c.CollapseRel)
+	}
 	return nil
+}
+
+func (c Config) collapseRel() float64 {
+	if c.CollapseRel == 0 {
+		return DefaultCollapseRel
+	}
+	if c.CollapseRel < 0 {
+		return 0 // retirement disabled
+	}
+	return c.CollapseRel
 }
 
 func (c Config) maxIters() int {
@@ -66,7 +94,7 @@ type Step struct {
 	// Dist is the distribution after this step.
 	Dist *core.Dist
 	// Points holds the new measurement of each process at this step
-	// (index = rank).
+	// (index = rank; a retired process carries a zero Point).
 	Points []core.Point
 	// Change is the max relative part change versus the previous step.
 	Change float64
@@ -86,6 +114,10 @@ type Result struct {
 	Steps []Step
 	// Converged reports whether Eps was reached within MaxIters.
 	Converged bool
+	// Retired marks the processes whose measured speed collapsed below
+	// Config.CollapseRel of the fastest and were assigned zero units for
+	// the rest of the run (nil when no process collapsed).
+	Retired []bool
 	// BenchmarkSeconds is the total measured kernel time consumed — the
 	// cost the dynamic approach is designed to minimise versus building
 	// full models (paper §4.3–4.4, experiment E3).
@@ -122,9 +154,16 @@ func PartitionDynamic(kernelSet []core.Kernel, D int, cfg Config) (*Result, erro
 	// inspect the partial Result on error (e.g. a benchmark failing in
 	// iteration 0) never see a nil Dist.
 	res := &Result{Models: models, Dist: dist}
+	retired := make([]bool, n)
+	collapseRel := cfg.collapseRel()
 	for it := 0; it < cfg.maxIters(); it++ {
 		pts := make([]core.Point, n)
 		for i, k := range kernelSet {
+			if retired[i] {
+				// A collapsed process keeps zero units; probing it again
+				// would pay the collapsed execution time for nothing.
+				continue
+			}
 			d := dist.Parts[i].D
 			if d < 1 {
 				// A process the partitioner starved still needs a model
@@ -141,7 +180,27 @@ func PartitionDynamic(kernelSet []core.Kernel, D int, cfg Config) (*Result, erro
 				return res, fmt.Errorf("dynamic: iteration %d: updating model %d: %w", it, i, err)
 			}
 		}
-		next, err := cfg.Algorithm.Partition(models, D)
+		// Retire processes whose fresh measurement collapsed relative to
+		// the fastest in this iteration. Zero-time points are "too fast to
+		// measure", never collapsed.
+		if collapseRel > 0 {
+			maxSpeed := 0.0
+			for i := range pts {
+				if !retired[i] && pts[i].Speed() > maxSpeed {
+					maxSpeed = pts[i].Speed()
+				}
+			}
+			for i := range pts {
+				if retired[i] || pts[i].Time <= 0 {
+					continue
+				}
+				if pts[i].Speed() < collapseRel*maxSpeed {
+					retired[i] = true
+					res.Retired = append([]bool(nil), retired...)
+				}
+			}
+		}
+		next, err := partitionLive(cfg.Algorithm, models, D, retired)
 		if err != nil {
 			return res, fmt.Errorf("dynamic: iteration %d: %w", it, err)
 		}
@@ -163,4 +222,37 @@ func PartitionDynamic(kernelSet []core.Kernel, D int, cfg Config) (*Result, erro
 	}
 	res.Dist = dist
 	return res, nil
+}
+
+// partitionLive partitions D over the non-retired processes and re-expands
+// the result with zero-unit parts for the retired ones, so a collapsed
+// process's share is redistributed instead of letting its degenerate model
+// drag the bisection.
+func partitionLive(algo core.Partitioner, models []core.Model, D int, retired []bool) (*core.Dist, error) {
+	live := 0
+	for _, r := range retired {
+		if !r {
+			live++
+		}
+	}
+	if live == len(models) {
+		return algo.Partition(models, D)
+	}
+	sub := make([]core.Model, 0, live)
+	idx := make([]int, 0, live)
+	for i, m := range models {
+		if !retired[i] {
+			sub = append(sub, m)
+			idx = append(idx, i)
+		}
+	}
+	subDist, err := algo.Partition(sub, D)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.Dist{D: D, Parts: make([]core.Part, len(models))}
+	for k, i := range idx {
+		out.Parts[i] = subDist.Parts[k]
+	}
+	return out, nil
 }

@@ -1,0 +1,288 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+	"fupermod/internal/rebalance"
+)
+
+// Strategy selects how an Elastic run reacts to a changed partition
+// proposal.
+type Strategy string
+
+const (
+	// StrategyAlways adopts every proposal that differs from the active
+	// distribution, paying the migration cost each time. It is the
+	// Balancer's behaviour with minGain 0, plus cost accounting.
+	StrategyAlways Strategy = "always"
+	// StrategyNever keeps the starting distribution for the whole run (it
+	// still updates the models, so traces show what it ignored). It is
+	// the static-partitioning baseline.
+	StrategyNever Strategy = "never"
+	// StrategyCost migrates only when rebalance.Decide predicts the
+	// makespan saving over the remaining rounds exceeds the migration
+	// cost — the policy the elastic experiments are built to evaluate.
+	StrategyCost Strategy = "cost"
+)
+
+// ParseStrategy maps the wire/flag spelling of a strategy to its value.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyAlways, StrategyNever, StrategyCost:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("dynamic: unknown strategy %q (want always, never or cost)", s)
+}
+
+// ElasticConfig parametrises an elastic repartitioning run.
+type ElasticConfig struct {
+	// Config supplies the partitioner and the partial-model constructor
+	// (Precision/Eps/MaxIters are unused: the application times its own
+	// rounds).
+	Config
+	// Strategy is the repartitioning policy.
+	Strategy Strategy
+	// Link prices each directed rank pair for migration traffic.
+	Link rebalance.LinkCost
+	// UnitBytes is the wire size of one computation unit's data.
+	UnitBytes float64
+	// TotalRounds is the expected length of the run; the cost-aware
+	// policy amortizes migration over the rounds still remaining.
+	TotalRounds int
+}
+
+func (c ElasticConfig) validate() error {
+	if err := c.Config.validate(false); err != nil {
+		return err
+	}
+	if _, err := ParseStrategy(string(c.Strategy)); err != nil {
+		return err
+	}
+	if c.Link == nil {
+		return fmt.Errorf("dynamic: elastic config needs a link cost")
+	}
+	if c.UnitBytes <= 0 {
+		return fmt.Errorf("dynamic: elastic unit bytes must be positive, got %g", c.UnitBytes)
+	}
+	if c.TotalRounds <= 0 {
+		return fmt.Errorf("dynamic: elastic total rounds must be positive, got %d", c.TotalRounds)
+	}
+	return nil
+}
+
+// RoundReport is what one Observe call decided, for traces and tests.
+type RoundReport struct {
+	// Round is the 1-based index of the observed round.
+	Round int
+	// RoundSeconds is the observed makespan of the round (max time).
+	RoundSeconds float64
+	// Proposed is the partitioner's proposal after the model update.
+	Proposed *core.Dist
+	// Migrated reports whether the proposal was adopted; if so,
+	// MigrationSeconds is the priced cost of the byte movement charged to
+	// this round.
+	Migrated         bool
+	MigrationSeconds float64
+	// Decision is the cost-aware verdict (nil for other strategies, and
+	// for rounds where the proposal matched the active distribution or
+	// the model could not predict yet).
+	Decision *rebalance.Decision
+}
+
+// Elastic replays an iterative application under a repartitioning
+// strategy. Like Balancer it consumes the application's own per-round
+// times and refines partial models; unlike Balancer it distinguishes the
+// *proposed* distribution from the *active* one and only activates a
+// proposal when the strategy says the migration is worth it — charging
+// the priced byte-movement cost to the run's clock either way. Comparing
+// TotalSeconds across strategies under a platform.DriftSchedule is
+// exactly the always/never/cost experiment of the elastic-repartitioning
+// line (arXiv 1109.3074).
+type Elastic struct {
+	cfg    ElasticConfig
+	models []core.Model
+	active *core.Dist
+
+	round      int
+	migrations int
+	computeS   float64
+	migrationS float64
+}
+
+// NewElastic creates an elastic run over n processes and problem size D,
+// starting (like every dynamic algorithm here) from the even
+// distribution.
+func NewElastic(cfg ElasticConfig, D, n int) (*Elastic, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dist, err := core.NewEvenDist(D, n)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]core.Model, n)
+	for i := range models {
+		models[i] = cfg.NewModel()
+	}
+	return &Elastic{cfg: cfg, models: models, active: dist}, nil
+}
+
+// Dist returns the distribution the application must use for its next
+// round.
+func (e *Elastic) Dist() *core.Dist { return e.active.Copy() }
+
+// Models exposes the partial models (for tracing).
+func (e *Elastic) Models() []core.Model { return e.models }
+
+// Round returns the number of rounds observed so far.
+func (e *Elastic) Round() int { return e.round }
+
+// Migrations returns how many times the active distribution changed.
+func (e *Elastic) Migrations() int { return e.migrations }
+
+// ComputeSeconds is the accumulated observed round makespans.
+func (e *Elastic) ComputeSeconds() float64 { return e.computeS }
+
+// MigrationSeconds is the accumulated priced migration cost.
+func (e *Elastic) MigrationSeconds() float64 { return e.migrationS }
+
+// TotalSeconds is the run's simulated wall time: compute plus migration.
+func (e *Elastic) TotalSeconds() float64 { return e.computeS + e.migrationS }
+
+// Observe feeds the measured times of one application round, one entry
+// per process (the time that process spent computing its active share).
+// It updates the partial models, asks the partitioner for a proposal, and
+// applies the strategy. Processes with a zero share may report zero time;
+// any loaded process must report a positive one.
+func (e *Elastic) Observe(times []float64) (*RoundReport, error) {
+	n := len(e.models)
+	if len(times) != n {
+		return nil, fmt.Errorf("dynamic: observed %d times for %d processes", len(times), n)
+	}
+	roundS := 0.0
+	for i, t := range times {
+		if e.active.Parts[i].D <= 0 {
+			continue // starved process measured nothing
+		}
+		if t <= 0 {
+			return nil, fmt.Errorf("dynamic: process %d observed non-positive time %g", i, t)
+		}
+		roundS = math.Max(roundS, t)
+	}
+	e.round++
+	e.computeS += roundS
+	rep := &RoundReport{Round: e.round, RoundSeconds: roundS}
+	for i, t := range times {
+		d := e.active.Parts[i].D
+		if d <= 0 {
+			continue
+		}
+		if err := e.models[i].Update(core.Point{D: d, Time: t, Reps: 1}); err != nil {
+			return nil, fmt.Errorf("dynamic: updating model %d: %w", i, err)
+		}
+	}
+	next, err := e.cfg.Algorithm.Partition(e.models, e.active.D)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: rebalancing: %w", err)
+	}
+	rep.Proposed = next.Copy()
+	if sameSizes(next, e.active) {
+		return rep, nil
+	}
+	switch e.cfg.Strategy {
+	case StrategyNever:
+		return rep, nil
+	case StrategyAlways:
+		if err := e.adopt(next, rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	// Cost-aware: amortize over the rounds still ahead of us.
+	remaining := e.cfg.TotalRounds - e.round
+	if remaining <= 0 {
+		return rep, nil
+	}
+	old, errOld := e.predictTimes(e.active)
+	proposed, errNew := e.predictTimes(next)
+	if errOld != nil || errNew != nil || old.MaxTime() <= 0 || proposed.MaxTime() <= 0 {
+		// No usable prediction yet (empty or partial models): adopt, as
+		// Balancer does — a blind keep would freeze the even start.
+		if err := e.adopt(next, rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	dec, err := rebalance.Decide(old, proposed, e.cfg.Link, e.cfg.UnitBytes, remaining)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: pricing rebalance: %w", err)
+	}
+	rep.Decision = dec
+	if !dec.Migrate {
+		return rep, nil
+	}
+	e.active = next
+	e.migrations++
+	e.migrationS += dec.MigrationTime
+	rep.Migrated = true
+	rep.MigrationSeconds = dec.MigrationTime
+	return rep, nil
+}
+
+// adopt activates next unconditionally, pricing the byte movement from
+// the active distribution.
+func (e *Elastic) adopt(next *core.Dist, rep *RoundReport) error {
+	plan, err := rebalance.NewPlan(e.active, next, e.cfg.UnitBytes)
+	if err != nil {
+		return fmt.Errorf("dynamic: planning rebalance: %w", err)
+	}
+	mig, err := plan.MigrationTime(e.cfg.Link)
+	if err != nil {
+		return fmt.Errorf("dynamic: pricing rebalance: %w", err)
+	}
+	e.active = next
+	e.migrations++
+	e.migrationS += mig
+	rep.Migrated = true
+	rep.MigrationSeconds = mig
+	return nil
+}
+
+// predictTimes re-predicts d's part times with the run's current models.
+func (e *Elastic) predictTimes(d *core.Dist) (*core.Dist, error) {
+	return PredictTimes(e.models, d)
+}
+
+// PredictTimes returns a copy of d with every loaded part's time
+// re-predicted by the given models (a distribution's stored times go
+// stale the moment the platform drifts). Parts with no workload get time
+// zero; a loaded part whose model cannot predict yet is an error.
+func PredictTimes(models []core.Model, d *core.Dist) (*core.Dist, error) {
+	if len(models) != len(d.Parts) {
+		return nil, fmt.Errorf("dynamic: %d models for %d parts", len(models), len(d.Parts))
+	}
+	out := d.Copy()
+	for i := range out.Parts {
+		if out.Parts[i].D == 0 {
+			out.Parts[i].Time = 0
+			continue
+		}
+		t, err := models[i].Time(float64(out.Parts[i].D))
+		if err != nil {
+			return nil, err
+		}
+		out.Parts[i].Time = t
+	}
+	return out, nil
+}
+
+func sameSizes(a, b *core.Dist) bool {
+	for i := range a.Parts {
+		if a.Parts[i].D != b.Parts[i].D {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+package dynamic
+
+import (
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/rebalance"
+)
+
+// flatCore builds a constant-speed device: no cliffs, tiny overhead, so
+// the elastic scenarios are analytically predictable.
+func flatCore(name string, peak float64) platform.Device {
+	return &platform.CPUCore{DevName: name, Peak: peak, Overhead: 1e-6}
+}
+
+// elasticCfg is the shared strategy-run configuration: geometric
+// partitioner over fully-forgetting adaptive CPMs (alpha=1 tracks the
+// drift immediately — the model is the latest observation).
+func elasticCfg(t *testing.T, s Strategy, link rebalance.LinkCost, unitBytes float64, rounds int) ElasticConfig {
+	t.Helper()
+	return ElasticConfig{
+		Config: Config{
+			Algorithm: partition.Geometric(),
+			NewModel: func() core.Model {
+				m, err := model.NewAdaptiveAlpha(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			},
+		},
+		Strategy:    s,
+		Link:        link,
+		UnitBytes:   unitBytes,
+		TotalRounds: rounds,
+	}
+}
+
+// runElastic replays rounds of a simulated iterative application: each
+// round times every device at its active share (consulting BaseTime
+// exactly once per device per round, so drift schedules stay aligned
+// across ranks) and feeds the times to the strategy.
+func runElastic(t *testing.T, cfg ElasticConfig, devices []platform.Device, D, rounds int) *Elastic {
+	t.Helper()
+	e, err := NewElastic(cfg, D, len(devices))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		dist := e.Dist()
+		times := make([]float64, len(devices))
+		for i, dev := range devices {
+			times[i] = dev.BaseTime(float64(dist.Parts[i].D))
+		}
+		if _, err := e.Observe(times); err != nil {
+			t.Fatalf("round %d: %v", r+1, err)
+		}
+	}
+	return e
+}
+
+// driftedPlatform builds four equal flat cores with the given schedule on
+// rank 3. Every strategy run gets fresh devices so each sees the same
+// drift sequence.
+func driftedPlatform(t *testing.T, schedule platform.DriftSchedule) []platform.Device {
+	t.Helper()
+	devs := make([]platform.Device, 4)
+	for i := range devs {
+		devs[i] = flatCore("core", 100)
+	}
+	drifted, err := platform.NewScheduledDrift(devs[3], schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs[3] = drifted
+	return devs
+}
+
+type fixedRate struct{ rate float64 }
+
+func (f fixedRate) Time(bytes float64) float64 { return f.rate * bytes }
+
+// TestCostBeatsNeverOnStep: one rank slows 4x permanently after round 3
+// of 20. Migration is cheap (fast network), so the cost-aware policy
+// repartitions once and amortizes; never-repartition pays the degraded
+// makespan for the remaining 17 rounds. This is the acceptance assertion
+// "cost beats never on at least one drift schedule".
+func TestCostBeatsNeverOnStep(t *testing.T) {
+	const (
+		D         = 4000
+		rounds    = 20
+		unitBytes = 8.0
+	)
+	link := rebalance.Uniform(fixedRate{1e-4}) // ~0.8 ms per moved unit
+	schedule := func() platform.DriftSchedule {
+		s, err := platform.StepSchedule(3, 4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	run := func(s Strategy) *Elastic {
+		return runElastic(t, elasticCfg(t, s, link, unitBytes, rounds), driftedPlatform(t, schedule()), D, rounds)
+	}
+	cost, never, always := run(StrategyCost), run(StrategyNever), run(StrategyAlways)
+
+	if never.Migrations() != 0 {
+		t.Fatalf("never migrated %d times", never.Migrations())
+	}
+	if cost.Migrations() == 0 {
+		t.Fatalf("cost-aware never migrated on a permanent step (totals: cost=%.1f never=%.1f)",
+			cost.TotalSeconds(), never.TotalSeconds())
+	}
+	if cost.TotalSeconds() >= never.TotalSeconds() {
+		t.Errorf("step schedule: cost-aware %.2fs did not beat never %.2fs",
+			cost.TotalSeconds(), never.TotalSeconds())
+	}
+	// Not required by the acceptance bar, but on a permanent step the
+	// cost-aware policy should be in the same league as always (both fix
+	// the imbalance; cost just skips unprofitable micro-moves).
+	if cost.TotalSeconds() > always.TotalSeconds()*1.5 {
+		t.Errorf("step schedule: cost-aware %.2fs much worse than always %.2fs",
+			cost.TotalSeconds(), always.TotalSeconds())
+	}
+}
+
+// TestCostBeatsAlwaysOnOscillation: one rank flips between nominal and 4x
+// slower every round, and the network is slow, so every migration costs
+// far more than one round can save. Always chases the square wave and
+// pays migration on every flip; the cost-aware policy prices the move,
+// declines, and stays near the never baseline. This is the acceptance
+// assertion "cost beats always on at least one drift schedule".
+func TestCostBeatsAlwaysOnOscillation(t *testing.T) {
+	const (
+		D         = 4000
+		rounds    = 20
+		unitBytes = 8.0
+	)
+	link := rebalance.Uniform(fixedRate{0.2}) // ~1.6 s per moved unit: migration is ruinous
+	schedule := func() platform.DriftSchedule {
+		s, err := platform.OscillatingSchedule(1, 4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	run := func(s Strategy) *Elastic {
+		return runElastic(t, elasticCfg(t, s, link, unitBytes, rounds), driftedPlatform(t, schedule()), D, rounds)
+	}
+	cost, never, always := run(StrategyCost), run(StrategyNever), run(StrategyAlways)
+
+	if always.Migrations() < 2 {
+		t.Fatalf("always migrated only %d times under oscillation", always.Migrations())
+	}
+	if cost.TotalSeconds() >= always.TotalSeconds() {
+		t.Errorf("oscillating schedule: cost-aware %.2fs did not beat always %.2fs",
+			cost.TotalSeconds(), always.TotalSeconds())
+	}
+	// The cost-aware run must not degenerate into always: its migration
+	// bill stays below a single always-flip's worth of thrash.
+	if cost.MigrationSeconds() > always.MigrationSeconds()/2 {
+		t.Errorf("cost-aware migration bill %.2fs is not clearly below always' %.2fs",
+			cost.MigrationSeconds(), always.MigrationSeconds())
+	}
+	_ = never // the baseline is computed for the ramp test's symmetry; no assertion needed here
+}
+
+// TestRampRecovery: under a gradual ramp the cost-aware policy still ends
+// within the always/never envelope — it must never be worse than both.
+func TestRampRecovery(t *testing.T) {
+	const (
+		D         = 4000
+		rounds    = 20
+		unitBytes = 8.0
+	)
+	link := rebalance.Uniform(fixedRate{1e-4})
+	schedule := func() platform.DriftSchedule {
+		s, err := platform.RampSchedule(4, 14, 4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	run := func(s Strategy) *Elastic {
+		return runElastic(t, elasticCfg(t, s, link, unitBytes, rounds), driftedPlatform(t, schedule()), D, rounds)
+	}
+	cost, never, always := run(StrategyCost), run(StrategyNever), run(StrategyAlways)
+	worst := never.TotalSeconds()
+	if always.TotalSeconds() > worst {
+		worst = always.TotalSeconds()
+	}
+	if cost.TotalSeconds() > worst {
+		t.Errorf("ramp schedule: cost-aware %.2fs worse than both always %.2fs and never %.2fs",
+			cost.TotalSeconds(), always.TotalSeconds(), never.TotalSeconds())
+	}
+}
+
+func TestElasticConfigValidation(t *testing.T) {
+	base := elasticCfg(t, StrategyCost, rebalance.Uniform(fixedRate{1}), 8, 10)
+	cases := []struct {
+		name   string
+		mutate func(*ElasticConfig)
+	}{
+		{"no algorithm", func(c *ElasticConfig) { c.Algorithm = nil }},
+		{"no model ctor", func(c *ElasticConfig) { c.NewModel = nil }},
+		{"bad strategy", func(c *ElasticConfig) { c.Strategy = "sometimes" }},
+		{"empty strategy", func(c *ElasticConfig) { c.Strategy = "" }},
+		{"nil link", func(c *ElasticConfig) { c.Link = nil }},
+		{"zero unit bytes", func(c *ElasticConfig) { c.UnitBytes = 0 }},
+		{"zero rounds", func(c *ElasticConfig) { c.TotalRounds = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := NewElastic(cfg, 100, 4); err == nil {
+			t.Errorf("%s: NewElastic succeeded, want error", tc.name)
+		}
+	}
+	if _, err := NewElastic(base, 100, 0); err == nil {
+		t.Error("zero processes accepted")
+	}
+}
+
+func TestElasticObserveErrors(t *testing.T) {
+	e, err := NewElastic(elasticCfg(t, StrategyAlways, rebalance.Uniform(fixedRate{1}), 8, 10), 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Observe([]float64{1}); err == nil {
+		t.Error("wrong times length accepted")
+	}
+	if _, err := e.Observe([]float64{1, -2}); err == nil {
+		t.Error("negative time for a loaded process accepted")
+	}
+	if e.Round() != 0 || e.TotalSeconds() != 0 {
+		t.Errorf("failed observations advanced the run: round %d, total %g", e.Round(), e.TotalSeconds())
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []string{"always", "never", "cost"} {
+		got, err := ParseStrategy(s)
+		if err != nil || string(got) != s {
+			t.Errorf("ParseStrategy(%q) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("greedy"); err == nil {
+		t.Error("ParseStrategy accepted an unknown strategy")
+	}
+}

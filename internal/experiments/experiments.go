@@ -67,6 +67,7 @@ func All() []Entry {
 		{"a2", "A2 ablation: Newton vs τ-bisection inside the numerical algorithm", A2},
 		{"a3", "A3 ablation: flat vs ring allgather crossover", A3},
 		{"a4", "A4 ablation: plain vs topology-aware broadcast", A4},
+		{"r1", "R1 (§1): elastic repartitioning strategies under drift schedules", R1},
 		{"s1", "S1: partitioner makespan across the generated speed shapes", S1},
 		{"c1", "C1: measured vs fitted communication-model residuals", C1},
 	}

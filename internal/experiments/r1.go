@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fupermod/internal/commmodel"
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/rebalance"
+	"fupermod/internal/trace"
+)
+
+// R1 studies elastic repartitioning as a cost decision: a 20-round
+// iterative application on four equal cores, one of which drifts under
+// three schedules (permanent step, gradual ramp, round-by-round
+// oscillation), replayed under the three strategies (always repartition,
+// never, cost-aware) on two interconnects. Each unit of workload carries
+// 1 MiB of state, so a repartitioning is a priced bulk transfer: on
+// gigabit it costs seconds, on the congested link it costs more than the
+// drift itself. The table shows the regime structure the rebalance.Decide
+// gate exploits — chase permanent drift on a fast network, sit still when
+// the network is slow or the drift oscillates. The cost-aware strategy
+// matches the better fixed policy in every cell except oscillation on the
+// fast network, where the gate's persistence assumption (drift'd speeds
+// stay) keeps it chasing until the shrinking horizon stops paying — still
+// ahead of always, behind the clairvoyant never.
+func R1() (*trace.Table, error) {
+	const (
+		procs     = 4
+		D         = 400
+		rounds    = 20
+		unitBytes = 1 << 20 // 1 MiB of state per computation unit
+		peak      = 100     // units/s per core: a balanced round is ~1 s
+	)
+	nets := []struct {
+		name string
+		link rebalance.CommCost
+	}{
+		// Gigabit: moving a quarter of the problem costs ~1 s.
+		{"gigabit", &commmodel.Hockney{Alpha: 50e-6, Beta: 1 / 118e6}},
+		// A congested shared link: the same move costs ~2 minutes.
+		{"congested", &commmodel.Hockney{Alpha: 50e-3, Beta: 1e-6}},
+	}
+	schedules := []struct {
+		name string
+		make func() (platform.DriftSchedule, error)
+	}{
+		{"step", func() (platform.DriftSchedule, error) { return platform.StepSchedule(3, 4.0) }},
+		{"ramp", func() (platform.DriftSchedule, error) { return platform.RampSchedule(4, 14, 4.0) }},
+		{"oscillating", func() (platform.DriftSchedule, error) { return platform.OscillatingSchedule(1, 4.0) }},
+	}
+	strategies := []dynamic.Strategy{dynamic.StrategyAlways, dynamic.StrategyNever, dynamic.StrategyCost}
+
+	t := trace.NewTable("elastic repartitioning strategies under drift schedules",
+		"schedule", "net", "strategy", "migrations", "compute s", "migration s", "total s")
+	t.Note = "rank 3 of 4 drifts 4x; 1 MiB of state per unit; adaptive CPM (alpha=1) partial models"
+
+	for _, sched := range schedules {
+		for _, net := range nets {
+			for _, strat := range strategies {
+				// Fresh devices per run: drift schedules count executions.
+				s, err := sched.make()
+				if err != nil {
+					return nil, err
+				}
+				devs := make([]platform.Device, procs)
+				for i := range devs {
+					devs[i] = &platform.CPUCore{DevName: fmt.Sprintf("core%d", i), Peak: peak, Overhead: 1e-6}
+				}
+				drifted, err := platform.NewScheduledDrift(devs[procs-1], s)
+				if err != nil {
+					return nil, err
+				}
+				devs[procs-1] = drifted
+
+				e, err := runElasticRounds(devs, dynamic.ElasticConfig{
+					Config: dynamic.Config{
+						Algorithm: partition.Geometric(),
+						NewModel:  adaptiveAlphaOne,
+					},
+					Strategy:    strat,
+					Link:        rebalance.Uniform(net.link),
+					UnitBytes:   unitBytes,
+					TotalRounds: rounds,
+				}, D, rounds)
+				if err != nil {
+					return nil, fmt.Errorf("r1: %s/%s/%s: %w", sched.name, net.name, strat, err)
+				}
+				t.AddRow(sched.name, net.name, string(strat),
+					e.Migrations(), e.ComputeSeconds(), e.MigrationSeconds(), e.TotalSeconds())
+			}
+		}
+	}
+	return t, nil
+}
+
+// adaptiveAlphaOne is the drift-tracking model constructor: an adaptive
+// CPM that fully forgets, so the model is exactly the latest observation.
+func adaptiveAlphaOne() core.Model {
+	m, err := model.NewAdaptiveAlpha(1)
+	if err != nil {
+		panic(err) // alpha=1 is statically valid
+	}
+	return m
+}
+
+// runElasticRounds replays an iterative application: each round times
+// every device at its active share — consulting BaseTime exactly once per
+// device per round, so the drift schedules stay aligned across ranks —
+// and feeds the observation to the strategy.
+func runElasticRounds(devs []platform.Device, cfg dynamic.ElasticConfig, D, rounds int) (*dynamic.Elastic, error) {
+	e, err := dynamic.NewElastic(cfg, D, len(devs))
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rounds; r++ {
+		dist := e.Dist()
+		times := make([]float64, len(devs))
+		for i, dev := range devs {
+			times[i] = dev.BaseTime(float64(dist.Parts[i].D))
+		}
+		if _, err := e.Observe(times); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,122 @@
+package platform
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DriftSchedule maps the execution index of a device (1-based: the k-th
+// BaseTime consultation) to a slowdown factor. A factor of 1 is the
+// device's nominal speed, 2 doubles every execution time (a competing job
+// landed), 0.5 halves it (a job left). Schedules must return positive
+// factors.
+//
+// Schedules generalise the single-step Drift wrapper to the shapes a
+// shared platform actually produces; the elastic repartitioning
+// experiments drive always/never/cost-aware strategies through each of
+// them:
+//
+//   - StepSchedule: one permanent change (Drift's behaviour) — a job
+//     arrives and stays;
+//   - RampSchedule: a gradual slide between two speeds — load building
+//     up over time;
+//   - OscillatingSchedule: a square wave — a periodic competing job,
+//     the adversarial case for any policy that chases every change.
+type DriftSchedule func(call int) float64
+
+// StepSchedule returns the schedule equivalent of Drift: factor 1 for the
+// first after executions, then factor forever.
+func StepSchedule(after int, factor float64) (DriftSchedule, error) {
+	if after < 0 {
+		return nil, fmt.Errorf("platform: step schedule needs non-negative trigger, got %d", after)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("platform: step factor must be positive, got %g", factor)
+	}
+	return func(call int) float64 {
+		if call > after {
+			return factor
+		}
+		return 1
+	}, nil
+}
+
+// RampSchedule interpolates the factor linearly from 1 at execution start
+// to factor at execution end (and holds it after): performance degrading
+// — or recovering — gradually rather than in one step.
+func RampSchedule(start, end int, factor float64) (DriftSchedule, error) {
+	if start < 0 || end <= start {
+		return nil, fmt.Errorf("platform: ramp schedule needs 0 <= start < end, got [%d, %d]", start, end)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("platform: ramp factor must be positive, got %g", factor)
+	}
+	return func(call int) float64 {
+		switch {
+		case call <= start:
+			return 1
+		case call >= end:
+			return factor
+		default:
+			frac := float64(call-start) / float64(end-start)
+			return 1 + frac*(factor-1)
+		}
+	}, nil
+}
+
+// OscillatingSchedule returns a square wave: executions alternate between
+// nominal speed and factor in blocks of period (the first block is
+// nominal). It models a periodic competing job — the schedule on which
+// always-repartition pays migration on every flip.
+func OscillatingSchedule(period int, factor float64) (DriftSchedule, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("platform: oscillation period must be positive, got %d", period)
+	}
+	if factor <= 0 {
+		return nil, fmt.Errorf("platform: oscillation factor must be positive, got %g", factor)
+	}
+	return func(call int) float64 {
+		if ((call-1)/period)%2 == 1 {
+			return factor
+		}
+		return 1
+	}, nil
+}
+
+// ScheduledDrift wraps a device whose performance follows a DriftSchedule:
+// the k-th execution runs at the schedule's factor for k. It is the
+// generalisation of Drift from one permanent step to arbitrary drift
+// shapes; like Drift it violates the paper's dedicated-platform assumption
+// on purpose, so the elastic algorithms have something to adapt to.
+type ScheduledDrift struct {
+	// Inner is the underlying device.
+	Inner Device
+	// Schedule maps execution index to slowdown factor.
+	Schedule DriftSchedule
+
+	calls atomic.Int64
+}
+
+// NewScheduledDrift wraps dev so its executions follow the schedule.
+func NewScheduledDrift(dev Device, s DriftSchedule) (*ScheduledDrift, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("platform: scheduled drift needs a device")
+	}
+	if s == nil {
+		return nil, fmt.Errorf("platform: scheduled drift needs a schedule")
+	}
+	return &ScheduledDrift{Inner: dev, Schedule: s}, nil
+}
+
+// Name implements Device.
+func (d *ScheduledDrift) Name() string { return d.Inner.Name() }
+
+// BaseTime implements Device. Each call advances the schedule, so the k-th
+// execution of any kernel on this device runs at the k-th factor.
+func (d *ScheduledDrift) BaseTime(x float64) float64 {
+	n := d.calls.Add(1)
+	return d.Inner.BaseTime(x) * d.Schedule(int(n))
+}
+
+// Calls reports how many executions the device has served.
+func (d *ScheduledDrift) Calls() int { return int(d.calls.Load()) }

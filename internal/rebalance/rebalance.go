@@ -1,0 +1,339 @@
+// Package rebalance prices the cost of moving from one data distribution
+// to another and decides whether the move pays for itself.
+//
+// The partitioners in this repository assume a dedicated platform: measure
+// once, partition once, run to completion. On a shared or elastic platform
+// the measured speeds drift mid-run, and the question stops being "what is
+// the best distribution" and becomes "is the best distribution worth
+// moving to" — repartitioning means physically shipping every reassigned
+// unit's data across the network before the next round can start. The
+// self-adaptable-algorithms line (arXiv 1109.3074) treats that as a
+// first-class, cost-gated decision; this package implements the two halves
+// of the gate:
+//
+//   - Plan: the byte-movement plan between two block-contiguous
+//     distributions. Ranks own contiguous unit ranges in rank order, so
+//     the reassignment of every unit is forced by the prefix boundaries —
+//     the plan is the interval overlap of old and new ownership ranges,
+//     and it is minimal for this layout (a unit moves iff its owner
+//     changed; no plan can move fewer).
+//   - Decide: amortization. Migrating costs MigrationTime now and saves
+//     (old makespan − new makespan) on each of the remaining rounds; the
+//     policy migrates exactly when the amortized saving wins.
+//
+// Note the layout caveat: block-contiguity can force more movement than a
+// free assignment would need. old=[1,1,2] → new=[2,1,1] moves two units
+// (rank 1's unit shifts to rank 0 and one of rank 2's shifts to rank 1)
+// while an unconstrained matching could move one. The plan prices the
+// layout the kernels actually use, not the transportation lower bound.
+package rebalance
+
+import (
+	"fmt"
+	"sort"
+
+	"fupermod/internal/core"
+)
+
+// CommCost is the fragment of a fitted communication model the planner
+// needs: predicted seconds for a message of the given size in bytes.
+// commmodel's Hockney and LogGP satisfy it; like partition, this package
+// depends on the interface, not the package.
+type CommCost interface {
+	Time(bytes float64) float64
+}
+
+// LinkCost selects the communication model for the directed link from one
+// rank to another, letting heterogeneous fabrics price each pair
+// separately. It is only consulted for from != to.
+type LinkCost func(from, to int) CommCost
+
+// Uniform prices every link with the same model — the common case of a
+// single calibrated network.
+func Uniform(c CommCost) LinkCost {
+	return func(_, _ int) CommCost { return c }
+}
+
+// Move is one point-to-point transfer in a plan: Units contiguous units
+// travelling from rank From to rank To.
+type Move struct {
+	From  int
+	To    int
+	Units int
+}
+
+// Plan is the byte-movement plan between two block-contiguous
+// distributions over the same ranks and problem size.
+type Plan struct {
+	// UnitBytes is the wire size of one computation unit's data.
+	UnitBytes float64
+	// SendUnits[i] is the total units rank i ships out; RecvUnits[i] the
+	// total it takes in. Σ SendUnits == Σ RecvUnits == MovedUnits.
+	SendUnits []int
+	RecvUnits []int
+	// Moves lists every transfer, sorted by (From, To). Each pair appears
+	// at most once.
+	Moves []Move
+	// MovedUnits is the total units that change owner.
+	MovedUnits int
+}
+
+func validatePair(old, new *core.Dist) error {
+	if old == nil || new == nil {
+		return fmt.Errorf("rebalance: nil distribution")
+	}
+	if err := old.Validate(); err != nil {
+		return fmt.Errorf("rebalance: old distribution: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return fmt.Errorf("rebalance: new distribution: %w", err)
+	}
+	if len(old.Parts) != len(new.Parts) {
+		return fmt.Errorf("rebalance: old has %d ranks, new has %d", len(old.Parts), len(new.Parts))
+	}
+	if old.D != new.D {
+		return fmt.Errorf("rebalance: old distributes %d units, new %d", old.D, new.D)
+	}
+	return nil
+}
+
+// NewPlan computes the forced-minimal byte-movement plan between two
+// block-contiguous distributions: rank i owns the units in
+// [Σ_{j<i} d_j, Σ_{j≤i} d_j), and a unit moves exactly when its owning
+// interval changes rank. The plan is the pairwise overlap of old and new
+// ownership intervals, computed by a linear two-pointer sweep over the
+// prefix boundaries.
+func NewPlan(old, new *core.Dist, unitBytes float64) (*Plan, error) {
+	if err := validatePair(old, new); err != nil {
+		return nil, err
+	}
+	if unitBytes <= 0 {
+		return nil, fmt.Errorf("rebalance: unit bytes must be positive, got %g", unitBytes)
+	}
+	n := len(old.Parts)
+	p := &Plan{
+		UnitBytes: unitBytes,
+		SendUnits: make([]int, n),
+		RecvUnits: make([]int, n),
+	}
+	// Sweep both interval lists in unit order. i/j are the current old/new
+	// owners; lo is the first unit not yet attributed.
+	i, j, lo := 0, 0, 0
+	oldEnd, newEnd := 0, 0
+	for lo < old.D {
+		for oldEnd <= lo {
+			oldEnd += old.Parts[i].D
+			if oldEnd <= lo {
+				i++
+			}
+		}
+		for newEnd <= lo {
+			newEnd += new.Parts[j].D
+			if newEnd <= lo {
+				j++
+			}
+		}
+		hi := oldEnd
+		if newEnd < hi {
+			hi = newEnd
+		}
+		if units := hi - lo; i != j {
+			p.Moves = append(p.Moves, Move{From: i, To: j, Units: units})
+			p.SendUnits[i] += units
+			p.RecvUnits[j] += units
+			p.MovedUnits += units
+		}
+		lo = hi
+		if lo == oldEnd {
+			i++
+		}
+		if lo == newEnd {
+			j++
+		}
+	}
+	mergeMoves(p)
+	return p, nil
+}
+
+// NewPlanRef is the brute-force twin of NewPlan: it walks every unit,
+// finds its old and new owner by linear scan of the prefix sums, and
+// tallies the per-pair movement. For the block-contiguous layout each
+// unit's reassignment is forced, so this per-unit tally IS the min-cost
+// plan — it is the oracle the verify suite pins NewPlan against.
+func NewPlanRef(old, new *core.Dist, unitBytes float64) (*Plan, error) {
+	if err := validatePair(old, new); err != nil {
+		return nil, err
+	}
+	if unitBytes <= 0 {
+		return nil, fmt.Errorf("rebalance: unit bytes must be positive, got %g", unitBytes)
+	}
+	n := len(old.Parts)
+	owner := func(d *core.Dist, unit int) int {
+		end := 0
+		for r, part := range d.Parts {
+			end += part.D
+			if unit < end {
+				return r
+			}
+		}
+		return -1
+	}
+	pair := make(map[[2]int]int)
+	p := &Plan{
+		UnitBytes: unitBytes,
+		SendUnits: make([]int, n),
+		RecvUnits: make([]int, n),
+	}
+	for u := 0; u < old.D; u++ {
+		from, to := owner(old, u), owner(new, u)
+		if from != to {
+			pair[[2]int{from, to}]++
+			p.SendUnits[from]++
+			p.RecvUnits[to]++
+			p.MovedUnits++
+		}
+	}
+	for k, units := range pair {
+		p.Moves = append(p.Moves, Move{From: k[0], To: k[1], Units: units})
+	}
+	sortMoves(p.Moves)
+	return p, nil
+}
+
+// mergeMoves collapses duplicate (From, To) entries (the sweep can emit a
+// pair twice when interval boundaries interleave) and sorts the list.
+func mergeMoves(p *Plan) {
+	if len(p.Moves) < 2 {
+		return
+	}
+	sortMoves(p.Moves)
+	out := p.Moves[:1]
+	for _, m := range p.Moves[1:] {
+		last := &out[len(out)-1]
+		if m.From == last.From && m.To == last.To {
+			last.Units += m.Units
+		} else {
+			out = append(out, m)
+		}
+	}
+	p.Moves = out
+}
+
+func sortMoves(moves []Move) {
+	sort.Slice(moves, func(a, b int) bool {
+		if moves[a].From != moves[b].From {
+			return moves[a].From < moves[b].From
+		}
+		return moves[a].To < moves[b].To
+	})
+}
+
+// MigrationTime prices the plan: each move (from, to, units) costs
+// link(from, to).Time(units·UnitBytes) and occupies both endpoints for
+// that long; distinct pairs overlap. The migration finishes when the
+// busiest rank does, so the predicted wall time is the max over ranks of
+// the summed cost of the messages that rank sends or receives.
+func (p *Plan) MigrationTime(link LinkCost) (float64, error) {
+	if link == nil {
+		return 0, fmt.Errorf("rebalance: nil link cost")
+	}
+	busy := make([]float64, len(p.SendUnits))
+	for _, m := range p.Moves {
+		c := link(m.From, m.To)
+		if c == nil {
+			return 0, fmt.Errorf("rebalance: nil comm model for link %d->%d", m.From, m.To)
+		}
+		t := c.Time(float64(m.Units) * p.UnitBytes)
+		busy[m.From] += t
+		busy[m.To] += t
+	}
+	max := 0.0
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max, nil
+}
+
+// SendBytes returns the per-rank outbound bytes of the plan.
+func (p *Plan) SendBytes() []float64 {
+	out := make([]float64, len(p.SendUnits))
+	for i, u := range p.SendUnits {
+		out[i] = float64(u) * p.UnitBytes
+	}
+	return out
+}
+
+// RecvBytes returns the per-rank inbound bytes of the plan.
+func (p *Plan) RecvBytes() []float64 {
+	out := make([]float64, len(p.RecvUnits))
+	for i, u := range p.RecvUnits {
+		out[i] = float64(u) * p.UnitBytes
+	}
+	return out
+}
+
+// Decision is the output of Decide: migrate or keep, with both predicted
+// totals so callers (and tests) can audit the arithmetic. All times are
+// seconds.
+type Decision struct {
+	// Migrate is true when switching to the new distribution is predicted
+	// to finish the remaining rounds sooner, migration included.
+	Migrate bool
+	// Rounds is the expected number of remaining computation rounds the
+	// migration cost is amortized over.
+	Rounds int
+	// KeepPerRound and NewPerRound are the predicted per-round makespans
+	// of the old and new distributions (max predicted part time).
+	KeepPerRound float64
+	NewPerRound  float64
+	// MigrationTime is the predicted wall time of executing Plan.
+	MigrationTime float64
+	// KeepTotal = Rounds·KeepPerRound; MigrateTotal = MigrationTime +
+	// Rounds·NewPerRound. Gain = KeepTotal − MigrateTotal (positive means
+	// migrating wins).
+	KeepTotal    float64
+	MigrateTotal float64
+	Gain         float64
+	// Plan is the priced byte-movement plan.
+	Plan *Plan
+}
+
+// Decide amortizes the migration cost over the expected remaining rounds:
+// keep the old distribution (paying its makespan every round) or migrate
+// (paying the byte movement once, then the new makespan every round).
+// Both distributions must carry predicted part times — Decide compares
+// their MaxTime — and rounds must be positive.
+func Decide(old, new *core.Dist, link LinkCost, unitBytes float64, rounds int) (*Decision, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("rebalance: rounds must be positive, got %d", rounds)
+	}
+	plan, err := NewPlan(old, new, unitBytes)
+	if err != nil {
+		return nil, err
+	}
+	keepPer, newPer := old.MaxTime(), new.MaxTime()
+	if keepPer <= 0 {
+		return nil, fmt.Errorf("rebalance: old distribution carries no predicted times (makespan %g)", keepPer)
+	}
+	if newPer <= 0 {
+		return nil, fmt.Errorf("rebalance: new distribution carries no predicted times (makespan %g)", newPer)
+	}
+	mig, err := plan.MigrationTime(link)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decision{
+		Rounds:        rounds,
+		KeepPerRound:  keepPer,
+		NewPerRound:   newPer,
+		MigrationTime: mig,
+		KeepTotal:     float64(rounds) * keepPer,
+		MigrateTotal:  mig + float64(rounds)*newPer,
+		Plan:          plan,
+	}
+	d.Gain = d.KeepTotal - d.MigrateTotal
+	d.Migrate = d.Gain > 0
+	return d, nil
+}

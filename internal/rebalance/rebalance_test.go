@@ -1,0 +1,329 @@
+package rebalance
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fupermod/internal/core"
+)
+
+// dist builds a Dist from part sizes, with optional per-part predicted
+// times.
+func dist(t *testing.T, sizes []int, times ...[]float64) *core.Dist {
+	t.Helper()
+	d := &core.Dist{Parts: make([]core.Part, len(sizes))}
+	for i, s := range sizes {
+		d.Parts[i].D = s
+		d.D += s
+	}
+	if len(times) > 0 {
+		if len(times[0]) != len(sizes) {
+			t.Fatalf("bad test: %d times for %d parts", len(times[0]), len(sizes))
+		}
+		for i, tt := range times[0] {
+			d.Parts[i].Time = tt
+		}
+	}
+	return d
+}
+
+// linear is a pure-bandwidth comm model: rate seconds per byte.
+type linear struct{ rate float64 }
+
+func (l linear) Time(bytes float64) float64 { return l.rate * bytes }
+
+func TestPlanIdentityMovesNothing(t *testing.T) {
+	d := dist(t, []int{3, 5, 2})
+	p, err := NewPlan(d, d.Copy(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MovedUnits != 0 || len(p.Moves) != 0 {
+		t.Fatalf("identity plan moved %d units via %v", p.MovedUnits, p.Moves)
+	}
+	mig, err := p.MigrationTime(Uniform(linear{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig != 0 {
+		t.Fatalf("identity migration time %g, want 0", mig)
+	}
+}
+
+// TestPlanContiguityForcesMovement pins the worked example from the
+// package doc: old=[1,1,2] → new=[2,1,1] must move TWO units under the
+// block-contiguous layout (unit 1: rank1→rank0, unit 2: rank2→rank1),
+// even though a free assignment could satisfy the size change by moving
+// one. The plan prices the layout, not the transportation bound.
+func TestPlanContiguityForcesMovement(t *testing.T) {
+	p, err := NewPlan(dist(t, []int{1, 1, 2}), dist(t, []int{2, 1, 1}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMoves := []Move{{From: 1, To: 0, Units: 1}, {From: 2, To: 1, Units: 1}}
+	if !reflect.DeepEqual(p.Moves, wantMoves) {
+		t.Errorf("moves %v, want %v", p.Moves, wantMoves)
+	}
+	if p.MovedUnits != 2 {
+		t.Errorf("moved %d units, want 2", p.MovedUnits)
+	}
+	if want := []int{0, 1, 1}; !reflect.DeepEqual(p.SendUnits, want) {
+		t.Errorf("send units %v, want %v", p.SendUnits, want)
+	}
+	if want := []int{1, 1, 0}; !reflect.DeepEqual(p.RecvUnits, want) {
+		t.Errorf("recv units %v, want %v", p.RecvUnits, want)
+	}
+	// Rank 1 is on both moves (sends 4 bytes to 0, receives 4 from 2), so
+	// its messages serialize: busy 8 s at 1 s/byte sets the wall time.
+	mig, err := p.MigrationTime(Uniform(linear{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig != 8 {
+		t.Errorf("migration time %g, want 8 (rank 1 serializes both moves)", mig)
+	}
+}
+
+// TestPlanDisjointPairsOverlap: transfers between disjoint rank pairs run
+// concurrently — the wall time is one message, not the sum.
+func TestPlanDisjointPairsOverlap(t *testing.T) {
+	// old=[2,0,2,0] → new=[0,2,0,2]: 0→1 and 2→3, no shared endpoint.
+	p, err := NewPlan(dist(t, []int{2, 0, 2, 0}), dist(t, []int{0, 2, 0, 2}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMoves := []Move{{From: 0, To: 1, Units: 2}, {From: 2, To: 3, Units: 2}}
+	if !reflect.DeepEqual(p.Moves, wantMoves) {
+		t.Fatalf("moves %v, want %v", p.Moves, wantMoves)
+	}
+	mig, err := p.MigrationTime(Uniform(linear{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig != 6 {
+		t.Errorf("migration time %g, want 6 (disjoint pairs overlap)", mig)
+	}
+}
+
+// TestPlanSharedEndpointSerializes: when one rank is on both ends of the
+// traffic, its messages serialize and it sets the migration wall time.
+func TestPlanSharedEndpointSerializes(t *testing.T) {
+	// old=[4,0,0] → new=[0,2,2]: rank 0 sends 2 units to each of 1 and 2.
+	p, err := NewPlan(dist(t, []int{4, 0, 0}), dist(t, []int{0, 2, 2}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMoves := []Move{{From: 0, To: 1, Units: 2}, {From: 0, To: 2, Units: 2}}
+	if !reflect.DeepEqual(p.Moves, wantMoves) {
+		t.Fatalf("moves %v, want %v", p.Moves, wantMoves)
+	}
+	mig, err := p.MigrationTime(Uniform(linear{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 ships 2·2 bytes then 2·2 bytes: busy 8 s; receivers 4 s each.
+	if mig != 8 {
+		t.Errorf("migration time %g, want 8 (sender serializes)", mig)
+	}
+}
+
+func TestPlanPerLinkPricing(t *testing.T) {
+	p, err := NewPlan(dist(t, []int{1, 1, 2}), dist(t, []int{2, 1, 1}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the 2→1 link ten times slower than 1→0. Rank 1 pays both: the
+	// 1-byte send to rank 0 (1 s) plus the slow 1-byte receive from rank 2
+	// (10 s) → 11 s busy.
+	link := func(from, to int) CommCost {
+		if from == 2 {
+			return linear{10}
+		}
+		return linear{1}
+	}
+	mig, err := p.MigrationTime(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig != 11 {
+		t.Errorf("migration time %g, want 11 (slow link charged to rank 1)", mig)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	ok := dist(t, []int{2, 2})
+	cases := []struct {
+		name      string
+		old, new  *core.Dist
+		unitBytes float64
+	}{
+		{"nil old", nil, ok, 1},
+		{"nil new", ok, nil, 1},
+		{"rank mismatch", ok, dist(t, []int{2, 1, 1}), 1},
+		{"size mismatch", ok, dist(t, []int{3, 2}), 1},
+		{"zero unit bytes", ok, ok, 0},
+		{"negative unit bytes", ok, ok, -4},
+		{"invalid dist", ok, &core.Dist{D: 5, Parts: []core.Part{{D: 1}, {D: 1}}}, 1},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlan(tc.old, tc.new, tc.unitBytes); err == nil {
+			t.Errorf("%s: NewPlan succeeded, want error", tc.name)
+		}
+		if _, err := NewPlanRef(tc.old, tc.new, tc.unitBytes); err == nil {
+			t.Errorf("%s: NewPlanRef succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestPlanMatchesRef is the in-package differential: the sweep plan must
+// equal the brute-force per-unit oracle exactly — moves, totals, and
+// per-rank volumes — over random distribution pairs including zero-size
+// parts. (The verify suite runs the same comparison as diff-rebalance.)
+func TestPlanMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	randDist := func(D, n int) *core.Dist {
+		d := &core.Dist{D: D, Parts: make([]core.Part, n)}
+		left := D
+		for i := 0; i < n-1; i++ {
+			// Biased draw so zero parts show up often.
+			v := 0
+			if rng.Intn(4) > 0 && left > 0 {
+				v = rng.Intn(left + 1)
+			}
+			d.Parts[i].D = v
+			left -= v
+		}
+		d.Parts[n-1].D = left
+		return d
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		D := rng.Intn(40)
+		old, new := randDist(D, n), randDist(D, n)
+		got, err := NewPlan(old, new, 3)
+		if err != nil {
+			t.Fatalf("trial %d: NewPlan(%v -> %v): %v", trial, old.Sizes(), new.Sizes(), err)
+		}
+		want, err := NewPlanRef(old, new, 3)
+		if err != nil {
+			t.Fatalf("trial %d: NewPlanRef: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got.SendUnits, want.SendUnits) ||
+			!reflect.DeepEqual(got.RecvUnits, want.RecvUnits) ||
+			got.MovedUnits != want.MovedUnits ||
+			!movesEqual(got.Moves, want.Moves) {
+			t.Fatalf("trial %d: plan mismatch for %v -> %v:\n got %+v\nwant %+v",
+				trial, old.Sizes(), new.Sizes(), got, want)
+		}
+	}
+}
+
+func movesEqual(a, b []Move) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecideAmortizes(t *testing.T) {
+	// Old runs a round in 10 s, new in 6 s; migrating ships 5 units of
+	// 8 bytes from rank 0 to rank 1 at 1 s/byte = 40 s.
+	old := dist(t, []int{10, 5}, []float64{10, 5})
+	new := dist(t, []int{5, 10}, []float64{5, 6})
+
+	// 5 rounds: keep = 50, migrate = 40 + 30 = 70 → keep.
+	d, err := Decide(old, new, Uniform(linear{1}), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migrate {
+		t.Errorf("5 rounds: migrated (gain %g), want keep", d.Gain)
+	}
+	if d.KeepTotal != 50 || d.MigrateTotal != 70 || d.MigrationTime != 40 {
+		t.Errorf("5 rounds: keep=%g migrate=%g mig=%g, want 50/70/40", d.KeepTotal, d.MigrateTotal, d.MigrationTime)
+	}
+
+	// 20 rounds: keep = 200, migrate = 40 + 120 = 160 → migrate.
+	d, err = Decide(old, new, Uniform(linear{1}), 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Migrate {
+		t.Errorf("20 rounds: kept (gain %g), want migrate", d.Gain)
+	}
+	if d.Gain != 40 {
+		t.Errorf("20 rounds: gain %g, want 40", d.Gain)
+	}
+	if d.Plan == nil || d.Plan.MovedUnits != 5 {
+		t.Errorf("decision plan %+v, want 5 moved units", d.Plan)
+	}
+
+	// Break-even is a keep: gain must be strictly positive to migrate.
+	// keep = rounds·10, migrate = 40 + rounds·6 → equal at rounds = 10.
+	d, err = Decide(old, new, Uniform(linear{1}), 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migrate || d.Gain != 0 {
+		t.Errorf("break-even: migrate=%v gain=%g, want keep with gain 0", d.Migrate, d.Gain)
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	old := dist(t, []int{2, 2}, []float64{1, 1})
+	new := dist(t, []int{3, 1}, []float64{1.5, 0.5})
+	if _, err := Decide(old, new, Uniform(linear{1}), 8, 0); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+	if _, err := Decide(old, new, Uniform(linear{1}), 8, -3); err == nil {
+		t.Error("negative rounds accepted")
+	}
+	if _, err := Decide(dist(t, []int{2, 2}), new, Uniform(linear{1}), 8, 5); err == nil {
+		t.Error("old dist without times accepted")
+	}
+	if _, err := Decide(old, dist(t, []int{3, 1}), Uniform(linear{1}), 8, 5); err == nil {
+		t.Error("new dist without times accepted")
+	}
+	if _, err := Decide(old, new, nil, 8, 5); err == nil {
+		t.Error("nil link cost accepted")
+	}
+	if _, err := Decide(old, new, func(_, _ int) CommCost { return nil }, 8, 5); err == nil {
+		t.Error("nil per-link model accepted")
+	}
+}
+
+func TestSendRecvBytes(t *testing.T) {
+	p, err := NewPlan(dist(t, []int{1, 1, 2}), dist(t, []int{2, 1, 1}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 4, 4}; !reflect.DeepEqual(p.SendBytes(), want) {
+		t.Errorf("send bytes %v, want %v", p.SendBytes(), want)
+	}
+	if want := []float64{4, 4, 0}; !reflect.DeepEqual(p.RecvBytes(), want) {
+		t.Errorf("recv bytes %v, want %v", p.RecvBytes(), want)
+	}
+}
+
+// TestMigrationTimeFinite guards against NaN/Inf sneaking out of odd but
+// legal inputs (empty plans, single-rank dists).
+func TestMigrationTimeFinite(t *testing.T) {
+	p, err := NewPlan(dist(t, []int{7}), dist(t, []int{7}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := p.MigrationTime(Uniform(linear{1e9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(mig) || math.IsInf(mig, 0) || mig != 0 {
+		t.Fatalf("single-rank migration time %g, want 0", mig)
+	}
+}

@@ -247,6 +247,7 @@ func (sh *shard) sweepKey(tenant string, key ModelKey, sizes []int) (string, []c
 		var serr error
 		pts, serr = core.Sweep(k, sizes, sh.precision)
 		sh.stats.sweepNanos.Add(int64(time.Since(start)))
+		sh.stats.sweepsDone.Add(1)
 		return serr
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package modelstore
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"sync"
 
@@ -90,7 +91,13 @@ type flight struct {
 //
 // ctx bounds only the wait of a joining caller; the leader's sweep is
 // bounded by whatever context the sweep closure itself observes.
-func (s *Store) Fill(ctx context.Context, k Key, sweep func() (kernel string, pts []core.Point, err error)) (Entry, FillInfo, error) {
+//
+// A panicking sweep is contained: the leader converts it into an error,
+// deregisters the flight and wakes every joiner. Letting it unwind
+// uncontained would leak the flight entry forever — every waiting and
+// future caller of the key would block on a fill that can no longer
+// finish.
+func (s *Store) Fill(ctx context.Context, k Key, sweep func() (kernel string, pts []core.Point, err error)) (ent Entry, info FillInfo, err error) {
 	if err := k.Validate(); err != nil {
 		return Entry{}, FillInfo{}, err
 	}
@@ -121,15 +128,24 @@ func (s *Store) Fill(ctx context.Context, k Key, sweep func() (kernel string, pt
 	s.flights[id] = f
 	s.flightMu.Unlock()
 
+	// Deregister before publishing, however the leader exits: callers
+	// arriving after this point start a fresh flight and hit the spilled
+	// file on disk (or retry the sweep if the fill failed); callers
+	// already waiting share this result. A recovered panic becomes the
+	// flight's error so joiners observe the failure and the next caller
+	// elects itself a fresh leader.
+	defer func() {
+		if r := recover(); r != nil {
+			f.entry, f.info = Entry{}, FillInfo{}
+			f.err = fmt.Errorf("modelstore: fill leader panicked: %v", r)
+			ent, info, err = f.entry, f.info, f.err
+		}
+		s.flightMu.Lock()
+		delete(s.flights, id)
+		s.flightMu.Unlock()
+		close(f.done)
+	}()
 	f.entry, f.info, f.err = s.fillLeader(k, sweep)
-
-	// Deregister before publishing: callers arriving after this point start
-	// a fresh flight and hit the spilled file on disk (or retry the sweep
-	// if the fill failed); callers already waiting share this result.
-	s.flightMu.Lock()
-	delete(s.flights, id)
-	s.flightMu.Unlock()
-	close(f.done)
 	return f.entry, f.info, f.err
 }
 

@@ -126,6 +126,81 @@ func TestFillSingleFlightAcrossCallers(t *testing.T) {
 	}
 }
 
+// TestFillLeaderPanicWakesJoiners is the regression test for the leaked
+// flight: a panicking sweep used to unwind straight through Fill without
+// deregistering the flight or closing its done channel, hanging every
+// concurrent joiner and poisoning the key for the rest of the process —
+// all later callers joined the dead flight too. The leader must convert
+// the panic into an error, every joiner must observe it promptly, and the
+// next caller must lead a fresh, successful fill.
+func TestFillLeaderPanicWakesJoiners(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("fill", "cpu-panic")
+
+	boom := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.Fill(context.Background(), k, func() (string, []core.Point, error) {
+			<-boom // hold the flight open until the joiners are waiting
+			panic("sweep exploded")
+		})
+		leaderErr <- err
+	}()
+	// Wait for the leader's flight to register, then pile joiners on it.
+	for {
+		s.flightMu.Lock()
+		n := len(s.flights)
+		s.flightMu.Unlock()
+		if n > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	const joiners = 8
+	joinErrs := make(chan error, joiners)
+	for i := 0; i < joiners; i++ {
+		go func() {
+			_, _, err := s.Fill(context.Background(), k, func() (string, []core.Point, error) {
+				return "kern", fillPoints(), nil
+			})
+			joinErrs <- err
+		}()
+	}
+	close(boom)
+
+	// The leader reports the contained panic...
+	if err := <-leaderErr; err == nil || err.Error() != "modelstore: fill leader panicked: sweep exploded" {
+		t.Fatalf("leader error = %v, want the contained panic", err)
+	}
+	// ...and every joiner is woken with an error instead of hanging (their
+	// contexts have no deadline: only the closed flight can unblock them).
+	// A joiner that arrived after the flight died leads its own fill and
+	// succeeds — both outcomes are fine; a hang is the bug.
+	for i := 0; i < joiners; i++ {
+		if err := <-joinErrs; err != nil && err.Error() != "modelstore: fill leader panicked: sweep exploded" {
+			t.Fatalf("joiner %d: unexpected error %v", i, err)
+		}
+	}
+
+	// The key is not poisoned: the next caller elects itself leader and
+	// the healthy sweep lands.
+	ent, info, err := s.Fill(context.Background(), k, func() (string, []core.Point, error) {
+		return "kern", fillPoints(), nil
+	})
+	if err != nil {
+		t.Fatalf("fill after a contained panic: %v", err)
+	}
+	if info.Source != SourceSwept && info.Source != SourceDisk {
+		t.Fatalf("source = %v after a contained panic", info.Source)
+	}
+	if len(ent.Points) != len(fillPoints()) {
+		t.Fatalf("entry carries %d points, want %d", len(ent.Points), len(fillPoints()))
+	}
+}
+
 func TestFillHealsCorruptEntry(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

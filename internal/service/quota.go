@@ -87,10 +87,15 @@ func (sh *shard) rejectQuota(tenant string) error {
 }
 
 // retryAfterSecs is the mean observed sweep duration rounded up to whole
-// seconds, at least 1.
+// seconds, at least 1. The mean divides by *completed* sweeps only:
+// dividing by started sweeps (as this used to) counts every in-flight
+// sweep's zero nanoseconds, biasing the estimate toward the 1s floor
+// exactly when the shard is busiest — the moment the estimate matters.
 func (sh *shard) retryAfterSecs() int {
-	n := sh.stats.sweeps.Load()
+	n := sh.stats.sweepsDone.Load()
 	if n <= 0 {
+		// Nothing has completed yet (cold shard, or every sweep still in
+		// flight): there is no observed time scale, only the floor.
 		return 1
 	}
 	avg := time.Duration(sh.stats.sweepNanos.Load() / n)

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fupermod/internal/core"
+	"fupermod/internal/dynamic"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/pool"
+	"fupermod/internal/rebalance"
+)
+
+// /v1/rebalance is the elastic-repartitioning decision as a service: the
+// client has been running its current distribution for a while, the
+// platform drifted underneath it, and it asks whether moving to the
+// distribution the drift'd measurements suggest is worth the bytes. Like
+// /v1/balance the computation is a stateless replay — the observation
+// history travels in the request — so identical requests get identical
+// decisions on any shard of any replica, and the whole run batches under
+// the op-prefixed "reb|" key.
+
+// RebalanceRequest asks for a cost-gated repartitioning decision. The
+// observed iterations must all have been measured under Units, the
+// distribution currently in use.
+type RebalanceRequest struct {
+	Tenant string `json:"tenant"`
+	// N is the process count, D the total problem size.
+	N int `json:"n"`
+	D int `json:"d"`
+	// Units is the current (old) distribution, one entry per process,
+	// summing to D.
+	Units []int `json:"units"`
+	// Iterations holds the observed per-process compute times measured
+	// under Units, oldest first, each of length N. The drift the client
+	// wants priced is in here.
+	Iterations [][]float64 `json:"iterations"`
+	// Model is the partial-model kind fed with the observations; empty
+	// selects the adaptive CPM (the drift-tracking choice).
+	Model string `json:"model,omitempty"`
+	// Algorithm is the partitioner proposing the new distribution; empty
+	// selects geometric.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Rounds is the expected number of remaining computation rounds the
+	// migration cost is amortized over.
+	Rounds int `json:"rounds"`
+	// UnitBytes is the wire size of one computation unit's data — what a
+	// reassigned unit costs to ship.
+	UnitBytes float64 `json:"unit_bytes"`
+	// Comm selects the calibrated network model pricing the migration
+	// links (net/op/model; its bytes_per_unit plays no role here — the
+	// migration payload is UnitBytes).
+	Comm *CommSpec `json:"comm"`
+}
+
+// MovePayload is one priced transfer of the migration plan.
+type MovePayload struct {
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Units int     `json:"units"`
+	Bytes float64 `json:"bytes"`
+}
+
+// RebalanceResponse returns the decision, the plan, and every priced cost
+// that produced it. It is a pure function of the request.
+type RebalanceResponse struct {
+	Algorithm string `json:"algorithm"`
+	Model     string `json:"model"`
+	D         int    `json:"d"`
+	N         int    `json:"n"`
+	// OldUnits echoes the request's distribution; NewUnits is the
+	// partitioner's proposal from the drift'd observations.
+	OldUnits []int `json:"old_units"`
+	NewUnits []int `json:"new_units"`
+	// Migrate is the verdict; the remaining fields are the arithmetic
+	// behind it (all times in seconds).
+	Migrate       bool    `json:"migrate"`
+	Rounds        int     `json:"rounds"`
+	KeepPerRoundS float64 `json:"keep_per_round_s"`
+	NewPerRoundS  float64 `json:"new_per_round_s"`
+	MigrationS    float64 `json:"migration_s"`
+	KeepTotalS    float64 `json:"keep_total_s"`
+	MigrateTotalS float64 `json:"migrate_total_s"`
+	GainS         float64 `json:"gain_s"`
+	// The byte-movement plan: per-rank volumes and the move list.
+	MovedUnits int           `json:"moved_units"`
+	Moves      []MovePayload `json:"moves,omitempty"`
+	SendBytes  []float64     `json:"send_bytes"`
+	RecvBytes  []float64     `json:"recv_bytes"`
+	// Comm fingerprints the calibrated link model that priced the plan.
+	Comm string `json:"comm"`
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) error {
+	var req RebalanceRequest
+	if err := decode(w, r, &req); err != nil {
+		return err
+	}
+	if req.N <= 0 || req.N > MaxDevices {
+		return badRequest("process count n=%d must be in [1, %d]", req.N, MaxDevices)
+	}
+	if req.D < req.N {
+		return badRequest("problem size d=%d smaller than process count %d", req.D, req.N)
+	}
+	if len(req.Units) != req.N {
+		return badRequest("units has %d entries for %d processes", len(req.Units), req.N)
+	}
+	sum := 0
+	for i, u := range req.Units {
+		if u < 0 {
+			return badRequest("units[%d] = %d is negative", i, u)
+		}
+		sum += u
+	}
+	if sum != req.D {
+		return badRequest("units sum to %d, want d=%d", sum, req.D)
+	}
+	if len(req.Iterations) == 0 {
+		return badRequest("at least one observed iteration is required")
+	}
+	for i, times := range req.Iterations {
+		if len(times) != req.N {
+			return badRequest("iteration %d has %d times for %d processes", i, len(times), req.N)
+		}
+		for j, t := range times {
+			if t < 0 || math.IsInf(t, 0) || math.IsNaN(t) {
+				return badRequest("iteration %d process %d: time %g must be finite and non-negative", i, j, t)
+			}
+			if req.Units[j] > 0 && t == 0 {
+				return badRequest("iteration %d process %d: zero time for a loaded process", i, j)
+			}
+		}
+	}
+	if req.Rounds <= 0 {
+		return badRequest("rounds must be positive, got %d", req.Rounds)
+	}
+	if req.UnitBytes <= 0 || math.IsInf(req.UnitBytes, 0) || math.IsNaN(req.UnitBytes) {
+		return badRequest("unit_bytes %g must be finite and positive", req.UnitBytes)
+	}
+	if req.Comm == nil {
+		return badRequest("a comm spec is required: the decision prices bytes on a network")
+	}
+	kind := req.Model
+	if kind == "" {
+		kind = model.KindAdaptive
+	}
+	if _, err := model.New(kind); err != nil {
+		return badRequest("%v", err)
+	}
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "geometric"
+	}
+	algo, err := partition.ByName(algorithm)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	tenant := TenantOf(req.Tenant)
+	sh, err := s.shardFor(tenant)
+	if err != nil {
+		return err
+	}
+	link, commTag, err := sh.commModel(*req.Comm, req.N)
+	if err != nil {
+		return asRequestError(err, "comm: %v", err)
+	}
+
+	bkey := rebalanceBatchKey(tenant, &req, kind, algorithm, commTag)
+	v, err := sh.batched(bkey, func() (any, error) {
+		var resp *RebalanceResponse
+		// The replay is pure computation (model updates, one solver call,
+		// the plan sweep); one pool slot bounds it like any other solve.
+		err := pool.Do(sh.ctx, sh.pool, func(context.Context) error {
+			sh.stats.rebalanceRuns.Add(1)
+			var rerr error
+			resp, rerr = solveRebalance(&req, kind, algorithm, algo, link, commTag)
+			return rerr
+		})
+		return resp, err
+	})
+	if err != nil {
+		return asRequestError(err, "%v", err)
+	}
+	return writeJSON(w, v.(*RebalanceResponse))
+}
+
+// solveRebalance is the pure library path of the endpoint: replay the
+// observations into partial models, propose, plan, price, decide. The
+// cross-replica differential calls exactly this sequence directly.
+func solveRebalance(req *RebalanceRequest, kind, algorithm string, algo core.Partitioner, link rebalance.CommCost, commTag string) (*RebalanceResponse, error) {
+	old := &core.Dist{D: req.D, Parts: make([]core.Part, req.N)}
+	for i, u := range req.Units {
+		old.Parts[i].D = u
+	}
+	models := make([]core.Model, req.N)
+	for i := range models {
+		m, err := model.New(kind)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	for it, times := range req.Iterations {
+		for i, t := range times {
+			if req.Units[i] <= 0 {
+				continue // an unloaded process measured nothing
+			}
+			if err := models[i].Update(core.Point{D: req.Units[i], Time: t, Reps: 1}); err != nil {
+				return nil, fmt.Errorf("iteration %d: updating model %d: %w", it, i, err)
+			}
+		}
+	}
+	proposal, err := algo.Partition(models, req.D)
+	if err != nil {
+		return nil, fmt.Errorf("proposing: %w", err)
+	}
+	oldPred, err := dynamic.PredictTimes(models, old)
+	if err != nil {
+		return nil, fmt.Errorf("predicting current makespan: %w", err)
+	}
+	newPred, err := dynamic.PredictTimes(models, proposal)
+	if err != nil {
+		return nil, fmt.Errorf("predicting proposed makespan: %w", err)
+	}
+	dec, err := rebalance.Decide(oldPred, newPred, rebalance.Uniform(link), req.UnitBytes, req.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	newUnits := make([]int, req.N)
+	for i, p := range proposal.Parts {
+		newUnits[i] = p.D
+	}
+	moves := make([]MovePayload, len(dec.Plan.Moves))
+	for i, m := range dec.Plan.Moves {
+		moves[i] = MovePayload{From: m.From, To: m.To, Units: m.Units, Bytes: float64(m.Units) * dec.Plan.UnitBytes}
+	}
+	return &RebalanceResponse{
+		Algorithm:     algorithm,
+		Model:         kind,
+		D:             req.D,
+		N:             req.N,
+		OldUnits:      append([]int(nil), req.Units...),
+		NewUnits:      newUnits,
+		Migrate:       dec.Migrate,
+		Rounds:        dec.Rounds,
+		KeepPerRoundS: dec.KeepPerRound,
+		NewPerRoundS:  dec.NewPerRound,
+		MigrationS:    dec.MigrationTime,
+		KeepTotalS:    dec.KeepTotal,
+		MigrateTotalS: dec.MigrateTotal,
+		GainS:         dec.Gain,
+		MovedUnits:    dec.Plan.MovedUnits,
+		Moves:         moves,
+		SendBytes:     dec.Plan.SendBytes(),
+		RecvBytes:     dec.Plan.RecvBytes(),
+		Comm:          commTag,
+	}, nil
+}
+
+// rebalanceBatchKey fingerprints a full decision, observation history and
+// priced network included.
+func rebalanceBatchKey(tenant string, req *RebalanceRequest, kind, algorithm, commTag string) string {
+	var b strings.Builder
+	b.WriteString("reb|")
+	b.WriteString(tenant)
+	fmt.Fprintf(&b, "|%d|%d|%s|%s|%d|%s|%s", req.N, req.D, kind, algorithm, req.Rounds,
+		strconv.FormatFloat(req.UnitBytes, 'g', -1, 64), commTag)
+	b.WriteByte('|')
+	for i, u := range req.Units {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(u))
+	}
+	for _, times := range req.Iterations {
+		b.WriteByte('|')
+		for j, t := range times {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}

@@ -64,6 +64,7 @@ func diffCorpus() []diffCase {
 			{1.4, 1.5, 1.6},
 		},
 	}
+	rebal := rebalanceReq("eta")
 	defaultTenant := MeasureRequest{
 		// The empty tenant canonicalises to "default" — it must land on
 		// the same shard, and produce the same bytes, on every topology.
@@ -89,6 +90,10 @@ func diffCorpus() []diffCase {
 		{name: "partition/delta-comm", path: "/v1/partition", req: partComm},
 		{name: "dynpart/epsilon", path: "/v1/dynpart", req: dynpart},
 		{name: "balance/zeta", path: "/v1/balance", req: balance},
+		{
+			name: "rebalance/eta", path: "/v1/rebalance", req: rebal,
+			direct: func(t *testing.T) []byte { return directRebalanceBytes(t, rebal) },
+		},
 		{name: "measure/default-tenant", path: "/v1/measure", req: defaultTenant},
 	}
 }

@@ -34,6 +34,7 @@
 //	POST /v1/partition  distribute D units over a set of devices
 //	POST /v1/dynpart    model-free dynamic partitioning (paper §4.4)
 //	POST /v1/balance    replay observed iteration times through the balancer
+//	POST /v1/rebalance  cost-gated elastic repartitioning decision + plan
 //	POST /v1/machine    upload a machine file describing a tenant's devices
 //	GET  /stats         merged + per-shard request/cache/store/quota counters
 //	GET  /healthz       liveness probe
@@ -119,6 +120,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/partition", s.instrument(s.handlePartition))
 	mux.HandleFunc("/v1/dynpart", s.instrument(s.handleDynpart))
 	mux.HandleFunc("/v1/balance", s.instrument(s.handleBalance))
+	mux.HandleFunc("/v1/rebalance", s.instrument(s.handleRebalance))
 	mux.HandleFunc("/v1/machine", s.instrument(s.handleMachine))
 	mux.HandleFunc("/stats", s.instrument(s.handleStats))
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))

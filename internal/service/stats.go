@@ -18,8 +18,9 @@ type shardStats struct {
 	cacheCoalesced atomic.Int64 // request joined an in-flight fill (single-flight)
 	cacheEvictions atomic.Int64 // entries dropped by the LRU bound
 
-	sweeps     atomic.Int64 // benchmark sweeps actually executed
-	sweepNanos atomic.Int64 // cumulative wall time of those sweeps
+	sweeps     atomic.Int64 // benchmark sweeps started
+	sweepsDone atomic.Int64 // benchmark sweeps completed (wall time recorded)
+	sweepNanos atomic.Int64 // cumulative wall time of the completed sweeps
 
 	storeLoaded  atomic.Int64 // entries preloaded from the disk store at start
 	storeHits    atomic.Int64 // fills served from the disk store (no sweep)
@@ -35,6 +36,7 @@ type shardStats struct {
 
 	dynpartRuns    atomic.Int64 // dynamic-partition runs actually executed
 	balanceRuns    atomic.Int64 // balance replays actually executed
+	rebalanceRuns  atomic.Int64 // rebalance decisions actually computed
 	machineUploads atomic.Int64 // machine files accepted
 
 	quotaRejections atomic.Int64 // requests rejected by the per-tenant quota
@@ -73,6 +75,7 @@ func (s *shardStats) counters() ShardCounters {
 		CommCalibrations: s.commCalibrations.Load(),
 		DynpartRuns:      s.dynpartRuns.Load(),
 		BalanceRuns:      s.balanceRuns.Load(),
+		RebalanceRuns:    s.rebalanceRuns.Load(),
 		MachineUploads:   s.machineUploads.Load(),
 		QuotaRejections:  s.quotaRejections.Load(),
 	}
@@ -163,9 +166,10 @@ type ShardCounters struct {
 	CommCalibrations int64 `json:"comm_calibrations"`
 
 	// Dynamic-endpoint counters: model-free partition runs, balance
-	// replays, and accepted machine-file uploads.
+	// replays, rebalance decisions, and accepted machine-file uploads.
 	DynpartRuns    int64 `json:"dynpart_runs"`
 	BalanceRuns    int64 `json:"balance_runs"`
+	RebalanceRuns  int64 `json:"rebalance_runs"`
 	MachineUploads int64 `json:"machine_uploads"`
 
 	// QuotaRejections counts requests rejected by the per-tenant
@@ -192,6 +196,7 @@ func (c *ShardCounters) add(o ShardCounters) {
 	c.CommCalibrations += o.CommCalibrations
 	c.DynpartRuns += o.DynpartRuns
 	c.BalanceRuns += o.BalanceRuns
+	c.RebalanceRuns += o.RebalanceRuns
 	c.MachineUploads += o.MachineUploads
 	c.QuotaRejections += o.QuotaRejections
 	if len(o.QuotaRejectionsByTenant) > 0 {

@@ -1,0 +1,152 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+
+	"fupermod/internal/commmodel"
+	"fupermod/internal/core"
+	"fupermod/internal/pool"
+	"fupermod/internal/rebalance"
+)
+
+// runDiffRebalance differentials the migration planner on small random
+// redistribution pairs: the two-pointer prefix sweep must agree move for
+// move with the per-unit reference scan, and the plan's byte totals must
+// respect the brute-force minimum of a free (non-contiguous) min-cost
+// matching — the contiguous layout may force strictly more movement, never
+// less, and per-rank net flow must equal the distribution delta exactly.
+func runDiffRebalance(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 14))
+	link := rebalance.Uniform(&commmodel.Hockney{Alpha: 50e-6, Beta: 1 / 118e6})
+	var checks []check
+	for round := 0; round < opts.rounds(); round++ {
+		for trial := 0; trial < 40; trial++ {
+			n := 2 + rng.Intn(5)
+			D := rng.Intn(41)
+			if D < n {
+				D = n + rng.Intn(20)
+			}
+			old := randomRedistribution(rng, D, n)
+			new_ := randomRedistribution(rng, D, n)
+			if trial%7 == 0 {
+				new_ = old.Copy() // identity pairs must plan zero movement
+			}
+			unitBytes := []float64{1, 8, 64}[rng.Intn(3)]
+			checks = append(checks, func() ([]Violation, error) {
+				return checkRebalancePlan(old, new_, unitBytes, link)
+			})
+		}
+	}
+	return runChecks(ctx, p, checks)
+}
+
+// randomRedistribution composes D units over n ranks uniformly at random,
+// with a bias toward starved (zero-unit) ranks — the hard case for a
+// prefix sweep.
+func randomRedistribution(rng *rand.Rand, D, n int) *core.Dist {
+	d := &core.Dist{D: D, Parts: make([]core.Part, n)}
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		if rng.Intn(4) == 0 {
+			weights[i] = 0 // starved rank
+		} else {
+			weights[i] = rng.Float64() + 0.05
+		}
+		total += weights[i]
+	}
+	if total == 0 {
+		weights[rng.Intn(n)] = 1
+		total = 1
+	}
+	assigned := 0
+	for i := range d.Parts {
+		share := int(math.Floor(float64(D) * weights[i] / total))
+		d.Parts[i].D = share
+		assigned += share
+	}
+	// Hand out the rounding remainder one unit at a time.
+	for i := 0; assigned < D; i = (i + 1) % n {
+		if weights[i] > 0 || assigned+n >= D+n { // keep zeros zero when possible
+			d.Parts[i].D++
+			assigned++
+		}
+	}
+	return d
+}
+
+// freeMatchingMoved is the brute-force minimum of a min-cost matching when
+// units are freely relabelable (no contiguity): every rank keeps
+// min(old, new) of its units, so only the surplus moves.
+func freeMatchingMoved(old, new_ *core.Dist) int {
+	moved := 0
+	for i := range old.Parts {
+		if s := new_.Parts[i].D - old.Parts[i].D; s > 0 {
+			moved += s
+		}
+	}
+	return moved
+}
+
+func checkRebalancePlan(old, new_ *core.Dist, unitBytes float64, link rebalance.LinkCost) ([]Violation, error) {
+	ctxStr := fmt.Sprintf("old=%v new=%v unitBytes=%g", old.Sizes(), new_.Sizes(), unitBytes)
+	plan, err := rebalance.NewPlan(old, new_, unitBytes)
+	if err != nil {
+		return []Violation{{Check: "diff-rebalance", Algo: "plan", Detail: fmt.Sprintf("%s: %v", ctxStr, err)}}, nil
+	}
+	ref, err := rebalance.NewPlanRef(old, new_, unitBytes)
+	if err != nil {
+		return nil, fmt.Errorf("reference plan: %s: %w", ctxStr, err)
+	}
+	var vs []Violation
+	if !reflect.DeepEqual(plan, ref) {
+		vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+			Detail: fmt.Sprintf("%s: sweep %+v != reference %+v", ctxStr, plan, ref)})
+	}
+	// Contiguity can force extra movement, never save any: the free
+	// min-cost matching is a hard lower bound, and an identity pair needs
+	// no movement at all.
+	if lower := freeMatchingMoved(old, new_); plan.MovedUnits < lower {
+		vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+			Detail: fmt.Sprintf("%s: moved %d units below the free-matching minimum %d", ctxStr, plan.MovedUnits, lower)})
+	} else if lower == 0 && plan.MovedUnits != 0 {
+		vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+			Detail: fmt.Sprintf("%s: identity redistribution moved %d units", ctxStr, plan.MovedUnits)})
+	}
+	// Byte totals: Σ send = Σ recv = moved × unitBytes, and each rank's
+	// net flow equals its distribution delta.
+	send, recv := plan.SendBytes(), plan.RecvBytes()
+	sendSum, recvSum := 0.0, 0.0
+	for i := range send {
+		sendSum += send[i]
+		recvSum += recv[i]
+		net := (recv[i] - send[i]) / unitBytes
+		if want := float64(new_.Parts[i].D - old.Parts[i].D); net != want {
+			vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+				Detail: fmt.Sprintf("%s: rank %d net flow %g units, want %g", ctxStr, i, net, want)})
+		}
+	}
+	if want := float64(plan.MovedUnits) * unitBytes; sendSum != want || recvSum != want {
+		vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+			Detail: fmt.Sprintf("%s: byte totals send=%g recv=%g, want %g", ctxStr, sendSum, recvSum, want)})
+	}
+	// The priced migration is finite, non-negative, and zero only for an
+	// empty plan (the link model has positive latency).
+	mig, err := plan.MigrationTime(link)
+	if err != nil {
+		return nil, fmt.Errorf("migration time: %s: %w", ctxStr, err)
+	}
+	if math.IsNaN(mig) || math.IsInf(mig, 0) || mig < 0 {
+		vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+			Detail: fmt.Sprintf("%s: migration time %g", ctxStr, mig)})
+	}
+	if (mig == 0) != (len(plan.Moves) == 0) {
+		vs = append(vs, Violation{Check: "diff-rebalance", Algo: "plan",
+			Detail: fmt.Sprintf("%s: migration time %g with %d moves", ctxStr, mig, len(plan.Moves))})
+	}
+	return vs, nil
+}

@@ -176,6 +176,7 @@ func Run(opts Options) (*Report, error) {
 		{"diff-constant", runDiffConstant},
 		{"diff-smooth", runDiffSmooth},
 		{"diff-comm", runDiffComm},
+		{"diff-rebalance", runDiffRebalance},
 	}
 	if !opts.SkipDynamic {
 		sections = append(sections, sectionFn{"diff-dynamic", runDiffDynamic})
