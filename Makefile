@@ -6,7 +6,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route rebalance commmodel verify perf-smoke update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route rebalance transfer commmodel verify perf-smoke update-golden
 
 all: tier1
 
@@ -14,10 +14,10 @@ all: tier1
 tier1: build test
 
 ## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
-## gate, the routing-tier gate, the rebalancing gate, the
-## communication-model gate, the verification suite and the perf-suite
-## smoke
-tier2: tier1 vet race fuzz-smoke service route rebalance commmodel verify perf-smoke
+## gate, the routing-tier gate, the rebalancing gate, the model-transfer
+## gate, the communication-model gate, the verification suite and the
+## perf-suite smoke
+tier2: tier1 vet race fuzz-smoke service route rebalance transfer commmodel verify perf-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,16 @@ route:
 rebalance:
 	$(GO) vet ./internal/rebalance ./internal/dynamic ./internal/platform
 	$(GO) test -race -count=1 ./internal/rebalance ./internal/dynamic ./internal/platform
+
+## transfer: vet + race-test the cross-device model-transfer subsystem —
+## the transfer package itself, the diff-transfer differential battery in
+## internal/verify, and the service/CLI wiring (-count=1: the concurrent
+## cold-start-storm test asserts one transfer flight per key under live
+## scheduling, which a cached pass would not exercise)
+transfer:
+	$(GO) vet ./internal/transfer
+	$(GO) test -race -count=1 ./internal/transfer
+	$(GO) test -race -count=1 -run 'Transfer|DiffTransfer' ./internal/verify ./internal/service ./cmd/fupermod-serve ./cmd/fupermod-bench
 
 ## commmodel: vet + race-test the communication models and their CLI
 ## (-count=1: the calibration determinism tests assert serial-vs-parallel

@@ -22,7 +22,12 @@
 // fupermod-serve uses: a sweep already present under the key (device, seed,
 // noise, grid, precision) is reused instead of re-measured, and fresh sweeps
 // are spilled for the next run — so bench and a server pointed at one
-// directory share a warm measurement database.
+// directory share a warm measurement database. Adding -transfer warm-starts
+// a cold key from the store's nearest-fingerprint donor curve: a few probes
+// plus active sampling replace the full sweep, the synthesized points are
+// spilled with transfer provenance, and the run reports probes-used versus
+// the full grid. When no stored curve matches, the run falls back to the
+// ordinary full sweep.
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"fupermod/internal/model"
 	"fupermod/internal/platform"
 	"fupermod/internal/service/modelstore"
+	"fupermod/internal/transfer"
 )
 
 func main() {
@@ -76,19 +82,50 @@ func run(args []string, stdout io.Writer) error {
 		machine    = fs.String("machine", "", "benchmark every device of this machine file (group-synchronized per node)")
 		outDir     = fs.String("outdir", "points", "output directory for -machine mode")
 		storeDir   = fs.String("store-dir", "", "model store directory shared with fupermod-serve: reuse a stored sweep, spill fresh ones")
+		doTransfer = fs.Bool("transfer", false, "warm-start a cold store key from the store's nearest-fingerprint donor curve instead of a full sweep (requires -store-dir)")
+		trProbes   = fs.Int("transfer-probes", transfer.DefaultProbes, "initial probe count per transfer attempt")
+		trBudget   = fs.Int("transfer-budget", 0, "benchmark-call budget per transfer (0 = a quarter of the grid)")
+		trTol      = fs.Float64("transfer-tol", transfer.DefaultTol, "convergence tolerance on donor/interpolant disagreement")
 		perf       = fs.Bool("perf", false, "run the tracked perf suite and write a BENCH_<n>.json snapshot to -o (default stdout)")
 		diffMode   = fs.Bool("diff", false, "with -perf: diff two snapshot files (positional: OLD.json NEW.json), non-zero exit on regression")
+		trendMode  = fs.Bool("trend", false, "with -perf: tabulate per-benchmark ns/op across snapshot files (positional: BENCH_1.json BENCH_2.json ...)")
 		benchtime  = fs.String("benchtime", "", "with -perf: time per benchmark in -test.benchtime syntax, e.g. 1x or 100ms (default 1s)")
 		threshold  = fs.Float64("threshold", 1.30, "with -perf -diff: ratio past which a slowdown is a regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Transfer options are validated unconditionally: a non-positive probe
+	// count or tolerance is a typo whichever mode runs.
+	if *trProbes <= 0 {
+		return fmt.Errorf("-transfer-probes must be positive, got %d", *trProbes)
+	}
+	if *trBudget < 0 {
+		return fmt.Errorf("-transfer-budget must be non-negative (0 = a quarter of the grid), got %d", *trBudget)
+	}
+	if *trTol <= 0 {
+		return fmt.Errorf("-transfer-tol must be positive, got %g", *trTol)
+	}
+	if *doTransfer && *storeDir == "" {
+		return errors.New("-transfer requires -store-dir (the store is the donor pool)")
+	}
+	if *doTransfer && *machine != "" {
+		return errors.New("-transfer is incompatible with -machine (group benchmarks do not use the store)")
+	}
+	if *diffMode && *trendMode {
+		return errors.New("-diff and -trend are mutually exclusive")
+	}
 	if *diffMode {
 		if !*perf {
 			return errors.New("-diff requires -perf")
 		}
 		return runDiff(fs.Args(), *threshold, stdout)
+	}
+	if *trendMode {
+		if !*perf {
+			return errors.New("-trend requires -perf")
+		}
+		return runTrend(fs.Args(), stdout)
 	}
 	if *perf {
 		return runPerf(*out, *benchtime, stdout)
@@ -112,9 +149,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var (
-		k       core.Kernel
-		devName string
-		err     error
+		k        core.Kernel
+		devName  string
+		err      error
+		mkKernel func() (core.Kernel, error) // fresh virtual kernel per call
 	)
 	switch *kernelKind {
 	case "virtual":
@@ -126,8 +164,14 @@ func run(args []string, stdout io.Writer) error {
 		if *noise > 0 {
 			cfg = platform.NoiseConfig{Rel: *noise, OutlierP: 0.02, OutlierScale: 0.5}
 		}
-		meter := platform.NewMeter(dev, cfg, *seed)
-		k, err = kernels.NewVirtual("gemm-b128", meter, 2*128*128*128)
+		// Each kernel gets its own meter: the noise meter draws
+		// perturbations in measurement order, so transfer probes run on a
+		// throwaway kernel — a fallback full sweep on the pristine one is
+		// then byte-identical to a run without -transfer.
+		mkKernel = func() (core.Kernel, error) {
+			return kernels.NewVirtual("gemm-b128", platform.NewMeter(dev, cfg, *seed), 2*128*128*128)
+		}
+		k, err = mkKernel()
 		devName = dev.Name()
 	case "gemm":
 		k, err = kernels.NewGEMM(*blockB)
@@ -185,7 +229,32 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "store: reusing %d points from %s\n", len(pts), store.Path(storeKey))
 		}
 	}
-	if !fromStore {
+	transferred := false
+	if !fromStore && *doTransfer {
+		probeKernel, kerr := mkKernel()
+		if kerr != nil {
+			return kerr
+		}
+		cfg := transfer.Config{Probes: *trProbes, Budget: *trBudget, Tol: *trTol}
+		res, terr := tryTransfer(store, storeKey, probeKernel, sizes, prec, cfg)
+		if terr != nil {
+			return terr
+		}
+		if res.Fallback == "" {
+			pts = res.Points
+			transferred = true
+			prov := fmt.Sprintf("donor=%s scale=%.6g probes=%d/%d maxdiff=%.3g",
+				res.Donor, res.Scale, res.Measured, len(sizes), res.MaxDisagree)
+			if err := store.PutTransfer(storeKey, k.Name(), pts, prov); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "transfer: %s — %d of %d grid sizes benchmarked, full sweep avoided\n",
+				prov, res.Measured, len(sizes))
+		} else {
+			fmt.Fprintf(os.Stderr, "transfer: falling back to the full sweep: %s\n", res.Fallback)
+		}
+	}
+	if !fromStore && !transferred {
 		if pts, err = core.SweepParallel(k, sizes, prec, *workers); err != nil {
 			return err
 		}
@@ -216,6 +285,22 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(os.Stderr, "measured %d points (%.3gs of kernel time)\n",
 		len(pts), core.BenchmarkCost(pts))
 	return nil
+}
+
+// tryTransfer attempts a warm start for a cold store key: rank the store's
+// full-sweep curves against k's initial probes, rescale the nearest one and
+// actively sample until tolerance or budget. An unreadable or empty donor
+// pool is a reason to fall back, never an error — the full sweep always
+// works.
+func tryTransfer(store *modelstore.Store, key modelstore.Key, k core.Kernel, sizes []int, prec core.Precision, cfg transfer.Config) (*transfer.Result, error) {
+	donors, err := store.DonorPool(key)
+	if err != nil {
+		return &transfer.Result{Fallback: fmt.Sprintf("donor pool unreadable: %v", err)}, nil
+	}
+	if len(donors) == 0 {
+		return &transfer.Result{Fallback: "the store has no donor curves"}, nil
+	}
+	return transfer.Acquire(sizes, core.NewProber(k, prec), transfer.Pool(donors, 0), cfg)
 }
 
 // benchMachine benchmarks every device of a machine file, node by node

@@ -38,6 +38,21 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-lo", "100", "-hi", "10", "-noise", "0"}, &sb); err == nil {
 		t.Error("inverted size grid should error")
 	}
+	// Transfer options: non-positive values and inconsistent combinations
+	// are usage errors, validated whichever mode runs.
+	for _, args := range [][]string{
+		{"-transfer"}, // no store to draw donors from
+		{"-transfer-probes", "0"},
+		{"-transfer-probes", "-2"},
+		{"-transfer-budget", "-1"},
+		{"-transfer-tol", "0"},
+		{"-transfer-tol", "-0.1"},
+		{"-transfer", "-store-dir", t.TempDir(), "-machine", "nope.machine"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
 }
 
 func TestRunHelpDevices(t *testing.T) {
@@ -186,6 +201,81 @@ func TestRunStoreHealsCorruptEntry(t *testing.T) {
 	}
 	if !bytes.Equal(healed, data) {
 		t.Error("fresh spill did not heal the torn entry")
+	}
+}
+
+// TestRunTransferWarmStart: a full-sweep run seeds the store; a second run
+// under a different key with -transfer must warm-start from it, spill the
+// synthesized points with provenance, and still emit a full-grid points
+// file.
+func TestRunTransferWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-kernel", "virtual", "-device", "fast",
+		"-lo", "16", "-hi", "60000", "-n", "40", "-noise", "0",
+		"-min-reps", "1", "-max-reps", "1", "-store-dir", dir}
+	var donor bytes.Buffer
+	if err := run(base, &donor); err != nil {
+		t.Fatal(err)
+	}
+
+	var warm bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-seed", "2", "-transfer"), &warm); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := model.ReadPoints(bytes.NewReader(warm.Bytes()))
+	if err != nil {
+		t.Fatalf("transferred output is not a valid points file: %v", err)
+	}
+	if len(pf.Points) != 40 {
+		t.Errorf("transferred run emitted %d points, want the full 40-size grid", len(pf.Points))
+	}
+
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := modelstore.Key{
+		Tenant: "default", Device: "fast",
+		Seed: 2, Noise: 0, Lo: 16, Hi: 60000, N: 40,
+		Prec: modelstore.EncodePrecision(core.Precision{
+			MinReps: 1, MaxReps: 1, Confidence: 0.95, RelErr: 0.03, MaxSeconds: 300,
+		}),
+	}
+	ent, ok, err := store.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("warm run did not spill: ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(ent.Transfer, "donor=") || !strings.Contains(ent.Transfer, "probes=") {
+		t.Errorf("spilled entry provenance %q should name the donor and probe count", ent.Transfer)
+	}
+	measured := 0
+	for _, p := range ent.Points {
+		if p.Reps > 0 {
+			measured++
+		}
+	}
+	if measured == 0 || measured > 10 {
+		t.Errorf("transfer benchmarked %d sizes, want 1..10 (a quarter of the grid)", measured)
+	}
+}
+
+// TestRunTransferEmptyStoreFallsBack: with nothing to warm-start from, a
+// -transfer run must produce byte-identical output to a plain run — the
+// fallback sweep runs on a pristine kernel.
+func TestRunTransferEmptyStoreFallsBack(t *testing.T) {
+	base := []string{"-kernel", "virtual", "-device", "fast",
+		"-lo", "16", "-hi", "60000", "-n", "40", "-noise", "0.05",
+		"-min-reps", "1", "-max-reps", "1"}
+	var plain bytes.Buffer
+	if err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	var fell bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-store-dir", t.TempDir(), "-transfer"), &fell); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fell.Bytes(), plain.Bytes()) {
+		t.Errorf("empty-store fallback diverged from a plain run:\n%s\nvs\n%s", fell.String(), plain.String())
 	}
 }
 

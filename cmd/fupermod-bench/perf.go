@@ -10,11 +10,14 @@ package main
 //	fupermod-bench -perf -o BENCH_7.json             # full 1s/benchmark run
 //	fupermod-bench -perf -benchtime 1x               # CI smoke: one iteration each
 //	fupermod-bench -perf -diff BENCH_6.json BENCH_7.json -threshold 1.3
+//	fupermod-bench -perf -trend BENCH_*.json         # cumulative ns/op table
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"fupermod/internal/bench"
@@ -22,6 +25,7 @@ import (
 	"fupermod/internal/experiments"
 	"fupermod/internal/kernels"
 	"fupermod/internal/platform"
+	"fupermod/internal/trace"
 )
 
 // perfSuite is the full tracked suite: the hot-path micro-benchmarks plus
@@ -108,6 +112,50 @@ func loadSnapshot(path string) (*bench.Snapshot, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return s, nil
+}
+
+// runTrend tabulates every tracked benchmark's ns/op across a sequence of
+// snapshot files in argument order — the committed BENCH_<n>.json series —
+// with a final column of last-over-first ratios. "-" marks snapshots a
+// benchmark is absent from and ratios over fewer than two tracked points.
+func runTrend(args []string, stdout io.Writer) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: fupermod-bench -perf -trend BENCH_1.json BENCH_2.json ... (got %d positional arguments)", len(args))
+	}
+	snaps := make([]*bench.Snapshot, len(args))
+	cols := []string{"benchmark"}
+	for i, path := range args {
+		s, err := loadSnapshot(path)
+		if err != nil {
+			return err
+		}
+		snaps[i] = s
+		cols = append(cols, filepath.Base(path))
+	}
+	rows, err := bench.Trend(snaps)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("Performance trend (ns/op)", append(cols, "ratio")...)
+	t.Note = "ratio = last tracked ns/op over first tracked; below 1.00x got faster"
+	for _, r := range rows {
+		cells := []any{r.Name}
+		for _, ns := range r.NsPerOp {
+			if math.IsNaN(ns) {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.4g", ns))
+			}
+		}
+		if math.IsNaN(r.Ratio) {
+			cells = append(cells, "-")
+		} else {
+			cells = append(cells, fmt.Sprintf("%.2fx", r.Ratio))
+		}
+		t.AddRow(cells...)
+	}
+	_, err = t.WriteTo(stdout)
+	return err
 }
 
 // runDiff compares two snapshot files and fails (non-zero exit through

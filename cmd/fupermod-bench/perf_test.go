@@ -99,6 +99,54 @@ func TestPerfDiffUsageErrors(t *testing.T) {
 	}
 }
 
+// TestPerfTrendTable: -perf -trend renders the per-benchmark ns/op table
+// across the snapshot sequence with "-" for untracked cells and a ratio
+// column over each benchmark's tracked span.
+func TestPerfTrendTable(t *testing.T) {
+	dir := t.TempDir()
+	s1 := diffSnapshot("core/oracle")
+	s2 := diffSnapshot("core/oracle", "transfer/acquire")
+	m := s2.Benchmarks["core/oracle"]
+	m.NsPerOp = 500
+	s2.Benchmarks["core/oracle"] = m
+	p1 := writeSnapshot(t, dir, "BENCH_1.json", s1)
+	p2 := writeSnapshot(t, dir, "BENCH_2.json", s2)
+
+	var sb strings.Builder
+	if err := run([]string{"-perf", "-trend", p1, p2}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BENCH_1.json", "BENCH_2.json", // columns are the file basenames
+		"core/oracle", "0.50x", // 1000 -> 500 halved
+		"transfer/acquire", // appears mid-sequence ...
+		"-",                // ... so its first cell and its ratio are untracked
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerfTrendUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeSnapshot(t, dir, "ok.json", diffSnapshot("a/x"))
+	var sb strings.Builder
+	if err := run([]string{"-trend", ok, ok}, &sb); err == nil {
+		t.Error("-trend without -perf should error")
+	}
+	if err := run([]string{"-perf", "-trend", ok}, &sb); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("one positional arg should be a usage error, got %v", err)
+	}
+	if err := run([]string{"-perf", "-diff", "-trend", ok, ok}, &sb); err == nil {
+		t.Error("-diff with -trend should error")
+	}
+	if err := run([]string{"-perf", "-trend", filepath.Join(dir, "missing.json"), ok}, &sb); err == nil {
+		t.Error("nonexistent snapshot should error")
+	}
+}
+
 func TestPerfDiffMalformedSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	ok := writeSnapshot(t, dir, "ok.json", diffSnapshot("a/x"))

@@ -53,6 +53,13 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-quota-slots", "1", "-quota-weight", "team-a"},   // missing =w
 		{"-quota-slots", "1", "-quota-weight", "team-a=0"}, // weight < 1
 		{"-quota-slots", "1", "-quota-weight", "=2"},       // empty tenant
+		{"-transfer"},                                      // transfer without a store
+		{"-transfer-probes", "0"},                          // non-positive, with -transfer off
+		{"-transfer-probes", "-2"},
+		{"-transfer-budget", "-1"},
+		{"-transfer-tol", "0"},
+		{"-transfer-tol", "-0.5"},
+		{"-transfer-tol", "x"}, // non-numeric
 	}
 	for _, args := range cases {
 		var out syncBuffer
@@ -148,6 +155,45 @@ func TestRunServesAndDrains(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunBootsWithTransfer: the -transfer flag set reaches the service and
+// a transfer-enabled server starts, serves and drains cleanly.
+func TestRunBootsWithTransfer(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-workers", "2",
+			"-store-dir", t.TempDir(), "-transfer", "-transfer-budget", "12",
+		}, &out)
+	}()
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not report a listen address; output: %q", out.String())
+		}
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("transfer-enabled server failed to drain: %v", err)
 	}
 }
 

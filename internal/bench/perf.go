@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -206,6 +207,70 @@ func Diff(old, new *Snapshot, threshold float64) ([]Regression, error) {
 		}
 	}
 	return regs, nil
+}
+
+// TrendRow is one benchmark's trajectory across a snapshot sequence.
+type TrendRow struct {
+	// Name is the benchmark's snapshot key.
+	Name string
+	// NsPerOp holds one entry per input snapshot, in input order; NaN
+	// marks snapshots the benchmark is absent from (not yet tracked, or
+	// since dropped).
+	NsPerOp []float64
+	// Ratio is last tracked ns/op over first tracked ns/op — below 1 the
+	// benchmark got faster over the sequence, above 1 slower. NaN when the
+	// benchmark was tracked fewer than twice or a tracked ns/op is zero.
+	Ratio float64
+}
+
+// Trend lines up two or more snapshots — the committed BENCH_<n>.json
+// sequence — into per-benchmark trajectories, sorted by name. Unlike Diff
+// it gates nothing: it is the reading companion to the regression gate,
+// answering "how did each hot path move across the PR sequence". The union
+// of benchmark names is reported, so coverage added or dropped mid-sequence
+// shows up as NaN runs rather than vanishing.
+func Trend(snaps []*Snapshot) ([]TrendRow, error) {
+	if len(snaps) < 2 {
+		return nil, fmt.Errorf("bench: trend needs at least 2 snapshots, got %d", len(snaps))
+	}
+	names := make(map[string]bool)
+	for i, s := range snaps {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: trend snapshot %d: %w", i, err)
+		}
+		for name := range s.Benchmarks {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	rows := make([]TrendRow, 0, len(sorted))
+	for _, name := range sorted {
+		row := TrendRow{Name: name, NsPerOp: make([]float64, len(snaps)), Ratio: math.NaN()}
+		first, last := math.NaN(), math.NaN()
+		tracked := 0
+		for i, s := range snaps {
+			m, ok := s.Benchmarks[name]
+			if !ok {
+				row.NsPerOp[i] = math.NaN()
+				continue
+			}
+			row.NsPerOp[i] = m.NsPerOp
+			if tracked == 0 {
+				first = m.NsPerOp
+			}
+			last = m.NsPerOp
+			tracked++
+		}
+		if tracked >= 2 && first > 0 {
+			row.Ratio = last / first
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // PerfBenchmark is one tracked micro-benchmark of the perf suite.

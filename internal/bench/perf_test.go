@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -249,6 +250,74 @@ func TestDiff(t *testing.T) {
 // b.ReportAllocs(), so allocation stats are real for the whole suite even
 // when a benchmark body forgets to ask for them — the property the
 // committed trajectory relies on for allocs/op comparisons.
+func TestTrend(t *testing.T) {
+	setNs := func(s *Snapshot, name string, ns float64) {
+		m := s.Benchmarks[name]
+		m.NsPerOp = ns
+		s.Benchmarks[name] = m
+	}
+
+	t.Run("rejects short or invalid sequences", func(t *testing.T) {
+		if _, err := Trend(nil); err == nil {
+			t.Error("nil sequence should error")
+		}
+		if _, err := Trend([]*Snapshot{validSnapshot("a/x")}); err == nil {
+			t.Error("single snapshot should error")
+		}
+		bad := validSnapshot("a/x")
+		bad.Schema = 99
+		if _, err := Trend([]*Snapshot{validSnapshot("a/x"), bad}); !errors.Is(err, ErrSchemaMismatch) {
+			t.Errorf("invalid snapshot in sequence: err = %v, want schema mismatch", err)
+		}
+	})
+
+	t.Run("union rows with ratios over tracked span", func(t *testing.T) {
+		// a/x tracked throughout and halves; b/y appears mid-sequence;
+		// c/z is dropped after the first snapshot (tracked once -> NaN ratio).
+		s1 := validSnapshot("a/x", "c/z")
+		setNs(s1, "a/x", 200)
+		s2 := validSnapshot("a/x", "b/y")
+		setNs(s2, "a/x", 150)
+		setNs(s2, "b/y", 80)
+		s3 := validSnapshot("a/x", "b/y")
+		setNs(s3, "a/x", 100)
+		setNs(s3, "b/y", 120)
+
+		rows, err := Trend([]*Snapshot{s1, s2, s3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("got %d rows, want 3 (union of names)", len(rows))
+		}
+		byName := map[string]TrendRow{}
+		for _, r := range rows {
+			byName[r.Name] = r
+		}
+		ax := byName["a/x"]
+		if want := []float64{200, 150, 100}; !reflect.DeepEqual(ax.NsPerOp, want) {
+			t.Errorf("a/x series = %v, want %v", ax.NsPerOp, want)
+		}
+		if ax.Ratio != 0.5 {
+			t.Errorf("a/x ratio = %g, want 0.5", ax.Ratio)
+		}
+		by := byName["b/y"]
+		if !math.IsNaN(by.NsPerOp[0]) || by.NsPerOp[1] != 80 || by.NsPerOp[2] != 120 {
+			t.Errorf("b/y series = %v, want [NaN 80 120]", by.NsPerOp)
+		}
+		if by.Ratio != 1.5 {
+			t.Errorf("b/y ratio = %g, want 1.5 (last tracked over first tracked)", by.Ratio)
+		}
+		cz := byName["c/z"]
+		if !math.IsNaN(cz.Ratio) {
+			t.Errorf("c/z tracked once: ratio = %g, want NaN", cz.Ratio)
+		}
+		if rows[0].Name != "a/x" || rows[1].Name != "b/y" || rows[2].Name != "c/z" {
+			t.Errorf("rows not sorted by name: %v %v %v", rows[0].Name, rows[1].Name, rows[2].Name)
+		}
+	})
+}
+
 func TestRunPerfReportsAllocs(t *testing.T) {
 	var escape []byte // package-scope-like sink: forces the slice to heap
 	suite := []PerfBenchmark{{

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"fupermod/internal/platform"
 	"fupermod/internal/service"
 	"fupermod/internal/service/modelstore"
+	"fupermod/internal/transfer"
 	"fupermod/internal/verify"
 )
 
@@ -45,6 +47,8 @@ func PerfSuite() []PerfBenchmark {
 		{Name: "modelstore/decode-ref", F: benchStoreDecode(modelstore.DecodeRef)},
 		{Name: "modelstore/load", F: benchStoreLoad((*modelstore.Store).Load)},
 		{Name: "modelstore/load-ref", F: benchStoreLoad((*modelstore.Store).LoadRef)},
+		{Name: "transfer/acquire", F: benchTransferAcquire},
+		{Name: "transfer/similar", F: benchTransferSimilar},
 	}
 }
 
@@ -254,6 +258,66 @@ func benchStoreDecode(decode func(string, []byte) (modelstore.Entry, error)) fun
 			}
 			sink += float64(len(e.Points))
 		}
+	}
+}
+
+// transferProcs generates n heterogeneous monotone processes — the donor
+// curves of the transfer benchmarks.
+func transferProcs(n int) []verify.Proc {
+	return verify.NewGen(7).Platform(n, verify.MonotoneShapes()...)
+}
+
+// transferDonorPool samples each process over the standard 40-size grid.
+func transferDonorPool(procs []verify.Proc) []transfer.Donor {
+	sizes := core.LogSizes(16, 60000, 40)
+	donors := make([]transfer.Donor, len(procs))
+	for i, p := range procs {
+		pts := make([]core.Point, len(sizes))
+		for j, d := range sizes {
+			pts[j] = core.Point{D: d, Time: math.Max(p.Time(float64(d)), 1e-12), Reps: 1}
+		}
+		donors[i] = transfer.Donor{ID: p.Name, Points: pts}
+	}
+	return donors
+}
+
+// benchTransferAcquire measures the full warm-start probe loop — initial
+// probes, candidate ranking and gating, active sampling, synthesis — over
+// an 8-donor pool with a guaranteed match (the target is donor 0 at half
+// speed), the cold-key path a transfer-enabled server pays per tenant.
+func benchTransferAcquire(b *testing.B) {
+	sizes := core.LogSizes(16, 60000, 40)
+	procs := transferProcs(8)
+	src := transfer.Pool(transferDonorPool(procs), 0)
+	prober := func(d int) (core.Point, error) {
+		return core.Point{D: d, Time: math.Max(procs[0].Time(float64(d))*2, 1e-12), Reps: 1}, nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := transfer.Acquire(sizes, prober, src, transfer.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fallback != "" {
+			b.Fatalf("unexpected fallback: %s", res.Fallback)
+		}
+		sink += res.Scale
+	}
+}
+
+// benchTransferSimilar measures the curve-similarity search: fingerprint
+// the probes and rank a 32-curve donor pool by shape distance.
+func benchTransferSimilar(b *testing.B) {
+	donors := transferDonorPool(transferProcs(32))
+	full := donors[5].Points
+	probes := []core.Point{full[0], full[13], full[26], full[39]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands := transfer.Rank(donors, probes, 4)
+		if len(cands) == 0 {
+			b.Fatal("similarity search returned no candidates")
+		}
+		sink += cands[0].Distance
 	}
 }
 

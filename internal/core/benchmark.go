@@ -93,9 +93,34 @@ func BenchmarkCost(points []Point) float64 {
 // Sweep benchmarks the kernel at each of the given sizes and returns the
 // points in the same order. It stops at the first error.
 func Sweep(k Kernel, sizes []int, prec Precision) ([]Point, error) {
+	return ProbeSweep(NewProber(k, prec), sizes)
+}
+
+// Prober measures a single problem size and returns its point. It is the
+// unit the probe-driven acquisition paths (internal/transfer's active
+// sampling, ProbeSweep) are expressed over: a sweep is just a prober
+// applied to a whole grid, while transfer applies the same prober to a few
+// chosen sizes.
+type Prober func(d int) (Point, error)
+
+// NewProber adapts a kernel and a precision policy into a Prober. Each
+// call is one Benchmark run — on virtual kernels with measurement noise
+// the meter draws in call order, so two probers over the same kernel
+// instance interleave their noise streams.
+func NewProber(k Kernel, prec Precision) Prober {
+	return func(d int) (Point, error) {
+		return Benchmark(k, d, prec)
+	}
+}
+
+// ProbeSweep runs the prober over each of the given sizes and returns the
+// points in the same order, stopping at the first error — Sweep's
+// prefix-and-error contract expressed over an arbitrary measurement
+// source.
+func ProbeSweep(probe Prober, sizes []int) ([]Point, error) {
 	pts := make([]Point, 0, len(sizes))
 	for _, d := range sizes {
-		p, err := Benchmark(k, d, prec)
+		p, err := probe(d)
 		if err != nil {
 			return pts, err
 		}

@@ -164,8 +164,11 @@ func (sh *shard) fill(tenant string, e *entry) {
 	}
 	sk, stored := sh.storeKey(tenant, key)
 	if stored {
-		ent, info, err := sh.store.Fill(sh.ctx, sk, func() (string, []core.Point, error) {
-			return sh.sweepKey(tenant, key, sizes)
+		ent, info, err := sh.store.FillProv(sh.ctx, sk, func() (modelstore.Swept, error) {
+			if sh.transfer {
+				return sh.acquireKey(tenant, key, sizes, sk)
+			}
+			return sh.sweptKey(tenant, key, sizes)
 		})
 		if info.Corrupt {
 			// Torn or damaged file: the flight re-swept and the spill healed

@@ -81,6 +81,15 @@ type flight struct {
 	err   error
 }
 
+// Swept is the product of one acquisition: the kernel, its points, and —
+// when the points came from cross-device transfer rather than a full
+// sweep — the transfer provenance to record on the entry.
+type Swept struct {
+	Kernel   string
+	Points   []core.Point
+	Transfer string
+}
+
 // Fill returns the entry for a key, sweeping at most once across all
 // concurrent callers of this Store handle. The leader for a key first
 // checks disk (so a replica that missed locally reuses another replica's —
@@ -97,7 +106,19 @@ type flight struct {
 // uncontained would leak the flight entry forever — every waiting and
 // future caller of the key would block on a fill that can no longer
 // finish.
-func (s *Store) Fill(ctx context.Context, k Key, sweep func() (kernel string, pts []core.Point, err error)) (ent Entry, info FillInfo, err error) {
+func (s *Store) Fill(ctx context.Context, k Key, sweep func() (kernel string, pts []core.Point, err error)) (Entry, FillInfo, error) {
+	return s.FillProv(ctx, k, func() (Swept, error) {
+		kernel, pts, err := sweep()
+		return Swept{Kernel: kernel, Points: pts}, err
+	})
+}
+
+// FillProv is Fill for acquisition paths that carry provenance: the
+// closure returns a Swept, and a non-empty Transfer is recorded on the
+// spilled entry's header. It is the entry point the transfer-enabled
+// service uses; the single-flight, disk-first and write-behind semantics
+// are exactly Fill's.
+func (s *Store) FillProv(ctx context.Context, k Key, sweep func() (Swept, error)) (ent Entry, info FillInfo, err error) {
 	if err := k.Validate(); err != nil {
 		return Entry{}, FillInfo{}, err
 	}
@@ -149,7 +170,7 @@ func (s *Store) Fill(ctx context.Context, k Key, sweep func() (kernel string, pt
 	return f.entry, f.info, f.err
 }
 
-func (s *Store) fillLeader(k Key, sweep func() (string, []core.Point, error)) (Entry, FillInfo, error) {
+func (s *Store) fillLeader(k Key, sweep func() (Swept, error)) (Entry, FillInfo, error) {
 	var info FillInfo
 	switch ent, ok, err := s.Get(k); {
 	case err != nil:
@@ -158,11 +179,11 @@ func (s *Store) fillLeader(k Key, sweep func() (string, []core.Point, error)) (E
 		info.Source = SourceDisk
 		return ent, info, nil
 	}
-	kernel, pts, err := sweep()
+	sw, err := sweep()
 	if err != nil {
 		return Entry{}, info, err
 	}
 	info.Source = SourceSwept
-	info.PutErr = s.Put(k, kernel, pts)
-	return Entry{Key: k, Kernel: kernel, Points: pts}, info, nil
+	info.PutErr = s.PutTransfer(k, sw.Kernel, sw.Points, sw.Transfer)
+	return Entry{Key: k, Kernel: sw.Kernel, Points: sw.Points, Transfer: sw.Transfer}, info, nil
 }

@@ -14,11 +14,18 @@ import (
 // grammar subset can hide, and random mutation of real entry files probes
 // the edges a table of hand-picked corruptions misses.
 func FuzzDecodeMatchesRef(f *testing.F) {
-	intact, err := encode(testKey("default", "netlib-blas"), "gemm-b128", awkwardPoints())
+	intact, err := encode(testKey("default", "netlib-blas"), "gemm-b128", awkwardPoints(), "")
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(intact)
+	transferred, err := encode(testKey("default", "netlib-blas"), "gemm-b128", awkwardPoints(),
+		"donor=a/b/seed=1 scale=2.5 probes=6/40 maxdiff=0.01")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(transferred)
+	f.Add([]byte("# store: a|b|1|0.5|16|64|4|p\n# transfer : spaced\n# transfer: d x\n# end: 0\n"))
 	f.Add([]byte(""))
 	f.Add([]byte("# store: a|b|1|0.5|16|64|4|p\n# end: 0\n"))
 	f.Add([]byte("# store : spaced\n# end : 4\n16 0.5 3 0\n"))

@@ -177,6 +177,13 @@ type Entry struct {
 	Key    Key
 	Kernel string
 	Points []core.Point
+	// Transfer is the provenance record of a warm-started entry: non-empty
+	// when the points were acquired by cross-device model transfer
+	// (internal/transfer) rather than a full sweep. Transferred entries
+	// are bounded approximations, not raw measurements — the store audit
+	// skips replaying them, and the donor search never offers them as
+	// donors (no transitive transfer).
+	Transfer string
 }
 
 // Corrupt describes one unreadable store file: a torn write, a truncation,
@@ -221,11 +228,15 @@ func (s *Store) Dir() string { return s.dir }
 // Path returns the file a key is (or would be) stored at.
 func (s *Store) Path(k Key) string { return filepath.Join(s.dir, k.filename()) }
 
-// encode renders one complete entry file: the store header, the standard
-// points file, and the count trailer.
-func encode(k Key, kernel string, pts []core.Point) ([]byte, error) {
+// encode renders one complete entry file: the store header, the transfer
+// provenance (when present), the standard points file, and the count
+// trailer.
+func encode(k Key, kernel string, pts []core.Point, transfer string) ([]byte, error) {
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "# store: %s\n", k.id())
+	if transfer != "" {
+		fmt.Fprintf(&buf, "# transfer: %s\n", transfer)
+	}
 	if err := model.WritePoints(&buf, model.PointFile{Kernel: kernel, Device: k.Device, Points: pts}); err != nil {
 		return nil, err
 	}
@@ -237,13 +248,32 @@ func encode(k Key, kernel string, pts []core.Point) ([]byte, error) {
 // directory is renamed over the entry, so a crash at any instant leaves
 // either the previous complete entry or the new one.
 func (s *Store) Put(k Key, kernel string, pts []core.Point) error {
+	return s.PutTransfer(k, kernel, pts, "")
+}
+
+// PutTransfer is Put with a transfer provenance record attached to the
+// entry. The provenance must be a single line of printable ASCII — it
+// lives on a comment header line of the points file, and anything a line
+// scanner could mangle is refused here rather than discovered corrupt
+// later.
+func (s *Store) PutTransfer(k Key, kernel string, pts []core.Point, transfer string) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
 	if len(pts) == 0 {
 		return fmt.Errorf("modelstore: refusing to store empty sweep for %s", k.id())
 	}
-	data, err := encode(k, kernel, pts)
+	for i := 0; i < len(transfer); i++ {
+		if c := transfer[i]; c < 0x20 || c >= 0x7F {
+			return fmt.Errorf("modelstore: transfer provenance must be printable ASCII, got byte %#x", c)
+		}
+	}
+	if strings.TrimSpace(transfer) != transfer {
+		// The header line scanner trims edges; an untrimmed record would
+		// not round-trip byte-identically.
+		return fmt.Errorf("modelstore: transfer provenance must not have leading/trailing spaces")
+	}
+	data, err := encode(k, kernel, pts, transfer)
 	if err != nil {
 		return err
 	}
@@ -282,7 +312,7 @@ func (s *Store) Put(k Key, kernel string, pts []core.Point) error {
 // access goes through Get and Load.
 func Decode(path string, data []byte) (Entry, error) {
 	var e Entry
-	var keyLine string
+	var keyLine, transfer string
 	endCount := -1
 	badEnd := error(nil)
 	// The trailer must be the complete final line, newline included: any
@@ -297,6 +327,8 @@ func Decode(path string, data []byte) (Entry, error) {
 		switch k {
 		case "store":
 			keyLine = v
+		case "transfer":
+			transfer = v
 		case "end":
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -335,7 +367,7 @@ func Decode(path string, data []byte) (Entry, error) {
 		return e, fmt.Errorf("modelstore: %s: %d points but trailer says %d (torn write?)",
 			path, len(pf.Points), endCount)
 	}
-	return Entry{Key: key, Kernel: pf.Kernel, Points: pf.Points}, nil
+	return Entry{Key: key, Kernel: pf.Kernel, Points: pf.Points, Transfer: transfer}, nil
 }
 
 // decodeStrict is Decode's fast path: the whole file is converted to a
@@ -352,7 +384,7 @@ func Decode(path string, data []byte) (Entry, error) {
 // entry, would be an equivalence bug (FuzzDecodeMatchesRef hunts for one).
 func decodeStrict(data []byte) (Entry, bool) {
 	s := string(data)
-	var kernel, keyLine string
+	var kernel, keyLine, transfer string
 	endCount := -1
 	var pts []core.Point
 	pos := 0
@@ -420,6 +452,12 @@ func decodeStrict(data []byte) (Entry, bool) {
 						return Entry{}, false
 					}
 					keyLine = v
+				case "transfer":
+					v, ok := strictValue(m[c+1:])
+					if !ok {
+						return Entry{}, false
+					}
+					transfer = v
 				case "end":
 					v, ok := strictValue(m[c+1:])
 					if !ok {
@@ -499,7 +537,7 @@ func decodeStrict(data []byte) (Entry, bool) {
 	if err != nil {
 		return Entry{}, false
 	}
-	return Entry{Key: key, Kernel: strings.Clone(kernel), Points: pts}, true
+	return Entry{Key: key, Kernel: strings.Clone(kernel), Points: pts, Transfer: strings.Clone(transfer)}, true
 }
 
 // strictValue trims ASCII space/tab off a metadata value and reports
@@ -527,7 +565,7 @@ func strictValue(v string) (string, bool) {
 // streaming fast path is equivalence-tested against.
 func DecodeRef(path string, data []byte) (Entry, error) {
 	var e Entry
-	var keyLine string
+	var keyLine, transfer string
 	endCount := -1
 	// The trailer must be the complete final line, newline included: any
 	// crash-truncation — even one byte — removes it.
@@ -539,6 +577,8 @@ func DecodeRef(path string, data []byte) (Entry, error) {
 		switch {
 		case strings.HasPrefix(meta, "store:"):
 			keyLine = strings.TrimSpace(strings.TrimPrefix(meta, "store:"))
+		case strings.HasPrefix(meta, "transfer:"):
+			transfer = strings.TrimSpace(strings.TrimPrefix(meta, "transfer:"))
 		case strings.HasPrefix(meta, "end:"):
 			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "end:")))
 			if err != nil {
@@ -565,7 +605,7 @@ func DecodeRef(path string, data []byte) (Entry, error) {
 		return e, fmt.Errorf("modelstore: %s: %d points but trailer says %d (torn write?)",
 			path, len(pf.Points), endCount)
 	}
-	return Entry{Key: key, Kernel: pf.Kernel, Points: pf.Points}, nil
+	return Entry{Key: key, Kernel: pf.Kernel, Points: pf.Points, Transfer: transfer}, nil
 }
 
 // Get loads the entry for one key. ok is false when no entry exists. A

@@ -38,6 +38,12 @@ type Server struct {
 	quotaSlots   int
 	quotaWeights map[string]int
 
+	// Normalised transfer options (Config.Transfer*).
+	transfer       bool
+	transferProbes int
+	transferBudget int
+	transferTol    float64
+
 	shardMu sync.RWMutex
 	shards  []*shard
 
@@ -71,14 +77,34 @@ func New(cfg Config) (*Server, error) {
 	if nshards <= 0 {
 		nshards = 1
 	}
+	if cfg.Transfer {
+		if cfg.StoreDir == "" {
+			return nil, fmt.Errorf("service: Transfer requires StoreDir (the store is the donor pool)")
+		}
+		if cfg.TransferProbes < 0 || cfg.TransferBudget < 0 || cfg.TransferTol < 0 {
+			return nil, fmt.Errorf("service: transfer options must be non-negative")
+		}
+	}
+	transferProbes := cfg.TransferProbes
+	if transferProbes == 0 {
+		transferProbes = DefaultTransferProbes
+	}
+	transferTol := cfg.TransferTol
+	if transferTol == 0 {
+		transferTol = DefaultTransferTol
+	}
 	s := &Server{
-		pool:         pool.New(cfg.Workers),
-		ring:         ring.New(0),
-		cacheSize:    cacheSize,
-		batchWindow:  window,
-		precision:    prec,
-		quotaSlots:   cfg.QuotaSlots,
-		quotaWeights: cfg.QuotaWeights,
+		pool:           pool.New(cfg.Workers),
+		ring:           ring.New(0),
+		cacheSize:      cacheSize,
+		batchWindow:    window,
+		precision:      prec,
+		quotaSlots:     cfg.QuotaSlots,
+		quotaWeights:   cfg.QuotaWeights,
+		transfer:       cfg.Transfer,
+		transferProbes: transferProbes,
+		transferBudget: cfg.TransferBudget,
+		transferTol:    transferTol,
 	}
 	if cfg.StoreDir != "" {
 		st, err := modelstore.Open(cfg.StoreDir)
@@ -248,6 +274,11 @@ func (s *Server) snapshot() Snapshot {
 	s.front.retiredMu.Unlock()
 	snap.StoreCorrupt += s.front.preloadCorrupt.Load()
 	snap.Workers = s.pool.Workers()
+	if s.store != nil {
+		if st, err := s.store.Stats(); err == nil {
+			snap.Store = st
+		}
+	}
 	return snap
 }
 

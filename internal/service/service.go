@@ -80,6 +80,15 @@ const DefaultBatchWindow = time.Millisecond
 // MaxDevices bounds the number of devices in one partition request.
 const MaxDevices = 64
 
+// DefaultTransferProbes is the initial probe count of a transferred fill
+// when Config.TransferProbes is 0.
+const DefaultTransferProbes = 4
+
+// DefaultTransferTol is the convergence tolerance of a transferred fill
+// when Config.TransferTol is 0 — the served accuracy bound: synthesized
+// points agree with the donor-vs-interpolant consensus to within ~2%.
+const DefaultTransferTol = 0.02
+
 // Config parametrises New.
 type Config struct {
 	// Workers bounds the shared pool running sweeps, fits and solves;
@@ -110,6 +119,24 @@ type Config struct {
 	// QuotaWeights maps tenant name → weight for the admission quota;
 	// absent tenants weigh 1.
 	QuotaWeights map[string]int
+	// Transfer enables cross-device model transfer (internal/transfer):
+	// a cold key's fill probes a few grid sizes, warm-starts from the
+	// store's nearest-fingerprint curve, and actively samples until the
+	// model converges — falling back to the ordinary full sweep whenever
+	// no stored donor matches. Requires StoreDir (the store is the donor
+	// pool). Off by default: transferred models are bounded
+	// approximations, not raw measurements.
+	Transfer bool
+	// TransferProbes is the initial probe count k (0 selects
+	// DefaultTransferProbes; must be >= 2 otherwise).
+	TransferProbes int
+	// TransferBudget caps total benchmark calls per transferred fill,
+	// probes included; 0 selects a quarter of the size grid.
+	TransferBudget int
+	// TransferTol is the convergence tolerance on the donor-vs-interpolant
+	// disagreement (≈ max relative time error of the synthesized points);
+	// 0 selects DefaultTransferTol.
+	TransferTol float64
 }
 
 // Handler returns the service's HTTP routes.

@@ -30,6 +30,13 @@ type shard struct {
 	batchWindow time.Duration
 	precision   core.Precision
 
+	// Transfer options (normalised in New); transfer is never true
+	// without a store.
+	transfer       bool
+	transferProbes int
+	transferBudget int
+	transferTol    float64
+
 	pool  *pool.Pool
 	store *modelstore.Store
 	quota *quotas
@@ -60,20 +67,24 @@ type shard struct {
 func (s *Server) newShard(id int) *shard {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &shard{
-		id:          id,
-		cacheSize:   s.cacheSize,
-		batchWindow: s.batchWindow,
-		precision:   s.precision,
-		pool:        s.pool,
-		store:       s.store,
-		quota:       newQuotas(s.quotaSlots, s.quotaWeights),
-		ctx:         ctx,
-		cancel:      cancel,
-		tenants:     make(map[string]*tenantCache),
-		batches:     make(map[string]*batchCall),
-		window:      adaptiveWindow{max: s.batchWindow},
-		comms:       make(map[string]*commEntry),
-		machines:    make(map[string]*tenantMachines),
+		id:             id,
+		cacheSize:      s.cacheSize,
+		batchWindow:    s.batchWindow,
+		precision:      s.precision,
+		transfer:       s.transfer,
+		transferProbes: s.transferProbes,
+		transferBudget: s.transferBudget,
+		transferTol:    s.transferTol,
+		pool:           s.pool,
+		store:          s.store,
+		quota:          newQuotas(s.quotaSlots, s.quotaWeights),
+		ctx:            ctx,
+		cancel:         cancel,
+		tenants:        make(map[string]*tenantCache),
+		batches:        make(map[string]*batchCall),
+		window:         adaptiveWindow{max: s.batchWindow},
+		comms:          make(map[string]*commEntry),
+		machines:       make(map[string]*tenantMachines),
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fupermod/internal/service/modelstore"
 )
 
 // shardStats holds one shard's monotonically increasing counters. All
@@ -27,6 +29,10 @@ type shardStats struct {
 	storeSpills  atomic.Int64 // sweeps spilled to the disk store
 	storeCorrupt atomic.Int64 // corrupt store files encountered (re-sweep path)
 	storeErrors  atomic.Int64 // store writes that failed (entry kept in memory)
+
+	transferRuns      atomic.Int64 // fills answered by cross-device transfer
+	transferProbes    atomic.Int64 // benchmark probes spent by transfer attempts
+	transferFallbacks atomic.Int64 // transfer attempts that fell back to a full sweep
 
 	batchSolves      atomic.Int64 // solver calls made on behalf of a batch
 	batchJoined      atomic.Int64 // partition requests that joined an existing batch
@@ -59,25 +65,28 @@ func (s *shardStats) rejectQuota(tenant string) {
 // counters captures the shard's counters as one addable value.
 func (s *shardStats) counters() ShardCounters {
 	c := ShardCounters{
-		CacheHits:        s.cacheHits.Load(),
-		CacheMisses:      s.cacheMisses.Load(),
-		CacheCoalesced:   s.cacheCoalesced.Load(),
-		CacheEvictions:   s.cacheEvictions.Load(),
-		Sweeps:           s.sweeps.Load(),
-		StoreLoaded:      s.storeLoaded.Load(),
-		StoreHits:        s.storeHits.Load(),
-		StoreSpills:      s.storeSpills.Load(),
-		StoreCorrupt:     s.storeCorrupt.Load(),
-		StoreErrors:      s.storeErrors.Load(),
-		BatchSolves:      s.batchSolves.Load(),
-		BatchJoined:      s.batchJoined.Load(),
-		BatchWindowSkips: s.batchWindowSkips.Load(),
-		CommCalibrations: s.commCalibrations.Load(),
-		DynpartRuns:      s.dynpartRuns.Load(),
-		BalanceRuns:      s.balanceRuns.Load(),
-		RebalanceRuns:    s.rebalanceRuns.Load(),
-		MachineUploads:   s.machineUploads.Load(),
-		QuotaRejections:  s.quotaRejections.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.cacheMisses.Load(),
+		CacheCoalesced:    s.cacheCoalesced.Load(),
+		CacheEvictions:    s.cacheEvictions.Load(),
+		Sweeps:            s.sweeps.Load(),
+		StoreLoaded:       s.storeLoaded.Load(),
+		StoreHits:         s.storeHits.Load(),
+		StoreSpills:       s.storeSpills.Load(),
+		StoreCorrupt:      s.storeCorrupt.Load(),
+		StoreErrors:       s.storeErrors.Load(),
+		TransferRuns:      s.transferRuns.Load(),
+		TransferProbes:    s.transferProbes.Load(),
+		TransferFallbacks: s.transferFallbacks.Load(),
+		BatchSolves:       s.batchSolves.Load(),
+		BatchJoined:       s.batchJoined.Load(),
+		BatchWindowSkips:  s.batchWindowSkips.Load(),
+		CommCalibrations:  s.commCalibrations.Load(),
+		DynpartRuns:       s.dynpartRuns.Load(),
+		BalanceRuns:       s.balanceRuns.Load(),
+		RebalanceRuns:     s.rebalanceRuns.Load(),
+		MachineUploads:    s.machineUploads.Load(),
+		QuotaRejections:   s.quotaRejections.Load(),
 	}
 	s.quotaMu.Lock()
 	if len(s.quotaByTenant) > 0 {
@@ -153,6 +162,14 @@ type ShardCounters struct {
 	StoreCorrupt int64 `json:"store_corrupt"`
 	StoreErrors  int64 `json:"store_errors"`
 
+	// Cross-device transfer counters: fills answered by a warm-started
+	// model, benchmark probes those attempts spent (compare against
+	// Sweeps × grid size for the saving), and attempts that fell back to
+	// the ordinary full sweep (no donor, gate rejection, divergence).
+	TransferRuns      int64 `json:"transfer_runs"`
+	TransferProbes    int64 `json:"transfer_probes"`
+	TransferFallbacks int64 `json:"transfer_fallbacks"`
+
 	// BatchSolves counts solver calls, BatchJoined the requests that were
 	// answered by a run another request triggered, and BatchWindowSkips
 	// the requests the adaptive controller exempted from waiting because
@@ -190,6 +207,9 @@ func (c *ShardCounters) add(o ShardCounters) {
 	c.StoreSpills += o.StoreSpills
 	c.StoreCorrupt += o.StoreCorrupt
 	c.StoreErrors += o.StoreErrors
+	c.TransferRuns += o.TransferRuns
+	c.TransferProbes += o.TransferProbes
+	c.TransferFallbacks += o.TransferFallbacks
 	c.BatchSolves += o.BatchSolves
 	c.BatchJoined += o.BatchJoined
 	c.BatchWindowSkips += o.BatchWindowSkips
@@ -243,6 +263,11 @@ type Snapshot struct {
 	// Workers is the size of the worker pool all shards share.
 	Workers int `json:"workers"`
 
+	// Store is the on-disk model store's census (entries, bytes, per-tenant
+	// counts, transferred entries) — the donor pool cross-device transfer
+	// draws from. All-zero on storeless servers.
+	Store modelstore.StoreStats `json:"store"`
+
 	// Shards is the per-shard breakdown; absent on merged-of-merged views
 	// (the route CLI's cross-process aggregation).
 	Shards []ShardSnapshot `json:"shards,omitempty"`
@@ -264,6 +289,10 @@ func MergeSnapshots(snaps []Snapshot) Snapshot {
 		out.Tenants += s.Tenants
 		out.CacheEntries += s.CacheEntries
 		out.Workers += s.Workers
+		// Store censuses sum like Workers do: replicas sharing one store
+		// directory each report the same files, so the fleet view counts
+		// capacity per backend, not unique bytes.
+		out.Store.Add(s.Store)
 	}
 	if out.Requests > 0 {
 		out.AvgLatencyMicros = latT / float64(out.Requests)

@@ -1,0 +1,294 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+)
+
+// timeFn builds points on the grid from an exact time function.
+func pointsOn(sizes []int, f func(float64) float64) []core.Point {
+	pts := make([]core.Point, len(sizes))
+	for i, d := range sizes {
+		pts[i] = core.Point{D: d, Time: f(float64(d)), Reps: 1}
+	}
+	return pts
+}
+
+// exactProber measures the true curve with no noise and counts calls.
+func exactProber(f func(float64) float64, calls *int) Prober {
+	return func(d int) (core.Point, error) {
+		*calls++
+		if d <= 0 {
+			return core.Point{}, fmt.Errorf("bad size %d", d)
+		}
+		return core.Point{D: d, Time: f(float64(d)), Reps: 3}, nil
+	}
+}
+
+// Shapes with genuinely different log-log profiles.
+func smooth(x float64) float64 { return 2e-7 * math.Pow(x, 1.05) }
+func cliff(x float64) float64 {
+	t := 1e-3 + x*5e-8
+	if x > 20000 {
+		t *= 1 + math.Pow((x-20000)/8000, 2)
+	}
+	return t
+}
+func plateau(x float64) float64 {
+	if x < 4000 {
+		return 1e-7 * x
+	}
+	return 1e-7*x + 3e-7*(x-4000)
+}
+
+func grid() []int { return core.LogSizes(16, 60000, 40) }
+
+func TestFingerprintScaleInvariant(t *testing.T) {
+	g := grid()
+	a, err := FingerprintPoints(pointsOn(g, smooth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FingerprintPoints(pointsOn(g, func(x float64) float64 { return 7.3 * smooth(x) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Distance(b); d > 1e-12 {
+		t.Fatalf("scaled copy should have identical fingerprint, distance %g", d)
+	}
+	c, err := FingerprintPoints(pointsOn(g, cliff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Distance(c); d < 0.1 {
+		t.Fatalf("different shapes should be far apart, distance %g", d)
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	if _, err := FingerprintPoints(nil); err == nil {
+		t.Fatal("want error for no points")
+	}
+	if _, err := FingerprintPoints([]core.Point{{D: 5, Time: 1}, {D: 5, Time: 2}}); err == nil {
+		t.Fatal("want error for a single distinct size")
+	}
+	if _, err := FingerprintPoints([]core.Point{{D: -1, Time: 1}, {D: 2, Time: 1}}); err == nil {
+		t.Fatal("want error for non-positive size")
+	}
+}
+
+func TestRankDeterministicOrder(t *testing.T) {
+	g := grid()
+	donors := []Donor{
+		{ID: "b-smooth-fast", Points: pointsOn(g, func(x float64) float64 { return smooth(x) / 4 })},
+		{ID: "a-smooth-slow", Points: pointsOn(g, func(x float64) float64 { return smooth(x) * 2 })},
+		{ID: "cliffy", Points: pointsOn(g, cliff)},
+		{ID: "degenerate", Points: []core.Point{{D: 3, Time: 1}}}, // unfingerprintable, dropped
+	}
+	probes := pointsOn([]int{16, 600, 6000, 60000}, smooth)
+	got := Rank(donors, probes, 0)
+	if len(got) != 3 {
+		t.Fatalf("want 3 ranked donors, got %d", len(got))
+	}
+	// The two scaled smooth copies tie at distance ~0 and sort by ID; the
+	// cliff donor ranks last.
+	if got[0].Donor.ID != "a-smooth-slow" || got[1].Donor.ID != "b-smooth-fast" || got[2].Donor.ID != "cliffy" {
+		t.Fatalf("unexpected order: %s, %s, %s", got[0].Donor.ID, got[1].Donor.ID, got[2].Donor.ID)
+	}
+	if got[2].Distance <= got[1].Distance {
+		t.Fatalf("cliff donor should be farther: %g vs %g", got[2].Distance, got[1].Distance)
+	}
+	if top := Rank(donors, probes, 1); len(top) != 1 || top[0].Donor.ID != "a-smooth-slow" {
+		t.Fatalf("max=1 should keep only the nearest donor, got %v", top)
+	}
+}
+
+func TestAcquireWarmStartsFromScaledDonor(t *testing.T) {
+	g := grid()
+	for _, tc := range []struct {
+		name  string
+		shape func(float64) float64
+	}{
+		{"smooth", smooth},
+		{"cliff", cliff},
+		{"plateau", plateau},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			scale := 2.5
+			donor := Donor{ID: "donor", Points: pointsOn(g, func(x float64) float64 { return tc.shape(x) / scale })}
+			decoy := Donor{ID: "decoy", Points: pointsOn(g, func(x float64) float64 {
+				if tc.name == "cliff" {
+					return smooth(x)
+				}
+				return cliff(x)
+			})}
+			calls := 0
+			res, err := Acquire(g, exactProber(tc.shape, &calls), Pool([]Donor{decoy, donor}, 0), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fallback != "" {
+				t.Fatalf("unexpected fallback: %s", res.Fallback)
+			}
+			if res.Donor != "donor" {
+				t.Fatalf("picked %q, want the true donor", res.Donor)
+			}
+			if res.Measured != calls {
+				t.Fatalf("Measured=%d but prober saw %d calls", res.Measured, calls)
+			}
+			budget := len(g) / 4
+			if res.Measured > budget {
+				t.Fatalf("spent %d probes, budget %d", res.Measured, budget)
+			}
+			if math.Abs(res.Scale-scale)/scale > 0.01 {
+				t.Fatalf("fitted scale %g, want ~%g", res.Scale, scale)
+			}
+			if len(res.Points) != len(g) {
+				t.Fatalf("got %d points, want the full %d-size grid", len(res.Points), len(g))
+			}
+			synth := 0
+			for i, p := range res.Points {
+				if p.D != g[i] {
+					t.Fatalf("point %d has size %d, want %d", i, p.D, g[i])
+				}
+				if p.Reps == 0 {
+					synth++
+				}
+				truth := tc.shape(float64(p.D))
+				if rel := math.Abs(p.Time-truth) / truth; rel > 0.05 {
+					t.Fatalf("size %d: time %g vs truth %g (rel %g)", p.D, p.Time, truth, rel)
+				}
+			}
+			if synth != len(g)-res.Measured {
+				t.Fatalf("%d synthesized (Reps=0) points, want %d", synth, len(g)-res.Measured)
+			}
+		})
+	}
+}
+
+func TestAcquireEmptyPoolFallsBack(t *testing.T) {
+	g := grid()
+	calls := 0
+	res, err := Acquire(g, exactProber(smooth, &calls), Pool(nil, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == "" || res.Points != nil {
+		t.Fatalf("want fallback with nil points, got %+v", res)
+	}
+	if res.Measured != DefaultProbes || calls != DefaultProbes {
+		t.Fatalf("empty pool should cost exactly the initial probes: measured %d, calls %d", res.Measured, calls)
+	}
+}
+
+func TestAcquireAdversarialDonorRejected(t *testing.T) {
+	g := grid()
+	// The decoy has the right *speed* around the probe range but the wrong
+	// shape; the residual gate must refuse it.
+	decoy := Donor{ID: "adversary", Points: pointsOn(g, cliff)}
+	calls := 0
+	res, err := Acquire(g, exactProber(smooth, &calls), Pool([]Donor{decoy}, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == "" || res.Points != nil {
+		t.Fatalf("adversarial donor must be rejected, got %+v", res)
+	}
+	if !strings.Contains(res.Fallback, "gate") {
+		t.Fatalf("fallback should name the gate, got %q", res.Fallback)
+	}
+}
+
+func TestAcquireSingleDonor(t *testing.T) {
+	g := grid()
+	donor := Donor{ID: "only", Points: pointsOn(g, func(x float64) float64 { return plateau(x) * 3 })}
+	calls := 0
+	res, err := Acquire(g, exactProber(plateau, &calls), Pool([]Donor{donor}, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "" || res.Donor != "only" {
+		t.Fatalf("single matching donor should win, got %+v", res)
+	}
+}
+
+func TestAcquireBudgetAdmitsGrid(t *testing.T) {
+	g := grid()
+	calls := 0
+	res, err := Acquire(g, exactProber(smooth, &calls), Pool(nil, 0), Config{Budget: len(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == "" || res.Measured != 0 || calls != 0 {
+		t.Fatalf("budget >= grid must fall back before probing, got %+v (calls %d)", res, calls)
+	}
+}
+
+func TestAcquireProbesExhaustBudget(t *testing.T) {
+	g := grid()
+	res, err := Acquire(g, exactProber(smooth, new(int)), Pool(nil, 0), Config{Probes: 6, Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == "" || res.Measured != 0 {
+		t.Fatalf("probes >= budget must fall back before probing, got %+v", res)
+	}
+}
+
+func TestAcquireInvalidInputs(t *testing.T) {
+	probe := exactProber(smooth, new(int))
+	if _, err := Acquire([]int{10, 10, 20}, probe, Pool(nil, 0), Config{}); err == nil {
+		t.Fatal("want error for non-increasing sizes")
+	}
+	if _, err := Acquire([]int{-1, 5}, probe, Pool(nil, 0), Config{}); err == nil {
+		t.Fatal("want error for non-positive size")
+	}
+	for _, cfg := range []Config{
+		{Probes: 1},
+		{Budget: -2},
+		{Tol: -0.5},
+		{Gate: -1},
+	} {
+		if _, err := Acquire(grid(), probe, Pool(nil, 0), cfg); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestAcquireProberErrorPropagates(t *testing.T) {
+	boom := errors.New("meter unplugged")
+	probe := func(d int) (core.Point, error) { return core.Point{}, boom }
+	if _, err := Acquire(grid(), probe, Pool(nil, 0), Config{}); !errors.Is(err, boom) {
+		t.Fatalf("want prober error, got %v", err)
+	}
+}
+
+func TestAcquireDonorSourceErrorPropagates(t *testing.T) {
+	boom := errors.New("store offline")
+	src := func([]core.Point) ([]Candidate, error) { return nil, boom }
+	if _, err := Acquire(grid(), exactProber(smooth, new(int)), src, Config{}); !errors.Is(err, boom) {
+		t.Fatalf("want donor-source error, got %v", err)
+	}
+}
+
+func TestProbeSweepMatchesSweepContract(t *testing.T) {
+	sizes := []int{4, 8, 16}
+	probe := func(d int) (core.Point, error) {
+		if d == 16 {
+			return core.Point{}, errors.New("boom")
+		}
+		return core.Point{D: d, Time: float64(d), Reps: 1}, nil
+	}
+	pts, err := core.ProbeSweep(probe, sizes)
+	if err == nil {
+		t.Fatal("want the prefix-and-error contract")
+	}
+	if len(pts) != 2 || pts[0].D != 4 || pts[1].D != 8 {
+		t.Fatalf("want the completed prefix, got %v", pts)
+	}
+}

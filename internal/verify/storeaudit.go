@@ -33,6 +33,12 @@ type StoreAudit struct {
 	// (machine-file references need the tenant's upload, which lives only
 	// in a running server).
 	Skipped int
+	// Transferred counts entries carrying transfer provenance. They are
+	// integrity-checked but not replayed: a transferred point set mixes
+	// measured probes with synthesized predictions, so it is deliberately
+	// not byte-reproducible by a full sweep — the diff-transfer suite
+	// section bounds its accuracy instead.
+	Transferred int
 	// Corrupt lists unreadable files: torn writes, truncations, damage.
 	Corrupt []modelstore.Corrupt
 	// Violations lists entries whose replayed sweep disagreed with the
@@ -51,6 +57,7 @@ func (a *StoreAudit) Table() *trace.Table {
 	t.AddRow("entries", a.Entries)
 	t.AddRow("verified", a.Verified)
 	t.AddRow("skipped", a.Skipped)
+	t.AddRow("transferred", a.Transferred)
 	t.AddRow("corrupt", len(a.Corrupt))
 	t.AddRow("violations", len(a.Violations))
 	if a.OK() {
@@ -103,6 +110,12 @@ func AuditStore(dir string) (*StoreAudit, error) {
 	}
 	audit := &StoreAudit{Dir: store.Dir(), Entries: len(entries), Corrupt: corrupt}
 	for _, e := range entries {
+		if e.Transfer != "" {
+			// Warm-started entries are synthesized, not swept; no full
+			// sweep reproduces them and none should.
+			audit.Transferred++
+			continue
+		}
 		dev, err := platform.Preset(e.Key.Device)
 		if err != nil {
 			audit.Skipped++

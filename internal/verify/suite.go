@@ -67,7 +67,8 @@ func (o Options) oracleRelTol() float64 {
 // Section summarises one suite section.
 type Section struct {
 	// Name identifies the section: "invariants", "oracle",
-	// "diff-constant", "diff-smooth", "diff-comm", "diff-dynamic".
+	// "diff-constant", "diff-smooth", "diff-comm", "diff-rebalance",
+	// "diff-transfer", "diff-dynamic".
 	Name string
 	// Checks is the number of individual assertions made.
 	Checks int
@@ -177,6 +178,7 @@ func Run(opts Options) (*Report, error) {
 		{"diff-smooth", runDiffSmooth},
 		{"diff-comm", runDiffComm},
 		{"diff-rebalance", runDiffRebalance},
+		{"diff-transfer", runDiffTransfer},
 	}
 	if !opts.SkipDynamic {
 		sections = append(sections, sectionFn{"diff-dynamic", runDiffDynamic})
@@ -351,6 +353,47 @@ func runDiffSmooth(ctx context.Context, p *pool.Pool, opts Options) ([]Violation
 				return DiffExact(exProcs, exD, opts.Tol)
 			})
 		}
+	}
+	return runChecks(ctx, p, checks)
+}
+
+// runDiffTransfer differential-tests cross-device model transfer against
+// the full sweeps it replaces: every generated shape with an exact
+// rescaled donor (plus a wrong-shape decoy), the preset figure platform,
+// and the two fallback outcomes that must serve zero wrong bytes. The
+// partition comparison runs only for monotone targets — the companions'
+// and the algorithms' precondition.
+func runDiffTransfer(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 16))
+	gen := NewGen(opts.Seed + 17)
+	presets := []string{"netlib-blas", "fast", "gpu"}
+	var checks []check
+	for round := 0; round < opts.rounds(); round++ {
+		for _, shape := range Shapes() {
+			target := gen.Proc(shape)
+			decoy := gen.Proc(transferDecoyShape(shape))
+			factor := 0.3 + 2.7*rng.Float64()
+			var companions []Proc
+			D := 0
+			if shape.Monotone() {
+				companions = gen.Platform(2, ShapeSmooth, ShapeConstant)
+				D = 5000 + rng.Intn(40000)
+			}
+			checks = append(checks, func() ([]Violation, error) {
+				return DiffTransfer(target, decoy, factor, companions, D, opts.Tol)
+			})
+		}
+		preset := presets[round%len(presets)]
+		presetFactor := 0.3 + 2.7*rng.Float64()
+		presetD := 5000 + rng.Intn(40000)
+		checks = append(checks, func() ([]Violation, error) {
+			return DiffTransferPreset(preset, presetFactor, presetD, opts.Tol)
+		})
+		fbTarget := gen.Proc(ShapeSmooth)
+		fbDecoy := gen.Proc(ShapeGPUCliff)
+		checks = append(checks, func() ([]Violation, error) {
+			return DiffTransferFallback(fbTarget, fbDecoy)
+		})
 	}
 	return runChecks(ctx, p, checks)
 }

@@ -1,0 +1,374 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"fupermod/internal/core"
+	"fupermod/internal/model"
+	"fupermod/internal/partition"
+	"fupermod/internal/platform"
+	"fupermod/internal/transfer"
+)
+
+// The diff-transfer section differential-tests internal/transfer against
+// the full sweep it replaces. The construction makes the comparison exact:
+// the donor pool holds a rescaled copy of the target's own curve (the
+// transfer-friendly case — the same silicon at another clock) next to a
+// wrong-shape decoy, so the true donor, the decoy rejection and the
+// synthesized accuracy can all be checked against closed-form truth.
+//
+// Two bounds are asserted on the transferred point set:
+//
+//   - the honest-uncertainty bound, relErr ≤ exp(MaxDisagree/2) − 1: when
+//     the rescaled donor reproduces the truth exactly, every synthesized
+//     time is the log-space midpoint of truth and the probe interpolant,
+//     so its error is at most half the disagreement Acquire reports. This
+//     holds for *every* shape — it is the guarantee the service serves
+//     transferred models under, and any violation is an algorithm bug;
+//   - an explicit absolute bound per shape (transferRelErrBound) on the
+//     max relative time error over the grid — the acceptance criterion of
+//     the subsystem. Non-monotonic oscillating curves are exempt from the
+//     absolute bound: their wavelength aliases against the geometric grid,
+//     the probe interpolant cannot resolve them, and transfer *honestly
+//     reports* the resulting uncertainty through MaxDisagree, which the
+//     first bound pins.
+const transferGridLo, transferGridHi, transferGridN = 16, 60000, 40
+
+// transferSizes is the diff-transfer benchmark grid: 40 geometric sizes,
+// so Acquire's default probe budget (a quarter of the grid) caps a passing
+// transfer at 10 of the 40 benchmark calls a full sweep pays.
+func transferSizes() []int {
+	return core.LogSizes(transferGridLo, transferGridHi, transferGridN)
+}
+
+// transferRelErrBound is the stated absolute accuracy bound per shape: the
+// maximum relative time error of a transferred point set against the full
+// noiseless sweep. 0 means the shape carries no absolute bound (only the
+// honest-uncertainty bound applies).
+func transferRelErrBound(shape Shape) float64 {
+	switch shape {
+	case ShapeNoisy:
+		// Per-cell jitter between probes is invisible to the interpolant;
+		// the donor carries it, the midpoint halves it.
+		return 0.10
+	case ShapeNonMonotonic:
+		return 0 // aliased oscillations: honest-uncertainty bound only
+	default:
+		return 0.05
+	}
+}
+
+// sampleCurve samples an exact time function over sizes, times multiplied
+// by factor (1 for the truth itself, ≠1 for a rescaled donor copy).
+func sampleCurve(f func(x float64) float64, sizes []int, factor float64) []core.Point {
+	pts := make([]core.Point, len(sizes))
+	for i, d := range sizes {
+		pts[i] = core.Point{D: d, Time: math.Max(f(float64(d))*factor, 1e-12), Reps: 1}
+	}
+	return pts
+}
+
+// exactProber measures f noiselessly, counting calls through *calls.
+func exactProber(f func(x float64) float64, calls *int) transfer.Prober {
+	return func(d int) (core.Point, error) {
+		*calls++
+		return core.Point{D: d, Time: math.Max(f(float64(d)), 1e-12), Reps: 1}, nil
+	}
+}
+
+// transferDecoyShape picks a generated shape guaranteed to disagree with
+// the target's, so the decoy donor exercises the ranking and the gate.
+func transferDecoyShape(target Shape) Shape {
+	if target == ShapeGPUCliff {
+		return ShapeConstant
+	}
+	return ShapeGPUCliff
+}
+
+// DiffTransfer warm-starts target from a two-donor pool — a copy of its
+// own curve rescaled by factor plus the wrong-shape decoy — and
+// differential-tests the result against the full noiseless sweep:
+//
+//   - the transfer must succeed (no fallback) and pick the true donor;
+//   - it must spend at most a quarter of the grid in benchmark calls;
+//   - the point set must satisfy the honest-uncertainty bound and the
+//     shape's absolute bound (transferRelErrBound);
+//   - with companions given (monotone targets), the geometric and
+//     numerical partitions computed from the transferred model must match
+//     the full-sweep model's partitions within tol, and their makespans
+//     under the exact time functions must be within RelMakespan.
+func DiffTransfer(target, decoy Proc, factor float64, companions []Proc, D int, tol DiffTol) ([]Violation, error) {
+	sizes := transferSizes()
+	budget := len(sizes) / 4
+	donorID := "donor-" + target.Name
+	donors := []transfer.Donor{
+		{ID: "decoy-" + decoy.Name, Points: sampleCurve(decoy.Time, sizes, 1)},
+		{ID: donorID, Points: sampleCurve(target.Time, sizes, factor)},
+	}
+	calls := 0
+	res, err := transfer.Acquire(sizes, exactProber(target.Time, &calls), transfer.Pool(donors, 0), transfer.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-transfer %s: %w", target.Name, err)
+	}
+	id := fmt.Sprintf("%s (factor %.3g)", target.Name, factor)
+	if res.Fallback != "" {
+		return []Violation{{Check: "diff-transfer", Algo: string(target.Shape),
+			Detail: fmt.Sprintf("%s: fell back despite an exact rescaled donor: %s", id, res.Fallback)}}, nil
+	}
+	var vs []Violation
+	if res.Donor != donorID {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: string(target.Shape),
+			Detail: fmt.Sprintf("%s: picked %s over the exact rescaled donor", id, res.Donor)})
+	}
+	if res.Measured > budget || res.Measured != calls {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: string(target.Shape),
+			Detail: fmt.Sprintf("%s: spent %d benchmark calls (prober saw %d), budget %d of %d grid sizes",
+				id, res.Measured, calls, budget, len(sizes))})
+	}
+	if len(res.Points) != len(sizes) {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: string(target.Shape),
+			Detail: fmt.Sprintf("%s: %d transferred points for a %d-size grid", id, len(res.Points), len(sizes))})
+		return vs, nil
+	}
+	full := sampleCurve(target.Time, sizes, 1)
+	relErr := 0.0
+	for i := range full {
+		e := math.Abs(res.Points[i].Time-full[i].Time) / full[i].Time
+		if e > relErr {
+			relErr = e
+		}
+	}
+	// Honest-uncertainty bound: the donor is exact here, so every
+	// synthesized time errs by at most half the reported disagreement.
+	if honest := math.Exp(res.MaxDisagree/2) - 1; relErr > honest+1e-9 {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: string(target.Shape),
+			Detail: fmt.Sprintf("%s: max relative error %.3g exceeds the reported uncertainty bound %.3g (maxdiff %.3g)",
+				id, relErr, honest, res.MaxDisagree)})
+	}
+	if bound := transferRelErrBound(target.Shape); bound > 0 && relErr > bound {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: string(target.Shape),
+			Detail: fmt.Sprintf("%s: max relative time error %.3g over the grid exceeds the stated %.3g bound (%d probes, maxdiff %.3g)",
+				id, relErr, bound, res.Measured, res.MaxDisagree)})
+	}
+	if len(companions) > 0 {
+		pvs, err := diffTransferPartitions(target.Name, target.Time, res.Points, companions, D, tol)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, pvs...)
+	}
+	return vs, nil
+}
+
+// diffTransferPartitions partitions a platform of the target plus its
+// companions twice — target model fitted to the transferred points vs
+// fitted to the full noiseless sweep, companions identical on both sides —
+// and asserts the distributions agree within tol and that the transferred
+// partition's makespan under the exact time functions is within
+// RelMakespan of the full-sweep partition's.
+func diffTransferPartitions(name string, truth func(x float64) float64, transferred []core.Point, companions []Proc, D int, tol DiffTol) ([]Violation, error) {
+	fitted := func(pts []core.Point) (core.Model, error) {
+		m, err := model.New(model.KindPiecewise)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.UpdateAll(m, pts); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	sizes := transferSizes()
+	xferModel, err := fitted(transferred)
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-transfer: fitting transferred points: %w", err)
+	}
+	fullModel, err := fitted(sampleCurve(truth, sizes, 1))
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-transfer: fitting full sweep: %w", err)
+	}
+	compModels, err := Models(companions, model.KindPiecewise, transferGridLo, transferGridHi, transferGridN)
+	if err != nil {
+		return nil, err
+	}
+	exact := append([]core.Model{NewFuncModel(name, truth)}, ExactModels(companions)...)
+	n := 1 + len(companions)
+	slack := float64(tol.partUnits(n))
+	if s := tol.shareFrac() * float64(D); s > slack {
+		slack = s
+	}
+	var vs []Violation
+	for _, algo := range []core.Partitioner{partition.Geometric(), partition.Numerical()} {
+		withXfer := append([]core.Model{xferModel}, compModels...)
+		withFull := append([]core.Model{fullModel}, compModels...)
+		dx, err := algo.Partition(withXfer, D)
+		if err != nil {
+			return nil, fmt.Errorf("verify: diff-transfer: %s on transferred model: %w", algo.Name(), err)
+		}
+		df, err := algo.Partition(withFull, D)
+		if err != nil {
+			return nil, fmt.Errorf("verify: diff-transfer: %s on full model: %w", algo.Name(), err)
+		}
+		vs = append(vs, CheckDist(algo.Name(), withXfer, D, dx)...)
+		agg := 0
+		for i := range df.Parts {
+			d := dx.Parts[i].D - df.Parts[i].D
+			if d < 0 {
+				d = -d
+			}
+			agg += d
+		}
+		if float64(agg) > slack {
+			vs = append(vs, Violation{Check: "diff-transfer", Algo: algo.Name(),
+				Detail: fmt.Sprintf("%s D=%d: transferred-model shares %v differ from full-sweep shares %v by %d units (slack %.0f)",
+					name, D, dx.Sizes(), df.Sizes(), agg, slack)})
+			continue
+		}
+		mx, err := Makespan(exact, dx.Sizes())
+		if err != nil {
+			return nil, err
+		}
+		mf, err := Makespan(exact, df.Sizes())
+		if err != nil {
+			return nil, err
+		}
+		if hi, lo := math.Max(mx, mf), math.Min(mx, mf); hi > lo*(1+tol.relMakespan()) {
+			vs = append(vs, Violation{Check: "diff-transfer", Algo: algo.Name(),
+				Detail: fmt.Sprintf("%s D=%d: exact makespan %.6g from the transferred model vs %.6g from the full sweep (tol %.2f%%)",
+					name, D, mx, mf, 100*tol.relMakespan())})
+		}
+	}
+	return vs, nil
+}
+
+// DiffTransferPreset runs the transfer differential on the figure
+// platform: the preset devices the paper's partition figures are drawn
+// for. The named preset is the cold target (its donor a rescaled copy,
+// its decoy a different-shaped preset); the remaining presets are the
+// companions whose models are identical on both sides of the comparison.
+func DiffTransferPreset(target string, factor float64, D int, tol DiffTol) ([]Violation, error) {
+	names := []string{"netlib-blas", "fast", "gpu"}
+	found := false
+	var companions []string
+	for _, n := range names {
+		if n == target {
+			found = true
+		} else {
+			companions = append(companions, n)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("verify: diff-transfer preset %q is not on the figure platform %v", target, names)
+	}
+	dev, err := platform.Preset(target)
+	if err != nil {
+		return nil, err
+	}
+	decoyName := "gpu"
+	if target == "gpu" {
+		decoyName = "netlib-blas"
+	}
+	decoyDev, err := platform.Preset(decoyName)
+	if err != nil {
+		return nil, err
+	}
+	sizes := transferSizes()
+	budget := len(sizes) / 4
+	donorID := "donor-" + target
+	donors := []transfer.Donor{
+		{ID: "decoy-" + decoyName, Points: sampleCurve(decoyDev.BaseTime, sizes, 1)},
+		{ID: donorID, Points: sampleCurve(dev.BaseTime, sizes, factor)},
+	}
+	calls := 0
+	res, err := transfer.Acquire(sizes, exactProber(dev.BaseTime, &calls), transfer.Pool(donors, 0), transfer.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-transfer preset %s: %w", target, err)
+	}
+	id := fmt.Sprintf("preset %s (factor %.3g)", target, factor)
+	if res.Fallback != "" {
+		return []Violation{{Check: "diff-transfer", Algo: target,
+			Detail: fmt.Sprintf("%s: fell back despite an exact rescaled donor: %s", id, res.Fallback)}}, nil
+	}
+	var vs []Violation
+	if res.Donor != donorID {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: target,
+			Detail: fmt.Sprintf("%s: picked %s over the exact rescaled donor", id, res.Donor)})
+	}
+	if res.Measured > budget || res.Measured != calls {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: target,
+			Detail: fmt.Sprintf("%s: spent %d benchmark calls (prober saw %d), budget %d", id, res.Measured, calls, budget)})
+	}
+	full := sampleCurve(dev.BaseTime, sizes, 1)
+	if len(res.Points) != len(full) {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: target,
+			Detail: fmt.Sprintf("%s: %d transferred points for a %d-size grid", id, len(res.Points), len(full))})
+		return vs, nil
+	}
+	relErr := 0.0
+	for i := range full {
+		e := math.Abs(res.Points[i].Time-full[i].Time) / full[i].Time
+		if e > relErr {
+			relErr = e
+		}
+	}
+	if relErr > 0.05 {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: target,
+			Detail: fmt.Sprintf("%s: max relative time error %.3g over the grid exceeds the stated 0.05 bound (%d probes, maxdiff %.3g)",
+				id, relErr, res.Measured, res.MaxDisagree)})
+	}
+	comps := make([]Proc, len(companions))
+	for i, n := range companions {
+		cdev, err := platform.Preset(n)
+		if err != nil {
+			return nil, err
+		}
+		comps[i] = Proc{Name: n, Shape: ShapeSmooth, Time: cdev.BaseTime}
+	}
+	pvs, err := diffTransferPartitions(target, dev.BaseTime, res.Points, comps, D, tol)
+	if err != nil {
+		return nil, err
+	}
+	return append(vs, pvs...), nil
+}
+
+// DiffTransferFallback asserts the two no-donor outcomes serve zero wrong
+// bytes: an empty donor pool and a pool holding only a wrong-shape decoy
+// must both signal fallback with a nil point set, leaving the caller to
+// run its exact full sweep.
+func DiffTransferFallback(target, decoy Proc) ([]Violation, error) {
+	sizes := transferSizes()
+	var vs []Violation
+
+	calls := 0
+	res, err := transfer.Acquire(sizes, exactProber(target.Time, &calls), transfer.Pool(nil, 0), transfer.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-transfer empty pool: %w", err)
+	}
+	if res.Fallback == "" || res.Points != nil {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: "fallback",
+			Detail: fmt.Sprintf("%s: empty donor pool must fall back with no points, got fallback=%q, %d points",
+				target.Name, res.Fallback, len(res.Points))})
+	}
+	if res.Measured != calls {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: "fallback",
+			Detail: fmt.Sprintf("%s: empty-pool fallback reports %d probes, prober saw %d", target.Name, res.Measured, calls)})
+	}
+
+	calls = 0
+	adversarial := []transfer.Donor{{ID: "decoy-" + decoy.Name, Points: sampleCurve(decoy.Time, sizes, 1)}}
+	res, err = transfer.Acquire(sizes, exactProber(target.Time, &calls), transfer.Pool(adversarial, 0), transfer.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("verify: diff-transfer adversarial pool: %w", err)
+	}
+	if res.Fallback == "" || res.Points != nil {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: "fallback",
+			Detail: fmt.Sprintf("%s vs decoy %s: the residual gate must reject a wrong-shape donor (fallback=%q, %d points)",
+				target.Name, decoy.Name, res.Fallback, len(res.Points))})
+	}
+	if res.Measured == 0 || res.Measured != calls {
+		vs = append(vs, Violation{Check: "diff-transfer", Algo: "fallback",
+			Detail: fmt.Sprintf("%s: gate rejection happens after probing; reported %d probes, prober saw %d",
+				target.Name, res.Measured, calls)})
+	}
+	return vs, nil
+}

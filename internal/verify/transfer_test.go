@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fupermod/internal/core"
+	"fupermod/internal/service/modelstore"
+)
+
+// TestDiffTransferAllShapes runs the shape differential over several seeds
+// beyond the suite's own: every generated shape must transfer from an
+// exact rescaled donor within its stated bounds, whatever the parameters
+// drawn.
+func TestDiffTransferAllShapes(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gen := NewGen(seed + 100)
+		for _, shape := range Shapes() {
+			target := gen.Proc(shape)
+			decoy := gen.Proc(transferDecoyShape(shape))
+			factor := 0.3 + 2.7*rng.Float64()
+			var companions []Proc
+			D := 0
+			if shape.Monotone() {
+				companions = gen.Platform(2, ShapeSmooth, ShapeConstant)
+				D = 5000 + rng.Intn(40000)
+			}
+			vs, err := DiffTransfer(target, decoy, factor, companions, D, DiffTol{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, shape, err)
+			}
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+	}
+}
+
+func TestDiffTransferPresetPlatforms(t *testing.T) {
+	for _, preset := range []string{"netlib-blas", "fast", "gpu"} {
+		for _, factor := range []float64{0.4, 2.5} {
+			vs, err := DiffTransferPreset(preset, factor, 20000, DiffTol{})
+			if err != nil {
+				t.Fatalf("%s factor %g: %v", preset, factor, err)
+			}
+			for _, v := range vs {
+				t.Errorf("%s factor %g: %s", preset, factor, v)
+			}
+		}
+	}
+	if _, err := DiffTransferPreset("paging", 1, 1000, DiffTol{}); err == nil {
+		t.Error("presets off the figure platform should be rejected")
+	}
+}
+
+func TestDiffTransferFallbackOutcomes(t *testing.T) {
+	gen := NewGen(7)
+	vs, err := DiffTransferFallback(gen.Proc(ShapeSmooth), gen.Proc(ShapeGPUCliff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Error(v)
+	}
+}
+
+// TestDiffTransferPartitionsCatchSkew proves the partition differential
+// has teeth: a "transferred" point set with systematically inflated upper-
+// range timings must shift the partition enough to be flagged.
+func TestDiffTransferPartitionsCatchSkew(t *testing.T) {
+	gen := NewGen(11)
+	target := gen.Proc(ShapeSmooth)
+	companions := gen.Platform(2, ShapeSmooth, ShapeConstant)
+	sizes := transferSizes()
+	corrupted := sampleCurve(target.Time, sizes, 1)
+	for i := range corrupted {
+		if corrupted[i].D > 2000 {
+			corrupted[i].Time *= 3 // a badly-scaled donor gone unnoticed
+		}
+	}
+	vs, err := diffTransferPartitions(target.Name, target.Time, corrupted, companions, 30000, DiffTol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Error("a 3x-skewed transferred curve must move the partition beyond tolerance")
+	}
+}
+
+// TestAuditStoreSkipsTransferredEntries: warm-started entries are counted
+// and integrity-checked but never replayed — their synthesized points are
+// not a sweep's output, so replay would always "fail".
+func TestAuditStoreSkipsTransferredEntries(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putSweep(t, store, "fast", 1)
+	key := modelstore.Key{
+		Tenant: "cold", Device: "fast", Seed: 2,
+		Lo: 16, Hi: 500, N: 4,
+		Prec: modelstore.EncodePrecision(auditPrec),
+	}
+	// Synthesized points (Reps 0) that no full sweep would produce.
+	pts := []core.Point{{D: 16, Time: 1e-5}, {D: 74, Time: 3e-5}, {D: 343, Time: 9e-5}, {D: 500, Time: 2e-4}}
+	if err := store.PutTransfer(key, "fast", pts, "donor=audit/fast scale=1 probes=2/4 maxdiff=0"); err != nil {
+		t.Fatal(err)
+	}
+
+	audit, err := AuditStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.OK() || audit.Entries != 2 || audit.Verified != 1 || audit.Transferred != 1 {
+		t.Errorf("audit of a store with one transferred entry: %+v", audit)
+	}
+	var sb strings.Builder
+	if _, err := audit.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "transferred") {
+		t.Errorf("report missing transferred row:\n%s", sb.String())
+	}
+}
