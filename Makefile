@@ -6,7 +6,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route rebalance transfer commmodel verify perf-smoke update-golden
+.PHONY: all tier1 tier2 build test vet race fuzz-smoke service route rebalance transfer matpart commmodel verify perf-smoke update-golden
 
 all: tier1
 
@@ -15,9 +15,9 @@ tier1: build test
 
 ## tier2: tier1 plus vet, -race, fuzz smokes, the partition service
 ## gate, the routing-tier gate, the rebalancing gate, the model-transfer
-## gate, the communication-model gate, the verification suite and the
-## perf-suite smoke
-tier2: tier1 vet race fuzz-smoke service route rebalance transfer commmodel verify perf-smoke
+## gate, the 2D matrix-partitioning gate, the communication-model gate,
+## the verification suite and the perf-suite smoke
+tier2: tier1 vet race fuzz-smoke service route rebalance transfer matpart commmodel verify perf-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/config
 	$(GO) test -run='^$$' -fuzz='^FuzzPartition$$' -fuzztime=$(FUZZTIME) ./internal/partition
 	$(GO) test -race -run='^$$' -fuzz='^FuzzCacheStore$$' -fuzztime=$(FUZZTIME) ./internal/service
+	$(GO) test -run='^$$' -fuzz='^FuzzMatpartTiling$$' -fuzztime=$(FUZZTIME) ./internal/matpart
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeMatchesRef$$' -fuzztime=$(FUZZTIME) ./internal/service/modelstore
 	$(GO) test -run='^$$' -fuzz='^FuzzRing$$' -fuzztime=$(FUZZTIME) ./internal/service/ring
 
@@ -73,6 +74,17 @@ transfer:
 	$(GO) vet ./internal/transfer
 	$(GO) test -race -count=1 ./internal/transfer
 	$(GO) test -race -count=1 -run 'Transfer|DiffTransfer' ./internal/verify ./internal/service ./cmd/fupermod-serve ./cmd/fupermod-bench
+
+## matpart: vet + race-test the 2D matrix-partitioning layer end to end —
+## the matpart package (DP oracle, enum cross-check, grid discretisation),
+## the diff-matpart differential battery in internal/verify, and the
+## /v1/matpart serving + CLI wiring incl. the cross-replica battery
+## (-count=1: the battery asserts byte identity across live shard
+## topologies, which a cached pass would not exercise)
+matpart:
+	$(GO) vet ./internal/matpart
+	$(GO) test -race -count=1 ./internal/matpart
+	$(GO) test -race -count=1 -run 'Matpart|DiffMatpart|CrossReplica' ./internal/verify ./internal/service ./cmd/fupermod-partition
 
 ## commmodel: vet + race-test the communication models and their CLI
 ## (-count=1: the calibration determinism tests assert serial-vs-parallel

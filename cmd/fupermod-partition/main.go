@@ -4,9 +4,17 @@
 // fupermod-bench); the chosen models are built from them and the chosen
 // algorithm splits -D computation units.
 //
+// With -matpart the computed distribution is additionally arranged as a
+// 2D matrix partition (the Beaumont column arrangement, paper reference
+// [2]): each process's unit share becomes its rectangle area in the unit
+// square and the total half-perimeter — the communication volume of the
+// parallel matrix multiplication — is minimised; -matpart-grid n renders
+// the discretised n×n block layout.
+//
 // Usage:
 //
 //	fupermod-partition -algorithm geometric -model fpm-piecewise -D 20000 p0.points p1.points ...
+//	fupermod-partition -D 20000 -matpart -matpart-grid 32 p0.points p1.points ...
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"fupermod/internal/commmodel"
 	"fupermod/internal/core"
+	"fupermod/internal/matpart"
 	"fupermod/internal/model"
 	"fupermod/internal/partition"
 	"fupermod/internal/pool"
@@ -48,6 +57,9 @@ func run(args []string, stdout io.Writer) error {
 		commOp   = fs.String("comm-op", "p2p", "operation the comm model is calibrated on")
 		commKind = fs.String("comm-model", "loggp", "comm model kind: "+strings.Join(commmodel.ModelKinds(), " | "))
 		commBPU  = fs.Float64("comm-bytes-per-unit", 0, "wire bytes one computation unit costs a process per iteration")
+
+		doMatpart   = fs.Bool("matpart", false, "additionally arrange the distribution as a 2D matrix partition (Beaumont column arrangement)")
+		matpartGrid = fs.Int("matpart-grid", 0, "with -matpart, discretise onto an n×n block grid and render it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,8 +120,62 @@ func run(args []string, stdout io.Writer) error {
 	if commNote != "" {
 		t.Note += "; " + commNote
 	}
-	_, err = t.WriteTo(stdout)
-	return err
+	if _, err = t.WriteTo(stdout); err != nil {
+		return err
+	}
+	if *doMatpart {
+		return writeMatpart(stdout, dist, names, *matpartGrid)
+	}
+	if *matpartGrid != 0 {
+		return fmt.Errorf("-matpart-grid needs -matpart")
+	}
+	return nil
+}
+
+// writeMatpart arranges the computed distribution as a 2D matrix
+// partition: each process's unit count becomes its relative area, the
+// column-based arrangement minimises the total half-perimeter (the
+// communication volume of the parallel matrix multiplication), and an
+// optional block grid shows the discretised layout.
+func writeMatpart(stdout io.Writer, dist *core.Dist, names []string, grid int) error {
+	if grid < 0 {
+		return fmt.Errorf("negative -matpart-grid %d", grid)
+	}
+	areas := make([]float64, len(dist.Parts))
+	for i, part := range dist.Parts {
+		areas[i] = float64(part.D)
+	}
+	rects, perim, err := matpart.Partition(areas)
+	if err != nil {
+		return err
+	}
+	oneD, err := matpart.OneDPerimeter(areas)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("2D column arrangement of the distribution",
+		"rank", "device", "x", "y", "w", "h", "w+h")
+	for i, r := range rects {
+		t.AddRow(i, names[i], r.X, r.Y, r.W, r.H, r.HalfPerimeter())
+	}
+	t.Note = fmt.Sprintf("total half-perimeter %.4g, 1D strip baseline %.4g (%.3g%% less communication)",
+		perim, oneD, 100*(1-perim/oneD))
+	if _, err := t.WriteTo(stdout); err != nil {
+		return err
+	}
+	if grid == 0 {
+		return nil
+	}
+	blocks, err := matpart.PartitionGrid(areas, grid)
+	if err != nil {
+		return err
+	}
+	pic, err := matpart.Render(blocks, grid, 48)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\n%d×%d block grid (rank 0 = A, row 0 at the bottom):\n%s", grid, grid, pic)
+	return nil
 }
 
 // commWrap calibrates the requested operation on the named network preset,

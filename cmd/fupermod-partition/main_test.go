@@ -137,3 +137,53 @@ func TestRunCommFlagErrors(t *testing.T) {
 		t.Error("bytes per unit without a net should error")
 	}
 }
+
+// TestRunMatpart: -matpart appends the 2D column arrangement to the 1D
+// distribution — the half-perimeter beats the 1D strip baseline, and
+// -matpart-grid renders an exact block tiling.
+func TestRunMatpart(t *testing.T) {
+	dir := t.TempDir()
+	fast := writePointsFile(t, dir, "fast", platform.FastCore("fast"))
+	slow := writePointsFile(t, dir, "slow", platform.SlowCore("slow"))
+	gpu := writePointsFile(t, dir, "gpu", platform.DefaultGPU("gpu"))
+	var sb strings.Builder
+	if err := run([]string{"-D", "4000", "-matpart", "-matpart-grid", "16", fast, slow, gpu}, &sb); err != nil {
+		t.Fatalf("matpart run failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"2D column arrangement of the distribution",
+		"total half-perimeter",
+		"1D strip baseline 4", // 3 active processes → 1 + 3
+		"16×16 block grid",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The render is 16 lines of 16 letters drawn from {A, B, C}.
+	gridPart := out[strings.Index(out, "at the bottom):\n")+len("at the bottom):\n"):]
+	lines := strings.Split(strings.TrimRight(gridPart, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("render has %d lines, want 16:\n%s", len(lines), gridPart)
+	}
+	for _, ln := range lines {
+		if len(ln) != 16 || strings.Trim(ln, "ABC") != "" {
+			t.Errorf("bad render line %q", ln)
+		}
+	}
+}
+
+// TestRunMatpartFlagErrors: the grid flag is gated on -matpart and must
+// be non-negative.
+func TestRunMatpartFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	pts := writePointsFile(t, dir, "fast", platform.FastCore("fast"))
+	var sb strings.Builder
+	if err := run([]string{"-D", "10", "-matpart-grid", "8", pts}, &sb); err == nil {
+		t.Error("-matpart-grid without -matpart should error")
+	}
+	if err := run([]string{"-D", "10", "-matpart", "-matpart-grid", "-2", pts}, &sb); err == nil {
+		t.Error("negative -matpart-grid should error")
+	}
+}

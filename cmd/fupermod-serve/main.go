@@ -34,6 +34,12 @@
 //	  "d": 20000
 //	}'
 //
+//	curl -s localhost:8080/v1/matpart -d '{
+//	  "tenant": "team-a",
+//	  "areas": [10, 4, 2.5, 1],
+//	  "grid": 32
+//	}'
+//
 // The server drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 

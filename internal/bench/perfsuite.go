@@ -18,7 +18,9 @@ import (
 	"testing"
 
 	"fupermod/internal/core"
+	"fupermod/internal/matpart"
 	"fupermod/internal/model"
+	"fupermod/internal/partition"
 	"fupermod/internal/platform"
 	"fupermod/internal/service"
 	"fupermod/internal/service/modelstore"
@@ -49,6 +51,60 @@ func PerfSuite() []PerfBenchmark {
 		{Name: "modelstore/load-ref", F: benchStoreLoad((*modelstore.Store).LoadRef)},
 		{Name: "transfer/acquire", F: benchTransferAcquire},
 		{Name: "transfer/similar", F: benchTransferSimilar},
+		{Name: "matpart/oracle-dp", F: benchMatpartOracle},
+		{Name: "matpart/fpmgrid", F: benchMatpartFPMGrid},
+	}
+}
+
+// matpartAreas builds the 2D oracle's input: 48 heterogeneous processes
+// (the differential battery's headline size), areas from the generated
+// speed shapes with a few idle processes, deterministic.
+func matpartAreas() []float64 {
+	procs := verify.NewGen(7).Platform(48, verify.Shapes()...)
+	areas := make([]float64, len(procs))
+	for i, p := range procs {
+		if i%13 == 5 {
+			continue // idle process
+		}
+		areas[i] = p.Speed(20000)
+	}
+	return areas
+}
+
+// benchMatpartOracle tracks the DP 2D oracle at the scale the enumerator
+// cannot reach — the O(n²·c) prefix DP plus canonical rescoring.
+func benchMatpartOracle(b *testing.B) {
+	areas := matpartAreas()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := matpart.OraclePerimeter(areas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += opt
+	}
+}
+
+// benchMatpartFPMGrid tracks the full model-driven 2D pipeline: 1D
+// partition of the block grid, column arrangement, discretisation and
+// row refinement.
+func benchMatpartFPMGrid(b *testing.B) {
+	procs := verify.NewGen(9).Platform(8, verify.MonotoneShapes()...)
+	models := make([]core.Model, len(procs))
+	for i, p := range procs {
+		models[i] = verify.NewFuncModel(p.Name, p.Time)
+	}
+	algo, err := partition.ByName("geometric")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rects, _, err := matpart.FPMGrid(models, 64, algo, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += float64(rects[0].Blocks())
 	}
 }
 

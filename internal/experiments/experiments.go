@@ -69,6 +69,7 @@ func All() []Entry {
 		{"a4", "A4 ablation: plain vs topology-aware broadcast", A4},
 		{"r1", "R1 (§1): elastic repartitioning strategies under drift schedules", R1},
 		{"s1", "S1: partitioner makespan across the generated speed shapes", S1},
+		{"m1", "M1 ([2]): 2D column arrangement vs 1D strips across speed shapes", M1},
 		{"c1", "C1: measured vs fitted communication-model residuals", C1},
 	}
 }

@@ -19,8 +19,8 @@ func cell(t *testing.T, s string) float64 {
 
 func TestRegistryAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("expected 20 experiments, got %d", len(all))
+	if len(all) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+
+	"fupermod/internal/matpart"
+	"fupermod/internal/trace"
+	"fupermod/internal/verify"
+)
+
+// M1 measures what the 2D column arrangement buys over naive 1D strips as
+// the platform grows: for every generated speed shape and process counts
+// from a handful to dozens, the per-process areas are the shares a
+// speed-proportional partitioner would prescribe at a fixed problem size,
+// and the figure of merit is the ratio of the optimal column arrangement's
+// total half-perimeter (the DP oracle, exact at every size here) to the
+// 1D full-height-strip baseline — the communication-volume fraction the
+// 2D layout keeps. The last column is the instance's unconditional floor
+// 2·Σᵢ√aᵢ/(1+p) (each rectangle satisfies wᵢ+hᵢ ≥ 2√aᵢ, attainable only
+// if every rectangle could be a square): the gap between the ratio and
+// the floor is what the column structure costs over free-form squares.
+func M1() (*trace.Table, error) {
+	const x = 20000 // problem size the speed shares are taken at
+	t := trace.NewTable("M1: 2D column arrangement vs 1D strips across speed shapes",
+		"shape", "procs", "2d_half_perim", "1d_half_perim", "ratio", "floor")
+	for si, shape := range verify.Shapes() {
+		gen := verify.NewGen(500 + int64(si))
+		for _, p := range []int{4, 8, 16, 32, 48} {
+			procs := gen.Platform(p, shape)
+			areas := make([]float64, p)
+			for i, pr := range procs {
+				areas[i] = pr.Speed(x)
+			}
+			opt, err := matpart.OraclePerimeter(areas)
+			if err != nil {
+				return nil, err
+			}
+			oneD, err := matpart.OneDPerimeter(areas)
+			if err != nil {
+				return nil, err
+			}
+			total, roots := 0.0, 0.0
+			for _, a := range areas {
+				total += a
+			}
+			for _, a := range areas {
+				roots += math.Sqrt(a / total)
+			}
+			floor := 2 * roots / (1 + float64(p))
+			t.AddRow(string(shape), p, opt, oneD, opt/oneD, floor)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestM1RatiosImprove: the 2D-vs-1D communication ratio stays below 1
+// everywhere and falls as the platform grows — more processes give the
+// column arrangement more stacking room — while never beating the
+// instance's 2·Σ√aᵢ/(1+p) all-squares floor.
+func TestM1RatiosImprove(t *testing.T) {
+	tb, err := M1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) == 0 {
+		t.Fatal("empty table")
+	}
+	prevShape, prevRatio := "", math.Inf(1)
+	for _, row := range rows {
+		ratio := cell(t, row[4])
+		floor := cell(t, row[5])
+		if !(ratio < 1) {
+			t.Errorf("%s p=%s: ratio %g not below 1", row[0], row[1], ratio)
+		}
+		if ratio < floor-1e-12 {
+			t.Errorf("%s p=%s: ratio %g beats the all-squares floor %g", row[0], row[1], ratio, floor)
+		}
+		if row[0] == prevShape && ratio >= prevRatio {
+			t.Errorf("%s p=%s: ratio %g did not improve on the previous count's %g", row[0], row[1], ratio, prevRatio)
+		}
+		prevShape, prevRatio = row[0], ratio
+	}
+}
+
+// TestM1Golden pins the rendered M1 table byte-for-byte: the experiment
+// is fully deterministic (seeded generators, exact DP oracle), so any
+// drift in the numbers is a behaviour change, not noise. Regenerate with
+// go test ./internal/experiments -run TestM1Golden -update.
+func TestM1Golden(t *testing.T) {
+	tb, err := M1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(tb.String())
+	path := filepath.Join("testdata", "m1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/experiments -run TestM1Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("m1 table drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -27,6 +27,18 @@ func (r BlockRect) Blocks() int { return r.Cols * r.Rows }
 // prescribed areas. Column boundaries and per-column row boundaries are
 // placed by cumulative rounding, which keeps every rounding error below
 // one block row/column.
+//
+// Degenerate instances are handled explicitly rather than by caller luck:
+// zero-area processes receive empty rectangles (Cols = Rows = 0) exactly
+// as Partition gives them empty continuous rectangles, and whenever the
+// arrangement fits the grid (at most n columns, at most n rectangles per
+// column) every positive-area process is guaranteed at least one block —
+// cumulative rounding reserves one strip per remaining column and one row
+// per remaining rectangle, so a wide neighbour can no longer round a thin
+// column or a short rectangle down to nothing. If the arrangement cannot
+// fit (more than n columns, or a column with more than n rectangles), the
+// tiling stays exact and the smallest-area processes of the overfull
+// column/sequence receive zero blocks.
 func PartitionGrid(areas []float64, n int) ([]BlockRect, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("matpart: grid size must be positive, got %d", n)
@@ -62,23 +74,31 @@ func PartitionGrid(areas []float64, n int) ([]BlockRect, error) {
 	}
 	colStart := 0
 	cum := 0.0
-	for _, x := range order {
+	for ci, x := range order {
 		g := byX[x]
 		cum += g.width
 		colEnd := int(math.Round(cum * float64(n)))
+		if ci == len(order)-1 {
+			colEnd = n // the last column always closes the grid
+		}
+		// Reserve one strip per remaining column so a wide column cannot
+		// round a thin successor down to zero strips, and give this column
+		// at least one strip. When there are more columns than strips the
+		// bounds conflict; exhausting the grid (colStart = n) then leaves
+		// the trailing columns empty.
+		if rem := len(order) - ci - 1; colEnd > n-rem {
+			colEnd = n - rem
+		}
+		if colEnd < colStart+1 {
+			colEnd = colStart + 1
+		}
 		if colEnd > n {
 			colEnd = n
 		}
-		if colEnd <= colStart { // degenerate thin column: give it one strip if possible
-			if colStart < n {
-				colEnd = colStart + 1
-			} else {
-				colEnd = colStart
-			}
-		}
 		wCols := colEnd - colStart
 		// Stack the column's rectangles bottom-up by cumulative rounding
-		// of their heights.
+		// of their heights, with the same one-row reservation per
+		// remaining rectangle.
 		sortRectsByY(g.rs)
 		rowStart := 0
 		cumH := 0.0
@@ -88,13 +108,20 @@ func PartitionGrid(areas []float64, n int) ([]BlockRect, error) {
 			if k == len(g.rs)-1 {
 				rowEnd = n // last rectangle always closes the column
 			}
+			if rem := len(g.rs) - k - 1; rowEnd > n-rem {
+				rowEnd = n - rem
+			}
+			if rowEnd < rowStart+1 {
+				rowEnd = rowStart + 1
+			}
 			if rowEnd > n {
 				rowEnd = n
 			}
-			if rowEnd < rowStart {
-				rowEnd = rowStart
+			rows := rowEnd - rowStart
+			if wCols == 0 {
+				rows = 0 // an empty column holds no blocks
 			}
-			out[r.Proc] = BlockRect{Proc: r.Proc, Col: colStart, Row: rowStart, Cols: wCols, Rows: rowEnd - rowStart}
+			out[r.Proc] = BlockRect{Proc: r.Proc, Col: colStart, Row: rowStart, Cols: wCols, Rows: rows}
 			rowStart = rowEnd
 		}
 		colStart = colEnd

@@ -1,0 +1,309 @@
+package matpart
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPartitionGridThinColumnNotStarved is the regression test for the
+// rounding-starvation bug: a tiny process next to a dominant one used to
+// round to a zero-block rectangle (the wide column's boundary landed on n,
+// leaving nothing for the thin column or the short rectangle), even though
+// the grid had plenty of room. Every positive-area process must now get at
+// least one block whenever the arrangement fits the grid.
+func TestPartitionGridThinColumnNotStarved(t *testing.T) {
+	cases := []struct {
+		name  string
+		areas []float64
+		n     int
+	}{
+		// Two procs sharing one column: the short rectangle used to get
+		// Rows = 0 because round(cumH·n) hit n on the tall one.
+		{"thin row", []float64{0.6776268958872181, 0.0006868230728671094}, 16},
+		// Singleton thin columns after a dominant one: round(cum·n) = n on
+		// the wide column used to leave zero strips for the rest.
+		{"thin columns", []float64{100, 1, 1, 1}, 4},
+		// p = n with skewed areas: every process must land one strip/row.
+		{"p equals n", []float64{0.9, 0.04, 0.03, 0.03}, 4},
+		{"p equals n singletons", []float64{100, 100, 1, 1}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rects, err := PartitionGrid(tc.areas, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckTiling(rects, tc.n); err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range rects {
+				if tc.areas[i] > 0 && r.Blocks() == 0 {
+					t.Errorf("process %d (area %g) starved of blocks: %+v", i, tc.areas[i], rects)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionGridZeroAreaProcesses pins the zero-area contract down
+// explicitly, matching Partition: idle processes receive empty rectangles
+// and never blocks, active ones tile the grid exactly and each get at
+// least one block.
+func TestPartitionGridZeroAreaProcesses(t *testing.T) {
+	areas := []float64{0, 5, 0, 3, 0, 0.001}
+	n := 8
+	rects, err := PartitionGrid(areas, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTiling(rects, n); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rects {
+		if areas[i] == 0 && r.Blocks() != 0 {
+			t.Errorf("zero-area process %d received %d blocks: %+v", i, r.Blocks(), r)
+		}
+		if areas[i] > 0 && r.Blocks() == 0 {
+			t.Errorf("active process %d starved: %+v", i, rects)
+		}
+	}
+	// All-zero still errors, as in Partition.
+	if _, err := PartitionGrid([]float64{0, 0}, n); err == nil {
+		t.Error("all-zero areas should error")
+	}
+}
+
+// TestPartitionGridOverfullDegradesGracefully covers the genuinely
+// infeasible side: more active processes than the grid has blocks (or a
+// column with more rectangles than rows). The tiling must stay exact and
+// the processes that do lose out must be the smallest-area ones.
+func TestPartitionGridOverfullDegradesGracefully(t *testing.T) {
+	// 6 active processes on a 2×2 grid: at most 4 can own a block.
+	areas := []float64{10, 9, 8, 7, 0.002, 0.001}
+	rects, err := PartitionGrid(areas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTiling(rects, 2); err != nil {
+		t.Fatal(err)
+	}
+	holders := 0
+	for _, r := range rects {
+		if r.Blocks() > 0 {
+			holders++
+		}
+	}
+	if holders == 0 || holders > 4 {
+		t.Fatalf("expected 1..4 block holders on a 2x2 grid, got %d: %+v", holders, rects)
+	}
+	// The two tiny processes must be among the losers before any of the
+	// four dominant ones.
+	for i := 0; i < 4; i++ {
+		if rects[i].Blocks() == 0 {
+			for _, j := range []int{4, 5} {
+				if rects[j].Blocks() > 0 {
+					t.Errorf("tiny process %d holds blocks while dominant process %d starved: %+v", j, i, rects)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionGridManyProcsEachGetBlocks strengthens the many-procs case:
+// 12 equal processes on a 4×4 grid fit (3–4 columns of 3–4 rectangles), so
+// after the reservation fix nobody may be rounded away.
+func TestPartitionGridManyProcsEachGetBlocks(t *testing.T) {
+	areas := make([]float64, 12)
+	for i := range areas {
+		areas[i] = 1
+	}
+	rects, err := PartitionGrid(areas, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTiling(rects, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rects {
+		if r.Blocks() == 0 {
+			t.Errorf("process %d starved on a grid with %d blocks for %d procs: %+v", i, 16, 12, rects)
+		}
+	}
+}
+
+// FuzzMatpartTiling drives PartitionGrid with adversarial area vectors and
+// grid sizes: whatever the input, a successful partitioning must tile the
+// grid exactly and give zero-area processes zero blocks; whenever the
+// continuous arrangement fits the grid (at most n columns, at most n
+// rectangles per column) every active process must own at least one
+// block; and on non-degenerate instances (every active share at least
+// 1/n) block counts must stay proportional to areas within the
+// cumulative-rounding slack.
+func FuzzMatpartTiling(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(8))
+	f.Add(int64(2), uint8(12), uint8(4))
+	f.Add(int64(3), uint8(1), uint8(1))
+	f.Add(int64(4), uint8(48), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, pRaw, nRaw uint8) {
+		p := 1 + int(pRaw)%64
+		n := 1 + int(nRaw)%64
+		rng := rand.New(rand.NewSource(seed))
+		areas := make([]float64, p)
+		total := 0.0
+		active := 0
+		for i := range areas {
+			switch rng.Intn(5) {
+			case 0: // idle
+			case 1: // tiny
+				areas[i] = rng.Float64() * 1e-6
+			default:
+				areas[i] = rng.ExpFloat64()
+			}
+			if areas[i] > 0 {
+				active++
+				total += areas[i]
+			}
+		}
+		if active == 0 {
+			if _, err := PartitionGrid(areas, n); err == nil {
+				t.Fatal("all-zero areas must error")
+			}
+			return
+		}
+		rects, err := PartitionGrid(areas, n)
+		if err != nil {
+			t.Fatalf("areas=%v n=%d: %v", areas, n, err)
+		}
+		if err := CheckTiling(rects, n); err != nil {
+			t.Fatalf("areas=%v n=%d: %v", areas, n, err)
+		}
+		// Derive the column structure from the continuous arrangement: the
+		// grid fits it iff there are at most n columns and no column holds
+		// more than n rectangles.
+		cont, _, err := Partition(areas)
+		if err != nil {
+			t.Fatalf("areas=%v: %v", areas, err)
+		}
+		perCol := map[float64]int{}
+		for _, r := range cont {
+			if r.W > 0 {
+				perCol[r.X]++
+			}
+		}
+		fits := len(perCol) <= n
+		for _, k := range perCol {
+			if k > n {
+				fits = false
+			}
+		}
+		minShare := math.Inf(1)
+		for _, a := range areas {
+			if a > 0 && a/total < minShare {
+				minShare = a / total
+			}
+		}
+		for i, r := range rects {
+			if areas[i] == 0 && r.Blocks() != 0 {
+				t.Fatalf("zero-area process %d holds %d blocks", i, r.Blocks())
+			}
+			if areas[i] > 0 && fits && r.Blocks() == 0 {
+				t.Fatalf("active process %d starved though the arrangement fits: areas=%v n=%d rects=%v", i, areas, n, rects)
+			}
+			if minShare*float64(n) >= 1 {
+				// Non-degenerate: every boundary is placed by cumulative
+				// rounding (reservations cannot bind), so the block count
+				// deviates by at most one row plus one column plus a
+				// corner, with one extra for a reservation-displaced edge.
+				want := areas[i] / total * float64(n) * float64(n)
+				slack := float64(r.Cols+r.Rows) + 2
+				if math.Abs(float64(r.Blocks())-want) > slack {
+					t.Fatalf("process %d holds %d blocks, share prescribes %.2f (slack %g): areas=%v n=%d", i, r.Blocks(), want, slack, areas, n)
+				}
+			}
+		}
+	})
+}
+
+// TestRenderOrientationAndWrapping covers the Render paths the smoke test
+// leaves out: the unit-square orientation (row 0 printed last), the
+// default maxSide, the letter alphabet wrapping past 52 processes, and
+// rejection of rectangles outside the grid.
+func TestRenderOrientationAndWrapping(t *testing.T) {
+	// Two stacked rectangles in one column: proc 0 owns the bottom half.
+	rects := []BlockRect{
+		{Proc: 0, Col: 0, Row: 0, Cols: 2, Rows: 1},
+		{Proc: 1, Col: 0, Row: 1, Cols: 2, Rows: 1},
+	}
+	out, err := Render(rects, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "BB" || lines[1] != "AA" {
+		t.Fatalf("row 0 must print at the bottom: %q", out)
+	}
+
+	// maxSide <= 0 falls back to 64 and downsamples a 100-grid.
+	big := []BlockRect{{Proc: 0, Col: 0, Row: 0, Cols: 100, Rows: 100}}
+	out, err = Render(big, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "\n"); got != 64 {
+		t.Errorf("default maxSide: expected 64 lines, got %d", got)
+	}
+
+	// 53 processes wrap the alphabet: proc 52 renders as 'A' again.
+	n := 53
+	many := make([]BlockRect, n)
+	for i := range many {
+		many[i] = BlockRect{Proc: i, Col: i, Row: 0, Cols: 1, Rows: n}
+	}
+	out, err = Render(many, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out, "\n", 2)[0]
+	if first[0] != 'A' || first[52] != 'A' || first[26] != 'a' {
+		t.Errorf("alphabet wrapping wrong: %q", first)
+	}
+
+	// Out-of-grid rectangles are rejected, not silently clipped.
+	bad := []BlockRect{{Proc: 0, Col: 0, Row: 0, Cols: 3, Rows: 2}}
+	if _, err := Render(bad, 2, 8); err == nil {
+		t.Error("rectangle outside the grid should error")
+	}
+}
+
+// TestGroupColumnsDistinguishesWidths covers the grouping key: rectangles
+// sharing Col but not Cols are different columns (a wider rectangle
+// starting at the same x), and ordering is insertion-sorted by Row even
+// when rows arrive reversed and interleaved.
+func TestGroupColumnsDistinguishesWidths(t *testing.T) {
+	rects := []BlockRect{
+		{Proc: 0, Col: 0, Row: 6, Cols: 2, Rows: 2},
+		{Proc: 1, Col: 0, Row: 0, Cols: 4, Rows: 8}, // same Col, wider
+		{Proc: 2, Col: 0, Row: 4, Cols: 2, Rows: 2},
+		{Proc: 3, Col: 0, Row: 2, Cols: 2, Rows: 2},
+		{Proc: 4, Col: 0, Row: 0, Cols: 2, Rows: 2},
+	}
+	cols := groupColumns(rects)
+	if len(cols) != 2 {
+		t.Fatalf("expected 2 columns (Cols=2 and Cols=4), got %d: %+v", len(cols), cols)
+	}
+	want := []int{4, 3, 2, 0}
+	got := cols[0].procs
+	if len(got) != len(want) {
+		t.Fatalf("first column procs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("first column not row-ordered: %v, want %v", got, want)
+		}
+	}
+	if len(cols[1].procs) != 1 || cols[1].procs[0] != 1 {
+		t.Errorf("wide column wrong: %+v", cols[1])
+	}
+}

@@ -11,26 +11,204 @@ import (
 // grow super-exponentially (B(12) ≈ 4.2M).
 const maxOracleProcs = 10
 
-// OraclePerimeter finds the minimal total half-perimeter over *all*
+// dpColumnCost is the DP transition cost of a column holding k stacked
+// rectangles with total width w: each rectangle's half-perimeter
+// contributes its width, so the column costs k·w (heights sum to 1 per
+// column and are charged once per column at the end). It is a variable
+// only so the mutation test can perturb one transition and prove the enum
+// cross-check catches a wrong DP.
+var dpColumnCost = func(k int, w float64) float64 { return float64(k) * w }
+
+// canonicalCost evaluates Σ_c (k_c·w_c) + C for a column grouping of the
+// normalised areas with a fixed summation order. Rewriting the sum per
+// process, Σ_c k_c·w_c = Σ_i k(i)·aᵢ where k(i) is the cardinality of
+// process i's column — so the real cost depends on the grouping only
+// through each process's column cardinality, and two groupings that
+// merely permute processes between equal-sized columns cost exactly the
+// same. The evaluator accumulates in that form (ascending cardinality,
+// then ascending process index), which makes such equal-cost groupings
+// evaluate bitwise-identically too. Both oracles search independently but
+// score their winning arrangement through this one evaluator, so agreeing
+// on the optimum means agreeing to the last bit — which is what lets the
+// verify suite demand byte-equality between them.
+func canonicalCost(act []float64, groups [][]int) float64 {
+	card := make([]int, len(act))
+	maxCard := 0
+	for _, g := range groups {
+		for _, i := range g {
+			card[i] = len(g)
+		}
+		if len(g) > maxCard {
+			maxCard = len(g)
+		}
+	}
+	cost := float64(len(groups))
+	for k := 1; k <= maxCard; k++ {
+		w := 0.0
+		hit := false
+		for i, a := range act {
+			if card[i] == k {
+				w += a
+				hit = true
+			}
+		}
+		if hit {
+			cost += float64(k) * w
+		}
+	}
+	return cost
+}
+
+// OraclePerimeter finds the minimal total half-perimeter over all
+// column-based arrangements of the given areas by dynamic programming
+// over prefixes of the descending-area-sorted sequence with the column
+// count as state: f[c][i] is the cheapest cost of packing the first i
+// processes into exactly c columns, with an O(n²·c) transition over the
+// cut point of the last column. Beaumont et al. prove an optimal
+// arrangement groups contiguous runs of the sorted sequence, so the DP is
+// exact — and OraclePerimeterEnum, which enumerates every set partition
+// including the non-contiguous ones, re-verifies that theorem on small n.
+// Unlike the enumerator this scales to dozens of processes, which is what
+// pushes the 2D ground truth past 10 active procs.
+//
+// The search is deliberately independent of Partition's DP (per-column
+// cost layers, incremental width accumulation instead of prefix sums);
+// only the final arrangement is scored through canonicalCost, shared with
+// the enumerator so that agreement is bitwise.
+func OraclePerimeter(areas []float64) (float64, error) {
+	act, err := activeAreas(areas)
+	if err != nil {
+		return 0, err
+	}
+	q := len(act)
+	// Sort the active indices descending by area (insertion sort: the
+	// oracle must not share Partition's sort call chain). sorted[k] is an
+	// index into act/order.
+	sorted := make([]int, q)
+	for i := range sorted {
+		sorted[i] = i
+	}
+	for i := 1; i < q; i++ {
+		for j := i; j > 0 && act[sorted[j]] > act[sorted[j-1]]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	const inf = math.MaxFloat64
+	// f[c][i] = min cost (excluding the +1-per-column height charge) of
+	// packing the first i sorted processes into exactly c columns;
+	// cut[c][i] is the argmin start of the last column.
+	f := make([][]float64, q+1)
+	cut := make([][]int, q+1)
+	for c := range f {
+		f[c] = make([]float64, q+1)
+		cut[c] = make([]int, q+1)
+		for i := range f[c] {
+			f[c][i] = inf
+		}
+	}
+	f[0][0] = 0
+	for c := 1; c <= q; c++ {
+		for i := c; i <= q; i++ {
+			// Last column spans (j, i]; accumulate its width walking the
+			// cut point j down from i-1.
+			w := 0.0
+			for j := i - 1; j >= c-1; j-- {
+				w += act[sorted[j]]
+				if f[c-1][j] == inf {
+					continue
+				}
+				if cost := f[c-1][j] + dpColumnCost(i-j, w); cost < f[c][i] {
+					f[c][i] = cost
+					cut[c][i] = j
+				}
+			}
+		}
+	}
+	// For each feasible column count, reconstruct the argmin grouping and
+	// score it canonically; return the bitwise-minimal canonical cost.
+	best := inf
+	found := false
+	for c := 1; c <= q; c++ {
+		if f[c][q] == inf {
+			continue
+		}
+		groups := make([][]int, 0, c)
+		hi := q
+		for k := c; k >= 1; k-- {
+			lo := cut[k][hi]
+			g := make([]int, 0, hi-lo)
+			for m := lo; m < hi; m++ {
+				g = append(g, sorted[m])
+			}
+			groups = append(groups, g)
+			hi = lo
+		}
+		if cost := canonicalCost(act, groups); cost < best {
+			best = cost
+			found = true
+		}
+	}
+	if !found {
+		return 0, errors.New("matpart: oracle DP found no arrangement")
+	}
+	return best, nil
+}
+
+// OraclePerimeterEnum finds the minimal total half-perimeter over *all*
 // column-based arrangements of the given areas by brute force: it
 // enumerates every set partition of the active processes into columns and
-// evaluates Σ_c (k_c·w_c) + C exactly (k_c processes in column c of
-// width w_c, C columns; the heights of a column always sum to 1). The
-// cost of an arrangement depends only on which processes share a column,
-// so set partitions cover the whole design space — including the
-// non-contiguous, unsorted groupings the DP in Partition never considers.
-// It is the ground truth the 2D differential checks compare Partition
-// against, exponential by design and restricted to small process counts.
-func OraclePerimeter(areas []float64) (float64, error) {
+// scores each through canonicalCost (k_c processes in column c of width
+// w_c cost k_c·w_c, plus one unit of height per column). The cost of an
+// arrangement depends only on which processes share a column, so set
+// partitions cover the whole design space — including the non-contiguous,
+// unsorted groupings the prefix DPs never consider. It is the exactness
+// cross-check for OraclePerimeter on small n, exponential by design and
+// restricted to maxOracleProcs active processes.
+func OraclePerimeterEnum(areas []float64) (float64, error) {
+	act, err := activeAreas(areas)
+	if err != nil {
+		return 0, err
+	}
+	if len(act) > maxOracleProcs {
+		return 0, fmt.Errorf("matpart: oracle limited to %d active processes, got %d", maxOracleProcs, len(act))
+	}
+	// Enumerate set partitions recursively: element i joins an existing
+	// column or opens a new one; every leaf is scored canonically.
+	best := math.Inf(1)
+	groups := make([][]int, 0, len(act))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(act) {
+			if cost := canonicalCost(act, groups); cost < best {
+				best = cost
+			}
+			return
+		}
+		for c := range groups {
+			groups[c] = append(groups[c], i)
+			walk(i + 1)
+			groups[c] = groups[c][:len(groups[c])-1]
+		}
+		groups = append(groups, []int{i})
+		walk(i + 1)
+		groups = groups[:len(groups)-1]
+	}
+	walk(0)
+	return best, nil
+}
+
+// activeAreas validates the areas and returns the positive ones
+// normalised to sum 1, in input order.
+func activeAreas(areas []float64) ([]float64, error) {
 	total := 0.0
 	for i, a := range areas {
 		if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
-			return 0, fmt.Errorf("matpart: invalid area %g for process %d", a, i)
+			return nil, fmt.Errorf("matpart: invalid area %g for process %d", a, i)
 		}
 		total += a
 	}
 	if total == 0 {
-		return 0, errors.New("matpart: all areas are zero")
+		return nil, errors.New("matpart: all areas are zero")
 	}
 	var act []float64
 	for _, a := range areas {
@@ -38,40 +216,5 @@ func OraclePerimeter(areas []float64) (float64, error) {
 			act = append(act, a/total)
 		}
 	}
-	if len(act) > maxOracleProcs {
-		return 0, fmt.Errorf("matpart: oracle limited to %d active processes, got %d", maxOracleProcs, len(act))
-	}
-	// Enumerate set partitions recursively: element i joins an existing
-	// column or opens a new one. Track per-column width (area sum) and
-	// cardinality; cost is evaluated at the leaves.
-	best := math.Inf(1)
-	widths := make([]float64, 0, len(act))
-	counts := make([]int, 0, len(act))
-	var walk func(i int)
-	walk = func(i int) {
-		if i == len(act) {
-			cost := float64(len(widths)) // Σ heights: 1 per column
-			for c, w := range widths {
-				cost += float64(counts[c]) * w
-			}
-			if cost < best {
-				best = cost
-			}
-			return
-		}
-		for c := range widths {
-			widths[c] += act[i]
-			counts[c]++
-			walk(i + 1)
-			widths[c] -= act[i]
-			counts[c]--
-		}
-		widths = append(widths, act[i])
-		counts = append(counts, 1)
-		walk(i + 1)
-		widths = widths[:len(widths)-1]
-		counts = counts[:len(counts)-1]
-	}
-	walk(0)
-	return best, nil
+	return act, nil
 }

@@ -26,7 +26,7 @@ func TestPartitionMatchesOracle(t *testing.T) {
 			}
 			areas[i] = math.Exp(rng.Float64() * math.Log(100))
 		}
-		want, err := OraclePerimeter(areas)
+		want, err := OraclePerimeterEnum(areas)
 		if err != nil {
 			// All-zero draw: regenerate deterministically by skipping.
 			continue
@@ -45,6 +45,138 @@ func TestPartitionMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestOracleDPEqualsEnum pins the scalable DP oracle to the set-partition
+// enumerator on every instance the enumerator can afford: for n ≤ 10 the
+// two must agree to the last bit — both search independently but score
+// their winning arrangement through the shared canonical evaluator, so
+// any bit of divergence means one of them picked a genuinely different
+// (hence suboptimal) arrangement. This is the exactness cross-check that
+// lets the DP stand in as ground truth beyond n = 10.
+func TestOracleDPEqualsEnum(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		p := 1 + rng.Intn(maxOracleProcs)
+		areas := make([]float64, p)
+		any := false
+		for i := range areas {
+			if rng.Float64() < 0.15 {
+				continue // idle process
+			}
+			areas[i] = math.Exp(rng.Float64() * math.Log(1000))
+			any = true
+		}
+		if !any {
+			continue
+		}
+		want, err := OraclePerimeterEnum(areas)
+		if err != nil {
+			t.Fatalf("trial %d areas %v: enum: %v", trial, areas, err)
+		}
+		got, err := OraclePerimeter(areas)
+		if err != nil {
+			t.Fatalf("trial %d areas %v: dp: %v", trial, areas, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("trial %d areas %v: DP oracle %.17g (bits %016x), enum oracle %.17g (bits %016x)",
+				trial, areas, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestOracleScalesToDozens exercises the DP oracle far past the
+// enumerator's ceiling: at 48 processes it must agree with Partition's
+// achieved perimeter (two independent implementations of the same
+// optimum), strictly beat the 1D strip baseline on heterogeneous areas,
+// and respect the √p half-perimeter lower bound for p equal squares.
+func TestOracleScalesToDozens(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		p := 24 + rng.Intn(25) // 24..48
+		areas := make([]float64, p)
+		for i := range areas {
+			areas[i] = math.Exp(rng.Float64() * math.Log(100))
+		}
+		opt, err := OraclePerimeter(areas)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, got, err := Partition(areas)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-opt) > 1e-9*opt {
+			t.Errorf("trial %d p=%d: Partition perimeter %.12g, DP oracle %.12g", trial, p, got, opt)
+		}
+		oneD, err := OneDPerimeter(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(opt < oneD) {
+			t.Errorf("trial %d p=%d: oracle optimum %g does not beat the 1D baseline %g", trial, p, opt, oneD)
+		}
+	}
+	// p equal areas: the optimum cannot beat p·2/√p = 2√p (each of the p
+	// rectangles has area 1/p, and w+h ≥ 2√(wh)).
+	p := 49
+	equal := make([]float64, p)
+	for i := range equal {
+		equal[i] = 1
+	}
+	opt, err := OraclePerimeter(equal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := 2 * math.Sqrt(float64(p))
+	if opt < lower-1e-9 {
+		t.Errorf("%d equal areas: optimum %g beats the 2√p lower bound %g", p, opt, lower)
+	}
+	if math.Abs(opt-lower) > 1e-9 {
+		// 49 equal areas tile as a 7×7 grid of squares: the bound is tight.
+		t.Errorf("%d equal areas: optimum %g, want exactly %g (7×7 squares)", p, opt, lower)
+	}
+}
+
+// TestOracleMutationCaught perturbs one DP transition (the column cost
+// k·w) and asserts the enum cross-check catches the broken oracle: a
+// mutation test that proves TestOracleDPEqualsEnum has teeth. The
+// perturbation is tiny and one-sided so a DP that merely rounds
+// differently would still pass — only re-deriving the same optimum as the
+// enumerator does.
+func TestOracleMutationCaught(t *testing.T) {
+	orig := dpColumnCost
+	defer func() { dpColumnCost = orig }()
+	dpColumnCost = func(k int, w float64) float64 {
+		if k == 2 {
+			return 0 // drop the width charge of two-rectangle columns
+		}
+		return float64(k) * w
+	}
+	// The true optimum is {3},{2,2}; the mutation makes the DP prefer the
+	// cut {3,2},{2} (its mutated two-rectangle column looks free, so the
+	// cheaper singleton is {2}), and the reconstructed arrangement scores
+	// worse than the enum optimum.
+	areas := []float64{3, 2, 2}
+	want, err := OraclePerimeterEnum(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OraclePerimeter(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) <= 1e-12 {
+		t.Fatalf("mutated DP still matches the enum oracle (%.17g): the cross-check has no teeth", want)
+	}
+	dpColumnCost = orig
+	got, err = OraclePerimeter(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("restored DP disagrees with the enum oracle: %.17g vs %.17g", got, want)
+	}
+}
+
 // TestOracleCatchesBrokenArrangement is the 2D mutation check: the naive
 // 1D strip arrangement (every process a full-height column) must be
 // flagged as suboptimal by the oracle whenever a better grouping exists.
@@ -52,7 +184,7 @@ func TestOracleCatchesBrokenArrangement(t *testing.T) {
 	// Four equal areas: 1D strips cost 1 + 4 = 5, while the 2×2 square
 	// arrangement costs 4·(0.5 + 0.5) = 4.
 	areas := []float64{1, 1, 1, 1}
-	opt, err := OraclePerimeter(areas)
+	opt, err := OraclePerimeterEnum(areas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,21 +208,29 @@ func TestOracleCatchesBrokenArrangement(t *testing.T) {
 }
 
 func TestOracleRejectsBadInputs(t *testing.T) {
-	if _, err := OraclePerimeter([]float64{0, 0}); err == nil {
-		t.Error("all-zero areas should error")
-	}
-	if _, err := OraclePerimeter([]float64{1, -1}); err == nil {
-		t.Error("negative area should error")
-	}
-	if _, err := OraclePerimeter([]float64{1, math.NaN()}); err == nil {
-		t.Error("NaN area should error")
+	for name, oracle := range map[string]func([]float64) (float64, error){
+		"enum": OraclePerimeterEnum,
+		"dp":   OraclePerimeter,
+	} {
+		if _, err := oracle([]float64{0, 0}); err == nil {
+			t.Errorf("%s: all-zero areas should error", name)
+		}
+		if _, err := oracle([]float64{1, -1}); err == nil {
+			t.Errorf("%s: negative area should error", name)
+		}
+		if _, err := oracle([]float64{1, math.NaN()}); err == nil {
+			t.Errorf("%s: NaN area should error", name)
+		}
 	}
 	big := make([]float64, maxOracleProcs+1)
 	for i := range big {
 		big[i] = 1
 	}
-	if _, err := OraclePerimeter(big); err == nil {
-		t.Error("oversized instance should be refused")
+	if _, err := OraclePerimeterEnum(big); err == nil {
+		t.Error("oversized instance should be refused by the enumerator")
+	}
+	if _, err := OraclePerimeter(big); err != nil {
+		t.Errorf("the DP oracle must accept %d processes: %v", len(big), err)
 	}
 }
 

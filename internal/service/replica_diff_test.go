@@ -65,6 +65,7 @@ func diffCorpus() []diffCase {
 		},
 	}
 	rebal := rebalanceReq("eta")
+	matp := matpartReq("theta")
 	defaultTenant := MeasureRequest{
 		// The empty tenant canonicalises to "default" — it must land on
 		// the same shard, and produce the same bytes, on every topology.
@@ -93,6 +94,10 @@ func diffCorpus() []diffCase {
 		{
 			name: "rebalance/eta", path: "/v1/rebalance", req: rebal,
 			direct: func(t *testing.T) []byte { return directRebalanceBytes(t, rebal) },
+		},
+		{
+			name: "matpart/theta", path: "/v1/matpart", req: matp,
+			direct: func(t *testing.T) []byte { return directMatpartBytes(t, matp) },
 		},
 		{name: "measure/default-tenant", path: "/v1/measure", req: defaultTenant},
 	}

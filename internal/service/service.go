@@ -35,6 +35,7 @@
 //	POST /v1/dynpart    model-free dynamic partitioning (paper §4.4)
 //	POST /v1/balance    replay observed iteration times through the balancer
 //	POST /v1/rebalance  cost-gated elastic repartitioning decision + plan
+//	POST /v1/matpart    2D column-based matrix arrangement for given areas
 //	POST /v1/machine    upload a machine file describing a tenant's devices
 //	GET  /stats         merged + per-shard request/cache/store/quota counters
 //	GET  /healthz       liveness probe
@@ -148,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/dynpart", s.instrument(s.handleDynpart))
 	mux.HandleFunc("/v1/balance", s.instrument(s.handleBalance))
 	mux.HandleFunc("/v1/rebalance", s.instrument(s.handleRebalance))
+	mux.HandleFunc("/v1/matpart", s.instrument(s.handleMatpart))
 	mux.HandleFunc("/v1/machine", s.instrument(s.handleMachine))
 	mux.HandleFunc("/stats", s.instrument(s.handleStats))
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))

@@ -43,6 +43,7 @@ type shardStats struct {
 	dynpartRuns    atomic.Int64 // dynamic-partition runs actually executed
 	balanceRuns    atomic.Int64 // balance replays actually executed
 	rebalanceRuns  atomic.Int64 // rebalance decisions actually computed
+	matpartRuns    atomic.Int64 // 2D matrix arrangements actually computed
 	machineUploads atomic.Int64 // machine files accepted
 
 	quotaRejections atomic.Int64 // requests rejected by the per-tenant quota
@@ -85,6 +86,7 @@ func (s *shardStats) counters() ShardCounters {
 		DynpartRuns:       s.dynpartRuns.Load(),
 		BalanceRuns:       s.balanceRuns.Load(),
 		RebalanceRuns:     s.rebalanceRuns.Load(),
+		MatpartRuns:       s.matpartRuns.Load(),
 		MachineUploads:    s.machineUploads.Load(),
 		QuotaRejections:   s.quotaRejections.Load(),
 	}
@@ -183,10 +185,12 @@ type ShardCounters struct {
 	CommCalibrations int64 `json:"comm_calibrations"`
 
 	// Dynamic-endpoint counters: model-free partition runs, balance
-	// replays, rebalance decisions, and accepted machine-file uploads.
+	// replays, rebalance decisions, 2D matrix arrangements, and accepted
+	// machine-file uploads.
 	DynpartRuns    int64 `json:"dynpart_runs"`
 	BalanceRuns    int64 `json:"balance_runs"`
 	RebalanceRuns  int64 `json:"rebalance_runs"`
+	MatpartRuns    int64 `json:"matpart_runs"`
 	MachineUploads int64 `json:"machine_uploads"`
 
 	// QuotaRejections counts requests rejected by the per-tenant
@@ -217,6 +221,7 @@ func (c *ShardCounters) add(o ShardCounters) {
 	c.DynpartRuns += o.DynpartRuns
 	c.BalanceRuns += o.BalanceRuns
 	c.RebalanceRuns += o.RebalanceRuns
+	c.MatpartRuns += o.MatpartRuns
 	c.MachineUploads += o.MachineUploads
 	c.QuotaRejections += o.QuotaRejections
 	if len(o.QuotaRejectionsByTenant) > 0 {

@@ -1,0 +1,214 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fupermod/internal/matpart"
+	"fupermod/internal/pool"
+)
+
+// runDiffMatpart differentials the 2D column-arrangement layer on areas
+// derived from every generated speed shape. Three families of checks:
+//
+//  1. oracle cross-check — on every instance with at most 10 active
+//     processes the scalable DP oracle must return the bitwise-identical
+//     optimum the set-partition enumerator finds (the enum covers
+//     non-contiguous groupings too, so agreement re-verifies the Beaumont
+//     contiguity theorem on every draw);
+//  2. structural invariants at scale — at up to 48 processes, far past the
+//     enumerator's ceiling, the continuous arrangement must tile the unit
+//     square (Σ W·H = 1, every area share realised exactly), agree with
+//     the DP oracle, and the discretised grid must tile exactly with
+//     zero-area processes excluded and every active process owning blocks;
+//  3. 2D-vs-1D — for three or more active processes the column arrangement
+//     must strictly beat the naive full-height-strip baseline on every
+//     speed shape.
+func runDiffMatpart(ctx context.Context, p *pool.Pool, opts Options) ([]Violation, int, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 18))
+	gen := NewGen(opts.Seed + 19)
+	var checks []check
+	for round := 0; round < opts.rounds(); round++ {
+		for _, shape := range Shapes() {
+			// Small instances: every active count 2..10 gets covered across
+			// rounds, with occasional idle (zero-area) processes mixed in.
+			n := 2 + rng.Intn(9)
+			areas := shapeAreas(gen, rng, shape, n, true)
+			checks = append(checks, func() ([]Violation, error) {
+				return DiffMatpartOracle(areas)
+			})
+			// Large instances: dozens of processes, enumerator-infeasible.
+			big := 11 + rng.Intn(38) // 11..48
+			if round == 0 {
+				big = 48 // always pin the headline size once per shape
+			}
+			grid := 32 + rng.Intn(97) // 32..128 block grid
+			bigAreas := shapeAreas(gen, rng, shape, big, true)
+			checks = append(checks, func() ([]Violation, error) {
+				return DiffMatpartScale(bigAreas, grid)
+			})
+			// 2D strictly beats 1D whenever stacking is possible (≥ 3
+			// active processes guarantee a multi-rectangle column wins).
+			m := 3 + rng.Intn(8)
+			oneDAreas := shapeAreas(gen, rng, shape, m, false)
+			checks = append(checks, func() ([]Violation, error) {
+				return DiffMatpartBeatsOneD(oneDAreas)
+			})
+		}
+	}
+	return runChecks(ctx, p, checks)
+}
+
+// shapeAreas derives a relative-area vector from n generated processes of
+// the shape: each process's area is its speed at a common problem size,
+// which is exactly the share a speed-proportional partitioner would
+// prescribe. With allowIdle, some processes are idled to zero area (never
+// all of them).
+func shapeAreas(gen *Gen, rng *rand.Rand, shape Shape, n int, allowIdle bool) []float64 {
+	procs := gen.Platform(n, shape)
+	x := float64(1000 + rng.Intn(49000))
+	areas := make([]float64, n)
+	active := 0
+	for i, pr := range procs {
+		areas[i] = pr.Speed(x)
+		if allowIdle && rng.Float64() < 0.15 && active+(n-i) > 1 {
+			areas[i] = 0
+			continue
+		}
+		active++
+	}
+	if active == 0 {
+		areas[0] = procs[0].Speed(x)
+	}
+	return areas
+}
+
+// DiffMatpartOracle checks the scalable DP oracle against the
+// set-partition enumerator on one small instance: the two optima must be
+// byte-equal. Both search independently (prefix DP with column-count
+// state vs exhaustive set partitions) and score through one canonical
+// evaluator, so any bit of disagreement means one of them picked a
+// genuinely different — hence suboptimal — arrangement.
+func DiffMatpartOracle(areas []float64) ([]Violation, error) {
+	dp, err := matpart.OraclePerimeter(areas)
+	if err != nil {
+		return []Violation{{Check: "diff-matpart", Algo: "oracle-dp",
+			Detail: fmt.Sprintf("areas %v: %v", areas, err)}}, nil
+	}
+	enum, err := matpart.OraclePerimeterEnum(areas)
+	if err != nil {
+		return []Violation{{Check: "diff-matpart", Algo: "oracle-enum",
+			Detail: fmt.Sprintf("areas %v: %v", areas, err)}}, nil
+	}
+	var vs []Violation
+	if math.Float64bits(dp) != math.Float64bits(enum) {
+		vs = append(vs, Violation{Check: "diff-matpart", Algo: "oracle-dp",
+			Detail: fmt.Sprintf("areas %v: DP optimum %.17g != enum optimum %.17g (bits %016x vs %016x)",
+				areas, dp, enum, math.Float64bits(dp), math.Float64bits(enum))})
+	}
+	// The constructive arrangement must achieve the oracle optimum.
+	_, perim, err := matpart.Partition(areas)
+	if err != nil {
+		return append(vs, Violation{Check: "diff-matpart", Algo: "partition",
+			Detail: fmt.Sprintf("areas %v: %v", areas, err)}), nil
+	}
+	if math.Abs(perim-dp) > 1e-9*dp {
+		vs = append(vs, Violation{Check: "diff-matpart", Algo: "partition",
+			Detail: fmt.Sprintf("areas %v: achieved perimeter %.12g, oracle optimum %.12g", areas, perim, dp)})
+	}
+	return vs, nil
+}
+
+// DiffMatpartScale checks the structural invariants at process counts the
+// enumerator cannot reach: the continuous arrangement must tile the unit
+// square with every area share realised exactly, its perimeter must match
+// the DP oracle, and the discretised arrangement must tile the grid
+// exactly with zero-area processes excluded and every active process
+// owning at least one block (the grids used here always fit the
+// arrangement).
+func DiffMatpartScale(areas []float64, grid int) ([]Violation, error) {
+	var vs []Violation
+	rects, perim, err := matpart.Partition(areas)
+	if err != nil {
+		return []Violation{{Check: "diff-matpart", Algo: "partition",
+			Detail: fmt.Sprintf("p=%d: %v", len(areas), err)}}, nil
+	}
+	total := 0.0
+	for _, a := range areas {
+		total += a
+	}
+	// Σ W·H = 1 and each rectangle's area equals its prescribed share.
+	sum := 0.0
+	for i, r := range rects {
+		sum += r.W * r.H
+		share := areas[i] / total
+		if math.Abs(r.W*r.H-share) > 1e-9 {
+			vs = append(vs, Violation{Check: "diff-matpart", Algo: "partition",
+				Detail: fmt.Sprintf("p=%d: process %d area %.12g, share prescribes %.12g", len(areas), i, r.W*r.H, share)})
+		}
+		if areas[i] == 0 && (r.W != 0 || r.H != 0) {
+			vs = append(vs, Violation{Check: "diff-matpart", Algo: "partition",
+				Detail: fmt.Sprintf("p=%d: idle process %d received a rectangle %+v", len(areas), i, r)})
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		vs = append(vs, Violation{Check: "diff-matpart", Algo: "partition",
+			Detail: fmt.Sprintf("p=%d: rectangle areas sum to %.12g, want 1", len(areas), sum)})
+	}
+	// The achieved perimeter is the DP-oracle optimum.
+	opt, err := matpart.OraclePerimeter(areas)
+	if err != nil {
+		return append(vs, Violation{Check: "diff-matpart", Algo: "oracle-dp",
+			Detail: fmt.Sprintf("p=%d: %v", len(areas), err)}), nil
+	}
+	if math.Abs(perim-opt) > 1e-9*opt {
+		vs = append(vs, Violation{Check: "diff-matpart", Algo: "oracle-dp",
+			Detail: fmt.Sprintf("p=%d: achieved perimeter %.12g, DP oracle %.12g", len(areas), perim, opt)})
+	}
+	// Discretisation: exact tiling, idle processes excluded, active ones
+	// never starved.
+	blocks, err := matpart.PartitionGrid(areas, grid)
+	if err != nil {
+		return append(vs, Violation{Check: "diff-matpart", Algo: "grid",
+			Detail: fmt.Sprintf("p=%d grid=%d: %v", len(areas), grid, err)}), nil
+	}
+	if err := matpart.CheckTiling(blocks, grid); err != nil {
+		vs = append(vs, Violation{Check: "diff-matpart", Algo: "grid",
+			Detail: fmt.Sprintf("p=%d grid=%d: %v", len(areas), grid, err)})
+	}
+	for i, b := range blocks {
+		if areas[i] == 0 && b.Blocks() != 0 {
+			vs = append(vs, Violation{Check: "diff-matpart", Algo: "grid",
+				Detail: fmt.Sprintf("p=%d grid=%d: idle process %d holds %d blocks", len(areas), grid, i, b.Blocks())})
+		}
+		if areas[i] > 0 && b.Blocks() == 0 {
+			vs = append(vs, Violation{Check: "diff-matpart", Algo: "grid",
+				Detail: fmt.Sprintf("p=%d grid=%d: active process %d starved of blocks", len(areas), grid, i)})
+		}
+	}
+	return vs, nil
+}
+
+// DiffMatpartBeatsOneD checks the point of the whole arrangement: with
+// three or more active processes the column-based optimum is strictly
+// cheaper than the naive 1D strip layout (grouping the two thinnest
+// strips into one column always pays once a column can hold two).
+func DiffMatpartBeatsOneD(areas []float64) ([]Violation, error) {
+	opt, err := matpart.OraclePerimeter(areas)
+	if err != nil {
+		return []Violation{{Check: "diff-matpart", Algo: "oracle-dp",
+			Detail: fmt.Sprintf("areas %v: %v", areas, err)}}, nil
+	}
+	oneD, err := matpart.OneDPerimeter(areas)
+	if err != nil {
+		return []Violation{{Check: "diff-matpart", Algo: "1d",
+			Detail: fmt.Sprintf("areas %v: %v", areas, err)}}, nil
+	}
+	if !(opt < oneD) {
+		return []Violation{{Check: "diff-matpart", Algo: "2d-vs-1d",
+			Detail: fmt.Sprintf("areas %v: 2D optimum %.12g does not beat the 1D baseline %.12g", areas, opt, oneD)}}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fupermod/internal/pool"
+)
+
+func TestDiffMatpartOracleCleanAndFlagging(t *testing.T) {
+	vs, err := DiffMatpartOracle([]float64{3, 2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean instance flagged: %v", vs)
+	}
+	// Invalid areas are reported as violations, not suite errors.
+	vs, err = DiffMatpartOracle([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("all-zero areas should be flagged")
+	}
+}
+
+func TestDiffMatpartScaleAtFortyEight(t *testing.T) {
+	areas := make([]float64, 48)
+	for i := range areas {
+		areas[i] = 1 + float64(i%7)
+	}
+	areas[5] = 0 // one idle process
+	vs, err := DiffMatpartScale(areas, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("48-process instance flagged: %v", vs)
+	}
+}
+
+func TestDiffMatpartBeatsOneDStrictness(t *testing.T) {
+	vs, err := DiffMatpartBeatsOneD([]float64{5, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("three processes must beat 1D: %v", vs)
+	}
+	// With two processes a single column and two strips tie (cost 3), so
+	// the strict check must fire — documenting why the section only feeds
+	// it three or more active processes.
+	vs, err = DiffMatpartBeatsOneD([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("two equal processes tie with 1D; strict check should flag")
+	}
+}
+
+func TestDiffMatpartSectionRunsClean(t *testing.T) {
+	vs, checks, err := runDiffMatpart(context.Background(), pool.New(2), Options{Seed: 3, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checks == 0 {
+		t.Fatal("section generated no checks")
+	}
+	for _, v := range vs {
+		t.Error(v)
+	}
+	if len(vs) > 0 {
+		return
+	}
+	// Every violation in this section must carry the section name, so a
+	// report line is attributable; spot-check the formatting contract.
+	bad, err := DiffMatpartOracle([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 || !strings.Contains(bad[0].String(), "diff-matpart") {
+		t.Fatalf("violation not attributable: %v", bad)
+	}
+}

@@ -68,7 +68,7 @@ func (o Options) oracleRelTol() float64 {
 type Section struct {
 	// Name identifies the section: "invariants", "oracle",
 	// "diff-constant", "diff-smooth", "diff-comm", "diff-rebalance",
-	// "diff-transfer", "diff-dynamic".
+	// "diff-transfer", "diff-matpart", "diff-dynamic".
 	Name string
 	// Checks is the number of individual assertions made.
 	Checks int
@@ -179,6 +179,7 @@ func Run(opts Options) (*Report, error) {
 		{"diff-comm", runDiffComm},
 		{"diff-rebalance", runDiffRebalance},
 		{"diff-transfer", runDiffTransfer},
+		{"diff-matpart", runDiffMatpart},
 	}
 	if !opts.SkipDynamic {
 		sections = append(sections, sectionFn{"diff-dynamic", runDiffDynamic})

@@ -392,7 +392,7 @@ func TestSuiteSeededRunIsClean(t *testing.T) {
 			t.Error(v)
 		}
 	}
-	if r.Checks() == 0 || len(r.Sections) != 8 {
+	if r.Checks() == 0 || len(r.Sections) != 9 {
 		t.Errorf("suite ran %d checks over %d sections", r.Checks(), len(r.Sections))
 	}
 	var sb strings.Builder
